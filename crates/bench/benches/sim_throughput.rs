@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the simulator itself: memory-system tick
+//! throughput per scheme, cache hierarchy access rate, and workload
+//! generation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cache_sim::{CacheHierarchy, HierarchyConfig};
+use cpu_sim::{InstructionSource, Op};
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use pra_core::{Scheme, SimBuilder};
+use workloads::WorkloadGen;
+
+/// Ticks a loaded memory system for a fixed number of cycles.
+fn bench_memory_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_system_tick");
+    for (name, scheme) in [
+        ("baseline", SchemeBehavior::baseline()),
+        ("pra", SchemeBehavior::pra()),
+        ("half_dram", SchemeBehavior::half_dram()),
+    ] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::new("mixed_load", name), &scheme, |b, scheme| {
+            b.iter(|| {
+                let cfg = DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, *scheme);
+                let mut mem = MemorySystem::new(cfg);
+                let mut id = 0u64;
+                for cycle in 0..10_000u64 {
+                    if cycle % 7 == 0 {
+                        id += 1;
+                        let addr = PhysAddr::new((id * 8191 * 64) % (1 << 32));
+                        let req = if id.is_multiple_of(3) {
+                            MemRequest::write(id, addr, WordMask::single((id % 8) as u8))
+                        } else {
+                            MemRequest::read(id, addr)
+                        };
+                        let _ = mem.try_enqueue(req);
+                    }
+                    black_box(mem.tick().len());
+                }
+                black_box(mem.stats().activations)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Streams accesses through the two-level hierarchy.
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("gups_accesses", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(HierarchyConfig::paper(1));
+            let mut g = WorkloadGen::new(workloads::gups(), 1, 0);
+            let mut done = 0u64;
+            let mut wbs = 0usize;
+            while done < 100_000 {
+                match g.next_op() {
+                    Op::Compute(_) => {}
+                    Op::Load(a) => {
+                        wbs += h.access(0, a, None).writebacks.len();
+                        done += 1;
+                    }
+                    Op::Store(a, m) => {
+                        wbs += h.access(0, a, Some(m)).writebacks.len();
+                        done += 1;
+                    }
+                }
+            }
+            black_box(wbs)
+        });
+    });
+    group.finish();
+}
+
+/// Raw op-generation rate of the workload generators.
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(100_000));
+    for profile in [workloads::gups(), workloads::libquantum()] {
+        group.bench_with_input(
+            BenchmarkId::new("ops", profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let mut g = WorkloadGen::new(*profile, 1, 0);
+                    let mut acc = 0u64;
+                    for _ in 0..100_000 {
+                        if let Op::Load(a) | Op::Store(a, _) = g.next_op() {
+                            acc ^= a.raw();
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end instruction throughput of the full system (cores + caches +
+/// DRAM + power model).
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_system");
+    group.throughput(Throughput::Elements(20_000));
+    for scheme in [Scheme::Baseline, Scheme::Pra] {
+        group.bench_with_input(
+            BenchmarkId::new("gups_20k_insts", format!("{scheme:?}")),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let report = SimBuilder::new()
+                        .app(workloads::gups())
+                        .scheme(scheme)
+                        .instructions(20_000)
+                        .warmup_mem_ops(50_000)
+                        .run();
+                    black_box(report.energy.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_memory_system, bench_cache_hierarchy, bench_workload_generation, bench_full_system
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation study of PRA's design choices (the knobs DESIGN.md calls out):
+//!
+//! * **no-relax** — partial activations still count as full activations
+//!   against tRRD/tFAW (isolates the timing-relaxation benefit of
+//!   Section 4.1.3).
+//! * **no-extra-cycle** — the PRA mask is delivered for free instead of
+//!   costing one cycle of activate-to-column delay (upper-bounds the cost
+//!   of the address-bus mask transfer of Fig. 7a).
+//! * **act-only** — partial activation without write-I/O scaling (isolates
+//!   how much of PRA's saving comes from activation power versus from
+//!   transferring only dirty words).
+//! * **quarter-floor** — activations never narrower than half a row
+//!   (what PRA would save if, like an extended Half-DRAM, the minimum
+//!   granularity were coarser).
+//!
+//! Run over a write-intensive homogeneous workload (GUPS x4).
+
+use bench::config_from_args;
+use dram_sim::{SchemeBehavior, WriteActPolicy};
+use pra_core::{Scheme, SimBuilder};
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!("running PRA ablations ({} instructions/core)...", cfg.instructions);
+
+    let pra = SchemeBehavior::pra();
+    let variants: Vec<(&str, SchemeBehavior)> = vec![
+        ("baseline", SchemeBehavior::baseline()),
+        ("PRA (full)", pra),
+        ("PRA no-relax", SchemeBehavior { name: "PRA-norelax", relaxed_act_timing: false, ..pra }),
+        (
+            "PRA no-extra-cycle",
+            SchemeBehavior { name: "PRA-free-mask", partial_act_extra_cycles: 0, ..pra },
+        ),
+        ("PRA act-only", SchemeBehavior { name: "PRA-act-only", scale_write_io: false, ..pra }),
+        (
+            "PRA half-floor",
+            SchemeBehavior {
+                name: "PRA-half-floor",
+                write_act: WriteActPolicy::FixedMats(8),
+                scale_write_io: true,
+                ..pra
+            },
+        ),
+    ];
+
+    let run = |behavior: SchemeBehavior| {
+        let mut b = SimBuilder::new()
+            .homogeneous(workloads::gups(), 4)
+            .name("GUPS")
+            .scheme(Scheme::Pra)
+            .scheme_behavior_override(behavior)
+            .instructions(cfg.instructions)
+            .seed(cfg.seed);
+        if let Some(w) = cfg.warmup {
+            b = b.warmup_mem_ops(w);
+        }
+        b.run()
+    };
+
+    let base = run(SchemeBehavior::baseline());
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "act mW", "wr-io mW", "total mW", "vs base", "IPC sum"
+    );
+    for (label, behavior) in variants {
+        let r = run(behavior);
+        println!(
+            "{label:<20} {:>10.1} {:>10.1} {:>10.1} {:>9.1}% {:>10.2}",
+            r.power.act_pre,
+            r.power.wr_io,
+            r.power.total(),
+            (r.power.total() / base.power.total() - 1.0) * 100.0,
+            r.ipc_sum(),
+        );
+    }
+    println!();
+    println!(
+        "interpretation: act-only vs full shows the write-I/O contribution; \
+         no-relax shows the tFAW/tRRD headroom; half-floor shows why the \
+         paper pushes below half-row granularity."
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 2**: baseline DRAM power-consumption breakdown
+//! (ACT-PRE, RD, WR, RD I/O, WR I/O, BG, REF) per benchmark, single-core,
+//! relaxed close-page.
+
+use bench::{config_from_args, pct, rule};
+use dram_power::PowerBreakdown;
+use pra_core::experiments::fig2;
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!("running Figure 2 ({} instructions/core)...", cfg.instructions);
+    let rows = fig2(&cfg);
+    let labels = PowerBreakdown::component_labels();
+    let header = format!(
+        "{:<12} {:>9} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "total mW", labels[0], labels[1], labels[2], labels[3], labels[4], labels[5], labels[6]
+    );
+    println!("{header}");
+    rule(&header);
+    let mut act_shares = Vec::new();
+    let mut io_shares = Vec::new();
+    for (name, p) in &rows {
+        let total = p.total();
+        let shares = p.components().map(|c| c / total);
+        println!(
+            "{name:<12} {total:>9.1} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            pct(shares[0]),
+            pct(shares[1]),
+            pct(shares[2]),
+            pct(shares[3]),
+            pct(shares[4]),
+            pct(shares[5]),
+            pct(shares[6]),
+        );
+        act_shares.push(p.act_pre_share());
+        io_shares.push(p.io_share());
+    }
+    rule(&header);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "ACT-PRE share: avg {} (paper ~25%), max {} (paper ~33%)",
+        pct(avg(&act_shares)),
+        pct(max(&act_shares))
+    );
+    println!(
+        "I/O share:     avg {} (paper ~14%), max {} (paper ~19%)",
+        pct(avg(&io_shares)),
+        pct(max(&io_shares))
+    );
+}

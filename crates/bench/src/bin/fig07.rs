@@ -1,0 +1,26 @@
+//! Regenerates **Figure 7**: partial-row-activation timing versus
+//! conventional full-row-activation timing, as ASCII command/data-bus
+//! diagrams derived from the Table 3 parameters.
+
+use dram_sim::TimingParams;
+use pra_core::timing_diagram::{read_timeline, render, write_latencies, write_timeline};
+
+fn main() {
+    let t = TimingParams::ddr3_1600_table3();
+    println!("Figure 7(a): partial row activation (write, PRA# pulled low)\n");
+    print!("{}", render(&write_timeline(&t, true)));
+    let (wr, data, pre) = write_latencies(&t, true);
+    println!("  -> WR at tRCD+tCK = {wr}, data at +WL = {data}, PRE at {pre}\n");
+
+    println!("Figure 7(b): full row activation (write, PRA# pulled high)\n");
+    print!("{}", render(&write_timeline(&t, false)));
+    let (wr, data, pre) = write_latencies(&t, false);
+    println!("  -> WR at tRCD = {wr}, data at +WL = {data}, PRE at {pre}\n");
+
+    println!("read path (always full activation, full bandwidth):\n");
+    print!("{}", render(&read_timeline(&t)));
+    println!(
+        "\nthe one-cycle PRA mask transfer is the entire timing cost of a \
+         partial activation; reads never pay it."
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 10**: PRA's impact on row-buffer read, write and
+//! total hit rates (false row-buffer hits counted as misses), across the 14
+//! four-core workloads, relaxed close-page.
+
+use bench::{config_from_args, pct, rule};
+use pra_core::experiments::fig10;
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!("running Figure 10 ({} instructions/core, 14 workloads)...", cfg.instructions);
+    let rows = fig10(&cfg);
+    let header = format!(
+        "{:<12} | {:>8} {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
+        "workload", "hit rd", "hit wr", "hit tot", "false rd", "false wr", "conv rd", "conv wr"
+    );
+    println!("{header}");
+    rule(&header);
+    let mut sums = [0.0f64; 5];
+    for row in &rows {
+        println!(
+            "{:<12} | {:>8} {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
+            row.name,
+            pct(row.hit_rates.0),
+            pct(row.hit_rates.1),
+            pct(row.hit_rates.2),
+            pct(row.false_rates.0),
+            pct(row.false_rates.1),
+            pct(row.conventional.0),
+            pct(row.conventional.1),
+        );
+        for (s, v) in sums.iter_mut().zip([
+            row.hit_rates.0,
+            row.hit_rates.1,
+            row.hit_rates.2,
+            row.false_rates.0,
+            row.false_rates.1,
+        ]) {
+            *s += v / rows.len() as f64;
+        }
+    }
+    rule(&header);
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} | {:>9} {:>9} |",
+        "average",
+        pct(sums[0]),
+        pct(sums[1]),
+        pct(sums[2]),
+        pct(sums[3]),
+        pct(sums[4]),
+    );
+    println!();
+    println!(
+        "paper: read false hits are rare (max 0.26%, avg 0.04%); total hit \
+         rate drops only ~0.1% (from 11.2% to 11.1%)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Figure 11**: the proportion of row-activation
+//! granularities under PRA, for both the restricted and the relaxed
+//! close-page policies, across the 14 four-core workloads.
+
+use bench::{config_from_args, pct, rule};
+use dram_sim::PagePolicy;
+use pra_core::experiments::fig11;
+
+fn print_policy(name: &str, rows: &[(String, [f64; 8])], paper_avg: [f64; 8]) {
+    println!("=== {name} ===");
+    let header = format!(
+        "{:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload", "1/8", "2/8", "3/8", "4/8", "5/8", "6/8", "7/8", "full"
+    );
+    println!("{header}");
+    rule(&header);
+    for (workload, dist) in rows {
+        println!(
+            "{workload:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            pct(dist[0]),
+            pct(dist[1]),
+            pct(dist[2]),
+            pct(dist[3]),
+            pct(dist[4]),
+            pct(dist[5]),
+            pct(dist[6]),
+            pct(dist[7]),
+        );
+    }
+    rule(&header);
+    println!(
+        "{:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "paper avg",
+        pct(paper_avg[0]),
+        pct(paper_avg[1]),
+        pct(paper_avg[2]),
+        pct(paper_avg[3]),
+        pct(paper_avg[4]),
+        pct(paper_avg[5]),
+        pct(paper_avg[6]),
+        pct(paper_avg[7]),
+    );
+    println!();
+}
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!("running Figure 11 ({} instructions/core, 2 policies x 14 workloads)...", cfg.instructions);
+    let restricted = fig11(&cfg, PagePolicy::RestrictedClosePage);
+    print_policy(
+        "restricted close-page",
+        &restricted,
+        [0.36, 0.023, 0.004, 0.012, 0.0004, 0.0004, 0.0002, 0.60],
+    );
+    let relaxed = fig11(&cfg, PagePolicy::RelaxedClosePage);
+    print_policy(
+        "relaxed close-page",
+        &relaxed,
+        [0.39, 0.02, 0.0043, 0.0045, 0.0005, 0.0005, 0.0002, 0.58],
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 12**: normalised DRAM row-activation, I/O and total
+//! power of FGA, Half-DRAM and PRA, across the 14 four-core workloads,
+//! relaxed close-page.
+
+use bench::{config_from_args, print_comparison_metric};
+use pra_core::experiments::fig12_13;
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!(
+        "running Figure 12 ({} instructions/core, 14 workloads x 3 schemes + baselines)...",
+        cfg.instructions
+    );
+    let rows = fig12_13(&cfg);
+    print_comparison_metric(
+        "Figure 12(a): row activation power",
+        &rows,
+        |r| r.norm_act_power,
+        "paper: PRA up to -43%, avg -34%; FGA/Half-DRAM save more (half rows on all traffic)",
+    );
+    print_comparison_metric(
+        "Figure 12(b): I/O power",
+        &rows,
+        |r| r.norm_io_power,
+        "paper: PRA up to -58%, avg -45%; Half-DRAM unchanged; FGA only via longer runtime",
+    );
+    print_comparison_metric(
+        "Figure 12(c): total DRAM power",
+        &rows,
+        |r| r.norm_total_power,
+        "paper: PRA up to -32%, avg -23%; FGA avg -15%; Half-DRAM avg -11%",
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 13**: normalised performance (weighted speedup),
+//! DRAM energy and energy-delay product of FGA, Half-DRAM and PRA, across
+//! the 14 four-core workloads, relaxed close-page.
+
+use bench::{config_from_args, print_comparison_metric};
+use pra_core::experiments::fig12_13;
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!(
+        "running Figure 13 ({} instructions/core, 14 workloads x 3 schemes + baselines)...",
+        cfg.instructions
+    );
+    let rows = fig12_13(&cfg);
+    print_comparison_metric(
+        "Figure 13(a): performance (weighted speedup)",
+        &rows,
+        |r| r.norm_performance,
+        "paper: PRA -0.8% avg (max -4.8%); Half-DRAM +0.3% avg; FGA -14% avg (max -18%)",
+    );
+    print_comparison_metric(
+        "Figure 13(b): DRAM energy",
+        &rows,
+        |r| r.norm_energy,
+        "paper: PRA up to -34%, avg -23%",
+    );
+    print_comparison_metric(
+        "Figure 13(c): energy-delay product",
+        &rows,
+        |r| r.norm_edp,
+        "paper: PRA up to -32%, avg -22%",
+    );
+}

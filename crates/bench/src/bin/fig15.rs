@@ -1,0 +1,44 @@
+//! Regenerates **Figure 15**: DBI vs PRA vs the combined DBI + PRA scheme.
+//! The paper shows bzip2, GUPS and em3d individually plus the 14-workload
+//! mean.
+
+use bench::config_from_args;
+use pra_core::experiments::{fig15, mean_by_scheme, ComparisonRow};
+
+fn print_workload(rows: &[ComparisonRow], workload: &str) {
+    println!("--- {workload} ---");
+    for r in rows.iter().filter(|r| r.workload == workload) {
+        println!(
+            "{:<10} power {:>7.3}  perf {:>7.3}  energy {:>7.3}  EDP {:>7.3}",
+            r.scheme, r.norm_total_power, r.norm_performance, r.norm_energy, r.norm_edp
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!(
+        "running Figure 15 ({} instructions/core, DBI/PRA/DBI+PRA)...",
+        cfg.instructions
+    );
+    let rows = fig15(&cfg);
+    println!("Figure 15: DBI vs PRA vs DBI+PRA, normalised to baseline");
+    println!();
+    for w in ["bzip2", "GUPS", "em3d"] {
+        print_workload(&rows, w);
+    }
+    println!("--- MEAN (all 14 workloads) ---");
+    for (scheme, m) in mean_by_scheme(&rows) {
+        println!(
+            "{scheme:<10} power {:>7.3}  perf {:>7.3}  energy {:>7.3}  EDP {:>7.3}",
+            m[2], m[3], m[4], m[5]
+        );
+    }
+    println!();
+    println!(
+        "paper: DBI helps performance, PRA helps power; the combination beats \
+         DBI alone on power but trails PRA alone (extra false row-buffer hits \
+         from DBI's write bursts)."
+    );
+}

@@ -1,0 +1,121 @@
+//! Renders the reproduced figures as standalone SVG files under
+//! `results/`: Figure 2 (baseline power breakdown), Figure 9 (activation
+//! energy curve), Figure 11 (granularity proportions), and Figures 12/13
+//! (normalised scheme comparison).
+//!
+//! ```bash
+//! cargo run -p bench --release --bin render_figures -- 100000
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use bench::chart::{BarChart, BarGroup, LineChart};
+use bench::config_from_args;
+use dram_sim::PagePolicy;
+use pra_core::experiments::{fig11, fig12_13, fig2, fig9, ComparisonRow};
+
+fn write(path: &Path, name: &str, svg: &str) {
+    let file = path.join(name);
+    fs::write(&file, svg).unwrap_or_else(|e| panic!("cannot write {}: {e}", file.display()));
+    println!("wrote {}", file.display());
+}
+
+fn comparison_chart(
+    rows: &[ComparisonRow],
+    title: &str,
+    metric: fn(&ComparisonRow) -> f64,
+) -> BarChart {
+    let schemes: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in rows {
+            if !seen.contains(&r.scheme) {
+                seen.push(r.scheme.clone());
+            }
+        }
+        seen
+    };
+    let mut groups: Vec<BarGroup> = Vec::new();
+    for r in rows {
+        if groups.last().map(|g: &BarGroup| g.label != r.workload).unwrap_or(true) {
+            groups.push(BarGroup { label: r.workload.clone(), values: Vec::new() });
+        }
+        groups.last_mut().expect("just pushed").values.push(metric(r));
+    }
+    BarChart {
+        title: title.to_string(),
+        y_label: "normalised to baseline".to_string(),
+        series: schemes,
+        groups,
+        reference: Some(1.0),
+    }
+}
+
+fn main() {
+    let cfg = config_from_args();
+    let out = Path::new("results");
+    fs::create_dir_all(out).expect("create results/");
+
+    eprintln!("figure 9 (static model)...");
+    let fig9_svg = LineChart {
+        title: "Figure 9: row activation energy vs MATs activated".into(),
+        x_label: "MATs activated".into(),
+        y_label: "energy (pJ)".into(),
+        points: fig9().iter().map(|p| (f64::from(p.mats), p.energy_pj)).collect(),
+    }
+    .to_svg();
+    write(out, "fig09.svg", &fig9_svg);
+
+    eprintln!("figure 2 ({} instructions/core)...", cfg.instructions);
+    let power_rows = fig2(&cfg);
+    let labels = dram_power::PowerBreakdown::component_labels();
+    let fig2_chart = BarChart {
+        title: "Figure 2: baseline DRAM power breakdown".into(),
+        y_label: "share of total power".into(),
+        series: labels.iter().map(|s| s.to_string()).collect(),
+        groups: power_rows
+            .iter()
+            .map(|(name, p)| BarGroup {
+                label: name.clone(),
+                values: p.components().iter().map(|c| c / p.total()).collect(),
+            })
+            .collect(),
+        reference: None,
+    };
+    write(out, "fig02.svg", &fig2_chart.to_svg());
+
+    eprintln!("figure 11 (PRA granularities, relaxed)...");
+    let granularity = fig11(&cfg, PagePolicy::RelaxedClosePage);
+    let fig11_chart = BarChart {
+        title: "Figure 11: PRA activation granularities (relaxed close-page)".into(),
+        y_label: "proportion of activations".into(),
+        series: (1..=8).map(|k| format!("{k}/8")).collect(),
+        groups: granularity
+            .iter()
+            .map(|(name, dist)| BarGroup { label: name.clone(), values: dist.to_vec() })
+            .collect(),
+        reference: None,
+    };
+    write(out, "fig11.svg", &fig11_chart.to_svg());
+
+    eprintln!("figures 12/13 (scheme comparison)...");
+    let rows = fig12_13(&cfg);
+    write(
+        out,
+        "fig12_total_power.svg",
+        &comparison_chart(&rows, "Figure 12(c): total DRAM power", |r| r.norm_total_power)
+            .to_svg(),
+    );
+    write(
+        out,
+        "fig13_performance.svg",
+        &comparison_chart(&rows, "Figure 13(a): weighted speedup", |r| r.norm_performance)
+            .to_svg(),
+    );
+    write(
+        out,
+        "fig13_edp.svg",
+        &comparison_chart(&rows, "Figure 13(c): energy-delay product", |r| r.norm_edp).to_svg(),
+    );
+    println!("done.");
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Table 1**: per-benchmark memory characteristics
+//! (row-buffer hit rates, memory traffic split, row-activation split) on
+//! the single-core baseline with the relaxed close-page policy.
+
+use bench::{config_from_args, pct, rule};
+use pra_core::experiments::{table1, Table1Row};
+
+/// The paper's published Table 1, for side-by-side comparison:
+/// (name, rb_hit_rd, rb_hit_wr, traffic_rd, traffic_wr, act_rd, act_wr) in %.
+const PAPER: [(&str, f64, f64, f64, f64, f64, f64); 8] = [
+    ("bzip2", 32.0, 1.0, 69.0, 31.0, 60.0, 40.0),
+    ("lbm", 29.0, 18.0, 57.0, 43.0, 54.0, 46.0),
+    ("libquantum", 73.0, 48.0, 66.0, 34.0, 50.0, 50.0),
+    ("mcf", 18.0, 1.0, 79.0, 21.0, 76.0, 24.0),
+    ("omnetpp", 47.0, 2.0, 71.0, 29.0, 57.0, 43.0),
+    ("em3d", 5.0, 1.0, 51.0, 49.0, 50.0, 50.0),
+    ("GUPS", 3.0, 1.0, 53.0, 47.0, 52.0, 48.0),
+    ("LinkedList", 4.0, 1.0, 65.0, 35.0, 64.0, 36.0),
+];
+
+fn main() {
+    let cfg = config_from_args();
+    eprintln!("running Table 1 ({} instructions/core)...", cfg.instructions);
+    let rows = table1(&cfg);
+    let header = format!(
+        "{:<12} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | paper: hit rd/wr, traffic rd/wr, act rd/wr",
+        "benchmark", "hit rd", "hit wr", "traf rd", "traf wr", "act rd", "act wr"
+    );
+    println!("{header}");
+    rule(&header);
+    let mut sums = [0.0f64; 6];
+    for row in &rows {
+        let Table1Row { name, rb_hit, traffic, activations } = row;
+        let paper = PAPER.iter().find(|p| p.0 == name);
+        let paper_str = paper.map_or(String::new(), |p| {
+            format!("{}/{}, {}/{}, {}/{}", p.1, p.2, p.3, p.4, p.5, p.6)
+        });
+        println!(
+            "{name:<12} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {paper_str}",
+            pct(rb_hit.0),
+            pct(rb_hit.1),
+            pct(traffic.0),
+            pct(traffic.1),
+            pct(activations.0),
+            pct(activations.1),
+        );
+        for (s, v) in sums.iter_mut().zip([
+            rb_hit.0,
+            rb_hit.1,
+            traffic.0,
+            traffic.1,
+            activations.0,
+            activations.1,
+        ]) {
+            *s += v / rows.len() as f64;
+        }
+    }
+    rule(&header);
+    println!(
+        "{:<12} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | 26/9, 64/36, 58/42",
+        "average",
+        pct(sums[0]),
+        pct(sums[1]),
+        pct(sums[2]),
+        pct(sums[3]),
+        pct(sums[4]),
+        pct(sums[5]),
+    );
+}

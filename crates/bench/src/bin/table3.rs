@@ -1,0 +1,34 @@
+//! Regenerates **Table 3**'s power rows: the per-granularity row-activation
+//! powers, the Eq. (1)/(2) derivation, and every other component power
+//! parameter. Pure model output — no simulation.
+
+use pra_core::experiments::table3;
+
+fn main() {
+    let data = table3();
+    println!("Table 3: DRAM chip power parameters (mW)");
+    println!();
+    let p = &data.params;
+    println!("  PRE STBY {:>6.1}   PRE PDN {:>6.1}   ACT STBY {:>6.1}   REF {:>6.1}",
+        p.pre_stby_mw, p.pre_pdn_mw, p.act_stby_mw, p.ref_mw);
+    println!("  RD       {:>6.1}   WR      {:>6.1}   RD I/O   {:>6.1}",
+        p.rd_mw, p.wr_mw, p.rd_io_mw);
+    println!("  WR ODT   {:>6.1}   RD TERM {:>6.1}   WR TERM  {:>6.1}",
+        p.wr_odt_mw, p.rd_term_mw, p.wr_term_mw);
+    println!();
+    println!("Row activation power by granularity:");
+    println!("{:>10} {:>12} {:>16}", "rows", "published", "CACTI-projected");
+    let labels = ["1/8", "2/8", "3/8", "4/8", "5/8", "6/8", "7/8", "full"];
+    for (i, label) in labels.iter().enumerate() {
+        println!(
+            "{label:>10} {:>12.1} {:>16.2}",
+            data.published_act_mw[i], data.cacti_projected_mw[i]
+        );
+    }
+    println!();
+    println!(
+        "Eq. (1)/(2) check: P_ACT(full) = {:.2} mW (paper: 22.2 mW) with \
+         IDD0/IDD2N/IDD3N calibrated as documented in dram-power.",
+        data.eq12_full_row_mw
+    );
+}

@@ -1,0 +1,312 @@
+//! A small, dependency-free SVG renderer for the figures the harness
+//! regenerates: grouped bar charts (Figures 2, 11, 12, 13) and simple line
+//! series (Figure 9). Produces standalone `.svg` files a browser renders
+//! directly — no plotting toolchain required.
+
+/// One group of bars (e.g. one workload) with one value per series.
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label drawn under the x-axis.
+    pub label: String,
+    /// One value per series, in series order.
+    pub values: Vec<f64>,
+}
+
+/// A grouped-bar chart description.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series names (legend), one per bar within each group.
+    pub series: Vec<String>,
+    /// The groups, drawn left to right.
+    pub groups: Vec<BarGroup>,
+    /// Optional horizontal reference line (e.g. 1.0 for normalised charts).
+    pub reference: Option<f64>,
+}
+
+const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#85b6b2", "#d1605e", "#6a9f58", "#967662"];
+const WIDTH: f64 = 960.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 160.0;
+const MARGIN_TOP: f64 = 50.0;
+const MARGIN_BOTTOM: f64 = 80.0;
+
+fn esc(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl BarChart {
+    /// Renders the chart to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart has no groups, no series, or a group whose value
+    /// count disagrees with the series count — malformed charts are
+    /// programming errors in the harness.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.groups.is_empty(), "chart needs at least one group");
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        for g in &self.groups {
+            assert_eq!(
+                g.values.len(),
+                self.series.len(),
+                "group {:?} has {} values for {} series",
+                g.label,
+                g.values.len(),
+                self.series.len()
+            );
+        }
+        let max_value = self
+            .groups
+            .iter()
+            .flat_map(|g| g.values.iter().copied())
+            .chain(self.reference)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let group_w = plot_w / self.groups.len() as f64;
+        let bar_w = (group_w * 0.8) / self.series.len() as f64;
+        let y_of = |v: f64| MARGIN_TOP + plot_h * (1.0 - v / (max_value * 1.1));
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/><text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            esc(&self.title)
+        ));
+        // Y axis with 5 ticks.
+        for tick in 0..=5 {
+            let v = max_value * 1.1 * f64::from(tick) / 5.0;
+            let y = y_of(v);
+            svg.push_str(&format!(
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{v:.2}</text>"##,
+                WIDTH - MARGIN_RIGHT,
+                MARGIN_LEFT - 6.0,
+                y + 4.0
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="16" y="{:.1}" font-size="12" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.y_label)
+        ));
+        // Bars.
+        for (gi, group) in self.groups.iter().enumerate() {
+            let gx = MARGIN_LEFT + group_w * (gi as f64 + 0.1);
+            for (si, &v) in group.values.iter().enumerate() {
+                let x = gx + bar_w * si as f64;
+                let y = y_of(v.max(0.0));
+                let h = (MARGIN_TOP + plot_h - y).max(0.0);
+                svg.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"><title>{}: {v:.3}</title></rect>"#,
+                    bar_w * 0.92,
+                    PALETTE[si % PALETTE.len()],
+                    esc(&group.label),
+                ));
+            }
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end" transform="rotate(-35 {:.1} {:.1})">{}</text>"#,
+                gx + group_w * 0.4,
+                MARGIN_TOP + plot_h + 16.0,
+                gx + group_w * 0.4,
+                MARGIN_TOP + plot_h + 16.0,
+                esc(&group.label)
+            ));
+        }
+        // Reference line.
+        if let Some(reference) = self.reference {
+            let y = y_of(reference);
+            svg.push_str(&format!(
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#555" stroke-dasharray="6 4"/>"##,
+                WIDTH - MARGIN_RIGHT
+            ));
+        }
+        // Legend.
+        for (si, name) in self.series.iter().enumerate() {
+            let y = MARGIN_TOP + 18.0 * si as f64;
+            svg.push_str(&format!(
+                r#"<rect x="{:.1}" y="{y:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+                WIDTH - MARGIN_RIGHT + 14.0,
+                PALETTE[si % PALETTE.len()],
+                WIDTH - MARGIN_RIGHT + 32.0,
+                y + 10.0,
+                esc(name)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// A simple one-series line chart (used for Figure 9).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// `(x, y)` points, drawn in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two points.
+    pub fn to_svg(&self) -> String {
+        assert!(self.points.len() >= 2, "line chart needs at least two points");
+        let (x_min, x_max) = self
+            .points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+        let y_max = self.points.iter().fold(0.0f64, |m, &(_, y)| m.max(y)).max(1e-12);
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let px = |x: f64| MARGIN_LEFT + plot_w * (x - x_min) / (x_max - x_min).max(1e-12);
+        let py = |y: f64| MARGIN_TOP + plot_h * (1.0 - y / (y_max * 1.1));
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/><text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            esc(&self.title)
+        ));
+        for tick in 0..=5 {
+            let v = y_max * 1.1 * f64::from(tick) / 5.0;
+            let y = py(v);
+            svg.push_str(&format!(
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{v:.0}</text>"##,
+                WIDTH - MARGIN_RIGHT,
+                MARGIN_LEFT - 6.0,
+                y + 4.0
+            ));
+        }
+        let path: Vec<String> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1} {:.1}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+            })
+            .collect();
+        svg.push_str(&format!(
+            r#"<path d="{}" fill="none" stroke="{}" stroke-width="2.5"/>"#,
+            path.join(" "),
+            PALETTE[0]
+        ));
+        for &(x, y) in &self.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{}"><title>({x:.0}, {y:.2})</title></circle>"#,
+                px(x),
+                py(y),
+                PALETTE[0]
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{x:.0}</text>"#,
+                px(x),
+                MARGIN_TOP + plot_h + 16.0
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 24.0,
+            esc(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{:.1}" font-size="12" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.y_label)
+        ));
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart {
+            title: "t<est>".into(),
+            y_label: "mW".into(),
+            series: vec!["a".into(), "b".into()],
+            groups: vec![
+                BarGroup { label: "g1".into(), values: vec![1.0, 2.0] },
+                BarGroup { label: "g2".into(), values: vec![0.5, 1.5] },
+            ],
+            reference: Some(1.0),
+        }
+    }
+
+    #[test]
+    fn bar_chart_svg_structure() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2, "bg + 4 bars + 2 legend swatches");
+        assert!(svg.contains("stroke-dasharray"), "reference line drawn");
+        assert!(svg.contains("t&lt;est&gt;"), "title XML-escaped");
+        assert!(svg.contains("g1") && svg.contains("g2"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_values() {
+        let mut c = chart();
+        c.groups[0].values = vec![0.0, 0.0];
+        c.reference = None;
+        let svg = c.to_svg();
+        assert!(!svg.contains("NaN"), "no NaN coordinates");
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn ragged_groups_rejected() {
+        let mut c = chart();
+        c.groups[1].values.pop();
+        let _ = c.to_svg();
+    }
+
+    #[test]
+    fn line_chart_svg_structure() {
+        let svg = LineChart {
+            title: "fig9".into(),
+            x_label: "MATs".into(),
+            y_label: "pJ".into(),
+            points: vec![(2.0, 51.9), (8.0, 153.4), (16.0, 288.8)],
+        }
+        .to_svg();
+        assert!(svg.contains("<path"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn short_line_rejected() {
+        let _ = LineChart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            points: vec![(0.0, 0.0)],
+        }
+        .to_svg();
+    }
+}

@@ -1,0 +1,130 @@
+//! The Dirty-Block Index (DBI): row-grouped dirty-line tracking enabling
+//! DRAM-aware proactive writeback (Seshadri et al., the paper's Section
+//! 5.2.3 case study).
+
+use std::collections::HashMap;
+
+use mem_model::PhysAddr;
+
+/// Tracks which LLC lines are dirty, grouped by the DRAM row they map to.
+///
+/// When a dirty line is evicted, [`Dbi::take_row_siblings`] returns every
+/// *other* dirty line of the same DRAM row so the hierarchy can write them
+/// back proactively (cleaning them in place), concentrating write row-buffer
+/// hits.
+///
+/// Keys are opaque row identifiers; callers derive them from
+/// [`mem_model::Location::row_key`] so the index needs no geometry
+/// knowledge.
+#[derive(Debug, Clone, Default)]
+pub struct Dbi {
+    rows: HashMap<u64, Vec<PhysAddr>>,
+    tracked: u64,
+}
+
+impl Dbi {
+    /// An empty index.
+    pub fn new() -> Self {
+        Dbi::default()
+    }
+
+    /// Records that `line` (line-aligned) in DRAM row `row_key` became
+    /// dirty. Idempotent.
+    pub fn mark_dirty(&mut self, row_key: u64, line: PhysAddr) {
+        let lines = self.rows.entry(row_key).or_default();
+        if !lines.contains(&line) {
+            lines.push(line);
+            self.tracked += 1;
+        }
+    }
+
+    /// Records that `line` was cleaned or evicted.
+    pub fn mark_clean(&mut self, row_key: u64, line: PhysAddr) {
+        if let Some(lines) = self.rows.get_mut(&row_key) {
+            if let Some(pos) = lines.iter().position(|&l| l == line) {
+                lines.swap_remove(pos);
+                self.tracked -= 1;
+            }
+            if lines.is_empty() {
+                self.rows.remove(&row_key);
+            }
+        }
+    }
+
+    /// Removes and returns all dirty lines of `row_key` except `trigger`
+    /// (which is being evicted anyway). The returned lines are no longer
+    /// tracked; the caller cleans them in the LLC and emits writebacks.
+    pub fn take_row_siblings(&mut self, row_key: u64, trigger: PhysAddr) -> Vec<PhysAddr> {
+        let Some(mut lines) = self.rows.remove(&row_key) else {
+            return Vec::new();
+        };
+        if let Some(pos) = lines.iter().position(|&l| l == trigger) {
+            lines.swap_remove(pos);
+            self.tracked -= 1;
+        }
+        self.tracked -= lines.len() as u64;
+        lines
+    }
+
+    /// Dirty lines currently tracked.
+    pub fn tracked_lines(&self) -> u64 {
+        self.tracked
+    }
+
+    /// Dirty lines tracked for one row.
+    pub fn row_len(&self, row_key: u64) -> usize {
+        self.rows.get(&row_key).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> PhysAddr {
+        PhysAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn marks_are_idempotent() {
+        let mut dbi = Dbi::new();
+        dbi.mark_dirty(7, a(1));
+        dbi.mark_dirty(7, a(1));
+        assert_eq!(dbi.tracked_lines(), 1);
+        assert_eq!(dbi.row_len(7), 1);
+    }
+
+    #[test]
+    fn clean_removes() {
+        let mut dbi = Dbi::new();
+        dbi.mark_dirty(7, a(1));
+        dbi.mark_dirty(7, a(2));
+        dbi.mark_clean(7, a(1));
+        assert_eq!(dbi.tracked_lines(), 1);
+        dbi.mark_clean(7, a(2));
+        assert_eq!(dbi.row_len(7), 0);
+        // Cleaning an untracked line is a no-op.
+        dbi.mark_clean(7, a(3));
+        assert_eq!(dbi.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn siblings_exclude_trigger_and_empty_the_row() {
+        let mut dbi = Dbi::new();
+        for n in 1..=4 {
+            dbi.mark_dirty(9, a(n));
+        }
+        dbi.mark_dirty(10, a(100));
+        let mut sibs = dbi.take_row_siblings(9, a(2));
+        sibs.sort();
+        assert_eq!(sibs, vec![a(1), a(3), a(4)]);
+        assert_eq!(dbi.row_len(9), 0);
+        assert_eq!(dbi.tracked_lines(), 1, "other rows untouched");
+    }
+
+    #[test]
+    fn siblings_of_unknown_row_is_empty() {
+        let mut dbi = Dbi::new();
+        assert!(dbi.take_row_siblings(42, a(0)).is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! Implementation of the `pra` command-line tool: argument parsing and the
+//! run/compare/trace/list subcommands. Lives in a library so the logic is
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use dram_sim::PagePolicy;
+use pra_core::{Report, Scheme, SimBuilder};
+use workloads::BenchProfile;
+
+/// Errors surfaced to the user with a non-zero exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses an argument list (after the subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a trailing `--key` with no value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut out = Options::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value =
+                    iter.next().ok_or_else(|| err(format!("--{key} needs a value")))?;
+                out.flags.insert(key.to_string(), value);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparseable values with the flag name.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{key}: invalid number {v:?}"))),
+        }
+    }
+}
+
+/// Resolves a scheme name (case-insensitive; accepts the paper's spellings
+/// and compact aliases).
+///
+/// # Errors
+///
+/// Lists the valid names on failure.
+pub fn parse_scheme(name: &str) -> Result<Scheme, CliError> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "baseline" | "base" | "conventional" => Ok(Scheme::Baseline),
+        "fga" => Ok(Scheme::Fga),
+        "halfdram" | "half" => Ok(Scheme::HalfDram),
+        "pra" => Ok(Scheme::Pra),
+        "halfdrampra" | "combined" => Ok(Scheme::HalfDramPra),
+        "dbi" => Ok(Scheme::Dbi),
+        "dbipra" => Ok(Scheme::DbiPra),
+        _ => Err(err(format!(
+            "unknown scheme {name:?}; valid: baseline, fga, half-dram, pra, half-dram-pra, dbi, dbi-pra"
+        ))),
+    }
+}
+
+/// Resolves a page-policy name.
+///
+/// # Errors
+///
+/// Lists the valid names on failure.
+pub fn parse_policy(name: &str) -> Result<PagePolicy, CliError> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "relaxed" | "relaxedclosepage" => Ok(PagePolicy::RelaxedClosePage),
+        "restricted" | "restrictedclosepage" => Ok(PagePolicy::RestrictedClosePage),
+        "open" | "openpage" => Ok(PagePolicy::OpenPage),
+        _ => Err(err(format!(
+            "unknown policy {name:?}; valid: relaxed, restricted, open"
+        ))),
+    }
+}
+
+/// Resolves a workload name to up to four application profiles: a benchmark
+/// name gives `cores` identical instances; `MIX1`..`MIX6` give the paper's
+/// Table 4 mixes (always 4 cores).
+///
+/// # Errors
+///
+/// Lists the valid names on failure.
+pub fn parse_workload(name: &str, cores: usize) -> Result<(String, Vec<BenchProfile>), CliError> {
+    if let Some(mix) = workloads::all_mixes().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    {
+        return Ok((mix.name.to_string(), mix.apps.to_vec()));
+    }
+    if let Some(profile) = workloads::by_name(name) {
+        return Ok((profile.name.to_string(), vec![profile; cores]));
+    }
+    let names: Vec<&str> = workloads::all_benchmarks().iter().map(|b| b.name).collect();
+    Err(err(format!(
+        "unknown workload {name:?}; valid: {} or MIX1..MIX6",
+        names.join(", ")
+    )))
+}
+
+fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliError> {
+    let cores = opts.get_u64("cores", 4)? as usize;
+    if cores == 0 || cores > 4 {
+        return Err(err("--cores must be 1..=4 (the 8 GB space is split per core)"));
+    }
+    let workload = opts.get("workload").unwrap_or("GUPS");
+    let (name, apps) = parse_workload(workload, cores)?;
+    let policy = parse_policy(opts.get("policy").unwrap_or("relaxed"))?;
+    let mut builder = SimBuilder::new()
+        .name(name.clone())
+        .scheme(scheme)
+        .policy(policy)
+        .instructions(opts.get_u64("instructions", 100_000)?)
+        .seed(opts.get_u64("seed", 1)?);
+    for app in apps {
+        builder = builder.app(app);
+    }
+    if let Some(w) = opts.get("warmup") {
+        let w = w.parse().map_err(|_| err(format!("--warmup: invalid number {w:?}")))?;
+        builder = builder.warmup_mem_ops(w);
+    }
+    match opts.get("prefetch") {
+        None | Some("off") => {}
+        Some("on") => builder = builder.prefetch_next_line(true),
+        Some(other) => return Err(err(format!("--prefetch must be on|off, got {other:?}"))),
+    }
+    Ok((name, builder))
+}
+
+fn render_report(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {}  scheme {}", report.workload, report.scheme);
+    let _ = writeln!(
+        out,
+        "IPC {:.3} (per core: {})",
+        report.ipc_sum(),
+        report.ipc.iter().map(|i| format!("{i:.3}")).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "runtime {:.1} us   energy {:.3} mJ   EDP {:.3e}",
+        report.runtime_ns / 1000.0,
+        report.energy_mj(),
+        report.edp()
+    );
+    let _ = writeln!(out, "\n{}", report.power);
+    let d = &report.dram;
+    let _ = writeln!(
+        out,
+        "\nrow buffer: rd {:.1}% wr {:.1}% hit | false hits rd {} wr {}",
+        d.read.hit_rate() * 100.0,
+        d.write.hit_rate() * 100.0,
+        d.read.false_hits,
+        d.write.false_hits
+    );
+    let p = d.granularity_proportions();
+    let _ = writeln!(
+        out,
+        "activation granularity (1/8..full): {}",
+        p.iter().map(|v| format!("{:.1}%", v * 100.0)).collect::<Vec<_>>().join(" ")
+    );
+    out
+}
+
+/// `pra run`: one simulation, full report.
+///
+/// # Errors
+///
+/// Propagates option and name resolution errors.
+pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
+    let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
+    let (_, builder) = build(opts, scheme)?;
+    let report = builder.run();
+    Ok(render_report(&report))
+}
+
+/// `pra compare`: every scheme on one workload, normalised table.
+///
+/// # Errors
+///
+/// Propagates option and name resolution errors.
+pub fn cmd_compare(opts: &Options) -> Result<String, CliError> {
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Fga,
+        Scheme::HalfDram,
+        Scheme::Pra,
+        Scheme::HalfDramPra,
+        Scheme::Dbi,
+        Scheme::DbiPra,
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<15} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "scheme", "power mW", "norm", "IPC sum", "energy", "EDP"
+    );
+    let mut base: Option<Report> = None;
+    for scheme in schemes {
+        let (_, builder) = build(opts, scheme)?;
+        let report = builder.run();
+        let (norm_p, norm_e, norm_edp) = match &base {
+            Some(b) => (
+                report.power.total() / b.power.total(),
+                report.energy.total() / b.energy.total(),
+                report.edp() / b.edp(),
+            ),
+            None => (1.0, 1.0, 1.0),
+        };
+        let _ = writeln!(
+            out,
+            "{:<15} {:>10.1} {:>9.3} {:>9.2} {:>9.3} {:>9.3}",
+            report.scheme,
+            report.power.total(),
+            norm_p,
+            report.ipc_sum(),
+            norm_e,
+            norm_edp
+        );
+        if base.is_none() {
+            base = Some(report);
+        }
+    }
+    let _ = writeln!(out, "\n(norm/energy/EDP columns are relative to the baseline row)");
+    Ok(out)
+}
+
+/// `pra list`: available workloads, schemes and policies.
+pub fn cmd_list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "benchmarks:");
+    for b in workloads::all_benchmarks() {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>3} compute/mem, {:>4.0}% stores, {:>5.2} dirty words/store",
+            b.name,
+            b.compute_per_mem,
+            b.store_fraction * 100.0,
+            b.expected_dirty_words()
+        );
+    }
+    let _ = writeln!(out, "mixes:");
+    for m in workloads::all_mixes() {
+        let names: Vec<&str> = m.apps.iter().map(|a| a.name).collect();
+        let _ = writeln!(out, "  {:<6} {}", m.name, names.join(" + "));
+    }
+    let _ = writeln!(
+        out,
+        "schemes: baseline, fga, half-dram, pra, half-dram-pra, dbi, dbi-pra"
+    );
+    let _ = writeln!(out, "policies: relaxed (default), restricted, open");
+    out
+}
+
+/// `pra trace <record|info>`: workload trace tooling.
+///
+/// # Errors
+///
+/// Propagates option errors and I/O failures (as messages).
+pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
+    match opts.positional.first().map(String::as_str) {
+        Some("record") => {
+            let (name, apps) = parse_workload(opts.get("workload").unwrap_or("GUPS"), 1)?;
+            let ops = opts.get_u64("ops", 100_000)? as usize;
+            let path = opts.get("out").ok_or_else(|| err("trace record needs --out <file>"))?;
+            let mut generator =
+                workloads::WorkloadGen::new(apps[0], opts.get_u64("seed", 1)?, 0);
+            let trace = workloads::Trace::record(&mut generator, ops);
+            let file = std::fs::File::create(path)
+                .map_err(|e| err(format!("cannot create {path}: {e}")))?;
+            trace
+                .save(std::io::BufWriter::new(file))
+                .map_err(|e| err(format!("write failed: {e}")))?;
+            Ok(format!(
+                "recorded {} ops ({} memory ops) of {name} to {path}\n",
+                trace.len(),
+                trace.memory_ops()
+            ))
+        }
+        Some("info") => {
+            let path = opts
+                .positional
+                .get(1)
+                .ok_or_else(|| err("trace info needs a file argument"))?;
+            let file =
+                std::fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+            let trace = workloads::Trace::load(std::io::BufReader::new(file))
+                .map_err(|e| err(format!("parse failed: {e}")))?;
+            let mut replay = trace.replay();
+            let summary = workloads::analysis::analyze(&mut replay, trace.len() as u64);
+            Ok(render_summary(path, &summary))
+        }
+        other => Err(err(format!(
+            "trace needs a subcommand (record | info), got {other:?}"
+        ))),
+    }
+}
+
+fn render_summary(label: &str, s: &workloads::analysis::StreamSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{label}: {} ops = {} compute instructions + {} loads + {} stores",
+        s.ops, s.compute_instructions, s.loads, s.stores
+    );
+    let _ = writeln!(
+        out,
+        "store fraction {:.1}%   compute/mem {:.1}   dirty words/store {:.2}",
+        s.store_fraction() * 100.0,
+        s.compute_per_mem(),
+        s.avg_dirty_words()
+    );
+    let _ = writeln!(
+        out,
+        "footprint {} lines ({:.1} MB)   sequential {:.1}%   reuse {:.1}%",
+        s.footprint_lines,
+        s.footprint_lines as f64 * 64.0 / 1e6,
+        s.sequential_fraction * 100.0,
+        s.reuse_fraction * 100.0
+    );
+    out
+}
+
+/// `pra analyze`: emergent characteristics of a workload's stream.
+///
+/// # Errors
+///
+/// Propagates option and name resolution errors.
+pub fn cmd_analyze(opts: &Options) -> Result<String, CliError> {
+    let (name, apps) = parse_workload(opts.get("workload").unwrap_or("GUPS"), 1)?;
+    let ops = opts.get_u64("ops", 200_000)?;
+    let mut generator = workloads::WorkloadGen::new(apps[0], opts.get_u64("seed", 1)?, 0);
+    let summary = workloads::analysis::analyze(&mut generator, ops);
+    Ok(render_summary(&name, &summary))
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "pra — Partial Row Activation DRAM simulator\n\
+     \n\
+     usage:\n\
+     \x20 pra run     [--workload NAME] [--scheme S] [--policy P] [--cores N]\n\
+     \x20             [--instructions N] [--seed N] [--warmup N]\n\
+     \x20 pra compare [same options]         compare all schemes on one workload\n\
+     \x20 pra list                           available workloads/schemes/policies\n\
+     \x20 pra trace record --workload NAME --ops N --out FILE [--seed N]\n\
+     \x20 pra trace info FILE\n"
+        .to_string()
+}
+
+/// Dispatches a full argument list (without argv[0]).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands or bad options.
+pub fn dispatch(args: Vec<String>) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    let opts = Options::parse(rest.to_vec())?;
+    match command.as_str() {
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        "list" => Ok(cmd_list()),
+        "trace" => cmd_trace(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_flags_and_positionals() {
+        let o = Options::parse(
+            ["record", "--ops", "5", "file.txt"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(o.positional, vec!["record", "file.txt"]);
+        assert_eq!(o.get("ops"), Some("5"));
+        assert_eq!(o.get_u64("ops", 0).unwrap(), 5);
+        assert_eq!(o.get_u64("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn options_reject_dangling_flag() {
+        assert!(Options::parse(["--seed"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn scheme_and_policy_names() {
+        assert_eq!(parse_scheme("PRA").unwrap(), Scheme::Pra);
+        assert_eq!(parse_scheme("half-dram").unwrap(), Scheme::HalfDram);
+        assert_eq!(parse_scheme("Half_Dram_PRA").unwrap(), Scheme::HalfDramPra);
+        assert!(parse_scheme("turbo").is_err());
+        assert_eq!(parse_policy("open").unwrap(), PagePolicy::OpenPage);
+        assert!(parse_policy("lazy").is_err());
+    }
+
+    #[test]
+    fn workload_resolution() {
+        let (name, apps) = parse_workload("gups", 4).unwrap();
+        assert_eq!(name, "GUPS");
+        assert_eq!(apps.len(), 4);
+        let (name, apps) = parse_workload("mix3", 1).unwrap();
+        assert_eq!(name, "MIX3");
+        assert_eq!(apps.len(), 4, "mixes are always four apps");
+        assert!(parse_workload("dhrystone", 1).is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let opts = Options::parse(
+            [
+                "--workload", "gups", "--scheme", "pra", "--cores", "1",
+                "--instructions", "5000", "--warmup", "20000",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let out = cmd_run(&opts).unwrap();
+        assert!(out.contains("scheme PRA"), "{out}");
+        assert!(out.contains("ACT-PRE"), "{out}");
+    }
+
+    #[test]
+    fn trace_record_and_info_roundtrip() {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let record = Options::parse(
+            [
+                "record",
+                "--workload",
+                "gups",
+                "--ops",
+                "200",
+                "--out",
+                path.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let out = cmd_trace(&record).unwrap();
+        assert!(out.contains("recorded 200 ops"), "{out}");
+        let info = Options::parse(
+            ["info".to_string(), path.to_str().unwrap().to_string()],
+        )
+        .unwrap();
+        let out = cmd_trace(&info).unwrap();
+        assert!(out.contains("200 ops"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dispatch_unknown_command_errors() {
+        let e = dispatch(vec!["frobnicate".into()]).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(dispatch(vec![]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn list_names_everything() {
+        let out = cmd_list();
+        for name in ["bzip2", "GUPS", "MIX6", "half-dram-pra", "restricted"] {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+    }
+}

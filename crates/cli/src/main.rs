@@ -1,0 +1,12 @@
+//! The `pra` binary: thin shim over [`pra_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pra_cli::dispatch(args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Chip-level model of the Partial Row Activation hardware (paper
+//! Section 4.1): the PRA command pin, per-bank PRA latches, MAT-group
+//! selection through wordline gates, and the ECC-chip mode.
+//!
+//! The cycle-level scheduler in `dram-sim` models PRA *behaviourally*; this
+//! module models the *mechanism* — what the added hardware in each chip
+//! does on each activation — and is used by tests, examples and
+//! documentation to check that the behavioural model and the hardware
+//! description agree.
+
+use mem_model::{WordMask, WORDS_PER_LINE};
+
+/// The PRA# command pin level accompanying a row-activation command
+/// (active-low: pulled down selects partial activation, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PraPin {
+    /// PRA# pulled down: the chip defers activation one cycle and latches a
+    /// PRA mask from the address bus.
+    PartialActivation,
+    /// PRA# pulled up: a conventional full-row activation.
+    FullActivation,
+}
+
+/// One bank's PRA latch: holds the 8-bit mask delivered over the address
+/// bus in the cycle after the ACT command (Section 4.1.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PraLatch {
+    mask: Option<WordMask>,
+}
+
+impl PraLatch {
+    /// An empty latch.
+    pub const fn new() -> Self {
+        PraLatch { mask: None }
+    }
+
+    /// Latches a mask delivered on the address bus.
+    pub fn load(&mut self, mask: WordMask) {
+        self.mask = Some(mask);
+    }
+
+    /// The held mask, if any.
+    pub fn mask(&self) -> Option<WordMask> {
+        self.mask
+    }
+
+    /// Clears the latch (bank precharge).
+    pub fn clear(&mut self) {
+        self.mask = None;
+    }
+}
+
+/// Result of a row activation inside one chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipActivation {
+    /// Which of the 8 MAT groups drive their local wordlines.
+    pub selected_groups: WordMask,
+    /// MATs activated in this chip's addressed sub-array (2 per group).
+    pub mats: u32,
+    /// Extra command cycles before the column command may issue (the mask
+    /// transfer of Fig. 7a costs one cycle for partial activations).
+    pub extra_cycles: u64,
+}
+
+/// The PRA-visible state of one DRAM chip: eight banks' PRA latches plus
+/// the ECC-chip strapping option of Section 4.2 (a chip whose PRA# pin is
+/// tied to VDD ignores masks and always activates full rows, so x72 ECC
+/// DIMMs work unchanged).
+#[derive(Debug, Clone)]
+pub struct PraChip {
+    latches: Vec<PraLatch>,
+    ecc_strapped: bool,
+}
+
+impl PraChip {
+    /// A chip with `banks` banks participating in PRA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(banks: usize) -> Self {
+        assert!(banks > 0, "a chip needs at least one bank");
+        PraChip { latches: vec![PraLatch::new(); banks], ecc_strapped: false }
+    }
+
+    /// A chip whose PRA# pin is strapped high (the ECC chip of an x72
+    /// DIMM): every activation is a full-row activation and masks on the
+    /// address bus are ignored.
+    pub fn new_ecc_strapped(banks: usize) -> Self {
+        PraChip { ecc_strapped: true, ..Self::new(banks) }
+    }
+
+    /// Whether this chip ignores PRA commands.
+    pub fn is_ecc_strapped(&self) -> bool {
+        self.ecc_strapped
+    }
+
+    /// Performs a row activation on `bank`.
+    ///
+    /// For [`PraPin::PartialActivation`] the mask (delivered over the
+    /// address bus one cycle after ACT) selects MAT groups through the
+    /// wordline gates; an ECC-strapped chip treats any activation as full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range, or if a partial activation carries
+    /// an empty mask (the memory controller never issues one).
+    pub fn activate(&mut self, bank: usize, pin: PraPin, mask: WordMask) -> ChipActivation {
+        assert!(bank < self.latches.len(), "bank {bank} out of range");
+        let effective = if self.ecc_strapped || pin == PraPin::FullActivation {
+            WordMask::FULL
+        } else {
+            assert!(!mask.is_empty(), "partial activation requires a non-empty mask");
+            mask
+        };
+        self.latches[bank].load(effective);
+        ChipActivation {
+            selected_groups: effective,
+            mats: effective.granularity_eighths() * 2,
+            extra_cycles: if effective.is_full() { 0 } else { 1 },
+        }
+    }
+
+    /// Bank precharge: clears the PRA latch.
+    pub fn precharge(&mut self, bank: usize) {
+        self.latches[bank].clear();
+    }
+
+    /// The mask currently held by a bank's latch.
+    pub fn latched_mask(&self, bank: usize) -> Option<WordMask> {
+        self.latches[bank].mask()
+    }
+
+    /// Whether a write burst's word `word` would reach sense amplifiers
+    /// (data heading to unselected MATs is "don't care", Section 4.1.3).
+    pub fn word_lands(&self, bank: usize, word: u8) -> bool {
+        assert!((word as usize) < WORDS_PER_LINE);
+        self.latches[bank].mask().is_some_and(|m| m.contains(word))
+    }
+}
+
+/// The memory-controller side of Section 4.2's partial-row bookkeeping: an
+/// 8-bit PRA mask per bank per rank (64 bits per rank in the baseline),
+/// tracking which part of each opened row is activated.
+#[derive(Debug, Clone)]
+pub struct ControllerPraState {
+    masks: Vec<Vec<Option<WordMask>>>,
+}
+
+impl ControllerPraState {
+    /// State for `ranks` ranks of `banks` banks.
+    pub fn new(ranks: usize, banks: usize) -> Self {
+        ControllerPraState { masks: vec![vec![None; banks]; ranks] }
+    }
+
+    /// Records an activation's mask.
+    pub fn on_activate(&mut self, rank: usize, bank: usize, mask: WordMask) {
+        self.masks[rank][bank] = Some(mask);
+    }
+
+    /// Clears on precharge.
+    pub fn on_precharge(&mut self, rank: usize, bank: usize) {
+        self.masks[rank][bank] = None;
+    }
+
+    /// Whether a request needing `needed` words would be a *false row
+    /// buffer hit* (row open, coverage insufficient — Section 5.2.1).
+    pub fn is_false_hit(&self, rank: usize, bank: usize, needed: WordMask) -> bool {
+        match self.masks[rank][bank] {
+            Some(open) => !needed.is_subset_of(open),
+            None => false,
+        }
+    }
+
+    /// Storage cost in bits per rank: 8 bits per bank (the paper's "only 64
+    /// bits per rank").
+    pub fn bits_per_rank(&self) -> usize {
+        self.masks.first().map_or(0, |banks| banks.len() * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_activation_selects_groups() {
+        let mut chip = PraChip::new(8);
+        let mask = WordMask::from_words([0, 7]); // the paper's 10000001b
+        let act = chip.activate(3, PraPin::PartialActivation, mask);
+        assert_eq!(act.selected_groups, mask);
+        assert_eq!(act.mats, 4, "two groups of two MATs");
+        assert_eq!(act.extra_cycles, 1, "mask transfer costs a cycle");
+        assert_eq!(chip.latched_mask(3), Some(mask));
+        assert!(chip.word_lands(3, 0) && chip.word_lands(3, 7));
+        assert!(!chip.word_lands(3, 1), "unselected MATs treat data as don't-care");
+    }
+
+    #[test]
+    fn full_pin_activates_everything() {
+        let mut chip = PraChip::new(8);
+        let act = chip.activate(0, PraPin::FullActivation, WordMask::single(0));
+        assert_eq!(act.selected_groups, WordMask::FULL);
+        assert_eq!(act.mats, 16);
+        assert_eq!(act.extra_cycles, 0);
+    }
+
+    #[test]
+    fn full_mask_partial_behaves_like_conventional() {
+        // Fig. 7b: a full-mask PRA activation has conventional timing.
+        let mut chip = PraChip::new(8);
+        let act = chip.activate(0, PraPin::PartialActivation, WordMask::FULL);
+        assert_eq!(act.extra_cycles, 0);
+        assert_eq!(act.mats, 16);
+    }
+
+    #[test]
+    fn ecc_strapped_chip_ignores_masks() {
+        let mut chip = PraChip::new_ecc_strapped(8);
+        assert!(chip.is_ecc_strapped());
+        let act = chip.activate(1, PraPin::PartialActivation, WordMask::single(2));
+        assert_eq!(act.selected_groups, WordMask::FULL, "ECC chip always full");
+        assert_eq!(act.extra_cycles, 0);
+        assert!(chip.word_lands(1, 5), "every word reaches the ECC chip");
+    }
+
+    #[test]
+    fn precharge_clears_latch() {
+        let mut chip = PraChip::new(8);
+        chip.activate(2, PraPin::PartialActivation, WordMask::single(4));
+        chip.precharge(2);
+        assert_eq!(chip.latched_mask(2), None);
+        assert!(!chip.word_lands(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty mask")]
+    fn empty_partial_mask_rejected() {
+        PraChip::new(8).activate(0, PraPin::PartialActivation, WordMask::EMPTY);
+    }
+
+    #[test]
+    fn controller_state_tracks_false_hits() {
+        let mut st = ControllerPraState::new(2, 8);
+        assert_eq!(st.bits_per_rank(), 64, "the paper's 64 bits per rank");
+        st.on_activate(0, 3, WordMask::from_words([0, 1]));
+        assert!(!st.is_false_hit(0, 3, WordMask::single(0)), "covered write hits");
+        assert!(st.is_false_hit(0, 3, WordMask::single(5)), "uncovered word is a false hit");
+        assert!(st.is_false_hit(0, 3, WordMask::FULL), "reads need full coverage");
+        st.on_precharge(0, 3);
+        assert!(!st.is_false_hit(0, 3, WordMask::FULL), "closed bank cannot false-hit");
+    }
+}

@@ -1,0 +1,95 @@
+//! The evaluated schemes, including the Section 5.2.3 combinations.
+
+use dram_sim::SchemeBehavior;
+
+/// Every scheme the paper evaluates, plus the combinations of its case
+/// studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Conventional DRAM.
+    Baseline,
+    /// Fine-grained activation at half-row granularity (halved prefetch
+    /// width, doubled burst occupancy).
+    Fga,
+    /// Half-DRAM-1Row: half-row activations at full bandwidth.
+    HalfDram,
+    /// Partial Row Activation (this paper).
+    Pra,
+    /// Half-DRAM with PRA latches and wordline gates on top (Section 5.2.3).
+    HalfDramPra,
+    /// Conventional DRAM with a Dirty-Block Index in the LLC.
+    Dbi,
+    /// DBI plus PRA (Section 5.2.3).
+    DbiPra,
+}
+
+impl Scheme {
+    /// The DRAM-side behaviour descriptor.
+    pub fn behavior(self) -> SchemeBehavior {
+        match self {
+            Scheme::Baseline | Scheme::Dbi => SchemeBehavior::baseline(),
+            Scheme::Fga => SchemeBehavior::fga_half(),
+            Scheme::HalfDram => SchemeBehavior::half_dram(),
+            Scheme::Pra | Scheme::DbiPra => SchemeBehavior::pra(),
+            Scheme::HalfDramPra => SchemeBehavior::half_dram_pra(),
+        }
+    }
+
+    /// Whether the LLC runs a Dirty-Block Index.
+    pub fn uses_dbi(self) -> bool {
+        matches!(self, Scheme::Dbi | Scheme::DbiPra)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Fga => "FGA",
+            Scheme::HalfDram => "Half-DRAM",
+            Scheme::Pra => "PRA",
+            Scheme::HalfDramPra => "Half-DRAM+PRA",
+            Scheme::Dbi => "DBI",
+            Scheme::DbiPra => "DBI+PRA",
+        }
+    }
+
+    /// The Figure 12/13 comparison set.
+    pub fn main_comparison() -> [Scheme; 4] {
+        [Scheme::Baseline, Scheme::Fga, Scheme::HalfDram, Scheme::Pra]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaviors_match_names() {
+        for s in [
+            Scheme::Baseline,
+            Scheme::Fga,
+            Scheme::HalfDram,
+            Scheme::Pra,
+            Scheme::HalfDramPra,
+        ] {
+            assert_eq!(s.behavior().name, s.name());
+        }
+        // DBI variants reuse the underlying DRAM behaviour.
+        assert_eq!(Scheme::Dbi.behavior().name, "baseline");
+        assert_eq!(Scheme::DbiPra.behavior().name, "PRA");
+    }
+
+    #[test]
+    fn dbi_flags() {
+        assert!(Scheme::Dbi.uses_dbi());
+        assert!(Scheme::DbiPra.uses_dbi());
+        assert!(!Scheme::Pra.uses_dbi());
+        assert!(!Scheme::Baseline.uses_dbi());
+    }
+
+    #[test]
+    fn comparison_set_order() {
+        let names: Vec<&str> = Scheme::main_comparison().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["baseline", "FGA", "Half-DRAM", "PRA"]);
+    }
+}

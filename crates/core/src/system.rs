@@ -1,0 +1,501 @@
+//! The full-system simulation builder.
+
+use cache_sim::{CacheHierarchy, HierarchyConfig};
+use cpu_sim::{CpuSystem, InstructionSource, SystemConfig};
+use dram_sim::{DramConfig, MemorySystem, PagePolicy};
+use workloads::{BenchProfile, Trace, WorkloadGen};
+
+/// What drives one core: a synthetic profile or a recorded trace (replayed
+/// in a loop, SimPoint-style).
+#[derive(Debug, Clone)]
+enum AppSpec {
+    Profile(BenchProfile),
+    Trace { name: String, trace: Trace },
+}
+
+impl AppSpec {
+    fn name(&self) -> &str {
+        match self {
+            AppSpec::Profile(p) => p.name,
+            AppSpec::Trace { name, .. } => name,
+        }
+    }
+
+    fn source(&self, seed: u64, base: u64) -> Box<dyn InstructionSource> {
+        match self {
+            AppSpec::Profile(p) => Box::new(WorkloadGen::new(*p, seed, base)),
+            AppSpec::Trace { trace, .. } => Box::new(trace.replay()),
+        }
+    }
+}
+
+use crate::report::Report;
+use crate::scheme::Scheme;
+
+/// DRAM generation the simulated system is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DramGeneration {
+    /// The paper's 2 Gb x8 DDR3-1600 baseline.
+    #[default]
+    Ddr3,
+    /// 8 Gb x8 DDR4-2400 with estimated power parameters (an exploration
+    /// target beyond the paper; see `PowerParams::ddr4_2400_estimate`).
+    Ddr4,
+}
+
+/// Builds and runs one simulation: a workload (1..=4 applications) under a
+/// [`Scheme`] and a [`PagePolicy`].
+///
+/// # Example
+///
+/// ```
+/// use pra_core::{Scheme, SimBuilder};
+/// use dram_sim::PagePolicy;
+///
+/// let report = SimBuilder::new()
+///     .app(workloads::gups())
+///     .scheme(Scheme::Pra)
+///     .policy(PagePolicy::RelaxedClosePage)
+///     .instructions(20_000)
+///     .run();
+/// assert!(report.power.total() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    name: Option<String>,
+    apps: Vec<AppSpec>,
+    scheme: Scheme,
+    policy: PagePolicy,
+    instructions: u64,
+    seed: u64,
+    max_cpu_cycles: u64,
+    warmup_mem_ops: Option<u64>,
+    scheme_override: Option<dram_sim::SchemeBehavior>,
+    prefetch_next_line: bool,
+    generation: DramGeneration,
+    ecc_x72: bool,
+}
+
+impl SimBuilder {
+    /// A builder with no applications yet, the baseline scheme, relaxed
+    /// close-page and a small default run length.
+    pub fn new() -> Self {
+        SimBuilder {
+            name: None,
+            apps: Vec::new(),
+            scheme: Scheme::Baseline,
+            policy: PagePolicy::RelaxedClosePage,
+            instructions: 100_000,
+            seed: 1,
+            max_cpu_cycles: 0, // derived from instructions unless set
+            warmup_mem_ops: None,
+            scheme_override: None,
+            prefetch_next_line: false,
+            generation: DramGeneration::Ddr3,
+            ecc_x72: false,
+        }
+    }
+
+    /// Adds one application (one core).
+    pub fn app(mut self, profile: BenchProfile) -> Self {
+        self.apps.push(AppSpec::Profile(profile));
+        self
+    }
+
+    /// Adds one core driven by a recorded trace, replayed in a loop
+    /// (SimPoint-style region replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn app_trace(mut self, name: impl Into<String>, trace: Trace) -> Self {
+        assert!(!trace.is_empty(), "cannot drive a core with an empty trace");
+        self.apps.push(AppSpec::Trace { name: name.into(), trace });
+        self
+    }
+
+    /// Runs `n` identical instances of `profile` (the paper's homogeneous
+    /// workloads use four).
+    pub fn homogeneous(mut self, profile: BenchProfile, n: usize) -> Self {
+        self.apps
+            .extend(std::iter::repeat_n(AppSpec::Profile(profile), n));
+        self
+    }
+
+    /// Adds a 4-application mix.
+    pub fn mix(mut self, apps: [BenchProfile; 4]) -> Self {
+        self.apps.extend(apps.map(AppSpec::Profile));
+        self
+    }
+
+    /// Overrides the workload name in the report (defaults to joined app
+    /// names).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Selects the scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Selects the DRAM generation (DDR3 default; DDR4-2400 as an
+    /// exploration target).
+    pub fn dram_generation(mut self, generation: DramGeneration) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Models an x72 ECC DIMM (Section 4.2): a ninth chip whose PRA# pin
+    /// is strapped high stores ECC codes, activating full rows and moving
+    /// its byte lane on every access.
+    pub fn ecc_x72(mut self, enabled: bool) -> Self {
+        self.ecc_x72 = enabled;
+        self
+    }
+
+    /// Enables the next-line prefetcher in the shared L2 (an extension
+    /// beyond the paper's configuration; off by default).
+    pub fn prefetch_next_line(mut self, enabled: bool) -> Self {
+        self.prefetch_next_line = enabled;
+        self
+    }
+
+    /// Replaces the DRAM-side behaviour with a custom descriptor while
+    /// keeping the selected [`Scheme`]'s cache-side settings — the hook the
+    /// ablation studies use (e.g. PRA without relaxed tRRD/tFAW).
+    pub fn scheme_behavior_override(mut self, behavior: dram_sim::SchemeBehavior) -> Self {
+        self.scheme_override = Some(behavior);
+        self
+    }
+
+    /// Selects the page policy (the address mapping follows the paper's
+    /// pairing automatically).
+    pub fn policy(mut self, policy: PagePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Instructions each core retires.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// RNG seed for the workload generators.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Hard cap on CPU cycles (default: 2000 cycles per instruction,
+    /// generous enough for the most memory-bound workloads).
+    pub fn max_cpu_cycles(mut self, n: u64) -> Self {
+        self.max_cpu_cycles = n;
+        self
+    }
+
+    /// Memory operations each core's generator plays through the cache
+    /// hierarchy *functionally* (no timing, no DRAM traffic) before the
+    /// measured phase, so the 4 MB LLC reaches its steady-state content
+    /// *and* dirty fraction — the trace-warmup step of standard simulation
+    /// methodology. Cache and DRAM statistics reset afterwards. The default
+    /// scales inversely with core count (the shared LLC turns over `cores`
+    /// times faster): `1_000_000 / cores` per core, roughly three LLC
+    /// capacity turnovers.
+    pub fn warmup_mem_ops(mut self, n: u64) -> Self {
+        self.warmup_mem_ops = Some(n);
+        self
+    }
+
+    /// Builds the system and runs it to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no applications were added.
+    pub fn run(&self) -> Report {
+        assert!(!self.apps.is_empty(), "add at least one application before running");
+        let cores = self.apps.len();
+        let hierarchy_config = HierarchyConfig {
+            dbi: self.scheme.uses_dbi(),
+            prefetch_next_line: self.prefetch_next_line,
+            ..HierarchyConfig::paper(cores)
+        };
+        let behavior = self.scheme_override.unwrap_or_else(|| self.scheme.behavior());
+        let mut dram_config = match self.generation {
+            DramGeneration::Ddr3 => DramConfig::paper_baseline(self.policy, behavior),
+            DramGeneration::Ddr4 => DramConfig::ddr4_2400(self.policy, behavior),
+        };
+        dram_config.power.ecc_x72 = self.ecc_x72;
+        let mut hierarchy = CacheHierarchy::with_dram_view(
+            hierarchy_config,
+            dram_config.geometry,
+            dram_config.mapping,
+        );
+        let mem = MemorySystem::new(dram_config);
+        // Give each core a disjoint 2 GB slice of the 8 GB physical space,
+        // modelling separate address spaces.
+        let mut generators: Vec<Box<dyn InstructionSource>> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(core, spec)| {
+                spec.source(
+                    self.seed.wrapping_add(core as u64 * 0x1234_5678),
+                    (core as u64) << 31,
+                )
+            })
+            .collect();
+        // Functional warmup: play each generator's prefix through the cache
+        // hierarchy so the LLC holds a steady-state mix of (dirty) lines,
+        // then reset statistics. Writebacks produced during warmup are
+        // dropped — no DRAM timing or energy is involved.
+        let warmup = self.warmup_mem_ops.unwrap_or(1_000_000 / cores as u64);
+        for (core, generator) in generators.iter_mut().enumerate() {
+            let mut mem_ops = 0;
+            while mem_ops < warmup {
+                match generator.next_op() {
+                    cpu_sim::Op::Compute(_) => {}
+                    cpu_sim::Op::Load(a) => {
+                        hierarchy.access(core, a, None);
+                        mem_ops += 1;
+                    }
+                    cpu_sim::Op::Store(a, mask) => {
+                        hierarchy.access(core, a, Some(mask));
+                        mem_ops += 1;
+                    }
+                }
+            }
+        }
+        hierarchy.reset_stats();
+        let mut system =
+            CpuSystem::new(SystemConfig::paper(), hierarchy, mem, generators, self.instructions);
+        let cap = if self.max_cpu_cycles > 0 {
+            self.max_cpu_cycles
+        } else {
+            self.instructions.saturating_mul(2000).max(10_000_000)
+        };
+        let outcome = system.run(cap);
+
+        let workload = self.name.clone().unwrap_or_else(|| {
+            self.apps.iter().map(AppSpec::name).collect::<Vec<_>>().join("+")
+        });
+        Report {
+            workload,
+            scheme: self
+                .scheme_override
+                .map_or_else(|| self.scheme.name().to_string(), |b| b.name.to_string()),
+            ipc: outcome.per_core.iter().map(|r| r.ipc()).collect(),
+            cpu_cycles: outcome.cpu_cycles,
+            runtime_ns: system.mem().elapsed_ns(),
+            energy: system.mem().energy(),
+            power: system.mem().power(),
+            dram: system.mem().stats().clone(),
+            cache: system.hierarchy().stats().clone(),
+            timed_out: outcome.timed_out,
+        }
+    }
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme) -> Report {
+        SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(scheme)
+            .instructions(20_000)
+            .warmup_mem_ops(400_000)
+            .run()
+    }
+
+    #[test]
+    fn baseline_run_completes() {
+        let r = quick(Scheme::Baseline);
+        assert!(!r.timed_out, "20k instructions must fit the cycle cap");
+        assert_eq!(r.ipc.len(), 1);
+        assert!(r.ipc[0] > 0.0);
+        assert!(r.power.total() > 0.0);
+        assert!(r.dram.reads_completed > 0);
+        assert!(r.dram.writes_completed > 0, "GUPS must generate writebacks");
+    }
+
+    #[test]
+    fn pra_reduces_act_and_wr_io_power_on_gups() {
+        let base = quick(Scheme::Baseline);
+        let pra = quick(Scheme::Pra);
+        assert!(
+            pra.power.act_pre < base.power.act_pre,
+            "PRA ACT power {} must undercut baseline {}",
+            pra.power.act_pre,
+            base.power.act_pre
+        );
+        assert!(
+            pra.power.wr_io < base.power.wr_io,
+            "PRA write I/O power {} must undercut baseline {}",
+            pra.power.wr_io,
+            base.power.wr_io
+        );
+        assert!(pra.power.total() < base.power.total());
+    }
+
+    #[test]
+    fn pra_activation_histogram_is_mostly_partial_on_gups() {
+        let pra = quick(Scheme::Pra);
+        let props = pra.dram.granularity_proportions();
+        assert!(props[0] > 0.2, "GUPS writes are single-word: 1/8 share {}", props[0]);
+        assert!(props[7] > 0.2, "reads stay full-row: full share {}", props[7]);
+    }
+
+    #[test]
+    fn dbi_pra_runs_and_uses_dbi() {
+        let r = quick(Scheme::DbiPra);
+        assert!(!r.timed_out);
+        assert_eq!(r.scheme, "DBI+PRA");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = quick(Scheme::Baseline);
+        let b = quick(Scheme::Baseline);
+        assert_eq!(a.cpu_cycles, b.cpu_cycles);
+        assert_eq!(a.dram.activations, b.dram.activations);
+        assert!((a.energy.total() - b.energy.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn four_core_mix_runs() {
+        let mixes = workloads::all_mixes();
+        let r = SimBuilder::new()
+            .mix(mixes[0].apps)
+            .name("MIX1")
+            .scheme(Scheme::Pra)
+            .instructions(5_000)
+            .warmup_mem_ops(30_000)
+            .run();
+        assert!(!r.timed_out);
+        assert_eq!(r.ipc.len(), 4);
+        assert_eq!(r.workload, "MIX1");
+    }
+
+    #[test]
+    fn prefetcher_raises_hit_rate_on_streaming_workloads() {
+        let run = |prefetch: bool| {
+            SimBuilder::new()
+                .app(workloads::libquantum())
+                .scheme(Scheme::Baseline)
+                .instructions(20_000)
+                .warmup_mem_ops(100_000)
+                .prefetch_next_line(prefetch)
+                .run()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(with.cache.prefetches > 0);
+        assert_eq!(without.cache.prefetches, 0);
+        // Prefetching converts sequential demand misses into L2 hits...
+        let l2_hit_rate = |r: &Report| {
+            r.cache.l2_hits as f64 / (r.cache.l2_hits + r.cache.l2_misses).max(1) as f64
+        };
+        assert!(
+            l2_hit_rate(&with) > l2_hit_rate(&without),
+            "prefetch L2 hit rate {:.3} vs {:.3}",
+            l2_hit_rate(&with),
+            l2_hit_rate(&without)
+        );
+        // ...at the cost of extra DRAM reads (the classic coverage/accuracy
+        // trade-off; on this bandwidth-bound stream it is not a net win,
+        // which is why the feature defaults to off).
+        assert!(with.dram.reads_completed > without.dram.reads_completed / 2);
+    }
+
+    #[test]
+    fn ecc_dimm_costs_power_but_keeps_pra_saving() {
+        let run = |scheme: Scheme, ecc: bool| {
+            SimBuilder::new()
+                .app(workloads::gups())
+                .scheme(scheme)
+                .ecc_x72(ecc)
+                .instructions(15_000)
+                .warmup_mem_ops(300_000)
+                .run()
+        };
+        let plain = run(Scheme::Pra, false);
+        let ecc = run(Scheme::Pra, true);
+        assert!(ecc.power.total() > plain.power.total(), "the ninth chip is not free");
+        // PRA still wins on the ECC DIMM.
+        let ecc_base = run(Scheme::Baseline, true);
+        assert!(ecc.power.total() < ecc_base.power.total());
+        // Timing is identical: ECC costs energy, not cycles.
+        assert_eq!(ecc.cpu_cycles, plain.cpu_cycles);
+    }
+
+    #[test]
+    fn ddr4_system_runs_and_pra_still_saves() {
+        let run = |scheme: Scheme| {
+            SimBuilder::new()
+                .app(workloads::gups())
+                .scheme(scheme)
+                .dram_generation(DramGeneration::Ddr4)
+                .instructions(15_000)
+                .warmup_mem_ops(300_000)
+                .run()
+        };
+        let base = run(Scheme::Baseline);
+        let pra = run(Scheme::Pra);
+        assert!(!base.timed_out && !pra.timed_out);
+        assert!(base.dram.writes_completed > 0);
+        assert!(
+            pra.power.act_pre < base.power.act_pre,
+            "PRA activation saving carries over to DDR4: {} vs {}",
+            pra.power.act_pre,
+            base.power.act_pre
+        );
+        assert!(pra.power.total() < base.power.total());
+    }
+
+    #[test]
+    fn trace_driven_run_matches_generator_run() {
+        
+        // Record enough GUPS ops to cover warmup + the measured phase, so
+        // the trace replay never wraps and both runs see identical streams.
+        let mut generator = workloads::WorkloadGen::new(workloads::gups(), 1, 0);
+        let trace = workloads::Trace::record(&mut generator, 500_000);
+        let by_trace = SimBuilder::new()
+            .app_trace("GUPS-trace", trace)
+            .scheme(Scheme::Pra)
+            .instructions(10_000)
+            .warmup_mem_ops(100_000)
+            .run();
+        let by_generator = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(10_000)
+            .warmup_mem_ops(100_000)
+            .run();
+        assert_eq!(by_trace.cpu_cycles, by_generator.cpu_cycles);
+        assert_eq!(by_trace.dram.activations, by_generator.dram.activations);
+        assert_eq!(by_trace.workload, "GUPS-trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = SimBuilder::new().app_trace("empty", workloads::Trace::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_builder_rejected() {
+        let _ = SimBuilder::new().run();
+    }
+}

@@ -1,0 +1,81 @@
+//! Performance metrics: IPC and the paper's weighted speedup (Equation 3).
+
+/// Instructions and cycles of one core's run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// CPU cycles taken to retire them.
+    pub cycles: u64,
+}
+
+impl CoreResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Equation (3): `WS = sum_i IPC_i^shared / IPC_i^alone`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone-IPC is non-positive.
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(shared_ipc.len(), alone_ipc.len(), "per-core IPC lists must align");
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive, got {a}");
+            s / a
+        })
+        .sum()
+}
+
+/// Energy-delay product from a total-energy and runtime pair; the paper
+/// reports EDP normalized to a baseline, which divides out the units.
+pub fn energy_delay_product(energy_mj: f64, runtime_ns: f64) -> f64 {
+    energy_mj * runtime_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_basic() {
+        let r = CoreResult { instructions: 400, cycles: 100 };
+        assert!((r.ipc() - 4.0).abs() < 1e-12);
+        assert_eq!(CoreResult { instructions: 1, cycles: 0 }.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ws_equals_core_count_when_unaffected() {
+        let shared = [1.0, 2.0, 0.5, 3.0];
+        let ws = weighted_speedup(&shared, &shared);
+        assert!((ws - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ws_reflects_slowdown() {
+        let shared = [0.5, 1.0];
+        let alone = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn ws_rejects_mismatched_lengths() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn edp_multiplies() {
+        assert!((energy_delay_product(2.0, 3.0) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the core model: any bounded random instruction
+//! mix must run to completion with resource limits respected and
+//! instruction accounting exact.
+
+use cache_sim::{CacheConfig, CacheHierarchy, HierarchyConfig};
+use cpu_sim::{CpuSystem, InstructionSource, Op, SystemConfig};
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::{PhysAddr, WordMask};
+use proptest::prelude::*;
+
+/// A deterministic source parameterised by a small script of op templates,
+/// cycled forever.
+struct ScriptSource {
+    script: Vec<Op>,
+    pos: usize,
+}
+
+impl InstructionSource for ScriptSource {
+    fn next_op(&mut self) -> Op {
+        let op = self.script[self.pos % self.script.len()];
+        self.pos += 1;
+        op
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..40).prop_map(Op::Compute),
+        (0u64..1 << 22).prop_map(|l| Op::Load(PhysAddr::from_line_number(l))),
+        (0u64..1 << 22, 1u8..=255).prop_map(|(l, bits)| Op::Store(
+            PhysAddr::from_line_number(l),
+            WordMask::from_bits(bits)
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scripted mix retires its target and respects LDQ/STQ bounds.
+    #[test]
+    fn scripted_mixes_complete(script in prop::collection::vec(op_strategy(), 1..24),
+                               cores in 1usize..=2) {
+        let hierarchy = CacheHierarchy::new(HierarchyConfig {
+            l1: CacheConfig { size_bytes: 1024, ways: 2, latency_cycles: 2 },
+            l2: CacheConfig { size_bytes: 16 * 1024, ways: 4, latency_cycles: 20 },
+            cores,
+            dbi: false,
+            prefetch_next_line: false,
+        });
+        let mem = MemorySystem::new(DramConfig::paper_baseline(
+            PagePolicy::RelaxedClosePage,
+            SchemeBehavior::pra(),
+        ));
+        let sources: Vec<Box<dyn InstructionSource>> = (0..cores)
+            .map(|core| {
+                // Offset each core's addresses so streams do not alias.
+                let script: Vec<Op> = script
+                    .iter()
+                    .map(|op| match *op {
+                        Op::Load(a) => {
+                            Op::Load(PhysAddr::new(a.raw() + ((core as u64) << 30)))
+                        }
+                        Op::Store(a, m) => {
+                            Op::Store(PhysAddr::new(a.raw() + ((core as u64) << 30)), m)
+                        }
+                        other => other,
+                    })
+                    .collect();
+                Box::new(ScriptSource { script, pos: 0 }) as Box<dyn InstructionSource>
+            })
+            .collect();
+        let target = 3_000u64;
+        let mut system = CpuSystem::new(SystemConfig::paper(), hierarchy, mem, sources, target);
+        let outcome = system.run(80_000_000);
+        prop_assert!(!outcome.timed_out, "mix failed to finish");
+        for (i, core) in system.cores().iter().enumerate() {
+            prop_assert!(core.stats.retired >= target, "core {i} under-retired");
+            prop_assert!(
+                core.loads_in_flight() <= core.config.ldq,
+                "core {i} LDQ overflow at exit"
+            );
+            prop_assert!(
+                core.pending_writebacks.len() <= core.config.stq + 8,
+                "core {i} runaway writeback backlog"
+            );
+        }
+        // Per-core result cycles are consistent with the global clock.
+        for result in &outcome.per_core {
+            prop_assert!(result.cycles <= outcome.cpu_cycles.max(1));
+            prop_assert!(result.ipc() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Hardware overhead estimates from Section 4.2 of the paper: the die-area
+//! budget of Table 2 and the published PRA-latch / FGD / wordline-gate
+//! overheads.
+//!
+//! These are published constants (the paper derives them from CACTI-3DD and
+//! prior latch designs); the functions here make the derived *relative*
+//! overheads available so tests and documentation can cross-check the
+//! paper's claims.
+
+/// Die-area breakdown of the baseline 2 Gb x8 DDR3-1600 chip (Table 2), in
+/// square millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieArea {
+    /// DRAM cell array area.
+    pub dram_cell_mm2: f64,
+    /// Sense amplifier area.
+    pub sense_amplifier_mm2: f64,
+    /// Row predecoder area.
+    pub row_predecoder_mm2: f64,
+    /// Local wordline driver area.
+    pub local_wordline_driver_mm2: f64,
+    /// Total die area including periphery.
+    pub total_mm2: f64,
+}
+
+impl DieArea {
+    /// Table 2 values.
+    pub const fn paper_table2() -> Self {
+        DieArea {
+            dram_cell_mm2: 4.677,
+            sense_amplifier_mm2: 1.909,
+            row_predecoder_mm2: 0.067,
+            local_wordline_driver_mm2: 1.617,
+            total_mm2: 11.884,
+        }
+    }
+
+    /// Sum of the itemised components (the remainder of
+    /// [`DieArea::total_mm2`] is unitemised periphery).
+    pub fn itemised_mm2(&self) -> f64 {
+        self.dram_cell_mm2
+            + self.sense_amplifier_mm2
+            + self.row_predecoder_mm2
+            + self.local_wordline_driver_mm2
+    }
+}
+
+impl Default for DieArea {
+    fn default() -> Self {
+        DieArea::paper_table2()
+    }
+}
+
+/// PRA-specific chip overheads (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PraOverheads {
+    /// Area of one PRA latch at 20 nm, in square micrometres.
+    pub latch_area_um2: f64,
+    /// PRA latches per chip (one 8-bit latch per bank).
+    pub latches_per_chip: u32,
+    /// Power of one PRA latch per row activation, in microwatts.
+    pub latch_power_uw: f64,
+    /// Published total latch area overhead relative to the die (0.13%).
+    pub published_latch_area_overhead: f64,
+    /// Published latch power overhead relative to activation power (0.017%).
+    pub published_latch_power_overhead: f64,
+    /// Published wordline AND-gate area overhead relative to the die (~3%),
+    /// from the Microbank analysis the paper cites.
+    pub published_wordline_gate_area_overhead: f64,
+}
+
+impl PraOverheads {
+    /// Section 4.2 values.
+    pub const fn paper_section42() -> Self {
+        PraOverheads {
+            latch_area_um2: 1.97,
+            latches_per_chip: 8,
+            latch_power_uw: 3.8,
+            published_latch_area_overhead: 0.0013,
+            published_latch_power_overhead: 0.00017,
+            published_wordline_gate_area_overhead: 0.03,
+        }
+    }
+
+    /// Combined PRA area overhead fraction (latches + wordline gates).
+    pub fn total_area_overhead(&self) -> f64 {
+        self.published_latch_area_overhead + self.published_wordline_gate_area_overhead
+    }
+}
+
+impl Default for PraOverheads {
+    fn default() -> Self {
+        PraOverheads::paper_section42()
+    }
+}
+
+/// Fine-grained dirty bit (FGD) overheads in the cache hierarchy
+/// (Section 4.2, CACTI at 22 nm): adding 7 extra dirty bits per 64 B line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FgdOverheads {
+    /// Relative area overhead.
+    pub area: f64,
+    /// Relative per-access dynamic energy overhead.
+    pub dynamic_energy: f64,
+    /// Relative leakage power overhead.
+    pub leakage: f64,
+}
+
+impl FgdOverheads {
+    /// 32 KB L1 cache overheads.
+    pub const fn l1_32k() -> Self {
+        FgdOverheads { area: 0.0031, dynamic_energy: 0.0012, leakage: 0.0126 }
+    }
+
+    /// 4 MB L2 cache overheads.
+    pub const fn l2_4m() -> Self {
+        FgdOverheads { area: 0.0109, dynamic_energy: 0.0041, leakage: 0.0139 }
+    }
+
+    /// Extra dirty-bit storage per line: 7 bits on top of the existing one,
+    /// relative to the 64 B (512-bit) data field plus tag.
+    pub fn extra_bits_per_line() -> u32 {
+        7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_area_itemised_below_total() {
+        let a = DieArea::paper_table2();
+        assert!(a.itemised_mm2() < a.total_mm2);
+        assert!((a.total_mm2 - 11.884).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pra_overheads_are_small() {
+        let o = PraOverheads::paper_section42();
+        // The paper's headline: all PRA hardware costs stay within a few
+        // percent of the die.
+        assert!(o.total_area_overhead() < 0.04);
+        assert!(o.published_latch_power_overhead < 0.001);
+    }
+
+    #[test]
+    fn fgd_overheads_bounded() {
+        for o in [FgdOverheads::l1_32k(), FgdOverheads::l2_4m()] {
+            assert!(o.area < 0.02);
+            assert!(o.dynamic_energy < 0.01);
+            assert!(o.leakage < 0.02);
+        }
+        assert_eq!(FgdOverheads::extra_bits_per_line(), 7);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the power models: accounting linearity,
+//! monotonicity of the activation-energy curve, and breakdown consistency.
+
+use dram_power::{
+    ActivationEnergyModel, EnergyAccounting, EnergyBreakdown, PowerParams, RankPowerState,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Act(u32),
+    ActMats(u32),
+    Read,
+    Write(u8),
+    Bg(u8),
+    Refresh,
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (1u32..=8).prop_map(Event::Act),
+        (1u32..=16).prop_map(Event::ActMats),
+        Just(Event::Read),
+        (1u8..=8).prop_map(Event::Write),
+        (0u8..3).prop_map(Event::Bg),
+        Just(Event::Refresh),
+    ]
+}
+
+fn apply(acc: &mut EnergyAccounting, e: Event) {
+    match e {
+        Event::Act(g) => acc.activation(g),
+        Event::ActMats(m) => acc.activation_mats(m),
+        Event::Read => acc.read_line(),
+        Event::Write(words) => acc.write_line(f64::from(words) / 8.0),
+        Event::Bg(state) => acc.background_cycle(
+            0,
+            match state {
+                0 => RankPowerState::ActiveStandby,
+                1 => RankPowerState::PrechargeStandby,
+                _ => RankPowerState::PowerDown,
+            },
+        ),
+        Event::Refresh => acc.refresh(),
+    }
+}
+
+fn total(events: &[Event]) -> EnergyBreakdown {
+    let mut acc = EnergyAccounting::new(PowerParams::paper_table3(), 4);
+    for &e in events {
+        apply(&mut acc, e);
+    }
+    acc.breakdown()
+}
+
+proptest! {
+    /// Energy accounting is additive: processing a concatenated stream
+    /// equals the sum of processing its halves separately.
+    #[test]
+    fn accounting_is_additive(a in prop::collection::vec(event(), 0..50),
+                              b in prop::collection::vec(event(), 0..50)) {
+        let joint = total(&a.iter().chain(&b).copied().collect::<Vec<_>>());
+        let split = total(&a) + total(&b);
+        for (x, y) in joint.to_power(1.0).components().iter()
+            .zip(split.to_power(1.0).components()) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// Event order never matters (each event contributes independently).
+    #[test]
+    fn accounting_is_order_invariant(events in prop::collection::vec(event(), 0..60)) {
+        let forward = total(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let backward = total(&reversed);
+        prop_assert!((forward.total() - backward.total()).abs() < 1e-6);
+        prop_assert!((forward.act_pre - backward.act_pre).abs() < 1e-6);
+        prop_assert!((forward.io() - backward.io()).abs() < 1e-6);
+    }
+
+    /// Activation energy is strictly monotone in MATs and bounded by the
+    /// full-row value.
+    #[test]
+    fn activation_energy_monotone(m in 1u32..16) {
+        let mut lo = EnergyAccounting::new(PowerParams::paper_table3(), 2);
+        lo.activation_mats(m);
+        let mut hi = EnergyAccounting::new(PowerParams::paper_table3(), 2);
+        hi.activation_mats(m + 1);
+        prop_assert!(lo.breakdown().act_pre < hi.breakdown().act_pre);
+        let mut full = EnergyAccounting::new(PowerParams::paper_table3(), 2);
+        full.activation_mats(16);
+        prop_assert!(hi.breakdown().act_pre <= full.breakdown().act_pre + 1e-12);
+    }
+
+    /// Write I/O energy scales exactly linearly in the transferred words.
+    #[test]
+    fn write_io_linear_in_words(words in 1u8..=8) {
+        let mut one = EnergyAccounting::new(PowerParams::paper_table3(), 2);
+        one.write_line(1.0 / 8.0);
+        let mut many = EnergyAccounting::new(PowerParams::paper_table3(), 2);
+        many.write_line(f64::from(words) / 8.0);
+        let ratio = many.breakdown().wr_io / one.breakdown().wr_io;
+        prop_assert!((ratio - f64::from(words)).abs() < 1e-9);
+        // Core write energy is flat.
+        prop_assert!((many.breakdown().wr - one.breakdown().wr).abs() < 1e-12);
+    }
+
+    /// The CACTI scaling factor is within (0, 1] and increasing.
+    #[test]
+    fn cacti_scaling_behaves(m in 1u32..=16) {
+        let model = ActivationEnergyModel::paper_table2();
+        let s = model.scaling_factor(m);
+        prop_assert!(s > 0.0 && s <= 1.0);
+        if m < 16 {
+            prop_assert!(s < model.scaling_factor(m + 1));
+        }
+        // Shared energy puts a floor under the curve.
+        prop_assert!(s > model.shared_energy_pj() / model.full_row_energy_pj());
+    }
+
+    /// Power conversion and energy agree for any elapsed time.
+    #[test]
+    fn power_times_time_is_energy(events in prop::collection::vec(event(), 1..40),
+                                  elapsed in 1.0f64..1e9) {
+        let e = total(&events);
+        let p = e.to_power(elapsed);
+        prop_assert!((p.total() * elapsed - e.total()).abs() / e.total().max(1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,637 @@
+//! Per-channel memory controller: FR-FCFS scheduling, write drain,
+//! refresh, page policies and the PRA command path.
+
+use dram_power::EnergyAccounting;
+use mem_model::{Location, MemRequest, ReqKind, RequestId, WordMask};
+
+use crate::checker::{DramCommand, ProtocolChecker};
+use crate::config::{DramConfig, PagePolicy};
+use crate::rank::{Rank, RefreshState};
+use crate::scheme::FULL_ROW_MATS;
+use crate::stats::DramStats;
+
+/// A queued request together with its decoded coordinates.
+#[derive(Debug, Clone)]
+pub(crate) struct QueueEntry {
+    pub req: MemRequest,
+    pub loc: Location,
+    pub enqueued_at: u64,
+    /// Whether the hit/miss outcome has been recorded (once per request).
+    pub classified: bool,
+}
+
+/// Data-bus direction, for turnaround penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Read,
+    Write,
+}
+
+/// Shared data-bus occupancy tracking.
+#[derive(Debug, Clone)]
+struct DataBus {
+    busy_until: u64,
+    last_dir: Option<Dir>,
+    last_rank: Option<u32>,
+}
+
+impl DataBus {
+    fn new() -> Self {
+        DataBus { busy_until: 0, last_dir: None, last_rank: None }
+    }
+
+    /// Earliest cycle a burst of `dir` from `rank` may start.
+    fn earliest_start(&self, dir: Dir, rank: u32, turnaround: u64, rank_switch: u64) -> u64 {
+        let mut start = self.busy_until;
+        if let Some(last) = self.last_dir {
+            if last != dir {
+                start += turnaround;
+            }
+        }
+        if let Some(last) = self.last_rank {
+            if last != rank {
+                start += rank_switch;
+            }
+        }
+        start
+    }
+
+    fn reserve(&mut self, start: u64, end: u64, dir: Dir, rank: u32) {
+        debug_assert!(start >= self.busy_until, "data bus double-booked");
+        self.busy_until = end;
+        self.last_dir = Some(dir);
+        self.last_rank = Some(rank);
+    }
+}
+
+/// An issued read waiting for its data burst to finish.
+#[derive(Debug, Clone, Copy)]
+struct InflightRead {
+    id: RequestId,
+    done_at: u64,
+    enqueued_at: u64,
+}
+
+/// One channel's controller, ranks and queues.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    pub ranks: Vec<Rank>,
+    pub read_q: Vec<QueueEntry>,
+    pub write_q: Vec<QueueEntry>,
+    inflight_reads: Vec<InflightRead>,
+    inflight_write_ends: Vec<u64>,
+    drain_mode: bool,
+    bus: DataBus,
+    next_col_allowed: u64,
+    checker: Option<ProtocolChecker>,
+}
+
+impl Channel {
+    pub fn new(cfg: &DramConfig, channel_index: usize) -> Self {
+        let nranks = cfg.geometry.ranks_per_channel;
+        let stagger = cfg.timing.trefi / (nranks as u64).max(1);
+        let ranks = (0..nranks)
+            .map(|r| {
+                // Stagger refreshes across ranks and channels so they do not
+                // all stall the system simultaneously.
+                let offset = (r as u64 + channel_index as u64) * stagger / 2 + cfg.timing.trefi;
+                Rank::new(cfg.geometry.banks_per_rank, offset)
+            })
+            .collect();
+        Channel {
+            ranks,
+            read_q: Vec::with_capacity(cfg.queues.read_capacity),
+            write_q: Vec::with_capacity(cfg.queues.write_capacity),
+            inflight_reads: Vec::new(),
+            inflight_write_ends: Vec::new(),
+            drain_mode: false,
+            bus: DataBus::new(),
+            next_col_allowed: 0,
+            checker: cfg.verify_protocol.then(|| {
+                ProtocolChecker::new(
+                    cfg.timing,
+                    cfg.geometry.ranks_per_channel,
+                    cfg.geometry.banks_per_rank,
+                    cfg.scheme.relaxed_act_timing,
+                )
+            }),
+        }
+    }
+
+    /// Feeds the protocol checker; a violation is a simulator bug.
+    fn verify_cmd(checker: &mut Option<ProtocolChecker>, now: u64, command: DramCommand) {
+        if let Some(checker) = checker {
+            if let Err(err) = checker.observe(now, command) {
+                panic!("DRAM protocol violation: {err}");
+            }
+        }
+    }
+
+    /// Whether a request of this kind can currently be accepted.
+    pub fn can_accept(&self, kind: ReqKind, cfg: &DramConfig) -> bool {
+        match kind {
+            ReqKind::Read => self.read_q.len() < cfg.queues.read_capacity,
+            ReqKind::Write => self.write_q.len() < cfg.queues.write_capacity,
+        }
+    }
+
+    /// Enqueues a decoded request; the caller has checked `can_accept`.
+    pub fn enqueue(&mut self, req: MemRequest, loc: Location, now: u64, cfg: &DramConfig) {
+        // CKE is a dedicated pin: arriving work wakes the rank without
+        // consuming a command-bus slot, paying tXP before the first command.
+        self.ranks[loc.rank as usize].exit_power_down(now, &cfg.timing);
+        let entry = QueueEntry { req, loc, enqueued_at: now, classified: false };
+        match req.kind {
+            ReqKind::Read => self.read_q.push(entry),
+            ReqKind::Write => self.write_q.push(entry),
+        }
+    }
+
+    /// Number of requests queued or in flight (including write bursts still
+    /// on the data bus).
+    pub fn pending(&self) -> usize {
+        self.read_q.len()
+            + self.write_q.len()
+            + self.inflight_reads.len()
+            + self.inflight_write_ends.len()
+    }
+
+    /// Advances the channel one memory cycle. Completed read ids are pushed
+    /// onto `completed`.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        energy: &mut EnergyAccounting,
+        completed: &mut Vec<RequestId>,
+    ) {
+        // 1. Housekeeping: refresh expiry, auto-precharges, data completions.
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            rank.finish_refresh_if_done(now);
+            rank.update_refresh_due(now, cfg.timing.trefi);
+            for (b, bank) in rank.banks.iter_mut().enumerate() {
+                if bank.tick_auto_precharge(now, &cfg.timing) {
+                    stats.precharges += 1;
+                    Self::verify_cmd(
+                        &mut self.checker,
+                        now,
+                        DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                    );
+                }
+            }
+        }
+        self.complete_transfers(now, stats, completed);
+
+        // 2. Write-drain hysteresis (48/16 watermarks) plus opportunistic
+        //    draining when no reads are waiting.
+        if !self.drain_mode && self.write_q.len() >= cfg.queues.write_high_watermark {
+            self.drain_mode = true;
+            stats.drain_entries += 1;
+        } else if self.drain_mode && self.write_q.len() <= cfg.queues.write_low_watermark {
+            self.drain_mode = false;
+        }
+
+        // 3. One command-bus slot per cycle, in priority order.
+        let issued = self.refresh_commands(now, cfg, stats, energy)
+            || self.issue_column(now, cfg, stats, energy)
+            || self.issue_activate(now, cfg, stats, energy)
+            || self.issue_precharge_for_pending(now, cfg, stats)
+            || self.issue_idle_close(now, cfg, stats);
+        let _ = issued;
+
+        // 4. Power-down entry for idle ranks (relaxed policy only; CKE is
+        //    not a command-bus command).
+        if matches!(cfg.policy, PagePolicy::RelaxedClosePage) {
+            self.enter_power_down_where_idle();
+        }
+
+        // 5. Background energy.
+        for rank in &mut self.ranks {
+            let state = rank.tick_power_state();
+            energy.background_cycle(0, state);
+        }
+        if now < self.bus.busy_until {
+            stats.bus_busy_cycles += 1;
+        }
+    }
+
+    fn complete_transfers(&mut self, now: u64, stats: &mut DramStats, completed: &mut Vec<RequestId>) {
+        let mut i = 0;
+        while i < self.inflight_reads.len() {
+            if self.inflight_reads[i].done_at <= now {
+                let fin = self.inflight_reads.swap_remove(i);
+                stats.reads_completed += 1;
+                stats.read_latency_sum += fin.done_at - fin.enqueued_at;
+                completed.push(fin.id);
+            } else {
+                i += 1;
+            }
+        }
+        let before = self.inflight_write_ends.len();
+        self.inflight_write_ends.retain(|&end| end > now);
+        stats.writes_completed += (before - self.inflight_write_ends.len()) as u64;
+    }
+
+    /// Whether any queued request targets rank `r`.
+    fn rank_has_queued_work(&self, r: usize) -> bool {
+        self.read_q
+            .iter()
+            .chain(self.write_q.iter())
+            .any(|e| e.loc.rank as usize == r)
+    }
+
+    /// Whether outstanding refresh debt must forcibly close rank `r` now
+    /// (debt beyond the postpone allowance).
+    fn refresh_forced(&self, r: usize, cfg: &DramConfig) -> bool {
+        self.ranks[r].refresh_debt > cfg.refresh_postpone_max
+    }
+
+    /// Refresh handling. Debt beyond the postpone allowance forcibly closes
+    /// the rank; smaller debt is repaid opportunistically whenever the rank
+    /// has no queued work.
+    fn refresh_commands(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        energy: &mut EnergyAccounting,
+    ) -> bool {
+        for r in 0..self.ranks.len() {
+            if self.ranks[r].refresh_debt == 0
+                || !matches!(self.ranks[r].refresh, RefreshState::Idle)
+            {
+                continue;
+            }
+            let forced = self.refresh_forced(r, cfg);
+            let opportunistic = !forced && !self.rank_has_queued_work(r);
+            if !forced && !opportunistic {
+                continue;
+            }
+            let rank = &mut self.ranks[r];
+            rank.exit_power_down(now, &cfg.timing);
+            if now < rank.available_at {
+                continue;
+            }
+            if rank.ready_for_refresh(now) {
+                rank.start_refresh(now, &cfg.timing);
+                stats.refreshes += 1;
+                energy.refresh();
+                Self::verify_cmd(&mut self.checker, now, DramCommand::Refresh { rank: r as u32 });
+                return true;
+            }
+            if forced {
+                // Close one open bank whose precharge is legal.
+                for (b, bank) in rank.banks.iter_mut().enumerate() {
+                    if bank.is_open() && now >= bank.ready_for_precharge_at {
+                        bank.precharge(now, &cfg.timing);
+                        stats.precharges += 1;
+                        Self::verify_cmd(
+                            &mut self.checker,
+                            now,
+                            DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                        );
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Queue the scheduler currently serves: writes in drain mode or when no
+    /// reads wait; reads otherwise.
+    fn active_is_write(&self) -> bool {
+        self.drain_mode || (self.read_q.is_empty() && !self.write_q.is_empty())
+    }
+
+    /// Whether another request in the *currently served* queue waits for
+    /// `bank` with a different row (drives the row-hit fairness cap). Only
+    /// the active queue counts: a conflict that cannot be scheduled this
+    /// phase must not be able to stall the bank forever.
+    fn conflict_waiting(&self, loc: &Location, open_row: u32, in_writes: bool) -> bool {
+        let queue = if in_writes { &self.write_q } else { &self.read_q };
+        queue
+            .iter()
+            .any(|e| e.loc.rank == loc.rank && e.loc.bank == loc.bank && e.loc.row != open_row)
+    }
+
+    /// FR-FCFS step one: serve the oldest request that hits an open row —
+    /// from the active queue first, then opportunistically from the other
+    /// queue (a row already open for a drained write is cheapest to finish
+    /// now rather than re-activate later).
+    fn issue_column(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        energy: &mut EnergyAccounting,
+    ) -> bool {
+        let active_is_write = self.active_is_write();
+        self.issue_column_from(now, cfg, stats, energy, active_is_write)
+            || self.issue_column_from(now, cfg, stats, energy, !active_is_write)
+    }
+
+    fn issue_column_from(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        energy: &mut EnergyAccounting,
+        is_write: bool,
+    ) -> bool {
+        if now < self.next_col_allowed {
+            return false;
+        }
+        let burst = cfg.timing.burst_cycles * cfg.scheme.burst_multiplier;
+        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let mut chosen: Option<usize> = None;
+        for (i, entry) in queue.iter().enumerate() {
+            let rank = &self.ranks[entry.loc.rank as usize];
+            if now < rank.available_at {
+                continue;
+            }
+            let bank = &rank.banks[entry.loc.bank as usize];
+            let Some(open) = bank.open else { continue };
+            if open.row != entry.loc.row {
+                continue;
+            }
+            let covered = if is_write {
+                entry.req.mask.is_subset_of(open.coverage)
+            } else {
+                open.coverage.is_full()
+            };
+            if !covered {
+                continue;
+            }
+            if open.hits_served >= cfg.row_hit_cap
+                && self.conflict_waiting(&entry.loc, open.row, is_write)
+            {
+                continue; // fairness cap: let the precharge path reclaim the bank
+            }
+            if now < bank.ready_for_column_at {
+                continue;
+            }
+            let (dir, lat) = if is_write { (Dir::Write, cfg.timing.wl) } else { (Dir::Read, cfg.timing.tcas) };
+            let start = now + lat;
+            if start < self.bus.earliest_start(dir, entry.loc.rank, cfg.timing.twtr, cfg.timing.trtrs) {
+                continue;
+            }
+            chosen = Some(i);
+            break;
+        }
+        let Some(i) = chosen else { return false };
+        let mut entry = if is_write { self.write_q.remove(i) } else { self.read_q.remove(i) };
+        let rank_idx = entry.loc.rank as usize;
+        let bank = &mut self.ranks[rank_idx].banks[entry.loc.bank as usize];
+        if !entry.classified {
+            entry.classified = true;
+            if is_write {
+                stats.write.hits += 1;
+            } else {
+                stats.read.hits += 1;
+            }
+        }
+        if is_write {
+            let end = bank.column_write(now, burst, &cfg.timing);
+            self.bus.reserve(now + cfg.timing.wl, end, Dir::Write, entry.loc.rank);
+            energy.write_line(cfg.scheme.write_io_fraction(entry.req.mask));
+            self.inflight_write_ends.push(end);
+            Self::verify_cmd(
+                &mut self.checker,
+                now,
+                DramCommand::Write { rank: entry.loc.rank, bank: entry.loc.bank },
+            );
+        } else {
+            let end = bank.column_read(now, burst, &cfg.timing);
+            self.bus.reserve(now + cfg.timing.tcas, end, Dir::Read, entry.loc.rank);
+            energy.read_line();
+            self.inflight_reads.push(InflightRead {
+                id: entry.req.id,
+                done_at: end,
+                enqueued_at: entry.enqueued_at,
+            });
+            Self::verify_cmd(
+                &mut self.checker,
+                now,
+                DramCommand::Read { rank: entry.loc.rank, bank: entry.loc.bank },
+            );
+        }
+        if matches!(cfg.policy, PagePolicy::RestrictedClosePage) {
+            bank.arm_auto_precharge();
+        }
+        self.next_col_allowed = now + cfg.timing.tccd.max(burst);
+        true
+    }
+
+    /// The PRA mask for activating `loc.row`: the OR of all queued same-row
+    /// write masks, widened to full if any queued read also wants the row.
+    fn gather_write_mask(&self, loc: &Location) -> WordMask {
+        let same_row = |e: &&QueueEntry| {
+            e.loc.rank == loc.rank && e.loc.bank == loc.bank && e.loc.row == loc.row
+        };
+        if self.read_q.iter().find(same_row).is_some() {
+            return WordMask::FULL;
+        }
+        self.write_q
+            .iter()
+            .filter(same_row)
+            .fold(WordMask::EMPTY, |m, e| m | e.req.mask)
+    }
+
+    /// FR-FCFS step two: activate for the oldest request whose bank is closed.
+    fn issue_activate(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        energy: &mut EnergyAccounting,
+    ) -> bool {
+        let is_write = self.active_is_write();
+        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let mut chosen: Option<(usize, WordMask, u32)> = None;
+        for (i, entry) in queue.iter().enumerate() {
+            let rank = &self.ranks[entry.loc.rank as usize];
+            if !matches!(rank.refresh, RefreshState::Idle)
+                || now < rank.available_at
+                || self.refresh_forced(entry.loc.rank as usize, cfg)
+            {
+                continue;
+            }
+            let bank = &rank.banks[entry.loc.bank as usize];
+            if bank.is_open() || now < bank.ready_for_activate_at {
+                continue;
+            }
+            let (coverage, mats) = if is_write {
+                let mask = self.gather_write_mask(&entry.loc);
+                debug_assert!(!mask.is_empty());
+                if mask.is_full() {
+                    // Covers queued reads too; activate at read granularity.
+                    (WordMask::FULL, cfg.scheme.read_act_mats.max(cfg.scheme.write_act_mats(mask)))
+                } else {
+                    (cfg.scheme.write_coverage(mask), cfg.scheme.write_act_mats(mask))
+                }
+            } else {
+                (WordMask::FULL, cfg.scheme.read_act_mats)
+            };
+            let weight = cfg.scheme.act_timing_weight(mats);
+            if !rank.can_activate(now, weight, &cfg.timing) {
+                continue;
+            }
+            chosen = Some((i, coverage, mats));
+            break;
+        }
+        let Some((i, coverage, mats)) = chosen else { return false };
+        let queue = if is_write { &mut self.write_q } else { &mut self.read_q };
+        let entry = &mut queue[i];
+        if !entry.classified {
+            entry.classified = true;
+            if is_write {
+                stats.write.misses += 1;
+            } else {
+                stats.read.misses += 1;
+            }
+        }
+        let loc = entry.loc;
+        let extra = cfg.scheme.act_extra_cycles(coverage);
+        let weight = cfg.scheme.act_timing_weight(mats);
+        let rank = &mut self.ranks[loc.rank as usize];
+        rank.banks[loc.bank as usize].activate(now, loc.row, coverage, mats, extra, &cfg.timing);
+        rank.record_activation(now, weight, cfg.scheme.relaxed_act_timing, &cfg.timing);
+        stats.record_activation(mats, !is_write);
+        energy.activation_mats(mats);
+        Self::verify_cmd(
+            &mut self.checker,
+            now,
+            DramCommand::Activate {
+                rank: loc.rank,
+                bank: loc.bank,
+                row: loc.row,
+                mats,
+                extra_cycles: extra,
+            },
+        );
+        true
+    }
+
+    /// FR-FCFS step three: precharge a bank blocking the oldest conflicting
+    /// or falsely-hitting request.
+    fn issue_precharge_for_pending(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+    ) -> bool {
+        let is_write = self.active_is_write();
+        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let mut chosen: Option<(usize, bool, bool)> = None; // (idx, false_hit, capped)
+        for (i, entry) in queue.iter().enumerate() {
+            let rank = &self.ranks[entry.loc.rank as usize];
+            if now < rank.available_at {
+                continue;
+            }
+            let bank = &rank.banks[entry.loc.bank as usize];
+            let Some(open) = bank.open else { continue };
+            if now < bank.ready_for_precharge_at {
+                continue;
+            }
+            if open.row != entry.loc.row {
+                chosen = Some((i, false, open.hits_served >= cfg.row_hit_cap));
+                break;
+            }
+            // Same row: a precharge is only warranted on insufficient
+            // coverage (a PRA false row-buffer hit).
+            let covered = if is_write {
+                entry.req.mask.is_subset_of(open.coverage)
+            } else {
+                open.coverage.is_full()
+            };
+            if !covered {
+                chosen = Some((i, true, false));
+                break;
+            }
+        }
+        let Some((i, false_hit, capped)) = chosen else { return false };
+        let queue = if is_write { &mut self.write_q } else { &mut self.read_q };
+        let entry = &mut queue[i];
+        if !entry.classified {
+            entry.classified = true;
+            let counters = if is_write { &mut stats.write } else { &mut stats.read };
+            counters.misses += 1;
+            if false_hit {
+                counters.false_hits += 1;
+            }
+        }
+        let loc = entry.loc;
+        self.ranks[loc.rank as usize].banks[loc.bank as usize].precharge(now, &cfg.timing);
+        stats.precharges += 1;
+        if capped {
+            stats.hit_cap_precharges += 1;
+        }
+        Self::verify_cmd(
+            &mut self.checker,
+            now,
+            DramCommand::Precharge { rank: loc.rank, bank: loc.bank },
+        );
+        true
+    }
+
+    /// Relaxed close-page: close rows no queued request can still hit.
+    fn issue_idle_close(&mut self, now: u64, cfg: &DramConfig, stats: &mut DramStats) -> bool {
+        if !matches!(cfg.policy, PagePolicy::RelaxedClosePage) {
+            return false;
+        }
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            if now < rank.available_at {
+                continue;
+            }
+            for (b, bank) in rank.banks.iter_mut().enumerate() {
+                let Some(open) = bank.open else { continue };
+                if now < bank.ready_for_precharge_at {
+                    continue;
+                }
+                let wanted = self.read_q.iter().chain(self.write_q.iter()).any(|e| {
+                    e.loc.rank as usize == r && e.loc.bank as usize == b && e.loc.row == open.row
+                });
+                if !wanted {
+                    bank.precharge(now, &cfg.timing);
+                    stats.precharges += 1;
+                    Self::verify_cmd(
+                        &mut self.checker,
+                        now,
+                        DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn enter_power_down_where_idle(&mut self) {
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            if rank.powered_down
+                || rank.any_bank_open()
+                || !matches!(rank.refresh, RefreshState::Idle)
+                || rank.refresh_debt > 0
+            {
+                continue;
+            }
+            let busy = self
+                .read_q
+                .iter()
+                .chain(self.write_q.iter())
+                .any(|e| e.loc.rank as usize == r);
+            if !busy {
+                rank.enter_power_down();
+            }
+        }
+    }
+
+    /// Largest possible activation the current scheme can request, used by
+    /// assertions in tests.
+    #[allow(dead_code)]
+    pub(crate) fn max_mats() -> u32 {
+        FULL_ROW_MATS
+    }
+}

@@ -1,0 +1,428 @@
+//! An independent DRAM command-protocol checker.
+//!
+//! The scheduler in [`crate::MemorySystem`] is supposed to respect every
+//! JEDEC-style timing constraint; this module re-verifies that claim from
+//! the *outside*, by watching the command stream the controller issues and
+//! re-deriving legality from its own per-bank/per-rank state. It shares no
+//! code with the scheduler's fences, so a bookkeeping bug in one is caught
+//! by the other (defence in depth, as DRAMSim-class simulators do with
+//! their command-trace verifiers).
+//!
+//! The checker is wired into the channel behind
+//! [`crate::DramConfig::verify_protocol`], which defaults to on in debug
+//! builds (so the entire test suite runs verified) and off in release
+//! builds (figure regeneration speed).
+
+use core::fmt;
+use std::collections::VecDeque;
+
+use crate::scheme::FULL_ROW_MATS;
+use crate::timing::TimingParams;
+
+/// A DRAM command as seen on the command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramCommand {
+    /// Row activation of `mats` MATs (16 = conventional full row) taking
+    /// `extra_cycles` of additional activate-to-column delay (PRA mask
+    /// transfer).
+    Activate {
+        /// Target rank.
+        rank: u32,
+        /// Target bank.
+        bank: u32,
+        /// Row index.
+        row: u32,
+        /// MATs driven.
+        mats: u32,
+        /// Extra activate-to-column cycles.
+        extra_cycles: u64,
+    },
+    /// Column read (BL8 of `burst_cycles` on the bus).
+    Read {
+        /// Target rank.
+        rank: u32,
+        /// Target bank.
+        bank: u32,
+    },
+    /// Column write.
+    Write {
+        /// Target rank.
+        rank: u32,
+        /// Target bank.
+        bank: u32,
+    },
+    /// Bank precharge (explicit or auto).
+    Precharge {
+        /// Target rank.
+        rank: u32,
+        /// Target bank.
+        bank: u32,
+    },
+    /// All-bank refresh.
+    Refresh {
+        /// Target rank.
+        rank: u32,
+    },
+}
+
+/// A violated protocol rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Cycle at which the illegal command was issued.
+    pub cycle: u64,
+    /// The offending command.
+    pub command: DramCommand,
+    /// Which rule was broken.
+    pub rule: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {:?} violates {}", self.cycle, self.command, self.rule)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[derive(Debug, Clone)]
+struct BankCheck {
+    open_row: Option<u32>,
+    act_at: u64,
+    act_extra: u64,
+    last_read_at: Option<u64>,
+    last_write_at: Option<u64>,
+    pre_at: Option<u64>,
+    busy_until: u64, // refresh
+}
+
+impl BankCheck {
+    fn new() -> Self {
+        BankCheck {
+            open_row: None,
+            act_at: 0,
+            act_extra: 0,
+            last_read_at: None,
+            last_write_at: None,
+            pre_at: None,
+            busy_until: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RankCheck {
+    banks: Vec<BankCheck>,
+    acts: VecDeque<(u64, f64)>,
+    last_act_at: Option<(u64, f64)>,
+}
+
+/// Replays the observed command stream against independently tracked state.
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    timing: TimingParams,
+    ranks: Vec<RankCheck>,
+    last_col_at: Option<u64>,
+    /// Whether partial activations relax tRRD/tFAW proportionally (the
+    /// scheme under test declares its own contract).
+    relaxed_act_timing: bool,
+    commands_checked: u64,
+}
+
+impl ProtocolChecker {
+    /// A checker for `ranks` ranks of `banks` banks under `timing`.
+    pub fn new(timing: TimingParams, ranks: usize, banks: usize, relaxed_act_timing: bool) -> Self {
+        ProtocolChecker {
+            timing,
+            ranks: (0..ranks)
+                .map(|_| RankCheck {
+                    banks: (0..banks).map(|_| BankCheck::new()).collect(),
+                    acts: VecDeque::new(),
+                    last_act_at: None,
+                })
+                .collect(),
+            last_col_at: None,
+            relaxed_act_timing,
+            commands_checked: 0,
+        }
+    }
+
+    /// Commands observed so far.
+    pub fn commands_checked(&self) -> u64 {
+        self.commands_checked
+    }
+
+    fn weight(&self, mats: u32) -> f64 {
+        if self.relaxed_act_timing {
+            f64::from(mats) / f64::from(FULL_ROW_MATS)
+        } else {
+            1.0
+        }
+    }
+
+    fn err(cycle: u64, command: DramCommand, rule: impl Into<String>) -> ProtocolError {
+        ProtocolError { cycle, command, rule: rule.into() }
+    }
+
+    /// Observes one command at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule, naming it.
+    pub fn observe(&mut self, cycle: u64, command: DramCommand) -> Result<(), ProtocolError> {
+        self.commands_checked += 1;
+        let t = self.timing;
+        match command {
+            DramCommand::Activate { rank, bank, mats, extra_cycles, .. } => {
+                if mats == 0 || mats > FULL_ROW_MATS {
+                    return Err(Self::err(cycle, command, "mats out of range"));
+                }
+                let weight = self.weight(mats);
+                let r = &mut self.ranks[rank as usize];
+                // tRRD against the previous activation in this rank.
+                if let Some((prev, prev_w)) = r.last_act_at {
+                    let spacing = if self.relaxed_act_timing {
+                        t.scaled_trrd(prev_w)
+                    } else {
+                        t.trrd
+                    };
+                    if cycle < prev + spacing {
+                        return Err(Self::err(cycle, command, format!("tRRD ({spacing})")));
+                    }
+                }
+                // Weighted tFAW.
+                let in_window: f64 = r
+                    .acts
+                    .iter()
+                    .filter(|&&(c, _)| c + t.tfaw > cycle)
+                    .map(|&(_, w)| w)
+                    .sum();
+                if in_window + weight > 4.0 + 1e-9 {
+                    return Err(Self::err(
+                        cycle,
+                        command,
+                        format!("tFAW (window weight {in_window:.3} + {weight:.3} > 4)"),
+                    ));
+                }
+                let b = &mut r.banks[bank as usize];
+                if b.open_row.is_some() {
+                    return Err(Self::err(cycle, command, "ACT to an open bank"));
+                }
+                if let Some(pre_at) = b.pre_at {
+                    if cycle < pre_at + t.trp {
+                        return Err(Self::err(cycle, command, "tRP"));
+                    }
+                }
+                if cycle < b.busy_until {
+                    return Err(Self::err(cycle, command, "tRFC (rank refreshing)"));
+                }
+                b.open_row = Some(match command {
+                    DramCommand::Activate { row, .. } => row,
+                    _ => unreachable!(),
+                });
+                b.act_at = cycle;
+                b.act_extra = extra_cycles;
+                b.last_read_at = None;
+                b.last_write_at = None;
+                r.last_act_at = Some((cycle, weight));
+                r.acts.push_back((cycle, weight));
+                while let Some(&(c, _)) = r.acts.front() {
+                    if c + t.tfaw <= cycle {
+                        r.acts.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            DramCommand::Read { rank, bank } | DramCommand::Write { rank, bank } => {
+                if let Some(last) = self.last_col_at {
+                    if cycle < last + t.tccd {
+                        return Err(Self::err(cycle, command, "tCCD"));
+                    }
+                }
+                let b = &mut self.ranks[rank as usize].banks[bank as usize];
+                if b.open_row.is_none() {
+                    return Err(Self::err(cycle, command, "column to a closed bank"));
+                }
+                if cycle < b.act_at + t.trcd + b.act_extra {
+                    return Err(Self::err(cycle, command, "tRCD (+PRA mask cycle)"));
+                }
+                match command {
+                    DramCommand::Read { .. } => b.last_read_at = Some(cycle),
+                    DramCommand::Write { .. } => b.last_write_at = Some(cycle),
+                    _ => unreachable!(),
+                }
+                self.last_col_at = Some(cycle);
+            }
+            DramCommand::Precharge { rank, bank } => {
+                let b = &mut self.ranks[rank as usize].banks[bank as usize];
+                if b.open_row.is_none() {
+                    return Err(Self::err(cycle, command, "PRE to a closed bank"));
+                }
+                if cycle < b.act_at + t.tras {
+                    return Err(Self::err(cycle, command, "tRAS"));
+                }
+                if let Some(rd) = b.last_read_at {
+                    if cycle < rd + t.trtp {
+                        return Err(Self::err(cycle, command, "tRTP"));
+                    }
+                }
+                if let Some(wr) = b.last_write_at {
+                    if cycle < wr + t.wl + t.burst_cycles + t.twr {
+                        return Err(Self::err(cycle, command, "tWR"));
+                    }
+                }
+                b.open_row = None;
+                b.pre_at = Some(cycle);
+            }
+            DramCommand::Refresh { rank } => {
+                let r = &mut self.ranks[rank as usize];
+                for (i, b) in r.banks.iter().enumerate() {
+                    if b.open_row.is_some() {
+                        return Err(Self::err(cycle, command, format!("REF with bank {i} open")));
+                    }
+                    if let Some(pre_at) = b.pre_at {
+                        if cycle < pre_at + t.trp {
+                            return Err(Self::err(cycle, command, "tRP before REF"));
+                        }
+                    }
+                }
+                for b in &mut r.banks {
+                    b.busy_until = cycle + t.trfc;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> ProtocolChecker {
+        ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false)
+    }
+
+    fn act(rank: u32, bank: u32, row: u32) -> DramCommand {
+        DramCommand::Activate { rank, bank, row, mats: 16, extra_cycles: 0 }
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 }).unwrap();
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c.observe(39, act(0, 0, 6)).unwrap();
+        assert_eq!(c.commands_checked(), 4);
+    }
+
+    #[test]
+    fn trcd_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        let err = c.observe(10, DramCommand::Read { rank: 0, bank: 0 }).unwrap_err();
+        assert!(err.rule.contains("tRCD"), "{err}");
+    }
+
+    #[test]
+    fn tras_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        let err = c.observe(27, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap_err();
+        assert!(err.rule.contains("tRAS"), "{err}");
+    }
+
+    #[test]
+    fn trp_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        let err = c.observe(38, act(0, 0, 6)).unwrap_err();
+        assert!(err.rule.contains("tRP"), "{err}");
+    }
+
+    #[test]
+    fn trrd_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        let err = c.observe(4, act(0, 1, 5)).unwrap_err();
+        assert!(err.rule.contains("tRRD"), "{err}");
+    }
+
+    #[test]
+    fn tfaw_violation_detected() {
+        let mut c = checker();
+        for (i, cycle) in [0u64, 5, 10, 15].iter().enumerate() {
+            c.observe(*cycle, act(0, i as u32, 1)).unwrap();
+        }
+        let err = c.observe(20, act(0, 4, 1)).unwrap_err();
+        assert!(err.rule.contains("tFAW"), "{err}");
+        // After the window slides, the fifth activation is legal.
+        let mut c2 = checker();
+        for (i, cycle) in [0u64, 5, 10, 15].iter().enumerate() {
+            c2.observe(*cycle, act(0, i as u32, 1)).unwrap();
+        }
+        c2.observe(25, act(0, 4, 1)).unwrap();
+    }
+
+    #[test]
+    fn relaxed_partial_activations_pass_tfaw() {
+        let mut c = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, true);
+        // Eight 2-MAT activations inside one tFAW window: weight 8 * 1/8 = 1.
+        for i in 0..8u32 {
+            let cmd = DramCommand::Activate { rank: 0, bank: i, row: 1, mats: 2, extra_cycles: 1 };
+            c.observe(u64::from(i) * 2, cmd).unwrap();
+        }
+    }
+
+    #[test]
+    fn pra_extra_cycle_enforced() {
+        let mut c = checker();
+        c.observe(0, DramCommand::Activate { rank: 0, bank: 0, row: 5, mats: 2, extra_cycles: 1 })
+            .unwrap();
+        let err = c.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap_err();
+        assert!(err.rule.contains("tRCD"), "{err}");
+        c.observe(12, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
+    }
+
+    #[test]
+    fn twr_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
+        // Write burst ends at 11 + WL(8) + 4 = 23; tWR ends at 35 > tRAS.
+        let err = c.observe(34, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap_err();
+        assert!(err.rule.contains("tWR"), "{err}");
+        let mut c2 = checker();
+        c2.observe(0, act(0, 0, 5)).unwrap();
+        c2.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
+        c2.observe(35, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+    }
+
+    #[test]
+    fn refresh_rules() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        let err = c.observe(5, DramCommand::Refresh { rank: 0 }).unwrap_err();
+        assert!(err.rule.contains("open"), "{err}");
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c.observe(39, DramCommand::Refresh { rank: 0 }).unwrap();
+        // ACT during tRFC is illegal.
+        let err = c.observe(100, act(0, 0, 5)).unwrap_err();
+        assert!(err.rule.contains("tRFC"), "{err}");
+        c.observe(39 + 128, act(0, 0, 5)).unwrap();
+    }
+
+    #[test]
+    fn tccd_violation_detected() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(0, act(0, 1, 5)).unwrap_err(); // also tRRD, but check columns:
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 }).unwrap();
+        let err = c.observe(14, DramCommand::Read { rank: 0, bank: 0 }).unwrap_err();
+        assert!(err.rule.contains("tCCD"), "{err}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Top-level memory-system configuration.
+
+use dram_power::PowerParams;
+use mem_model::{AddressMapping, DramGeometry};
+
+use crate::scheme::SchemeBehavior;
+use crate::timing::TimingParams;
+
+/// Row-buffer management policy (Section 5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PagePolicy {
+    /// Keep rows open while any queued request can still hit them; close
+    /// otherwise and enter precharge power-down when idle. Paired with
+    /// row-interleaved mapping in the paper.
+    #[default]
+    RelaxedClosePage,
+    /// Auto-precharge after every column access (every request pays a full
+    /// ACT/PRE pair). Paired with line-interleaved mapping in the paper.
+    RestrictedClosePage,
+    /// Keep rows open until a conflicting request or refresh forces them
+    /// closed (no idle close, no precharge power-down). Not evaluated by
+    /// the paper; provided as the conventional third point of comparison.
+    OpenPage,
+}
+
+impl PagePolicy {
+    /// The address mapping the paper pairs with this policy.
+    pub fn paper_mapping(self) -> AddressMapping {
+        match self {
+            PagePolicy::RelaxedClosePage | PagePolicy::OpenPage => {
+                AddressMapping::RowInterleaved
+            }
+            PagePolicy::RestrictedClosePage => AddressMapping::LineInterleaved,
+        }
+    }
+}
+
+/// Request queue sizing (Table 3: 64/64 entries, 48/16 watermarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueConfig {
+    /// Read queue capacity per channel.
+    pub read_capacity: usize,
+    /// Write queue capacity per channel.
+    pub write_capacity: usize,
+    /// Entering write-drain mode at or above this occupancy.
+    pub write_high_watermark: usize,
+    /// Leaving write-drain mode at or below this occupancy.
+    pub write_low_watermark: usize,
+}
+
+impl QueueConfig {
+    /// The paper's Table 3 queue configuration.
+    pub const fn paper_table3() -> Self {
+        QueueConfig {
+            read_capacity: 64,
+            write_capacity: 64,
+            write_high_watermark: 48,
+            write_low_watermark: 16,
+        }
+    }
+
+    /// Checks watermark ordering and capacity sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if watermarks are inconsistent with capacities; configuration
+    /// errors are construction-time bugs.
+    pub fn assert_valid(&self) {
+        assert!(self.read_capacity > 0 && self.write_capacity > 0, "queues must be non-empty");
+        assert!(
+            self.write_low_watermark < self.write_high_watermark,
+            "low watermark {} must be below high {}",
+            self.write_low_watermark,
+            self.write_high_watermark
+        );
+        assert!(
+            self.write_high_watermark <= self.write_capacity,
+            "high watermark {} exceeds capacity {}",
+            self.write_high_watermark,
+            self.write_capacity
+        );
+    }
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig::paper_table3()
+    }
+}
+
+/// Complete configuration of the simulated memory system.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// DRAM geometry.
+    pub geometry: DramGeometry,
+    /// Physical address mapping.
+    pub mapping: AddressMapping,
+    /// Timing parameter set.
+    pub timing: TimingParams,
+    /// Queue sizing and watermarks.
+    pub queues: QueueConfig,
+    /// Row-buffer management policy.
+    pub policy: PagePolicy,
+    /// Maximum consecutive row-buffer hits served while other requests wait
+    /// (the paper restricts this to four, citing fairness [15]).
+    pub row_hit_cap: u32,
+    /// Activation scheme under evaluation.
+    pub scheme: SchemeBehavior,
+    /// Power parameters for energy accounting.
+    pub power: PowerParams,
+    /// Re-verify every issued command against the independent
+    /// [`ProtocolChecker`](crate::ProtocolChecker) (panics on violation).
+    /// Defaults to on in debug builds — the whole test suite runs verified —
+    /// and off in release builds.
+    pub verify_protocol: bool,
+    /// Refreshes the controller may postpone while a rank is busy (DDR3/4
+    /// permit up to 8). While debt stays at or below this bound, refresh
+    /// only happens opportunistically on idle ranks; beyond it the rank is
+    /// forcibly closed. 0 (default) reproduces the paper's strict
+    /// refresh-on-schedule behaviour.
+    pub refresh_postpone_max: u32,
+}
+
+impl DramConfig {
+    /// The paper's baseline configuration under the given policy and scheme.
+    pub fn paper_baseline(policy: PagePolicy, scheme: SchemeBehavior) -> Self {
+        DramConfig {
+            geometry: DramGeometry::baseline_ddr3(),
+            mapping: policy.paper_mapping(),
+            timing: TimingParams::ddr3_1600_table3(),
+            queues: QueueConfig::paper_table3(),
+            policy,
+            row_hit_cap: 4,
+            scheme,
+            power: PowerParams::paper_table3(),
+            verify_protocol: cfg!(debug_assertions),
+            refresh_postpone_max: 0,
+        }
+    }
+
+    /// A DDR4-2400 configuration (8 Gb x8 chips, 16 banks/rank, 32 GB) with
+    /// estimated power parameters — an exploration target beyond the
+    /// paper's DDR3 baseline. Bank groups are not modelled; conservative
+    /// same-group timings apply (see `TimingParams::ddr4_2400`).
+    pub fn ddr4_2400(policy: PagePolicy, scheme: SchemeBehavior) -> Self {
+        DramConfig {
+            geometry: DramGeometry::ddr4_8gb_x8(),
+            mapping: policy.paper_mapping(),
+            timing: TimingParams::ddr4_2400(),
+            queues: QueueConfig::paper_table3(),
+            policy,
+            row_hit_cap: 4,
+            scheme,
+            power: PowerParams::ddr4_2400_estimate(),
+            verify_protocol: cfg!(debug_assertions),
+            refresh_postpone_max: 0,
+        }
+    }
+
+    /// Validates geometry, timing and queues together.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency; configurations are static inputs and a
+    /// bad one is a programming error.
+    pub fn assert_valid(&self) {
+        self.geometry.validate().expect("geometry");
+        self.timing.validate().expect("timing");
+        self.queues.assert_valid();
+        assert!(self.row_hit_cap >= 1, "row hit cap must allow at least one access");
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_valid() {
+        DramConfig::default().assert_valid();
+        DramConfig::paper_baseline(PagePolicy::RestrictedClosePage, SchemeBehavior::pra())
+            .assert_valid();
+    }
+
+    #[test]
+    fn ddr4_config_is_valid() {
+        DramConfig::ddr4_2400(PagePolicy::RelaxedClosePage, SchemeBehavior::pra()).assert_valid();
+    }
+
+    #[test]
+    fn policy_mappings_follow_paper() {
+        assert_eq!(
+            PagePolicy::RelaxedClosePage.paper_mapping(),
+            AddressMapping::RowInterleaved
+        );
+        assert_eq!(
+            PagePolicy::RestrictedClosePage.paper_mapping(),
+            AddressMapping::LineInterleaved
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn bad_watermarks_rejected() {
+        let q = QueueConfig {
+            read_capacity: 64,
+            write_capacity: 64,
+            write_high_watermark: 16,
+            write_low_watermark: 48,
+        };
+        q.assert_valid();
+    }
+}

@@ -1,0 +1,530 @@
+//! The memory-system facade: channels, global clock, stats and energy.
+
+use core::fmt;
+
+use dram_power::{EnergyAccounting, EnergyBreakdown, PowerBreakdown};
+use mem_model::{MemRequest, RequestId};
+
+use crate::channel::Channel;
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+
+/// Error returned when a request cannot be accepted because its channel's
+/// queue is full. The caller should retry on a later cycle (this is the
+/// back-pressure path that stalls the cache hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Channel whose queue was full.
+    pub channel: u32,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request queue of channel {} is full", self.channel)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A cycle-level DDR3 memory system.
+///
+/// Drive it by interleaving [`MemorySystem::try_enqueue`] and
+/// [`MemorySystem::tick`]; each tick advances one memory-clock cycle
+/// (1.25 ns at DDR3-1600) and reports the reads whose data completed.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+/// use mem_model::{MemRequest, PhysAddr};
+///
+/// let cfg = DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+/// let mut mem = MemorySystem::new(cfg);
+/// mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0x4000)))?;
+/// let done = mem.run_until_idle(10_000);
+/// assert!(done, "a lone read finishes in well under 10k cycles");
+/// assert_eq!(mem.stats().reads_completed, 1);
+/// # Ok::<(), dram_sim::QueueFull>(())
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: DramConfig,
+    channels: Vec<Channel>,
+    cycle: u64,
+    stats: DramStats,
+    energy: EnergyAccounting,
+    completed_scratch: Vec<RequestId>,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`DramConfig::assert_valid`]).
+    pub fn new(config: DramConfig) -> Self {
+        config.assert_valid();
+        let channels = (0..config.geometry.channels).map(|i| Channel::new(&config, i)).collect();
+        let total_ranks = config.geometry.channels * config.geometry.ranks_per_channel;
+        let energy = EnergyAccounting::new(config.power, total_ranks);
+        MemorySystem {
+            channels,
+            cycle: 0,
+            stats: DramStats::default(),
+            energy,
+            completed_scratch: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Current memory-clock cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether a request of this kind would currently be accepted.
+    pub fn can_accept(&self, req: &MemRequest) -> bool {
+        let loc = self.config.mapping.decode(req.addr, &self.config.geometry);
+        self.channels[loc.channel as usize].can_accept(req.kind, &self.config)
+    }
+
+    /// Enqueues a request into its channel's read or write queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the target queue has no free entry; the
+    /// caller must hold the request and retry after ticking.
+    pub fn try_enqueue(&mut self, req: MemRequest) -> Result<(), QueueFull> {
+        let loc = self.config.mapping.decode(req.addr, &self.config.geometry);
+        let channel = &mut self.channels[loc.channel as usize];
+        if !channel.can_accept(req.kind, &self.config) {
+            return Err(QueueFull { channel: loc.channel });
+        }
+        channel.enqueue(req, loc, self.cycle, &self.config);
+        Ok(())
+    }
+
+    /// Advances one memory cycle; returns the ids of reads whose data
+    /// completed during this cycle.
+    pub fn tick(&mut self) -> &[RequestId] {
+        self.completed_scratch.clear();
+        for channel in &mut self.channels {
+            channel.tick(
+                self.cycle,
+                &self.config,
+                &mut self.stats,
+                &mut self.energy,
+                &mut self.completed_scratch,
+            );
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        &self.completed_scratch
+    }
+
+    /// Requests queued or in flight across all channels.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(Channel::pending).sum()
+    }
+
+    /// Ticks until no work remains or `max_cycles` elapse; returns `true`
+    /// if the system drained completely.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.pending() == 0 {
+                return true;
+            }
+            self.tick();
+        }
+        self.pending() == 0
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Accumulated energy breakdown (pJ).
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy.breakdown()
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycle as f64 * self.config.power.timings.tck_ns
+    }
+
+    /// Average power breakdown over the run so far (mW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycles have been simulated yet.
+    pub fn power(&self) -> PowerBreakdown {
+        self.energy.breakdown().to_power(self.elapsed_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PagePolicy;
+    use crate::scheme::SchemeBehavior;
+    use mem_model::{AddressMapping, DramGeometry, Location, PhysAddr, WordMask};
+
+    fn system(policy: PagePolicy, scheme: SchemeBehavior) -> MemorySystem {
+        MemorySystem::new(DramConfig::paper_baseline(policy, scheme))
+    }
+
+    fn addr_for(loc: Location, mapping: AddressMapping) -> PhysAddr {
+        mapping.encode(loc, &DramGeometry::baseline_ddr3())
+    }
+
+    fn loc(row: u32, column: u32) -> Location {
+        Location { channel: 0, rank: 0, bank: 0, row, column }
+    }
+
+    #[test]
+    fn single_read_latency_is_act_plus_cas_plus_burst() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0))).unwrap();
+        let mut done_cycle = None;
+        for _ in 0..200 {
+            if !mem.tick().is_empty() {
+                done_cycle = Some(mem.cycle() - 1);
+                break;
+            }
+        }
+        // ACT at cycle 0, column at tRCD=11, data done at 11+CL+burst=26.
+        assert_eq!(done_cycle, Some(26));
+        assert_eq!(mem.stats().read.misses, 1);
+        assert_eq!(mem.stats().activations, 1);
+    }
+
+    #[test]
+    fn second_read_to_same_row_hits() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        assert_eq!(mem.stats().read.hits, 1);
+        assert_eq!(mem.stats().read.misses, 1);
+        assert_eq!(mem.stats().activations, 1, "one activation serves both");
+    }
+
+    #[test]
+    fn row_conflict_precharges_and_reactivates() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(9, 0), mapping))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        assert_eq!(mem.stats().read.misses, 2);
+        assert_eq!(mem.stats().activations, 2);
+        assert!(mem.stats().precharges >= 1);
+    }
+
+    #[test]
+    fn restricted_policy_activates_per_request() {
+        let mut mem = system(PagePolicy::RestrictedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        // Same row twice: restricted close-page still pays two ACT/PRE pairs
+        // because every column access auto-precharges.
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        // Let the armed auto-precharge fire (tRAS after the activate) before
+        // the second request arrives.
+        for _ in 0..64 {
+            mem.tick();
+        }
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        for _ in 0..64 {
+            mem.tick(); // let the second auto-precharge fire
+        }
+        assert_eq!(mem.stats().activations, 2);
+        assert_eq!(mem.stats().read.misses, 2);
+        assert_eq!(mem.stats().precharges, 2, "both were auto-precharges");
+    }
+
+    #[test]
+    fn pra_write_activates_partially() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mapping = mem.config().mapping;
+        let a = addr_for(loc(3, 0), mapping);
+        mem.try_enqueue(MemRequest::write(1, a, WordMask::single(0))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        assert_eq!(mem.stats().activations, 1);
+        assert_eq!(mem.stats().act_histogram[1], 1, "2 MATs for a 1-word mask");
+        // Energy: the activation must be charged at the 1/8 rate.
+        let act_pj = mem.energy().act_pre;
+        assert!((act_pj - 3.7 * 48.75).abs() < 1e-6, "got {act_pj}");
+    }
+
+    #[test]
+    fn pra_masks_are_ored_across_queued_writes() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::single(0)))
+            .unwrap();
+        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(5)))
+            .unwrap();
+        assert!(mem.run_until_idle(2000));
+        // One activation with both groups selected; the second write hits.
+        assert_eq!(mem.stats().activations, 1);
+        assert_eq!(mem.stats().act_histogram[3], 1, "4 MATs for the ORed 2-word mask");
+        assert_eq!(mem.stats().write.hits, 1);
+        assert_eq!(mem.stats().write.misses, 1);
+    }
+
+    #[test]
+    fn pra_false_hit_on_read_after_partial_write() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mapping = mem.config().mapping;
+        let wa = addr_for(loc(3, 0), mapping);
+        mem.try_enqueue(MemRequest::write(1, wa, WordMask::single(0))).unwrap();
+        // Let the write open its partial row and be served.
+        for _ in 0..60 {
+            mem.tick();
+        }
+        assert_eq!(mem.stats().write.misses, 1);
+        // The row is still open partially (relaxed policy would close it as
+        // unwanted — enqueue the read before that can happen is exercised by
+        // the drain ordering below; if already closed this is a plain miss).
+        let partially_open = {
+            // Peek through stats: a false hit can only occur if no precharge
+            // has closed the row yet.
+            mem.stats().precharges == 0
+        };
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(3, 1), mapping))).unwrap();
+        assert!(mem.run_until_idle(2000));
+        if partially_open {
+            assert_eq!(mem.stats().read.false_hits, 1, "read to a partial row is a false hit");
+            assert_eq!(mem.stats().read.misses, 1);
+        }
+        assert_eq!(mem.stats().reads_completed, 1);
+    }
+
+    #[test]
+    fn pra_false_hit_on_uncovered_write() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::single(0)))
+            .unwrap();
+        for _ in 0..60 {
+            mem.tick();
+        }
+        let still_open = mem.stats().precharges == 0;
+        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(7)))
+            .unwrap();
+        assert!(mem.run_until_idle(2000));
+        if still_open {
+            assert_eq!(mem.stats().write.false_hits, 1);
+        }
+        assert_eq!(mem.stats().writes_completed, 2);
+    }
+
+    #[test]
+    fn covered_write_hits_partial_row() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::from_words([0, 7])))
+            .unwrap();
+        for _ in 0..60 {
+            mem.tick();
+        }
+        let still_open = mem.stats().precharges == 0;
+        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(7)))
+            .unwrap();
+        assert!(mem.run_until_idle(2000));
+        if still_open {
+            assert_eq!(mem.stats().write.hits, 1, "subset mask hits the partial row");
+            assert_eq!(mem.stats().write.false_hits, 0);
+        }
+    }
+
+    #[test]
+    fn open_page_keeps_rows_open_across_idle_gaps() {
+        let mut open = system(PagePolicy::OpenPage, SchemeBehavior::baseline());
+        let mut relaxed = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        for mem in [&mut open, &mut relaxed] {
+            let mapping = mem.config().mapping;
+            mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+            assert!(mem.run_until_idle(1000));
+            for _ in 0..200 {
+                mem.tick(); // idle gap: relaxed closes the row, open-page keeps it
+            }
+            mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+            assert!(mem.run_until_idle(1000));
+        }
+        assert_eq!(open.stats().read.hits, 1, "open page retains the row");
+        assert_eq!(open.stats().activations, 1);
+        assert_eq!(relaxed.stats().read.hits, 0, "relaxed closed the idle row");
+        assert_eq!(relaxed.stats().activations, 2);
+        // Open page never powers down, so its background energy is higher.
+        assert!(open.energy().bg > relaxed.energy().bg);
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        for _ in 0..20_000 {
+            mem.tick();
+        }
+        // Each of the 4 ranks refreshes every tREFI = 6240 cycles, with
+        // staggered first refreshes between 6240 and ~11k cycles; in 20k
+        // cycles every rank completes 2-3 refreshes.
+        assert!(
+            (8..=12).contains(&mem.stats().refreshes),
+            "refreshes {} outside the 8..=12 envelope",
+            mem.stats().refreshes,
+        );
+        assert!(mem.energy().refresh > 0.0);
+    }
+
+    #[test]
+    fn refresh_postponing_defers_under_load_and_repays() {
+        let mut cfg = DramConfig::paper_baseline(
+            PagePolicy::RelaxedClosePage,
+            SchemeBehavior::baseline(),
+        );
+        cfg.refresh_postpone_max = 8;
+        let mut mem = MemorySystem::new(cfg);
+        let mapping = mem.config().mapping;
+        // Keep every rank busy across several tREFI intervals.
+        let mut id = 0u64;
+        for _ in 0..30_000u64 {
+            if mem.pending() < 32 {
+                id += 1;
+                let a = addr_for(loc((id % 1024) as u32, (id % 64) as u32), mapping);
+                let _ = mem.try_enqueue(MemRequest::read(id, a));
+            }
+            mem.tick();
+        }
+        // Debt may have accumulated but is bounded by the allowance (+1 for
+        // the interval that just elapsed).
+        // Drain and idle: all debt must be repaid opportunistically.
+        assert!(mem.run_until_idle(100_000));
+        for _ in 0..20_000 {
+            mem.tick();
+        }
+        // Refresh conservation: over ~50k cycles each of the 4 ranks owes
+        // roughly cycles/tREFI refreshes; everything owed was serviced.
+        let elapsed = mem.cycle();
+        let expected = elapsed / 6240 * 4;
+        let refreshes = mem.stats().refreshes;
+        assert!(
+            refreshes + 4 * 9 >= expected && refreshes <= expected + 8,
+            "refreshes {refreshes} vs owed ~{expected}"
+        );
+    }
+
+    #[test]
+    fn idle_system_powers_down() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        for _ in 0..1000 {
+            mem.tick();
+        }
+        // All background energy in the pre-refresh window must be at the
+        // power-down rate: 4 ranks x 1000 cycles x 18 mW x 1.25 ns.
+        let bg = mem.energy().bg;
+        let expected = 4.0 * 1000.0 * 18.0 * 1.25;
+        assert!((bg - expected).abs() / expected < 0.01, "bg {bg} vs {expected}");
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        let mut rejected = false;
+        for i in 0..200u64 {
+            let a = addr_for(loc((i % 64) as u32, 0), mapping);
+            if mem.try_enqueue(MemRequest::read(i, a)).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "64-entry read queue must eventually refuse");
+        assert!(mem.run_until_idle(100_000));
+    }
+
+    #[test]
+    fn write_drain_triggers_at_watermark() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        for i in 0..48u64 {
+            let a = addr_for(loc(i as u32, 0), mapping);
+            mem.try_enqueue(MemRequest::write(i, a, WordMask::FULL)).unwrap();
+        }
+        mem.tick();
+        assert_eq!(mem.stats().drain_entries, 1);
+        assert!(mem.run_until_idle(100_000));
+        assert_eq!(mem.stats().writes_completed, 48);
+    }
+
+    #[test]
+    fn fga_reads_occupy_bus_twice_as_long() {
+        let mut base = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mut fga = system(PagePolicy::RelaxedClosePage, SchemeBehavior::fga_half());
+        let mapping = base.config().mapping;
+        for mem in [&mut base, &mut fga] {
+            for i in 0..16u64 {
+                let a = addr_for(loc(2, i as u32), mapping);
+                mem.try_enqueue(MemRequest::read(i, a)).unwrap();
+            }
+        }
+        let mut base_done = 0;
+        let mut fga_done = 0;
+        for c in 1..100_000u64 {
+            if base.pending() > 0 {
+                base.tick();
+                if base.pending() == 0 {
+                    base_done = c;
+                }
+            }
+            if fga.pending() > 0 {
+                fga.tick();
+                if fga.pending() == 0 {
+                    fga_done = c;
+                }
+            }
+            if base.pending() == 0 && fga.pending() == 0 {
+                break;
+            }
+        }
+        assert!(fga_done > base_done, "FGA ({fga_done}) must be slower than baseline ({base_done})");
+        // I/O energy identical per line (the paper: FGA pays in runtime, not
+        // energy per bit).
+        assert!((base.energy().rd_io - fga.energy().rd_io).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_dram_charges_half_row_activations() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::half_dram());
+        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0))).unwrap();
+        assert!(mem.run_until_idle(1000));
+        assert_eq!(mem.stats().act_histogram[7], 1, "8 MATs");
+        let act = mem.energy().act_pre;
+        assert!((act - 11.6 * 48.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_breakdown_totals_positive_under_load() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        let mapping = mem.config().mapping;
+        for i in 0..32u64 {
+            let a = addr_for(loc(i as u32, 0), mapping);
+            mem.try_enqueue(MemRequest::read(i, a)).unwrap();
+        }
+        assert!(mem.run_until_idle(100_000));
+        let p = mem.power();
+        assert!(p.act_pre > 0.0 && p.rd > 0.0 && p.bg > 0.0);
+        assert!(p.total() > 0.0);
+    }
+}

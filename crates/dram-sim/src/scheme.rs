@@ -1,0 +1,259 @@
+//! Behavioural descriptors of the compared DRAM activation schemes.
+//!
+//! The simulator is scheme-agnostic: a [`SchemeBehavior`] tells it, for each
+//! activation, how many MATs are driven (power), which words the open row
+//! can serve (coverage), how long data bursts occupy the bus, whether write
+//! I/O energy scales with the transferred fraction, and whether tRRD/tFAW
+//! are relaxed proportionally to activation granularity.
+
+use mem_model::WordMask;
+
+/// MATs a conventional full-row activation drives (16 per sub-array).
+pub const FULL_ROW_MATS: u32 = 16;
+
+/// How write requests choose their activation granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteActPolicy {
+    /// Conventional: always activate the full row.
+    FullRow,
+    /// Always activate a fixed number of MATs (FGA and Half-DRAM activate 8
+    /// MATs — half a row — for every access).
+    FixedMats(u32),
+    /// PRA: activate the MAT groups named by the (ORed) dirty mask. With
+    /// `halved`, each group is a single halved MAT (the combined
+    /// Half-DRAM + PRA design) instead of a pair.
+    PerMask {
+        /// `true` when stacked on top of Half-DRAM's split MATs.
+        halved: bool,
+    },
+}
+
+/// Full behavioural description of one scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeBehavior {
+    /// Human-readable scheme name.
+    pub name: &'static str,
+    /// MATs driven by a read activation.
+    pub read_act_mats: u32,
+    /// Write activation granularity policy.
+    pub write_act: WriteActPolicy,
+    /// Extra cycles added between a *partial* activation and the first
+    /// column command (PRA's mask transfer costs one extra tCK, Fig. 7a).
+    pub partial_act_extra_cycles: u64,
+    /// Multiplier on data-burst bus occupancy (FGA needs 16 bursts instead
+    /// of 8 per line, i.e. 2x).
+    pub burst_multiplier: u64,
+    /// Whether write ODT/termination energy scales with the fraction of
+    /// words actually transferred (PRA sends only dirty words).
+    pub scale_write_io: bool,
+    /// Whether activations count against tRRD/tFAW proportionally to their
+    /// granularity.
+    pub relaxed_act_timing: bool,
+}
+
+impl SchemeBehavior {
+    /// Conventional DRAM.
+    pub const fn baseline() -> Self {
+        SchemeBehavior {
+            name: "baseline",
+            read_act_mats: FULL_ROW_MATS,
+            write_act: WriteActPolicy::FullRow,
+            partial_act_extra_cycles: 0,
+            burst_multiplier: 1,
+            scale_write_io: false,
+            relaxed_act_timing: false,
+        }
+    }
+
+    /// Fine-grained activation at half-row granularity (the configuration
+    /// the paper evaluates; Section 5.2.2). Activates 8 MATs for every
+    /// access and pays doubled burst occupancy because the n-bit prefetch
+    /// width is halved.
+    pub const fn fga_half() -> Self {
+        SchemeBehavior {
+            name: "FGA",
+            read_act_mats: FULL_ROW_MATS / 2,
+            write_act: WriteActPolicy::FixedMats(FULL_ROW_MATS / 2),
+            partial_act_extra_cycles: 0,
+            burst_multiplier: 2,
+            scale_write_io: false,
+            relaxed_act_timing: true,
+        }
+    }
+
+    /// Half-DRAM (Half-DRAM-1Row): half-row activations for all accesses at
+    /// full bandwidth.
+    pub const fn half_dram() -> Self {
+        SchemeBehavior {
+            name: "Half-DRAM",
+            read_act_mats: FULL_ROW_MATS / 2,
+            write_act: WriteActPolicy::FixedMats(FULL_ROW_MATS / 2),
+            partial_act_extra_cycles: 0,
+            burst_multiplier: 1,
+            scale_write_io: false,
+            relaxed_act_timing: true,
+        }
+    }
+
+    /// Partial Row Activation: full rows for reads, mask-granular partial
+    /// rows for writes, dirty words only on the write bus.
+    pub const fn pra() -> Self {
+        SchemeBehavior {
+            name: "PRA",
+            read_act_mats: FULL_ROW_MATS,
+            write_act: WriteActPolicy::PerMask { halved: false },
+            partial_act_extra_cycles: 1,
+            burst_multiplier: 1,
+            scale_write_io: true,
+            relaxed_act_timing: true,
+        }
+    }
+
+    /// The combined Half-DRAM + PRA case study (Section 5.2.3): half rows
+    /// for reads, halved mask-granular partial rows for writes.
+    pub const fn half_dram_pra() -> Self {
+        SchemeBehavior {
+            name: "Half-DRAM+PRA",
+            read_act_mats: FULL_ROW_MATS / 2,
+            write_act: WriteActPolicy::PerMask { halved: true },
+            partial_act_extra_cycles: 1,
+            burst_multiplier: 1,
+            scale_write_io: true,
+            relaxed_act_timing: true,
+        }
+    }
+
+    /// MATs driven when activating for a write with the given (already
+    /// ORed) mask.
+    pub fn write_act_mats(&self, mask: WordMask) -> u32 {
+        match self.write_act {
+            WriteActPolicy::FullRow => FULL_ROW_MATS,
+            WriteActPolicy::FixedMats(m) => m,
+            WriteActPolicy::PerMask { halved } => {
+                let groups = mask.granularity_eighths().max(1);
+                if halved {
+                    groups
+                } else {
+                    groups * 2
+                }
+            }
+        }
+    }
+
+    /// Word coverage the open row provides after a write activation with
+    /// the given mask. Schemes without per-mask activation cover the whole
+    /// line (Half-DRAM splits MATs vertically, so every word stays
+    /// reachable).
+    pub fn write_coverage(&self, mask: WordMask) -> WordMask {
+        match self.write_act {
+            WriteActPolicy::FullRow | WriteActPolicy::FixedMats(_) => WordMask::FULL,
+            WriteActPolicy::PerMask { .. } => mask,
+        }
+    }
+
+    /// `true` if write activations can open less than the full word
+    /// coverage, enabling false row-buffer hits.
+    pub fn has_partial_coverage(&self) -> bool {
+        matches!(self.write_act, WriteActPolicy::PerMask { .. })
+    }
+
+    /// Weight of an activation of `mats` MATs against tRRD/tFAW.
+    /// 1.0 for non-relaxed schemes regardless of granularity.
+    pub fn act_timing_weight(&self, mats: u32) -> f64 {
+        if self.relaxed_act_timing {
+            f64::from(mats) / f64::from(FULL_ROW_MATS)
+        } else {
+            1.0
+        }
+    }
+
+    /// Extra activate-to-column cycles for a write activation with the
+    /// given coverage: PRA pays one tCK for mask delivery unless the mask is
+    /// full (a full-mask PRA activation behaves like a conventional one,
+    /// Fig. 7b).
+    pub fn act_extra_cycles(&self, coverage: WordMask) -> u64 {
+        if self.has_partial_coverage() && !coverage.is_full() {
+            self.partial_act_extra_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Fraction of write data actually driven on the bus for energy
+    /// purposes.
+    pub fn write_io_fraction(&self, mask: WordMask) -> f64 {
+        if self.scale_write_io {
+            mask.fraction()
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Default for SchemeBehavior {
+    fn default() -> Self {
+        SchemeBehavior::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_always_full() {
+        let s = SchemeBehavior::baseline();
+        assert_eq!(s.write_act_mats(WordMask::single(0)), 16);
+        assert_eq!(s.write_coverage(WordMask::single(0)), WordMask::FULL);
+        assert!(!s.has_partial_coverage());
+        assert_eq!(s.act_timing_weight(16), 1.0);
+        assert_eq!(s.write_io_fraction(WordMask::single(0)), 1.0);
+    }
+
+    #[test]
+    fn pra_tracks_mask() {
+        let s = SchemeBehavior::pra();
+        let m = WordMask::from_words([0, 7]);
+        assert_eq!(s.write_act_mats(m), 4, "two groups of two MATs");
+        assert_eq!(s.write_coverage(m), m);
+        assert!(s.has_partial_coverage());
+        assert_eq!(s.act_extra_cycles(m), 1);
+        assert_eq!(s.act_extra_cycles(WordMask::FULL), 0, "full-mask writes need no extra cycle");
+        assert_eq!(s.write_io_fraction(m), 0.25);
+        assert_eq!(s.read_act_mats, 16, "PRA keeps full-row reads");
+    }
+
+    #[test]
+    fn half_dram_halves_power_not_coverage() {
+        let s = SchemeBehavior::half_dram();
+        assert_eq!(s.read_act_mats, 8);
+        assert_eq!(s.write_act_mats(WordMask::single(3)), 8);
+        assert_eq!(s.write_coverage(WordMask::single(3)), WordMask::FULL);
+        assert_eq!(s.burst_multiplier, 1, "full bandwidth retained");
+    }
+
+    #[test]
+    fn fga_doubles_burst() {
+        let s = SchemeBehavior::fga_half();
+        assert_eq!(s.burst_multiplier, 2);
+        assert_eq!(s.read_act_mats, 8);
+    }
+
+    #[test]
+    fn combined_scheme_halves_groups() {
+        let s = SchemeBehavior::half_dram_pra();
+        let m = WordMask::from_words([0, 1, 2]);
+        assert_eq!(s.write_act_mats(m), 3, "three single halved MATs");
+        assert_eq!(s.read_act_mats, 8);
+        assert_eq!(s.write_coverage(m), m);
+    }
+
+    #[test]
+    fn relaxed_weight_scales() {
+        let s = SchemeBehavior::pra();
+        assert_eq!(s.act_timing_weight(16), 1.0);
+        assert_eq!(s.act_timing_weight(2), 0.125);
+        let b = SchemeBehavior::baseline();
+        assert_eq!(b.act_timing_weight(2), 1.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Counters collected by the simulator, feeding Table 1 and Figures 10/11.
+
+use crate::scheme::FULL_ROW_MATS;
+
+/// Row-buffer outcome counters for one request kind (read or write).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitCounters {
+    /// Requests served from an already-open row with sufficient coverage.
+    pub hits: u64,
+    /// Requests that matched the open row but found insufficient partial
+    /// coverage (PRA's *false row buffer hits*, Section 5.2.1). Counted as
+    /// misses in hit rates; also included in `misses`.
+    pub false_hits: u64,
+    /// Requests that needed an activation (row closed or conflicting row,
+    /// plus false hits).
+    pub misses: u64,
+}
+
+impl HitCounters {
+    /// Total classified requests.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Row-buffer hit rate with false hits counted as misses (the paper's
+    /// Figure 10 accounting).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Hypothetical conventional hit rate: what the rate would have been if
+    /// false hits had been real hits.
+    pub fn conventional_hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.hits + self.false_hits) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// All statistics the memory system collects during a run.
+#[derive(Debug, Clone)]
+pub struct DramStats {
+    /// Memory-clock cycles simulated.
+    pub cycles: u64,
+    /// Read request outcomes.
+    pub read: HitCounters,
+    /// Write request outcomes.
+    pub write: HitCounters,
+    /// Completed read requests (data returned).
+    pub reads_completed: u64,
+    /// Completed write requests (data written to the array).
+    pub writes_completed: u64,
+    /// Sum of read latencies (enqueue to data completion) in cycles.
+    pub read_latency_sum: u64,
+    /// Activations histogram indexed by MATs driven minus one (0..16).
+    /// `act_histogram[15]` counts full-row activations.
+    pub act_histogram: [u64; FULL_ROW_MATS as usize],
+    /// Activations triggered by reads, same indexing.
+    pub act_histogram_reads: [u64; FULL_ROW_MATS as usize],
+    /// Activation commands issued (including refresh-forced reopens).
+    pub activations: u64,
+    /// Precharge commands issued (explicit plus auto-precharge).
+    pub precharges: u64,
+    /// All-bank refresh commands issued.
+    pub refreshes: u64,
+    /// Cycles the data bus carried read or write bursts.
+    pub bus_busy_cycles: u64,
+    /// Row-hit streaks cut short by the fairness cap.
+    pub hit_cap_precharges: u64,
+    /// Write-drain mode entries.
+    pub drain_entries: u64,
+}
+
+impl Default for DramStats {
+    fn default() -> Self {
+        DramStats {
+            cycles: 0,
+            read: HitCounters::default(),
+            write: HitCounters::default(),
+            reads_completed: 0,
+            writes_completed: 0,
+            read_latency_sum: 0,
+            act_histogram: [0; FULL_ROW_MATS as usize],
+            act_histogram_reads: [0; FULL_ROW_MATS as usize],
+            activations: 0,
+            precharges: 0,
+            refreshes: 0,
+            bus_busy_cycles: 0,
+            hit_cap_precharges: 0,
+            drain_entries: 0,
+        }
+    }
+}
+
+impl DramStats {
+    /// Records an activation of `mats` MATs, attributed to a read or write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is outside `1..=16`.
+    pub fn record_activation(&mut self, mats: u32, for_read: bool) {
+        assert!((1..=FULL_ROW_MATS).contains(&mats), "mats {mats} out of range");
+        self.activations += 1;
+        self.act_histogram[(mats - 1) as usize] += 1;
+        if for_read {
+            self.act_histogram_reads[(mats - 1) as usize] += 1;
+        }
+    }
+
+    /// Combined row-buffer hit rate over reads and writes.
+    pub fn total_hit_rate(&self) -> f64 {
+        let total = self.read.total() + self.write.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.read.hits + self.write.hits) as f64 / total as f64
+        }
+    }
+
+    /// Average read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Share of activations caused by writes (Table 1's "Row activation"
+    /// split).
+    pub fn write_activation_share(&self) -> f64 {
+        let reads: u64 = self.act_histogram_reads.iter().sum();
+        if self.activations == 0 {
+            0.0
+        } else {
+            (self.activations - reads) as f64 / self.activations as f64
+        }
+    }
+
+    /// Proportion of activations at each eighth-of-a-row granularity
+    /// (Figure 11): index `k` holds the share of `(k+1)/8`-row activations.
+    /// Sub-eighth (odd-MAT) activations from the combined scheme round up.
+    pub fn granularity_proportions(&self) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        let total: u64 = self.act_histogram.iter().sum();
+        if total == 0 {
+            return out;
+        }
+        for (i, &count) in self.act_histogram.iter().enumerate() {
+            let mats = i as u32 + 1;
+            let eighth = mats.div_ceil(2); // 1..=8
+            out[(eighth - 1) as usize] += count as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Average activation granularity as a fraction of a full row; the
+    /// paper's "reduces average row activation granularity by 42%" metric is
+    /// `1.0 - this`.
+    pub fn avg_activation_fraction(&self) -> f64 {
+        let total: u64 = self.act_histogram.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let weighted: f64 = self
+            .act_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 1.0) / FULL_ROW_MATS as f64 * c as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_with_false_hits() {
+        let h = HitCounters { hits: 6, false_hits: 2, misses: 4 };
+        assert!((h.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((h.conventional_hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_zero() {
+        let h = HitCounters::default();
+        assert_eq!(h.hit_rate(), 0.0);
+        assert_eq!(h.conventional_hit_rate(), 0.0);
+        let s = DramStats::default();
+        assert_eq!(s.total_hit_rate(), 0.0);
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.avg_activation_fraction(), 1.0);
+    }
+
+    #[test]
+    fn granularity_proportions_sum_to_one() {
+        let mut s = DramStats::default();
+        s.record_activation(16, true);
+        s.record_activation(16, true);
+        s.record_activation(2, false);
+        s.record_activation(4, false);
+        let p = s.granularity_proportions();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12, "full-row share");
+        assert!((p[0] - 0.25).abs() < 1e-12, "1/8 share");
+        assert!((p[1] - 0.25).abs() < 1e-12, "2/8 share");
+    }
+
+    #[test]
+    fn odd_mats_round_up_to_next_eighth() {
+        let mut s = DramStats::default();
+        s.record_activation(1, false); // halved single group -> 1/8 bucket
+        s.record_activation(3, false); // 1.5 groups -> 2/8 bucket
+        let p = s.granularity_proportions();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_activation_fraction_weighted() {
+        let mut s = DramStats::default();
+        s.record_activation(16, true);
+        s.record_activation(2, false);
+        // (1.0 + 0.125) / 2
+        assert!((s.avg_activation_fraction() - 0.5625).abs() < 1e-12);
+        assert!((s.write_activation_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn activation_rejects_zero_mats() {
+        DramStats::default().record_activation(0, true);
+    }
+}

@@ -1,0 +1,210 @@
+//! DDR3 timing parameters in memory-controller clock cycles.
+
+use core::fmt;
+
+/// DDR3 timing constraints, in command-clock cycles (1.25 ns at DDR3-1600).
+///
+/// Defaults ([`TimingParams::ddr3_1600_table3`]) follow the paper's Table 3;
+/// parameters the paper does not list (`wl`, `trtp`, `twtr`, `txp`, `trtrs`,
+/// `trefi`, `trfc`) use standard DDR3-1600 2 Gb values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// Activate to internal read/write delay (tRCD).
+    pub trcd: u64,
+    /// Precharge period (tRP).
+    pub trp: u64,
+    /// CAS (read) latency (CL).
+    pub tcas: u64,
+    /// Write latency (CWL).
+    pub wl: u64,
+    /// Activate to precharge (tRAS).
+    pub tras: u64,
+    /// Write recovery time (tWR), end of write burst to precharge.
+    pub twr: u64,
+    /// Column-to-column delay (tCCD).
+    pub tccd: u64,
+    /// Activate-to-activate, different banks of a rank (tRRD).
+    pub trrd: u64,
+    /// Four-activation window (tFAW).
+    pub tfaw: u64,
+    /// Row cycle (tRC = tRAS + tRP).
+    pub trc: u64,
+    /// Read to precharge (tRTP).
+    pub trtp: u64,
+    /// Write-to-read turnaround (tWTR), end of write burst to read command.
+    pub twtr: u64,
+    /// Power-down exit latency (tXP).
+    pub txp: u64,
+    /// Rank-to-rank switching penalty on the data bus (tRTRS).
+    pub trtrs: u64,
+    /// Average refresh interval (tREFI).
+    pub trefi: u64,
+    /// Refresh cycle time (tRFC).
+    pub trfc: u64,
+    /// Data-bus cycles one BL8 transfer occupies (burst length 8 at double
+    /// data rate = 4 clock cycles).
+    pub burst_cycles: u64,
+}
+
+/// Error returned by [`TimingParams::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingError(String);
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid timing: {}", self.0)
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+impl TimingParams {
+    /// The paper's Table 3 DDR3-1600 timing set.
+    ///
+    /// ```
+    /// use dram_sim::TimingParams;
+    /// let t = TimingParams::ddr3_1600_table3();
+    /// assert_eq!(t.trc, t.tras + t.trp);
+    /// ```
+    pub const fn ddr3_1600_table3() -> Self {
+        TimingParams {
+            trcd: 11,
+            trp: 11,
+            tcas: 11,
+            wl: 8,
+            tras: 28,
+            twr: 12,
+            tccd: 4,
+            trrd: 5,
+            tfaw: 24,
+            trc: 39,
+            trtp: 6,
+            twtr: 6,
+            txp: 3,
+            trtrs: 2,
+            trefi: 6240, // 7.8 us / 1.25 ns
+            trfc: 128,   // 160 ns / 1.25 ns (2 Gb device)
+            burst_cycles: 4,
+        }
+    }
+
+    /// A DDR4-2400 (8 Gb x8) parameter set, for exploring PRA beyond the
+    /// paper's DDR3 baseline. Cycle counts at `tCK = 0.833 ns`; bank groups
+    /// are not modelled, so the conservative same-group column spacing
+    /// (tCCD_L) and activate spacing (tRRD_L) apply throughout.
+    pub const fn ddr4_2400() -> Self {
+        TimingParams {
+            trcd: 16,
+            trp: 16,
+            tcas: 16,
+            wl: 12,
+            tras: 39,
+            twr: 18,
+            tccd: 6,
+            trrd: 6,
+            tfaw: 26,
+            trc: 55,
+            trtp: 9,
+            twtr: 9,
+            txp: 6,
+            trtrs: 2,
+            trefi: 9363, // 7.8 us / 0.833 ns
+            trfc: 420,   // 350 ns / 0.833 ns (8 Gb device)
+            burst_cycles: 4,
+        }
+    }
+
+    /// Checks internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingError`] if `tRC != tRAS + tRP`, any parameter that
+    /// must be non-zero is zero, or `tFAW < tRRD` (which would make the FAW
+    /// window meaningless).
+    pub fn validate(&self) -> Result<(), TimingError> {
+        if self.trc != self.tras + self.trp {
+            return Err(TimingError(format!(
+                "tRC ({}) must equal tRAS ({}) + tRP ({})",
+                self.trc, self.tras, self.trp
+            )));
+        }
+        for (name, v) in [
+            ("tRCD", self.trcd),
+            ("tRP", self.trp),
+            ("CL", self.tcas),
+            ("WL", self.wl),
+            ("tRAS", self.tras),
+            ("tWR", self.twr),
+            ("tCCD", self.tccd),
+            ("tRRD", self.trrd),
+            ("tFAW", self.tfaw),
+            ("tREFI", self.trefi),
+            ("tRFC", self.trfc),
+            ("burst", self.burst_cycles),
+        ] {
+            if v == 0 {
+                return Err(TimingError(format!("{name} must be non-zero")));
+            }
+        }
+        if self.tfaw < self.trrd {
+            return Err(TimingError(format!(
+                "tFAW ({}) must be at least tRRD ({})",
+                self.tfaw, self.trrd
+            )));
+        }
+        Ok(())
+    }
+
+    /// tRRD spacing after an activation of the given weight (fraction of a
+    /// full-row activation), when the scheme relaxes activation timing.
+    /// Proportional scaling, rounded up, never below one cycle.
+    pub fn scaled_trrd(&self, weight: f64) -> u64 {
+        debug_assert!(weight > 0.0 && weight <= 1.0);
+        ((self.trrd as f64 * weight).ceil() as u64).max(1)
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600_table3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_validates() {
+        TimingParams::ddr3_1600_table3().validate().unwrap();
+    }
+
+    #[test]
+    fn ddr4_validates() {
+        TimingParams::ddr4_2400().validate().unwrap();
+    }
+
+    #[test]
+    fn trc_consistency_enforced() {
+        let mut t = TimingParams::ddr3_1600_table3();
+        t.trc = 40;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn zero_param_rejected() {
+        let mut t = TimingParams::ddr3_1600_table3();
+        t.tccd = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_trrd_bounds() {
+        let t = TimingParams::ddr3_1600_table3();
+        assert_eq!(t.scaled_trrd(1.0), 5);
+        assert_eq!(t.scaled_trrd(0.5), 3); // ceil(2.5)
+        assert_eq!(t.scaled_trrd(0.125), 1);
+        // Never zero even for vanishing weights.
+        assert_eq!(t.scaled_trrd(0.01), 1);
+    }
+}

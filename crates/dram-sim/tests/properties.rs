@@ -1,0 +1,162 @@
+//! Property-based tests of the cycle-level memory system: for arbitrary
+//! request streams, under every scheme and policy, the simulator must
+//! complete all work and keep its statistics and energy accounting
+//! consistent.
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    line: u64,
+    write_mask: Option<u8>, // None = read; Some(0) coerced to 1
+    gap: u8,
+}
+
+fn req_stream() -> impl Strategy<Value = Vec<ReqSpec>> {
+    prop::collection::vec(
+        (0u64..1 << 22, prop::option::of(any::<u8>()), any::<u8>()).prop_map(
+            |(line, write_mask, gap)| ReqSpec { line, write_mask, gap },
+        ),
+        1..60,
+    )
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeBehavior> {
+    prop_oneof![
+        Just(SchemeBehavior::baseline()),
+        Just(SchemeBehavior::fga_half()),
+        Just(SchemeBehavior::half_dram()),
+        Just(SchemeBehavior::pra()),
+        Just(SchemeBehavior::half_dram_pra()),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PagePolicy> {
+    prop_oneof![Just(PagePolicy::RelaxedClosePage), Just(PagePolicy::RestrictedClosePage)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every enqueued request completes, and the hit/miss classification
+    /// covers each request exactly once.
+    #[test]
+    fn all_requests_complete_and_classify(
+        stream in req_stream(),
+        scheme in scheme_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let mut mem = MemorySystem::new(DramConfig::paper_baseline(policy, scheme));
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (id, spec) in stream.iter().enumerate() {
+            let addr = PhysAddr::from_line_number(spec.line);
+            let req = match spec.write_mask {
+                None => {
+                    reads += 1;
+                    MemRequest::read(id as u64, addr)
+                }
+                Some(bits) => {
+                    writes += 1;
+                    MemRequest::write(id as u64, addr, WordMask::from_bits(bits.max(1)))
+                }
+            };
+            // Tick until the queue accepts (bounded).
+            let mut tries = 0;
+            let mut pending = req;
+            while mem.try_enqueue(pending).is_err() {
+                mem.tick();
+                tries += 1;
+                prop_assert!(tries < 100_000, "enqueue starved");
+                pending = req;
+            }
+            for _ in 0..spec.gap {
+                mem.tick();
+            }
+        }
+        prop_assert!(mem.run_until_idle(2_000_000), "system failed to drain");
+        let stats = mem.stats();
+        prop_assert_eq!(stats.reads_completed, reads);
+        prop_assert_eq!(stats.writes_completed, writes);
+        prop_assert_eq!(stats.read.total(), reads, "each read classified once");
+        prop_assert_eq!(stats.write.total(), writes, "each write classified once");
+        // False hits are a subset of misses.
+        prop_assert!(stats.read.false_hits <= stats.read.misses);
+        prop_assert!(stats.write.false_hits <= stats.write.misses);
+        // Histogram totals match the activation count.
+        let hist_total: u64 = stats.act_histogram.iter().sum();
+        prop_assert_eq!(hist_total, stats.activations);
+        // Energy components are non-negative and finite.
+        let e = mem.energy();
+        for part in [e.act_pre, e.rd, e.wr, e.rd_io, e.wr_io, e.bg, e.refresh] {
+            prop_assert!(part.is_finite() && part >= 0.0);
+        }
+        prop_assert!(e.total() > 0.0);
+    }
+
+    /// Non-PRA schemes never record false row-buffer hits (full coverage
+    /// always), and never activate partially for coverage reasons.
+    #[test]
+    fn conventional_schemes_have_no_false_hits(
+        stream in req_stream(),
+        policy in policy_strategy(),
+    ) {
+        let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+            policy,
+            SchemeBehavior::baseline(),
+        ));
+        for (i, spec) in stream.iter().enumerate() {
+            let addr = PhysAddr::from_line_number(spec.line);
+            let req = match spec.write_mask {
+                None => MemRequest::read(i as u64, addr),
+                Some(bits) => MemRequest::write(i as u64, addr, WordMask::from_bits(bits.max(1))),
+            };
+            while mem.try_enqueue(req).is_err() {
+                mem.tick();
+            }
+        }
+        prop_assert!(mem.run_until_idle(2_000_000));
+        prop_assert_eq!(mem.stats().read.false_hits, 0);
+        prop_assert_eq!(mem.stats().write.false_hits, 0);
+        // Baseline activations are all full-row (16 MATs).
+        let hist = mem.stats().act_histogram;
+        let partial: u64 = hist[..15].iter().sum();
+        prop_assert_eq!(partial, 0, "baseline must only do 16-MAT activations");
+    }
+
+    /// PRA's activation energy never exceeds the baseline's for the same
+    /// request stream (the core power claim, stream-by-stream).
+    #[test]
+    fn pra_activation_energy_never_exceeds_baseline(stream in req_stream()) {
+        let run = |scheme: SchemeBehavior| {
+            let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+                PagePolicy::RestrictedClosePage,
+                scheme,
+            ));
+            for (i, spec) in stream.iter().enumerate() {
+                let addr = PhysAddr::from_line_number(spec.line);
+                let req = match spec.write_mask {
+                    None => MemRequest::read(i as u64, addr),
+                    Some(bits) => {
+                        MemRequest::write(i as u64, addr, WordMask::from_bits(bits.max(1)))
+                    }
+                };
+                while mem.try_enqueue(req).is_err() {
+                    mem.tick();
+                }
+            }
+            assert!(mem.run_until_idle(2_000_000));
+            mem.energy()
+        };
+        let base = run(SchemeBehavior::baseline());
+        let pra = run(SchemeBehavior::pra());
+        // Restricted close-page: same request stream implies at least as
+        // many activations for PRA (false hits cannot reduce them), but
+        // each write activation is no wider than full row.
+        prop_assert!(pra.act_pre <= base.act_pre + 1e-6,
+            "PRA ACT energy {} vs baseline {}", pra.act_pre, base.act_pre);
+        // Write I/O energy shrinks or stays equal.
+        prop_assert!(pra.wr_io <= base.wr_io + 1e-6);
+    }
+}

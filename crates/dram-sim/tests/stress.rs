@@ -1,0 +1,99 @@
+//! Long-running randomized stress tests. The default-run variant keeps CI
+//! fast; the `#[ignore]`d variant runs half a million verified commands
+//! (`cargo test -p dram-sim --test stress -- --ignored`).
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::{MemRequest, PhysAddr, WordMask};
+
+/// Deterministic xorshift so the stress mix needs no external RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn stress(requests: u64, scheme: SchemeBehavior, policy: PagePolicy, seed: u64) {
+    let mut cfg = DramConfig::paper_baseline(policy, scheme);
+    cfg.refresh_postpone_max = if seed.is_multiple_of(2) { 0 } else { 8 };
+    let mut mem = MemorySystem::new(cfg);
+    let mut rng = Rng(seed | 1);
+    let mut issued = 0u64;
+    let (mut reads, mut writes) = (0u64, 0u64);
+    while issued < requests {
+        // Bursty arrivals: sometimes many per cycle, sometimes idle gaps.
+        let burst = rng.next() % 4;
+        for _ in 0..burst {
+            if issued == requests {
+                break;
+            }
+            let r = rng.next();
+            // Mix of hot rows (locality) and cold random lines.
+            let line = if r.is_multiple_of(5) { r % 512 } else { r % (1 << 24) };
+            let addr = PhysAddr::from_line_number(line);
+            let req = if r.is_multiple_of(3) {
+                writes += 1;
+                MemRequest::write(issued, addr, WordMask::from_bits(((r >> 8) as u8).max(1)))
+            } else {
+                reads += 1;
+                MemRequest::read(issued, addr)
+            };
+            if mem.try_enqueue(req).is_ok() {
+                issued += 1;
+            } else {
+                if r.is_multiple_of(3) {
+                    writes -= 1;
+                } else {
+                    reads -= 1;
+                }
+                mem.tick();
+            }
+        }
+        if rng.next().is_multiple_of(7) {
+            for _ in 0..rng.next() % 64 {
+                mem.tick();
+            }
+        } else {
+            mem.tick();
+        }
+    }
+    assert!(mem.run_until_idle(20_000_000), "stress run failed to drain");
+    let stats = mem.stats();
+    assert_eq!(stats.reads_completed, reads);
+    assert_eq!(stats.writes_completed, writes);
+    assert_eq!(stats.read.total(), reads);
+    assert_eq!(stats.write.total(), writes);
+    assert!(mem.energy().total() > 0.0);
+}
+
+#[test]
+fn stress_all_schemes_briefly() {
+    for scheme in [
+        SchemeBehavior::baseline(),
+        SchemeBehavior::fga_half(),
+        SchemeBehavior::half_dram(),
+        SchemeBehavior::pra(),
+        SchemeBehavior::half_dram_pra(),
+    ] {
+        for policy in [
+            PagePolicy::RelaxedClosePage,
+            PagePolicy::RestrictedClosePage,
+            PagePolicy::OpenPage,
+        ] {
+            stress(2_000, scheme, policy, 0x5eed_0001);
+        }
+    }
+}
+
+/// Half a million commands under the debug-build protocol checker.
+#[test]
+#[ignore = "long-running; cargo test -p dram-sim --test stress -- --ignored"]
+fn stress_pra_half_million_requests() {
+    stress(500_000, SchemeBehavior::pra(), PagePolicy::RelaxedClosePage, 0xdead_beef);
+}

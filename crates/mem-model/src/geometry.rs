@@ -1,0 +1,251 @@
+//! DRAM system geometry.
+
+use core::fmt;
+
+use crate::LINE_BYTES;
+
+/// Shape of the simulated DRAM system.
+///
+/// The default ([`DramGeometry::baseline_ddr3`]) matches the paper's baseline
+/// (Table 3): 8 GB total, 2 channels, 2 ranks per channel, 8 x8 chips per
+/// rank (2 Gb each), 8 banks per chip, 32 K rows, 1 K columns, with each bank
+/// internally tiled into 64 sub-arrays of 16 MATs (512 x 512 cells each).
+///
+/// All fields are public: this is a passive configuration record, validated
+/// once by [`DramGeometry::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Independent memory channels.
+    pub channels: usize,
+    /// Ranks sharing each channel's buses.
+    pub ranks_per_channel: usize,
+    /// Banks per rank (all chips of a rank operate in lockstep, so this is
+    /// also banks per chip).
+    pub banks_per_rank: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+    /// Device columns per row per chip (each column supplies the chip's data
+    /// width; for an x8 chip one column is one byte).
+    pub columns_per_row: usize,
+    /// DRAM chips ganged into each rank's 64-bit data bus.
+    pub chips_per_rank: usize,
+    /// Data-bus width of one chip in bits (x4 / x8 / x16).
+    pub device_width_bits: usize,
+    /// Sub-arrays a bank is tiled into.
+    pub subarrays_per_bank: usize,
+    /// MATs per sub-array. With the paper's data mapping two MATs form one
+    /// PRA-selectable group, so `mats_per_subarray / 2` groups exist.
+    pub mats_per_subarray: usize,
+}
+
+/// Error returned by [`DramGeometry::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError(String);
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DRAM geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl DramGeometry {
+    /// The paper's baseline: 2 Gb x8 DDR3-1600 chips, 8 GB system.
+    ///
+    /// ```
+    /// use mem_model::DramGeometry;
+    /// let g = DramGeometry::baseline_ddr3();
+    /// assert_eq!(g.total_bytes(), 8 << 30);
+    /// assert_eq!(g.row_bytes(), 8192); // 8 KB rank-level row
+    /// assert_eq!(g.lines_per_row(), 128);
+    /// ```
+    pub fn baseline_ddr3() -> Self {
+        DramGeometry {
+            channels: 2,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            rows_per_bank: 32 * 1024,
+            columns_per_row: 1024,
+            chips_per_rank: 8,
+            device_width_bits: 8,
+            subarrays_per_bank: 64,
+            mats_per_subarray: 16,
+        }
+    }
+
+    /// A DDR4-class geometry built from 8 Gb x8 chips: 16 banks per rank
+    /// and 64 K rows, 32 GB total. Bank groups are not modelled (the
+    /// simulator applies conservative same-group timing throughout).
+    ///
+    /// ```
+    /// use mem_model::DramGeometry;
+    /// let g = DramGeometry::ddr4_8gb_x8();
+    /// assert_eq!(g.total_bytes(), 32u64 << 30);
+    /// assert_eq!(g.chip_bits(), 8 << 30);
+    /// ```
+    pub fn ddr4_8gb_x8() -> Self {
+        DramGeometry {
+            channels: 2,
+            ranks_per_channel: 2,
+            banks_per_rank: 16,
+            rows_per_bank: 64 * 1024,
+            columns_per_row: 1024,
+            chips_per_rank: 8,
+            device_width_bits: 8,
+            subarrays_per_bank: 128,
+            mats_per_subarray: 16,
+        }
+    }
+
+    /// A small geometry useful for fast tests (keeps every structural
+    /// property of the baseline but shrinks counts).
+    pub fn tiny_for_tests() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 2,
+            banks_per_rank: 4,
+            rows_per_bank: 64,
+            columns_per_row: 1024,
+            chips_per_rank: 8,
+            device_width_bits: 8,
+            subarrays_per_bank: 4,
+            mats_per_subarray: 16,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] naming the first violated constraint:
+    /// all counts must be non-zero powers of two (address decoding slices
+    /// bit fields), the rank data bus must be 64 bits, and a row must hold a
+    /// whole number of cache lines.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        let pow2 = |name: &str, v: usize| -> Result<(), GeometryError> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(GeometryError(format!("{name} must be a non-zero power of two, got {v}")))
+            } else {
+                Ok(())
+            }
+        };
+        pow2("channels", self.channels)?;
+        pow2("ranks_per_channel", self.ranks_per_channel)?;
+        pow2("banks_per_rank", self.banks_per_rank)?;
+        pow2("rows_per_bank", self.rows_per_bank)?;
+        pow2("columns_per_row", self.columns_per_row)?;
+        pow2("chips_per_rank", self.chips_per_rank)?;
+        pow2("mats_per_subarray", self.mats_per_subarray)?;
+        pow2("subarrays_per_bank", self.subarrays_per_bank)?;
+        let bus = self.chips_per_rank * self.device_width_bits;
+        if bus != 64 {
+            return Err(GeometryError(format!("rank data bus must be 64 bits, got {bus}")));
+        }
+        if !self.row_bytes().is_multiple_of(LINE_BYTES) {
+            return Err(GeometryError(format!(
+                "row size {} is not a multiple of the {}B line",
+                self.row_bytes(),
+                LINE_BYTES
+            )));
+        }
+        if !self.mats_per_subarray.is_multiple_of(2) {
+            return Err(GeometryError("MATs must pair up into PRA groups".into()));
+        }
+        Ok(())
+    }
+
+    /// Bytes stored in one rank-level row (the unit the row buffer holds).
+    pub fn row_bytes(&self) -> u64 {
+        (self.columns_per_row * self.chips_per_rank * self.device_width_bits / 8) as u64
+    }
+
+    /// Cache lines per rank-level row.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes() / LINE_BYTES
+    }
+
+    /// Total capacity of the DRAM system in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.row_bytes()
+            * self.rows_per_bank as u64
+            * self.banks_per_rank as u64
+            * self.ranks_per_channel as u64
+            * self.channels as u64
+    }
+
+    /// Total banks across the whole system.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// PRA-selectable MAT groups per sub-array (two MATs per group).
+    pub fn mat_groups(&self) -> usize {
+        self.mats_per_subarray / 2
+    }
+
+    /// Capacity of a single chip in bits.
+    pub fn chip_bits(&self) -> u64 {
+        self.rows_per_bank as u64
+            * self.banks_per_rank as u64
+            * self.columns_per_row as u64
+            * self.device_width_bits as u64
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        DramGeometry::baseline_ddr3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let g = DramGeometry::baseline_ddr3();
+        g.validate().expect("baseline must validate");
+        assert_eq!(g.total_bytes(), 8 << 30, "8 GB system");
+        assert_eq!(g.chip_bits(), 2 << 30, "2 Gb chips");
+        assert_eq!(g.row_bytes(), 8 * 1024, "8 KB rank-level row");
+        assert_eq!(g.lines_per_row(), 128);
+        assert_eq!(g.total_banks(), 32);
+        assert_eq!(g.mat_groups(), 8, "8 PRA mask bits");
+    }
+
+    #[test]
+    fn tiny_validates() {
+        DramGeometry::tiny_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn ddr4_validates() {
+        let g = DramGeometry::ddr4_8gb_x8();
+        g.validate().unwrap();
+        assert_eq!(g.total_banks(), 64);
+        assert_eq!(g.row_bytes(), 8 * 1024, "same 8 KB rank-level row as DDR3");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut g = DramGeometry::baseline_ddr3();
+        g.banks_per_rank = 6;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_bus_width() {
+        let mut g = DramGeometry::baseline_ddr3();
+        g.chips_per_rank = 4; // 4 x8 = 32-bit bus
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_odd_mats() {
+        let mut g = DramGeometry::baseline_ddr3();
+        g.mats_per_subarray = 1;
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Physical-address to DRAM-coordinate mappings.
+
+use core::fmt;
+
+use crate::{DramGeometry, PhysAddr, LINE_BYTES};
+
+/// DRAM coordinates of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Cache-line-granularity column within the row (0..lines_per_row).
+    pub column: u32,
+}
+
+impl Location {
+    /// A dense index identifying this location's bank across the system.
+    pub fn bank_index(&self, geometry: &DramGeometry) -> usize {
+        ((self.channel as usize * geometry.ranks_per_channel) + self.rank as usize)
+            * geometry.banks_per_rank
+            + self.bank as usize
+    }
+
+    /// Identifier of the row this line lives in, unique across the system.
+    ///
+    /// Useful as a key for row-granularity bookkeeping such as the
+    /// Dirty-Block Index.
+    pub fn row_key(&self, geometry: &DramGeometry) -> u64 {
+        self.bank_index(geometry) as u64 * geometry.rows_per_bank as u64 + u64::from(self.row)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{} rk{} bk{} row{:#x} col{}",
+            self.channel, self.rank, self.bank, self.row, self.column
+        )
+    }
+}
+
+/// How physical addresses are scattered over the DRAM system.
+///
+/// * [`AddressMapping::RowInterleaved`] keeps consecutive cache lines within
+///   the same row (open-page friendly); the paper pairs it with the relaxed
+///   close-page policy.
+/// * [`AddressMapping::LineInterleaved`] spreads consecutive cache lines
+///   across channels, banks and ranks to maximise parallelism; the paper
+///   pairs it with the restricted close-page policy.
+///
+/// Bit layouts (from least significant): both start with the 6 line-offset
+/// bits. Row-interleaved then slices `column | channel | bank | rank | row`;
+/// line-interleaved slices `channel | bank | rank | column | row`.
+///
+/// # Example
+///
+/// ```
+/// use mem_model::{AddressMapping, DramGeometry, PhysAddr};
+///
+/// let g = DramGeometry::baseline_ddr3();
+/// // Two consecutive lines stay in one row under row-interleaving...
+/// let a = AddressMapping::RowInterleaved.decode(PhysAddr::new(0x0), &g);
+/// let b = AddressMapping::RowInterleaved.decode(PhysAddr::new(64), &g);
+/// assert_eq!((a.row, a.bank, b.row, b.bank), (0, 0, 0, 0));
+/// assert_eq!(b.column, a.column + 1);
+/// // ...but hit different channels under line-interleaving.
+/// let c = AddressMapping::LineInterleaved.decode(PhysAddr::new(0x0), &g);
+/// let d = AddressMapping::LineInterleaved.decode(PhysAddr::new(64), &g);
+/// assert_ne!(c.channel, d.channel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// `row | rank | bank | channel | column | offset` (default).
+    #[default]
+    RowInterleaved,
+    /// `row | column | rank | bank | channel | offset`.
+    LineInterleaved,
+    /// Row-interleaved with the bank index XOR-hashed against the low row
+    /// bits (permutation-based page interleaving). Spreads pathological
+    /// same-bank row-conflict strides across banks; a common controller
+    /// option not evaluated by the paper.
+    RowInterleavedXor,
+}
+
+fn take(bits: &mut u64, count: u32) -> u32 {
+    let field = (*bits & ((1u64 << count) - 1)) as u32;
+    *bits >>= count;
+    field
+}
+
+impl AddressMapping {
+    /// Decodes a physical address into DRAM coordinates.
+    ///
+    /// Addresses beyond the installed capacity wrap (the row field simply
+    /// truncates), mirroring how simulators commonly mirror small test
+    /// address spaces onto the configured geometry.
+    pub fn decode(self, addr: PhysAddr, geometry: &DramGeometry) -> Location {
+        let mut bits = addr.raw() / LINE_BYTES;
+        let col_bits = geometry.lines_per_row().trailing_zeros();
+        let ch_bits = geometry.channels.trailing_zeros();
+        let bank_bits = geometry.banks_per_rank.trailing_zeros();
+        let rank_bits = geometry.ranks_per_channel.trailing_zeros();
+        let row_bits = geometry.rows_per_bank.trailing_zeros();
+        match self {
+            AddressMapping::RowInterleaved | AddressMapping::RowInterleavedXor => {
+                let column = take(&mut bits, col_bits);
+                let channel = take(&mut bits, ch_bits);
+                let bank = take(&mut bits, bank_bits);
+                let rank = take(&mut bits, rank_bits);
+                let row = take(&mut bits, row_bits);
+                let bank = if matches!(self, AddressMapping::RowInterleavedXor) {
+                    bank ^ (row & (geometry.banks_per_rank as u32 - 1))
+                } else {
+                    bank
+                };
+                Location { channel, rank, bank, row, column }
+            }
+            AddressMapping::LineInterleaved => {
+                let channel = take(&mut bits, ch_bits);
+                let bank = take(&mut bits, bank_bits);
+                let rank = take(&mut bits, rank_bits);
+                let column = take(&mut bits, col_bits);
+                let row = take(&mut bits, row_bits);
+                Location { channel, rank, bank, row, column }
+            }
+        }
+    }
+
+    /// Recomposes DRAM coordinates into the line-aligned physical address
+    /// that decodes to them. Inverse of [`AddressMapping::decode`] for
+    /// in-capacity addresses.
+    pub fn encode(self, loc: Location, geometry: &DramGeometry) -> PhysAddr {
+        let col_bits = geometry.lines_per_row().trailing_zeros();
+        let ch_bits = geometry.channels.trailing_zeros();
+        let bank_bits = geometry.banks_per_rank.trailing_zeros();
+        let rank_bits = geometry.ranks_per_channel.trailing_zeros();
+        let mut bits: u64 = 0;
+        let mut shift = 0u32;
+        let mut put = |field: u32, count: u32| {
+            bits |= (u64::from(field)) << shift;
+            shift += count;
+        };
+        match self {
+            AddressMapping::RowInterleaved | AddressMapping::RowInterleavedXor => {
+                let bank = if matches!(self, AddressMapping::RowInterleavedXor) {
+                    loc.bank ^ (loc.row & (geometry.banks_per_rank as u32 - 1))
+                } else {
+                    loc.bank
+                };
+                put(loc.column, col_bits);
+                put(loc.channel, ch_bits);
+                put(bank, bank_bits);
+                put(loc.rank, rank_bits);
+                put(loc.row, geometry.rows_per_bank.trailing_zeros());
+            }
+            AddressMapping::LineInterleaved => {
+                put(loc.channel, ch_bits);
+                put(loc.bank, bank_bits);
+                put(loc.rank, rank_bits);
+                put(loc.column, col_bits);
+                put(loc.row, geometry.rows_per_bank.trailing_zeros());
+            }
+        }
+        PhysAddr::new(bits * LINE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometries() -> Vec<DramGeometry> {
+        vec![DramGeometry::baseline_ddr3(), DramGeometry::tiny_for_tests()]
+    }
+
+    #[test]
+    fn decode_fields_in_range() {
+        for g in geometries() {
+            for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
+                for raw in (0..g.total_bytes()).step_by((g.total_bytes() / 1024) as usize) {
+                    let loc = mapping.decode(PhysAddr::new(raw), &g);
+                    assert!((loc.channel as usize) < g.channels);
+                    assert!((loc.rank as usize) < g.ranks_per_channel);
+                    assert!((loc.bank as usize) < g.banks_per_rank);
+                    assert!((loc.row as usize) < g.rows_per_bank);
+                    assert!((loc.column as u64) < g.lines_per_row());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = DramGeometry::baseline_ddr3();
+        for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
+            for raw in [0u64, 64, 4096, 0x1234_5640, (8u64 << 30) - 64] {
+                let addr = PhysAddr::new(raw).line_aligned();
+                let loc = mapping.decode(addr, &g);
+                assert_eq!(mapping.encode(loc, &g), addr, "{mapping:?} {raw:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_interleave_keeps_lines_in_row() {
+        let g = DramGeometry::baseline_ddr3();
+        let base = AddressMapping::RowInterleaved.decode(PhysAddr::new(0x100000), &g);
+        for i in 1..g.lines_per_row() / 2 {
+            let loc =
+                AddressMapping::RowInterleaved.decode(PhysAddr::new(0x100000 + i * 64), &g);
+            assert_eq!((loc.row, loc.bank, loc.rank, loc.channel),
+                       (base.row, base.bank, base.rank, base.channel));
+        }
+    }
+
+    #[test]
+    fn line_interleave_spreads_consecutive_lines() {
+        let g = DramGeometry::baseline_ddr3();
+        // The 32 consecutive lines starting at 0 must touch every bank of
+        // every rank of every channel exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32u64 {
+            let loc = AddressMapping::LineInterleaved.decode(PhysAddr::new(i * 64), &g);
+            seen.insert((loc.channel, loc.rank, loc.bank));
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn xor_mapping_roundtrips_and_spreads_banks() {
+        let g = DramGeometry::baseline_ddr3();
+        let m = AddressMapping::RowInterleavedXor;
+        for raw in [0u64, 64, 4096, 0x1234_5640, (8u64 << 30) - 64] {
+            let addr = PhysAddr::new(raw).line_aligned();
+            assert_eq!(m.encode(m.decode(addr, &g), &g), addr);
+        }
+        // A same-bank-under-plain-mapping row stride hits different banks.
+        let plain = AddressMapping::RowInterleaved;
+        let row_stride = g.lines_per_row()
+            * 64
+            * (g.channels * g.banks_per_rank * g.ranks_per_channel) as u64;
+        let mut plain_banks = std::collections::HashSet::new();
+        let mut xor_banks = std::collections::HashSet::new();
+        for i in 0..8u64 {
+            plain_banks.insert(plain.decode(PhysAddr::new(i * row_stride), &g).bank);
+            xor_banks.insert(m.decode(PhysAddr::new(i * row_stride), &g).bank);
+        }
+        assert_eq!(plain_banks.len(), 1, "plain mapping thrashes one bank");
+        assert_eq!(xor_banks.len(), 8, "XOR hashing spreads the stride over all banks");
+    }
+
+    #[test]
+    fn bank_index_is_dense_and_unique() {
+        let g = DramGeometry::baseline_ddr3();
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..g.channels as u32 {
+            for rk in 0..g.ranks_per_channel as u32 {
+                for bk in 0..g.banks_per_rank as u32 {
+                    let loc = Location { channel: ch, rank: rk, bank: bk, row: 0, column: 0 };
+                    let idx = loc.bank_index(&g);
+                    assert!(idx < g.total_banks());
+                    assert!(seen.insert(idx), "duplicate bank index {idx}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), g.total_banks());
+    }
+
+    #[test]
+    fn row_key_distinguishes_rows_and_banks() {
+        let g = DramGeometry::baseline_ddr3();
+        let a = Location { channel: 0, rank: 0, bank: 0, row: 5, column: 0 };
+        let b = Location { channel: 0, rank: 0, bank: 0, row: 6, column: 0 };
+        let c = Location { channel: 0, rank: 0, bank: 1, row: 5, column: 0 };
+        assert_ne!(a.row_key(&g), b.row_key(&g));
+        assert_ne!(a.row_key(&g), c.row_key(&g));
+        // Same row, different column: same key.
+        let d = Location { column: 9, ..a };
+        assert_eq!(a.row_key(&g), d.row_key(&g));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the mem-model vocabulary types.
+
+use mem_model::{AddressMapping, DramGeometry, PhysAddr, WordMask};
+use proptest::prelude::*;
+
+proptest! {
+    /// encode(decode(a)) == line_aligned(a) for all in-capacity addresses,
+    /// under both mappings and several geometries.
+    #[test]
+    fn mapping_roundtrip(raw in 0u64..(8u64 << 30), line_interleaved: bool) {
+        let g = DramGeometry::baseline_ddr3();
+        let mapping = if line_interleaved {
+            AddressMapping::LineInterleaved
+        } else {
+            AddressMapping::RowInterleaved
+        };
+        let addr = PhysAddr::new(raw).line_aligned();
+        let loc = mapping.decode(addr, &g);
+        prop_assert_eq!(mapping.encode(loc, &g), addr);
+    }
+
+    /// Two distinct line-aligned in-capacity addresses never decode to the
+    /// same coordinates (the mapping is injective).
+    #[test]
+    fn mapping_injective(a in 0u64..(1u64 << 27), b in 0u64..(1u64 << 27)) {
+        prop_assume!(a / 64 != b / 64);
+        let g = DramGeometry::baseline_ddr3();
+        for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
+            let la = mapping.decode(PhysAddr::new(a).line_aligned(), &g);
+            let lb = mapping.decode(PhysAddr::new(b).line_aligned(), &g);
+            prop_assert_ne!(la, lb);
+        }
+    }
+
+    /// Mask OR is monotone: the union covers both operands, and the
+    /// granularity never decreases.
+    #[test]
+    fn mask_or_monotone(a: u8, b: u8) {
+        let ma = WordMask::from_bits(a);
+        let mb = WordMask::from_bits(b);
+        let u = ma | mb;
+        prop_assert!(ma.is_subset_of(u));
+        prop_assert!(mb.is_subset_of(u));
+        prop_assert!(u.granularity_eighths() >= ma.granularity_eighths());
+        prop_assert!(u.granularity_eighths() >= mb.granularity_eighths());
+    }
+
+    /// Subset is a partial order consistent with bit containment.
+    #[test]
+    fn mask_subset_partial_order(a: u8, b: u8, c: u8) {
+        let (ma, mb, mc) = (WordMask::from_bits(a), WordMask::from_bits(b), WordMask::from_bits(c));
+        // Reflexive.
+        prop_assert!(ma.is_subset_of(ma));
+        // Transitive.
+        if ma.is_subset_of(mb) && mb.is_subset_of(mc) {
+            prop_assert!(ma.is_subset_of(mc));
+        }
+        // Antisymmetric.
+        if ma.is_subset_of(mb) && mb.is_subset_of(ma) {
+            prop_assert_eq!(ma, mb);
+        }
+    }
+
+    /// iter_words reproduces exactly the set bits.
+    #[test]
+    fn mask_iter_matches_bits(bits: u8) {
+        let m = WordMask::from_bits(bits);
+        let rebuilt = WordMask::from_words(m.iter_words());
+        prop_assert_eq!(rebuilt, m);
+        prop_assert_eq!(m.iter_words().count() as u32, m.count_words());
+    }
+
+    /// word_in_line is consistent with line-relative byte offsets.
+    #[test]
+    fn word_in_line_consistent(raw: u64) {
+        let addr = PhysAddr::new(raw);
+        let offset = raw % 64;
+        prop_assert_eq!(u64::from(addr.word_in_line()), offset / 8);
+    }
+}

@@ -1,0 +1,53 @@
+//! The ECC-DIMM compatibility story of Section 4.2: on an x72 DIMM, the
+//! ninth (ECC) chip has its PRA# pin strapped to VDD, so it ignores PRA
+//! masks and always activates full rows, while the eight data chips
+//! partially activate.
+//!
+//! ```bash
+//! cargo run --release --example ecc_dimm
+//! ```
+
+use pra_repro::pra_core::{PraChip, PraPin};
+use pra_repro::WordMask;
+
+fn main() {
+    // Eight data chips plus one ECC chip, as on an x72 registered DIMM.
+    let mut data_chips: Vec<PraChip> = (0..8).map(|_| PraChip::new(8)).collect();
+    let mut ecc_chip = PraChip::new_ecc_strapped(8);
+
+    // A writeback with two dirty words arrives: the controller pulls PRA#
+    // low and puts mask 10000001b on the address bus.
+    let mask = WordMask::from_words([0, 7]);
+    println!("write with dirty mask {mask} to bank 2\n");
+
+    let mut total_mats = 0;
+    for (i, chip) in data_chips.iter_mut().enumerate() {
+        let act = chip.activate(2, PraPin::PartialActivation, mask);
+        total_mats += act.mats;
+        if i == 0 {
+            println!(
+                "data chips:  activate {} MATs each ({} groups), +{} cycle for mask delivery",
+                act.mats, act.selected_groups, act.extra_cycles
+            );
+        }
+    }
+    let ecc_act = ecc_chip.activate(2, PraPin::PartialActivation, mask);
+    total_mats += ecc_act.mats;
+    println!(
+        "ECC chip:    activates {} MATs (full row — PRA# strapped high, mask ignored)",
+        ecc_act.mats
+    );
+
+    let conventional = 9 * 16;
+    println!(
+        "\nDIMM-level activation: {total_mats} of {conventional} MATs ({:.0}% saved)",
+        (1.0 - f64::from(total_mats) / f64::from(conventional)) * 100.0
+    );
+
+    // The ECC chip still receives and stores every ECC byte: all words land.
+    assert!((0..8).all(|w| ecc_chip.word_lands(2, w)));
+    // Data chips ignore clean words ("don't care" data).
+    assert!(data_chips[0].word_lands(2, 0));
+    assert!(!data_chips[0].word_lands(2, 3));
+    println!("ECC bytes stored for all eight words; clean data words are don't-care. OK");
+}

@@ -1,0 +1,70 @@
+//! Explore the analytic power models without running any simulation: the
+//! CACTI-style activation-energy curve (Figure 9), the Eq. (1)/(2) IDD
+//! derivation, the per-granularity ACT power array (Table 3), and the
+//! Section 4.2 hardware overheads.
+//!
+//! ```bash
+//! cargo run --release --example power_explorer
+//! ```
+
+use pra_repro::dram_power::{
+    overheads, ActivationEnergyModel, DevicePowerTimings, IddParams, PowerParams,
+};
+
+fn main() {
+    let model = ActivationEnergyModel::paper_table2();
+    println!("== activation energy vs activated MATs (Figure 9) ==");
+    for point in model.figure9_series() {
+        let bar = "#".repeat((point.ratio * 40.0) as usize);
+        println!("{:>2} MATs {:>8.1} pJ {:>6.1}% {bar}", point.mats, point.energy_pj, point.ratio * 100.0);
+    }
+    println!(
+        "\nshared structures keep the 8-MAT activation at {:.1}% of full-row energy\n",
+        model.scaling_factor(8) * 100.0
+    );
+
+    println!("== Eq. (1)/(2): activation power from IDD currents ==");
+    let idd = IddParams::calibrated_to_paper();
+    let t = DevicePowerTimings::ddr3_1600();
+    println!(
+        "IDD0 {:.2} mA, IDD2N {:.1} mA, IDD3N {:.1} mA, VDD {:.2} V",
+        idd.idd0_ma, idd.idd2n_ma, idd.idd3n_ma, idd.vdd
+    );
+    println!("I_ACT = {:.2} mA  ->  P_ACT = {:.2} mW (paper: 22.2 mW)\n", idd.i_act_ma(&t), idd.p_act_mw(&t));
+
+    println!("== per-granularity activation power (Table 3) ==");
+    let params = PowerParams::paper_table3();
+    for g in 1..=8u32 {
+        println!(
+            "{g}/8 row: published {:>5.1} mW | CACTI-projected {:>5.2} mW",
+            params.act_power_mw(g),
+            params.act_power_mw(8) * model.scaling_for_granularity(g)
+        );
+    }
+
+    println!("\n== PRA hardware overheads (Section 4.2) ==");
+    let pra = overheads::PraOverheads::paper_section42();
+    println!(
+        "PRA latches: {} x {:.2} um^2, {:.1} uW each -> {:.2}% die area, {:.3}% of ACT power",
+        pra.latches_per_chip,
+        pra.latch_area_um2,
+        pra.latch_power_uw,
+        pra.published_latch_area_overhead * 100.0,
+        pra.published_latch_power_overhead * 100.0
+    );
+    println!(
+        "wordline AND gates: ~{:.0}% die area; total PRA area overhead ~{:.1}%",
+        pra.published_wordline_gate_area_overhead * 100.0,
+        pra.total_area_overhead() * 100.0
+    );
+    let l1 = overheads::FgdOverheads::l1_32k();
+    let l2 = overheads::FgdOverheads::l2_4m();
+    println!(
+        "FGD bits (+{} per line): L1 area +{:.2}%, energy +{:.2}%; L2 area +{:.2}%, energy +{:.2}%",
+        overheads::FgdOverheads::extra_bits_per_line(),
+        l1.area * 100.0,
+        l1.dynamic_energy * 100.0,
+        l2.area * 100.0,
+        l2.dynamic_energy * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run one benchmark under conventional DRAM and under PRA,
+//! and print the side-by-side power breakdown.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use pra_repro::{Scheme, SimBuilder};
+
+fn main() {
+    let instructions = 100_000;
+    println!("running GUPS (single core, {instructions} instructions) under two schemes...\n");
+
+    let run = |scheme: Scheme| {
+        SimBuilder::new()
+            .app(pra_repro::workloads::gups())
+            .scheme(scheme)
+            .instructions(instructions)
+            .run()
+    };
+    let baseline = run(Scheme::Baseline);
+    let pra = run(Scheme::Pra);
+
+    println!("baseline DRAM power:\n{}\n", baseline.power);
+    println!("PRA DRAM power:\n{}\n", pra.power);
+
+    let saving = 1.0 - pra.power.total() / baseline.power.total();
+    println!("total DRAM power saving with PRA: {:.1}%", saving * 100.0);
+    println!(
+        "row-activation power saving:       {:.1}%",
+        (1.0 - pra.power.act_pre / baseline.power.act_pre) * 100.0
+    );
+    println!(
+        "write I/O power saving:            {:.1}%",
+        (1.0 - pra.power.wr_io / baseline.power.wr_io) * 100.0
+    );
+    println!(
+        "performance cost (IPC):            {:.2}%",
+        (1.0 - pra.ipc[0] / baseline.ipc[0]) * 100.0
+    );
+    println!();
+    println!(
+        "PRA activation granularities (eighths of a row, 1/8..full): {:?}",
+        pra.dram
+            .granularity_proportions()
+            .map(|p| format!("{:.1}%", p * 100.0))
+    );
+}

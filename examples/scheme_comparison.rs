@@ -1,0 +1,60 @@
+//! Compare every scheme the paper evaluates — baseline, FGA, Half-DRAM,
+//! PRA, and the combined case studies — on one multiprogrammed mix.
+//!
+//! ```bash
+//! cargo run --release --example scheme_comparison [instructions]
+//! ```
+
+use pra_repro::{Scheme, SimBuilder};
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60_000);
+    let mix = &pra_repro::workloads::all_mixes()[1]; // MIX2: the memory-bound mix
+    println!(
+        "running {} ({}) x 4 cores, {instructions} instructions/core\n",
+        mix.name,
+        mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join("+"),
+    );
+
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Fga,
+        Scheme::HalfDram,
+        Scheme::Pra,
+        Scheme::HalfDramPra,
+        Scheme::Dbi,
+        Scheme::DbiPra,
+    ];
+    let mut baseline_power = 0.0;
+    let mut baseline_edp = 0.0;
+    println!(
+        "{:<15} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "scheme", "power mW", "vs base", "IPC sum", "energy mJ", "EDP", "falsehit"
+    );
+    for scheme in schemes {
+        let r = SimBuilder::new()
+            .mix(mix.apps)
+            .name(mix.name)
+            .scheme(scheme)
+            .instructions(instructions)
+            .run();
+        if scheme == Scheme::Baseline {
+            baseline_power = r.power.total();
+            baseline_edp = r.edp();
+        }
+        println!(
+            "{:<15} {:>9.1} {:>8.1}% {:>9.2} {:>9.3} {:>10.3} {:>9}",
+            r.scheme,
+            r.power.total(),
+            (r.power.total() / baseline_power - 1.0) * 100.0,
+            r.ipc_sum(),
+            r.energy_mj(),
+            r.edp() / baseline_edp,
+            r.dram.read.false_hits + r.dram.write.false_hits,
+        );
+    }
+    println!("\n(EDP column is normalised to the baseline run)");
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: full-system runs exercising the paper's
+//! headline claims end to end.
+
+use pra_repro::{PagePolicy, Report, Scheme, SimBuilder};
+
+fn run(scheme: Scheme, profile: workloads::BenchProfile, policy: PagePolicy) -> Report {
+    SimBuilder::new()
+        .app(profile)
+        .scheme(scheme)
+        .policy(policy)
+        .instructions(30_000)
+        .warmup_mem_ops(400_000)
+        .seed(7)
+        .run()
+}
+
+#[test]
+fn pra_saves_total_power_on_every_random_write_benchmark() {
+    for profile in [workloads::gups(), workloads::em3d(), workloads::linked_list()] {
+        let base = run(Scheme::Baseline, profile, PagePolicy::RelaxedClosePage);
+        let pra = run(Scheme::Pra, profile, PagePolicy::RelaxedClosePage);
+        assert!(
+            pra.power.total() < base.power.total() * 0.95,
+            "{}: PRA {} vs baseline {}",
+            profile.name,
+            pra.power.total(),
+            base.power.total()
+        );
+    }
+}
+
+#[test]
+fn pra_performance_cost_is_small() {
+    // Paper: 0.8% average, 4.8% worst-case performance loss.
+    let base = run(Scheme::Baseline, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let ratio = pra.ipc[0] / base.ipc[0];
+    assert!(ratio > 0.90, "PRA must not cost more than ~10% IPC, got ratio {ratio}");
+}
+
+#[test]
+fn fga_loses_performance_pra_does_not() {
+    let base = run(Scheme::Baseline, workloads::lbm(), PagePolicy::RelaxedClosePage);
+    let fga = run(Scheme::Fga, workloads::lbm(), PagePolicy::RelaxedClosePage);
+    let pra = run(Scheme::Pra, workloads::lbm(), PagePolicy::RelaxedClosePage);
+    // FGA's halved prefetch width must hurt clearly more than PRA.
+    let fga_loss = 1.0 - fga.ipc[0] / base.ipc[0];
+    let pra_loss = 1.0 - pra.ipc[0] / base.ipc[0];
+    assert!(
+        fga_loss > pra_loss + 0.05,
+        "FGA loss {fga_loss:.3} must clearly exceed PRA loss {pra_loss:.3}"
+    );
+}
+
+#[test]
+fn half_dram_saves_activation_but_not_write_io() {
+    let base = run(Scheme::Baseline, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let half = run(Scheme::HalfDram, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RelaxedClosePage);
+    assert!(half.power.act_pre < base.power.act_pre * 0.7, "Half-DRAM halves activations");
+    // Half-DRAM moves full lines; PRA moves only dirty words.
+    let half_io_energy = half.energy.wr_io / half.dram.writes_completed.max(1) as f64;
+    let base_io_energy = base.energy.wr_io / base.dram.writes_completed.max(1) as f64;
+    let pra_io_energy = pra.energy.wr_io / pra.dram.writes_completed.max(1) as f64;
+    assert!((half_io_energy / base_io_energy - 1.0).abs() < 0.05);
+    assert!(pra_io_energy < base_io_energy * 0.5, "GUPS writes one word of eight");
+}
+
+#[test]
+fn restricted_policy_reflects_dirty_distribution_directly() {
+    // Section 5.2.1: with restricted close-page the dirty-word distribution
+    // maps straight onto activation granularity.
+    let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RestrictedClosePage);
+    let props = pra.dram.granularity_proportions();
+    // GUPS stores dirty exactly one word: every write activation is 1/8.
+    let write_share = pra.dram.write_activation_share();
+    assert!(
+        (props[0] - write_share).abs() < 0.05,
+        "1/8 share {} should track the write-activation share {}",
+        props[0],
+        write_share
+    );
+    assert!(props[7] > 0.3, "read activations stay full-row");
+}
+
+#[test]
+fn pra_false_hits_are_rare_for_reads() {
+    // Paper: max 0.26%, average 0.04% of reads are false hits.
+    for profile in [workloads::libquantum(), workloads::gups(), workloads::lbm()] {
+        let pra = run(Scheme::Pra, profile, PagePolicy::RelaxedClosePage);
+        let rate = pra.dram.read.false_hits as f64 / pra.dram.read.total().max(1) as f64;
+        assert!(rate < 0.02, "{}: read false-hit rate {rate}", profile.name);
+    }
+}
+
+#[test]
+fn combined_half_dram_pra_beats_components_on_activation_power() {
+    let policy = PagePolicy::RestrictedClosePage;
+    let half = run(Scheme::HalfDram, workloads::gups(), policy);
+    let pra = run(Scheme::Pra, workloads::gups(), policy);
+    let combined = run(Scheme::HalfDramPra, workloads::gups(), policy);
+    assert!(combined.power.act_pre < half.power.act_pre);
+    assert!(combined.power.act_pre < pra.power.act_pre);
+}
+
+#[test]
+fn dbi_increases_write_row_hits() {
+    let base = run(Scheme::Baseline, workloads::em3d(), PagePolicy::RelaxedClosePage);
+    let dbi = run(Scheme::Dbi, workloads::em3d(), PagePolicy::RelaxedClosePage);
+    assert!(dbi.cache.dbi_writebacks > 0, "DBI must proactively write back");
+    assert!(
+        dbi.dram.write.hit_rate() > base.dram.write.hit_rate(),
+        "DBI row-clusters writebacks: {} vs {}",
+        dbi.dram.write.hit_rate(),
+        base.dram.write.hit_rate()
+    );
+}
+
+#[test]
+fn energy_is_conserved_across_breakdown() {
+    let r = run(Scheme::Pra, workloads::omnetpp(), PagePolicy::RelaxedClosePage);
+    let e = r.energy;
+    let sum = e.act_pre + e.rd + e.wr + e.rd_io + e.wr_io + e.bg + e.refresh;
+    assert!((sum - e.total()).abs() < 1e-6);
+    // Power x time == energy.
+    let back = r.power.total() * r.runtime_ns;
+    assert!((back - e.total()).abs() / e.total() < 1e-9);
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let a = run(Scheme::Pra, workloads::mcf(), PagePolicy::RelaxedClosePage);
+    let b = run(Scheme::Pra, workloads::mcf(), PagePolicy::RelaxedClosePage);
+    assert_eq!(a.cpu_cycles, b.cpu_cycles);
+    assert_eq!(a.dram.activations, b.dram.activations);
+    assert_eq!(a.dram.read.hits, b.dram.read.hits);
+    assert!((a.energy.total() - b.energy.total()).abs() < 1e-9);
+}
