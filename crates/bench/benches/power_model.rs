@@ -1,45 +1,36 @@
-//! Criterion microbenchmarks of the power and energy models: per-event
-//! accounting cost and the analytic activation-energy model.
+//! Microbenchmarks of the power and energy models: per-event accounting
+//! cost and the analytic activation-energy model.
+//!
+//! Manual harness (no criterion -- the workspace builds offline); run with
+//! `cargo bench -p bench --bench power_model`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-
+use bench::timing::bench;
 use dram_power::{ActivationEnergyModel, EnergyAccounting, PowerParams, RankPowerState};
 
-fn bench_energy_accounting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("energy_accounting");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("mixed_events", |b| {
-        b.iter(|| {
-            let mut acc = EnergyAccounting::new(PowerParams::paper_table3(), 4);
-            for i in 0..100_000u64 {
-                match i % 5 {
-                    0 => acc.activation(((i % 8) + 1) as u32),
-                    1 => acc.read_line(),
-                    2 => acc.write_line(((i % 8) as f64 + 1.0) / 8.0),
-                    3 => acc.background_cycle(0, RankPowerState::ActiveStandby),
-                    _ => acc.background_cycle(1, RankPowerState::PowerDown),
-                }
+fn bench_energy_accounting() {
+    bench("energy_accounting/mixed_events", 100_000, 2, 20, || {
+        let mut acc = EnergyAccounting::new(PowerParams::paper_table3(), 4);
+        for i in 0..100_000u64 {
+            match i % 5 {
+                0 => acc.activation(((i % 8) + 1) as u32),
+                1 => acc.read_line(),
+                2 => acc.write_line(((i % 8) as f64 + 1.0) / 8.0),
+                3 => acc.background_cycle(0, RankPowerState::ActiveStandby),
+                _ => acc.background_cycle(1, RankPowerState::PowerDown),
             }
-            black_box(acc.breakdown().total())
-        });
+        }
+        acc.breakdown().total()
     });
-    group.finish();
 }
 
-fn bench_activation_energy_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("activation_energy_model");
-    group.throughput(Throughput::Elements(16));
-    group.bench_function("figure9_series", |b| {
-        let model = ActivationEnergyModel::paper_table2();
-        b.iter(|| black_box(model.figure9_series()));
+fn bench_activation_energy_model() {
+    let model = ActivationEnergyModel::paper_table2();
+    bench("activation_energy_model/figure9_series", 16, 5, 20, || {
+        model.figure9_series()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_energy_accounting, bench_activation_energy_model
+fn main() {
+    bench_energy_accounting();
+    bench_activation_energy_model();
 }
-criterion_main!(benches);

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the simulator itself: memory-system tick
-//! throughput per scheme, cache hierarchy access rate, and workload
-//! generation rate.
+//! Microbenchmarks of the simulator itself: memory-system tick throughput
+//! per scheme, cache hierarchy access rate, workload generation rate and
+//! end-to-end full-system throughput.
+//!
+//! Manual harness (no criterion -- the workspace builds offline); run with
+//! `cargo bench -p bench --bench sim_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use bench::timing::bench;
 use cache_sim::{CacheHierarchy, HierarchyConfig};
 use cpu_sim::{InstructionSource, Op};
 use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
@@ -13,17 +16,19 @@ use pra_core::{Scheme, SimBuilder};
 use workloads::WorkloadGen;
 
 /// Ticks a loaded memory system for a fixed number of cycles.
-fn bench_memory_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory_system_tick");
+fn bench_memory_system() {
     for (name, scheme) in [
         ("baseline", SchemeBehavior::baseline()),
         ("pra", SchemeBehavior::pra()),
         ("half_dram", SchemeBehavior::half_dram()),
     ] {
-        group.throughput(Throughput::Elements(10_000));
-        group.bench_with_input(BenchmarkId::new("mixed_load", name), &scheme, |b, scheme| {
-            b.iter(|| {
-                let cfg = DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, *scheme);
+        bench(
+            &format!("memory_system_tick/mixed_load/{name}"),
+            10_000,
+            2,
+            10,
+            || {
+                let cfg = DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, scheme);
                 let mut mem = MemorySystem::new(cfg);
                 let mut id = 0u64;
                 for cycle in 0..10_000u64 {
@@ -39,95 +44,83 @@ fn bench_memory_system(c: &mut Criterion) {
                     }
                     black_box(mem.tick().len());
                 }
-                black_box(mem.stats().activations)
-            });
-        });
-    }
-    group.finish();
-}
-
-/// Streams accesses through the two-level hierarchy.
-fn bench_cache_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_hierarchy");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("gups_accesses", |b| {
-        b.iter(|| {
-            let mut h = CacheHierarchy::new(HierarchyConfig::paper(1));
-            let mut g = WorkloadGen::new(workloads::gups(), 1, 0);
-            let mut done = 0u64;
-            let mut wbs = 0usize;
-            while done < 100_000 {
-                match g.next_op() {
-                    Op::Compute(_) => {}
-                    Op::Load(a) => {
-                        wbs += h.access(0, a, None).writebacks.len();
-                        done += 1;
-                    }
-                    Op::Store(a, m) => {
-                        wbs += h.access(0, a, Some(m)).writebacks.len();
-                        done += 1;
-                    }
-                }
-            }
-            black_box(wbs)
-        });
-    });
-    group.finish();
-}
-
-/// Raw op-generation rate of the workload generators.
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_generation");
-    group.throughput(Throughput::Elements(100_000));
-    for profile in [workloads::gups(), workloads::libquantum()] {
-        group.bench_with_input(
-            BenchmarkId::new("ops", profile.name),
-            &profile,
-            |b, profile| {
-                b.iter(|| {
-                    let mut g = WorkloadGen::new(*profile, 1, 0);
-                    let mut acc = 0u64;
-                    for _ in 0..100_000 {
-                        if let Op::Load(a) | Op::Store(a, _) = g.next_op() {
-                            acc ^= a.raw();
-                        }
-                    }
-                    black_box(acc)
-                });
+                mem.stats().activations
             },
         );
     }
-    group.finish();
+}
+
+/// Streams accesses through the two-level hierarchy.
+fn bench_cache_hierarchy() {
+    bench("cache_hierarchy/gups_accesses", 100_000, 2, 10, || {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper(1));
+        let mut g = WorkloadGen::new(workloads::gups(), 1, 0);
+        let mut done = 0u64;
+        let mut wbs = 0usize;
+        while done < 100_000 {
+            match g.next_op() {
+                Op::Compute(_) => {}
+                Op::Load(a) => {
+                    wbs += h.access(0, a, None).writebacks.len();
+                    done += 1;
+                }
+                Op::Store(a, m) => {
+                    wbs += h.access(0, a, Some(m)).writebacks.len();
+                    done += 1;
+                }
+            }
+        }
+        wbs
+    });
+}
+
+/// Raw op-generation rate of the workload generators.
+fn bench_workload_generation() {
+    for profile in [workloads::gups(), workloads::libquantum()] {
+        bench(
+            &format!("workload_generation/ops/{}", profile.name),
+            100_000,
+            2,
+            10,
+            || {
+                let mut g = WorkloadGen::new(profile, 1, 0);
+                let mut acc = 0u64;
+                for _ in 0..100_000 {
+                    if let Op::Load(a) | Op::Store(a, _) = g.next_op() {
+                        acc ^= a.raw();
+                    }
+                }
+                acc
+            },
+        );
+    }
 }
 
 /// End-to-end instruction throughput of the full system (cores + caches +
 /// DRAM + power model).
-fn bench_full_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_system");
-    group.throughput(Throughput::Elements(20_000));
+fn bench_full_system() {
     for scheme in [Scheme::Baseline, Scheme::Pra] {
-        group.bench_with_input(
-            BenchmarkId::new("gups_20k_insts", format!("{scheme:?}")),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    let report = SimBuilder::new()
-                        .app(workloads::gups())
-                        .scheme(scheme)
-                        .instructions(20_000)
-                        .warmup_mem_ops(50_000)
-                        .run();
-                    black_box(report.energy.total())
-                });
+        bench(
+            &format!("full_system/gups_20k_insts/{scheme:?}"),
+            20_000,
+            1,
+            10,
+            || {
+                let report = SimBuilder::new()
+                    .app(workloads::gups())
+                    .scheme(scheme)
+                    .instructions(20_000)
+                    .warmup_mem_ops(50_000)
+                    .run();
+                report.energy.total()
             },
         );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_memory_system, bench_cache_hierarchy, bench_workload_generation, bench_full_system
+fn main() {
+    bench_memory_system();
+    bench_cache_hierarchy();
+    bench_workload_generation();
+    bench_full_system();
 }
-criterion_main!(benches);

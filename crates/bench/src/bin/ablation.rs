@@ -21,18 +21,39 @@ use pra_core::{Scheme, SimBuilder};
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running PRA ablations ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running PRA ablations ({} instructions/core)...",
+        cfg.instructions
+    );
 
     let pra = SchemeBehavior::pra();
     let variants: Vec<(&str, SchemeBehavior)> = vec![
         ("baseline", SchemeBehavior::baseline()),
         ("PRA (full)", pra),
-        ("PRA no-relax", SchemeBehavior { name: "PRA-norelax", relaxed_act_timing: false, ..pra }),
+        (
+            "PRA no-relax",
+            SchemeBehavior {
+                name: "PRA-norelax",
+                relaxed_act_timing: false,
+                ..pra
+            },
+        ),
         (
             "PRA no-extra-cycle",
-            SchemeBehavior { name: "PRA-free-mask", partial_act_extra_cycles: 0, ..pra },
+            SchemeBehavior {
+                name: "PRA-free-mask",
+                partial_act_extra_cycles: 0,
+                ..pra
+            },
         ),
-        ("PRA act-only", SchemeBehavior { name: "PRA-act-only", scale_write_io: false, ..pra }),
+        (
+            "PRA act-only",
+            SchemeBehavior {
+                name: "PRA-act-only",
+                scale_write_io: false,
+                ..pra
+            },
+        ),
         (
             "PRA half-floor",
             SchemeBehavior {

@@ -9,15 +9,19 @@ use pra_core::{DramGeneration, Scheme, SimBuilder};
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running DDR3 vs DDR4 outlook ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running DDR3 vs DDR4 outlook ({} instructions/core)...",
+        cfg.instructions
+    );
     println!(
         "{:<12} {:<6} {:>10} {:>10} {:>10} {:>9}",
         "workload", "gen", "base mW", "PRA mW", "saving", "IPC ratio"
     );
     for profile in [workloads::gups(), workloads::lbm(), workloads::mcf()] {
-        for (label, generation) in
-            [("DDR3", DramGeneration::Ddr3), ("DDR4", DramGeneration::Ddr4)]
-        {
+        for (label, generation) in [
+            ("DDR3", DramGeneration::Ddr3),
+            ("DDR4", DramGeneration::Ddr4),
+        ] {
             let run = |scheme: Scheme| {
                 let mut b = SimBuilder::new()
                     .homogeneous(profile, 4)

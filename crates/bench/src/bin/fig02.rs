@@ -8,12 +8,23 @@ use pra_core::experiments::fig2;
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running Figure 2 ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running Figure 2 ({} instructions/core)...",
+        cfg.instructions
+    );
     let rows = fig2(&cfg);
     let labels = PowerBreakdown::component_labels();
     let header = format!(
         "{:<12} {:>9} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "total mW", labels[0], labels[1], labels[2], labels[3], labels[4], labels[5], labels[6]
+        "benchmark",
+        "total mW",
+        labels[0],
+        labels[1],
+        labels[2],
+        labels[3],
+        labels[4],
+        labels[5],
+        labels[6]
     );
     println!("{header}");
     rule(&header);

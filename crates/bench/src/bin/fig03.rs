@@ -7,7 +7,10 @@ use pra_core::experiments::fig3;
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running Figure 3 ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running Figure 3 ({} instructions/core)...",
+        cfg.instructions
+    );
     let rows = fig3(&cfg);
     let header = format!(
         "{:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | avg words",
@@ -17,8 +20,11 @@ fn main() {
     rule(&header);
     let mut avg = [0.0f64; 8];
     for (name, dist) in &rows {
-        let mean_words: f64 =
-            dist.iter().enumerate().map(|(k, p)| (k as f64 + 1.0) * p).sum();
+        let mean_words: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (k as f64 + 1.0) * p)
+            .sum();
         println!(
             "{name:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {mean_words:>6.2}",
             pct(dist[0]),
@@ -35,7 +41,11 @@ fn main() {
         }
     }
     rule(&header);
-    let mean_words: f64 = avg.iter().enumerate().map(|(k, p)| (k as f64 + 1.0) * p).sum();
+    let mean_words: f64 = avg
+        .iter()
+        .enumerate()
+        .map(|(k, p)| (k as f64 + 1.0) * p)
+        .sum();
     println!(
         "{:<12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {mean_words:>6.2}",
         "average",

@@ -7,7 +7,10 @@ use pra_core::experiments::fig10;
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running Figure 10 ({} instructions/core, 14 workloads)...", cfg.instructions);
+    eprintln!(
+        "running Figure 10 ({} instructions/core, 14 workloads)...",
+        cfg.instructions
+    );
     let rows = fig10(&cfg);
     let header = format!(
         "{:<12} | {:>8} {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",

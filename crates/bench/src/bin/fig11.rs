@@ -45,7 +45,10 @@ fn print_policy(name: &str, rows: &[(String, [f64; 8])], paper_avg: [f64; 8]) {
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running Figure 11 ({} instructions/core, 2 policies x 14 workloads)...", cfg.instructions);
+    eprintln!(
+        "running Figure 11 ({} instructions/core, 2 policies x 14 workloads)...",
+        cfg.instructions
+    );
     let restricted = fig11(&cfg, PagePolicy::RestrictedClosePage);
     print_policy(
         "restricted close-page",

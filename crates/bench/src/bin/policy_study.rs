@@ -9,7 +9,10 @@ use pra_core::{Scheme, SimBuilder};
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running policy study ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running policy study ({} instructions/core)...",
+        cfg.instructions
+    );
     println!(
         "{:<12} {:<12} {:>9} {:>9} {:>8} {:>9} {:>10}",
         "workload", "policy", "base mW", "PRA mW", "saving", "falsehit", "PRA IPC"

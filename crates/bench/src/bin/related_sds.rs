@@ -27,24 +27,46 @@ fn main() {
     // full rows / all chips in both schemes); apply Table 1's shares.
     let (pra_all, sds_all) = c.overall_reductions(0.42, 0.36);
     println!();
+    println!("averaged over all accesses (reads dilute both schemes, Table 1 shares):");
     println!(
-        "averaged over all accesses (reads dilute both schemes, Table 1 shares):"
+        "  PRA overall activation-granularity reduction: {:.1}% (paper: 42%)",
+        pra_all * 100.0
     );
-    println!("  PRA overall activation-granularity reduction: {:.1}% (paper: 42%)", pra_all * 100.0);
-    println!("  SDS overall chip-access reduction:             {:.1}% (paper: 16%)", sds_all * 100.0);
+    println!(
+        "  SDS overall chip-access reduction:             {:.1}% (paper: 16%)",
+        sds_all * 100.0
+    );
     println!();
     println!("sensitivity to the written-value width mix (single-dirty-word lines):");
-    println!("{:>24} {:>16} {:>16}", "width mix [1,2,4,8]B", "PRA reduction", "SDS reduction");
+    println!(
+        "{:>24} {:>16} {:>16}",
+        "width mix [1,2,4,8]B", "PRA reduction", "SDS reduction"
+    );
     let one_word = {
         let mut d = [0.0; 8];
         d[0] = 1.0;
         d
     };
     for (label, dist) in [
-        ("all 8B (pointers)", ValueWidthDist { p: [0.0, 0.0, 0.0, 1.0] }),
-        ("all 4B (ints)", ValueWidthDist { p: [0.0, 0.0, 1.0, 0.0] }),
+        (
+            "all 8B (pointers)",
+            ValueWidthDist {
+                p: [0.0, 0.0, 0.0, 1.0],
+            },
+        ),
+        (
+            "all 4B (ints)",
+            ValueWidthDist {
+                p: [0.0, 0.0, 1.0, 0.0],
+            },
+        ),
         ("typical mix", ValueWidthDist::typical()),
-        ("all 1B (bytes)", ValueWidthDist { p: [1.0, 0.0, 0.0, 0.0] }),
+        (
+            "all 1B (bytes)",
+            ValueWidthDist {
+                p: [1.0, 0.0, 0.0, 0.0],
+            },
+        ),
     ] {
         let c = compare_coverage(one_word, dist, samples / 4, 1);
         println!(

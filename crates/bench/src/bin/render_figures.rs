@@ -37,10 +37,21 @@ fn comparison_chart(
     };
     let mut groups: Vec<BarGroup> = Vec::new();
     for r in rows {
-        if groups.last().map(|g: &BarGroup| g.label != r.workload).unwrap_or(true) {
-            groups.push(BarGroup { label: r.workload.clone(), values: Vec::new() });
+        if groups
+            .last()
+            .map(|g: &BarGroup| g.label != r.workload)
+            .unwrap_or(true)
+        {
+            groups.push(BarGroup {
+                label: r.workload.clone(),
+                values: Vec::new(),
+            });
         }
-        groups.last_mut().expect("just pushed").values.push(metric(r));
+        groups
+            .last_mut()
+            .expect("just pushed")
+            .values
+            .push(metric(r));
     }
     BarChart {
         title: title.to_string(),
@@ -61,7 +72,10 @@ fn main() {
         title: "Figure 9: row activation energy vs MATs activated".into(),
         x_label: "MATs activated".into(),
         y_label: "energy (pJ)".into(),
-        points: fig9().iter().map(|p| (f64::from(p.mats), p.energy_pj)).collect(),
+        points: fig9()
+            .iter()
+            .map(|p| (f64::from(p.mats), p.energy_pj))
+            .collect(),
     }
     .to_svg();
     write(out, "fig09.svg", &fig9_svg);
@@ -92,7 +106,10 @@ fn main() {
         series: (1..=8).map(|k| format!("{k}/8")).collect(),
         groups: granularity
             .iter()
-            .map(|(name, dist)| BarGroup { label: name.clone(), values: dist.to_vec() })
+            .map(|(name, dist)| BarGroup {
+                label: name.clone(),
+                values: dist.to_vec(),
+            })
             .collect(),
         reference: None,
     };
@@ -103,14 +120,18 @@ fn main() {
     write(
         out,
         "fig12_total_power.svg",
-        &comparison_chart(&rows, "Figure 12(c): total DRAM power", |r| r.norm_total_power)
-            .to_svg(),
+        &comparison_chart(&rows, "Figure 12(c): total DRAM power", |r| {
+            r.norm_total_power
+        })
+        .to_svg(),
     );
     write(
         out,
         "fig13_performance.svg",
-        &comparison_chart(&rows, "Figure 13(a): weighted speedup", |r| r.norm_performance)
-            .to_svg(),
+        &comparison_chart(&rows, "Figure 13(a): weighted speedup", |r| {
+            r.norm_performance
+        })
+        .to_svg(),
     );
     write(
         out,

@@ -23,7 +23,10 @@ fn profile(single_word_prob: f64) -> BenchProfile {
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("sweeping dirty-word distribution ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "sweeping dirty-word distribution ({} instructions/core)...",
+        cfg.instructions
+    );
     println!(
         "{:>12} {:>14} {:>14} {:>14}",
         "P(1 word)", "base total mW", "PRA total mW", "PRA saving"

@@ -21,7 +21,10 @@ fn profile(footprint_kb: u64) -> BenchProfile {
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("sweeping footprint ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "sweeping footprint ({} instructions/core)...",
+        cfg.instructions
+    );
     println!(
         "{:>12} {:>12} {:>14} {:>14} {:>10}",
         "footprint", "DRAM reads", "base total mW", "PRA total mW", "saving"

@@ -20,7 +20,10 @@ const PAPER: [(&str, f64, f64, f64, f64, f64, f64); 8] = [
 
 fn main() {
     let cfg = config_from_args();
-    eprintln!("running Table 1 ({} instructions/core)...", cfg.instructions);
+    eprintln!(
+        "running Table 1 ({} instructions/core)...",
+        cfg.instructions
+    );
     let rows = table1(&cfg);
     let header = format!(
         "{:<12} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | paper: hit rd/wr, traffic rd/wr, act rd/wr",
@@ -30,7 +33,12 @@ fn main() {
     rule(&header);
     let mut sums = [0.0f64; 6];
     for row in &rows {
-        let Table1Row { name, rb_hit, traffic, activations } = row;
+        let Table1Row {
+            name,
+            rb_hit,
+            traffic,
+            activations,
+        } = row;
         let paper = PAPER.iter().find(|p| p.0 == name);
         let paper_str = paper.map_or(String::new(), |p| {
             format!("{}/{}, {}/{}, {}/{}", p.1, p.2, p.3, p.4, p.5, p.6)

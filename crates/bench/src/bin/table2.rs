@@ -8,21 +8,57 @@ fn main() {
     println!("Table 2: DRAM die area and row activation energy (2 Gb x8 DDR3-1600)");
     println!();
     println!("Area (mm^2)                       paper");
-    println!("  DRAM cell              {:>7.3}  4.677", area.dram_cell_mm2);
-    println!("  Sense amplifier        {:>7.3}  1.909", area.sense_amplifier_mm2);
-    println!("  Row predecoder         {:>7.3}  0.067", area.row_predecoder_mm2);
-    println!("  Local wordline driver  {:>7.3}  1.617", area.local_wordline_driver_mm2);
+    println!(
+        "  DRAM cell              {:>7.3}  4.677",
+        area.dram_cell_mm2
+    );
+    println!(
+        "  Sense amplifier        {:>7.3}  1.909",
+        area.sense_amplifier_mm2
+    );
+    println!(
+        "  Row predecoder         {:>7.3}  0.067",
+        area.row_predecoder_mm2
+    );
+    println!(
+        "  Local wordline driver  {:>7.3}  1.617",
+        area.local_wordline_driver_mm2
+    );
     println!("  Total die area         {:>7.3}  11.884", area.total_mm2);
     println!();
     println!("Energy per MAT (pJ)");
-    println!("  Local bitline          {:>7.3}  15.583", energy.local_bitline_pj);
-    println!("  Local sense amplifier  {:>7.3}  1.257", energy.local_sense_amp_pj);
-    println!("  Local wordline         {:>7.3}  0.046", energy.local_wordline_pj);
-    println!("  Row decoder            {:>7.3}  0.035", energy.row_decoder_pj);
-    println!("  Total per MAT          {:>7.3}  16.921", energy.per_mat_energy_pj());
+    println!(
+        "  Local bitline          {:>7.3}  15.583",
+        energy.local_bitline_pj
+    );
+    println!(
+        "  Local sense amplifier  {:>7.3}  1.257",
+        energy.local_sense_amp_pj
+    );
+    println!(
+        "  Local wordline         {:>7.3}  0.046",
+        energy.local_wordline_pj
+    );
+    println!(
+        "  Row decoder            {:>7.3}  0.035",
+        energy.row_decoder_pj
+    );
+    println!(
+        "  Total per MAT          {:>7.3}  16.921",
+        energy.per_mat_energy_pj()
+    );
     println!();
     println!("Energy per bank (pJ)");
-    println!("  Row activation bus     {:>7.3}  17.944", energy.activation_bus_pj);
-    println!("  Row predecoder         {:>7.3}  0.072", energy.row_predecoder_pj);
-    println!("  Total per activation   {:>7.3}  288.752", energy.full_row_energy_pj());
+    println!(
+        "  Row activation bus     {:>7.3}  17.944",
+        energy.activation_bus_pj
+    );
+    println!(
+        "  Row predecoder         {:>7.3}  0.072",
+        energy.row_predecoder_pj
+    );
+    println!(
+        "  Total per activation   {:>7.3}  288.752",
+        energy.full_row_energy_pj()
+    );
 }

@@ -9,15 +9,24 @@ fn main() {
     println!("Table 3: DRAM chip power parameters (mW)");
     println!();
     let p = &data.params;
-    println!("  PRE STBY {:>6.1}   PRE PDN {:>6.1}   ACT STBY {:>6.1}   REF {:>6.1}",
-        p.pre_stby_mw, p.pre_pdn_mw, p.act_stby_mw, p.ref_mw);
-    println!("  RD       {:>6.1}   WR      {:>6.1}   RD I/O   {:>6.1}",
-        p.rd_mw, p.wr_mw, p.rd_io_mw);
-    println!("  WR ODT   {:>6.1}   RD TERM {:>6.1}   WR TERM  {:>6.1}",
-        p.wr_odt_mw, p.rd_term_mw, p.wr_term_mw);
+    println!(
+        "  PRE STBY {:>6.1}   PRE PDN {:>6.1}   ACT STBY {:>6.1}   REF {:>6.1}",
+        p.pre_stby_mw, p.pre_pdn_mw, p.act_stby_mw, p.ref_mw
+    );
+    println!(
+        "  RD       {:>6.1}   WR      {:>6.1}   RD I/O   {:>6.1}",
+        p.rd_mw, p.wr_mw, p.rd_io_mw
+    );
+    println!(
+        "  WR ODT   {:>6.1}   RD TERM {:>6.1}   WR TERM  {:>6.1}",
+        p.wr_odt_mw, p.rd_term_mw, p.wr_term_mw
+    );
     println!();
     println!("Row activation power by granularity:");
-    println!("{:>10} {:>12} {:>16}", "rows", "published", "CACTI-projected");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "rows", "published", "CACTI-projected"
+    );
     let labels = ["1/8", "2/8", "3/8", "4/8", "5/8", "6/8", "7/8", "full"];
     for (i, label) in labels.iter().enumerate() {
         println!(

@@ -2,6 +2,12 @@
 //! regenerates: grouped bar charts (Figures 2, 11, 12, 13) and simple line
 //! series (Figure 9). Produces standalone `.svg` files a browser renders
 //! directly — no plotting toolchain required.
+//!
+//! The observability layer's epoch snapshots plug straight in:
+//! [`epoch_chart`] turns a run's `Report::metrics` time series into a
+//! [`LineChart`].
+
+use sim_obs::EpochSnapshot;
 
 /// One group of bars (e.g. one workload) with one value per series.
 #[derive(Debug, Clone)]
@@ -27,7 +33,9 @@ pub struct BarChart {
     pub reference: Option<f64>,
 }
 
-const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#85b6b2", "#d1605e", "#6a9f58", "#967662"];
+const PALETTE: [&str; 6] = [
+    "#4878a8", "#e49444", "#85b6b2", "#d1605e", "#6a9f58", "#967662",
+];
 const WIDTH: f64 = 960.0;
 const HEIGHT: f64 = 420.0;
 const MARGIN_LEFT: f64 = 70.0;
@@ -36,7 +44,9 @@ const MARGIN_TOP: f64 = 50.0;
 const MARGIN_BOTTOM: f64 = 80.0;
 
 fn esc(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 impl BarChart {
@@ -167,12 +177,21 @@ impl LineChart {
     ///
     /// Panics on fewer than two points.
     pub fn to_svg(&self) -> String {
-        assert!(self.points.len() >= 2, "line chart needs at least two points");
+        assert!(
+            self.points.len() >= 2,
+            "line chart needs at least two points"
+        );
         let (x_min, x_max) = self
             .points
             .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-        let y_max = self.points.iter().fold(0.0f64, |m, &(_, y)| m.max(y)).max(1e-12);
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+                (lo.min(x), hi.max(x))
+            });
+        let y_max = self
+            .points
+            .iter()
+            .fold(0.0f64, |m, &(_, y)| m.max(y))
+            .max(1e-12);
         let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
         let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
         let px = |x: f64| MARGIN_LEFT + plot_w * (x - x_min) / (x_max - x_min).max(1e-12);
@@ -201,7 +220,12 @@ impl LineChart {
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                format!("{}{:.1} {:.1}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+                format!(
+                    "{}{:.1} {:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                )
             })
             .collect();
         svg.push_str(&format!(
@@ -239,9 +263,61 @@ impl LineChart {
     }
 }
 
+/// Extracts one counter's `(epoch end cycle, delta)` time series from a
+/// run's epoch snapshots (a `Report::metrics` value). Epochs without the
+/// counter contribute a zero point, so the series always has one point per
+/// snapshot.
+pub fn epoch_counter_series(snapshots: &[EpochSnapshot], counter: &str) -> Vec<(f64, f64)> {
+    snapshots
+        .iter()
+        .map(|s| {
+            let delta = s
+                .counters
+                .iter()
+                .find(|(name, _)| name == counter)
+                .map_or(0, |(_, delta)| *delta);
+            (s.end_cycle as f64, delta as f64)
+        })
+        .collect()
+}
+
+/// A ready-to-render line chart of one counter's per-epoch rate over a run
+/// (e.g. `dram.activations` to watch activation pressure over time).
+pub fn epoch_chart(snapshots: &[EpochSnapshot], counter: &str, title: &str) -> LineChart {
+    LineChart {
+        title: title.to_string(),
+        x_label: "memory cycle (epoch end)".to_string(),
+        y_label: format!("{counter} per epoch"),
+        points: epoch_counter_series(snapshots, counter),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn snapshot(index: u64, start: u64, end: u64, acts: u64) -> EpochSnapshot {
+        EpochSnapshot {
+            index,
+            start_cycle: start,
+            end_cycle: end,
+            counters: vec![("dram.activations".to_string(), acts)],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn epoch_series_tracks_counter_deltas() {
+        let snaps = vec![snapshot(0, 0, 100, 7), snapshot(1, 100, 200, 3)];
+        let series = epoch_counter_series(&snaps, "dram.activations");
+        assert_eq!(series, vec![(100.0, 7.0), (200.0, 3.0)]);
+        // Missing counters become zero points, keeping the x axis intact.
+        let absent = epoch_counter_series(&snaps, "dram.refreshes");
+        assert_eq!(absent, vec![(100.0, 0.0), (200.0, 0.0)]);
+        let svg = epoch_chart(&snaps, "dram.activations", "ACT rate").to_svg();
+        assert!(svg.contains("ACT rate") && svg.contains("per epoch"));
+    }
 
     fn chart() -> BarChart {
         BarChart {
@@ -249,8 +325,14 @@ mod tests {
             y_label: "mW".into(),
             series: vec!["a".into(), "b".into()],
             groups: vec![
-                BarGroup { label: "g1".into(), values: vec![1.0, 2.0] },
-                BarGroup { label: "g2".into(), values: vec![0.5, 1.5] },
+                BarGroup {
+                    label: "g1".into(),
+                    values: vec![1.0, 2.0],
+                },
+                BarGroup {
+                    label: "g2".into(),
+                    values: vec![0.5, 1.5],
+                },
             ],
             reference: Some(1.0),
         }
@@ -261,7 +343,11 @@ mod tests {
         let svg = chart().to_svg();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
-        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2, "bg + 4 bars + 2 legend swatches");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 4 + 2,
+            "bg + 4 bars + 2 legend swatches"
+        );
         assert!(svg.contains("stroke-dasharray"), "reference line drawn");
         assert!(svg.contains("t&lt;est&gt;"), "title XML-escaped");
         assert!(svg.contains("g1") && svg.contains("g2"));

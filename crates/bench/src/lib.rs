@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod timing;
 
 pub use pra_core::experiments::ExperimentConfig;
 

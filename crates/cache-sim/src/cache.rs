@@ -17,12 +17,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's 32 KB, 4-way, 2-cycle L1 data cache.
     pub const fn paper_l1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 4, latency_cycles: 2 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            latency_cycles: 2,
+        }
     }
 
     /// The paper's 4 MB, 8-way, 20-cycle shared L2.
     pub const fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 4 * 1024 * 1024, ways: 8, latency_cycles: 20 }
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            ways: 8,
+            latency_cycles: 20,
+        }
     }
 
     /// Number of sets.
@@ -44,7 +52,10 @@ impl CacheConfig {
             "capacity must be a whole number of lines"
         );
         let sets = self.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
     }
 }
 
@@ -126,7 +137,9 @@ impl Cache {
     /// state or hit/miss counters.
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let line = addr.line_number();
-        self.sets[self.set_index(line)].iter().any(|l| l.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|l| l.line == line)
     }
 
     /// Looks the line up as a demand access: updates LRU and hit/miss
@@ -165,11 +178,18 @@ impl Cache {
                 .min_by_key(|(_, l)| l.lru_stamp)
                 .expect("full set is non-empty");
             let v = set.swap_remove(pos);
-            Some(Evicted { addr: PhysAddr::from_line_number(v.line), dirty: v.dirty })
+            Some(Evicted {
+                addr: PhysAddr::from_line_number(v.line),
+                dirty: v.dirty,
+            })
         } else {
             None
         };
-        set.push(LineMeta { line, dirty: WordMask::EMPTY, lru_stamp: self.clock });
+        set.push(LineMeta {
+            line,
+            dirty: WordMask::EMPTY,
+            lru_stamp: self.clock,
+        });
         victim
     }
 
@@ -190,7 +210,10 @@ impl Cache {
     /// The line's dirty mask, if resident.
     pub fn dirty_mask(&self, addr: PhysAddr) -> Option<WordMask> {
         let line = addr.line_number();
-        self.sets[self.set_index(line)].iter().find(|l| l.line == line).map(|l| l.dirty)
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|l| l.line == line)
+            .map(|l| l.dirty)
     }
 
     /// Clears the line's dirty bits without evicting it (DBI's proactive
@@ -211,7 +234,10 @@ impl Cache {
         let set = self.set_index(line);
         let pos = self.sets[set].iter().position(|l| l.line == line)?;
         let v = self.sets[set].swap_remove(pos);
-        Some(Evicted { addr: PhysAddr::from_line_number(v.line), dirty: v.dirty })
+        Some(Evicted {
+            addr: PhysAddr::from_line_number(v.line),
+            dirty: v.dirty,
+        })
     }
 
     /// (hits, misses) counted by [`Cache::access`].
@@ -241,7 +267,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, latency_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            latency_cycles: 1,
+        })
     }
 
     fn line(set: u64, n: u64) -> PhysAddr {
@@ -323,7 +353,11 @@ mod tests {
         c.fill(a);
         c.mark_dirty(a, WordMask::single(4));
         assert_eq!(c.fill(a), None);
-        assert_eq!(c.dirty_mask(a), Some(WordMask::single(4)), "dirty bits survive");
+        assert_eq!(
+            c.dirty_mask(a),
+            Some(WordMask::single(4)),
+            "dirty bits survive"
+        );
     }
 
     #[test]
@@ -337,6 +371,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_set_count_rejected() {
-        Cache::new(CacheConfig { size_bytes: 3 * 64, ways: 1, latency_cycles: 1 });
+        Cache::new(CacheConfig {
+            size_bytes: 3 * 64,
+            ways: 1,
+            latency_cycles: 1,
+        });
     }
 }

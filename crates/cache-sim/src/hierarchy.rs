@@ -1,6 +1,7 @@
 //! Two-level cache hierarchy with fine-grained dirty bits and optional DBI.
 
 use mem_model::{AddressMapping, DramGeometry, PhysAddr, WordMask, WORDS_PER_LINE};
+use sim_obs::{SinkHandle, TraceEvent, TraceSink};
 
 use crate::cache::{Cache, CacheConfig, Evicted};
 use crate::dbi::Dbi;
@@ -36,7 +37,10 @@ impl HierarchyConfig {
 
     /// Same hierarchy with DBI enabled.
     pub const fn paper_with_dbi(cores: usize) -> Self {
-        HierarchyConfig { dbi: true, ..Self::paper(cores) }
+        HierarchyConfig {
+            dbi: true,
+            ..Self::paper(cores)
+        }
     }
 }
 
@@ -88,6 +92,25 @@ pub struct HierarchyStats {
 }
 
 impl HierarchyStats {
+    /// Mirrors every counter into `reg` under canonical `cache.*` names so
+    /// epoch snapshots cover the hierarchy alongside the DRAM metrics.
+    /// Registration is idempotent; call whenever the registry should be
+    /// brought up to date.
+    pub fn publish_to(&self, reg: &mut sim_obs::MetricsRegistry) {
+        let mut set = |name: &str, value: u64| {
+            let id = reg.counter(name);
+            reg.set_counter(id, value);
+        };
+        set("cache.l1.hits", self.l1_hits);
+        set("cache.l1.misses", self.l1_misses);
+        set("cache.l2.hits", self.l2_hits);
+        set("cache.l2.misses", self.l2_misses);
+        set("cache.writebacks", self.writebacks);
+        set("cache.writebacks.dbi", self.dbi_writebacks);
+        set("cache.prefetches", self.prefetches);
+        set("cache.evictions.dirty", self.evict_dirty_hist.iter().sum());
+    }
+
     /// Figure 3: proportion of evicted dirty lines with `k+1` dirty words.
     pub fn dirty_word_proportions(&self) -> [f64; WORDS_PER_LINE] {
         let total: u64 = self.evict_dirty_hist.iter().sum();
@@ -144,6 +167,10 @@ pub struct CacheHierarchy {
     geometry: DramGeometry,
     mapping: AddressMapping,
     stats: HierarchyStats,
+    sink: SinkHandle,
+    /// CPU cycle stamped onto emitted trace events; the driving system
+    /// keeps it current via [`CacheHierarchy::set_now`].
+    now: u64,
 }
 
 impl CacheHierarchy {
@@ -154,7 +181,11 @@ impl CacheHierarchy {
     ///
     /// Panics if `config.cores == 0` or a cache shape is invalid.
     pub fn new(config: HierarchyConfig) -> Self {
-        Self::with_dram_view(config, DramGeometry::baseline_ddr3(), AddressMapping::RowInterleaved)
+        Self::with_dram_view(
+            config,
+            DramGeometry::baseline_ddr3(),
+            AddressMapping::RowInterleaved,
+        )
     }
 
     /// Builds the hierarchy with an explicit DRAM view (geometry + mapping),
@@ -176,8 +207,22 @@ impl CacheHierarchy {
             geometry,
             mapping,
             stats: HierarchyStats::default(),
+            sink: SinkHandle::disabled(),
+            now: 0,
             config,
         }
+    }
+
+    /// Attaches a trace sink; subsequent fills and writebacks are emitted
+    /// as [`TraceEvent`]s stamped with the cycle set via
+    /// [`CacheHierarchy::set_now`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = SinkHandle::new(sink);
+    }
+
+    /// Updates the CPU cycle stamped onto trace events.
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
     }
 
     /// The hierarchy's configuration.
@@ -262,6 +307,14 @@ impl CacheHierarchy {
             self.l1s[core].mark_dirty(a, mask);
         }
 
+        let (now, from_memory) = (self.now, level == HitLevel::Memory);
+        self.sink.emit(|| TraceEvent::CacheFill {
+            cycle: now,
+            core: core as u8,
+            line: a.line_number(),
+            from_memory,
+        });
+
         Access {
             level,
             fill_read: (level == HitLevel::Memory).then_some(a),
@@ -286,7 +339,12 @@ impl CacheHierarchy {
             self.l2.mark_dirty(victim.addr, victim.dirty);
         }
         if let Some(dbi) = self.dbi.as_mut() {
-            dbi.mark_dirty(self.mapping.decode(victim.addr, &self.geometry).row_key(&self.geometry), victim.addr);
+            dbi.mark_dirty(
+                self.mapping
+                    .decode(victim.addr, &self.geometry)
+                    .row_key(&self.geometry),
+                victim.addr,
+            );
         }
     }
 
@@ -306,15 +364,31 @@ impl CacheHierarchy {
         self.stats.evict_dirty_hist[(mask.count_words() - 1) as usize] += 1;
         self.stats.writebacks += 1;
         writebacks.push((victim.addr, mask));
+        let now = self.now;
+        self.sink.emit(|| TraceEvent::CacheWriteback {
+            cycle: now,
+            line: victim.addr.line_number(),
+            mask: mask.bits(),
+            dbi: false,
+        });
 
         if let Some(dbi) = self.dbi.as_mut() {
-            let row = self.mapping.decode(victim.addr, &self.geometry).row_key(&self.geometry);
+            let row = self
+                .mapping
+                .decode(victim.addr, &self.geometry)
+                .row_key(&self.geometry);
             dbi.mark_clean(row, victim.addr);
             for sibling in dbi.take_row_siblings(row, victim.addr) {
                 if let Some(sib_mask) = self.l2.clean(sibling) {
                     if !sib_mask.is_empty() {
                         self.stats.dbi_writebacks += 1;
                         writebacks.push((sibling, sib_mask));
+                        self.sink.emit(|| TraceEvent::CacheWriteback {
+                            cycle: now,
+                            line: sibling.line_number(),
+                            mask: sib_mask.bits(),
+                            dbi: true,
+                        });
                     }
                 }
             }
@@ -337,8 +411,11 @@ impl CacheHierarchy {
                 }
             }
         }
-        let lines: Vec<PhysAddr> =
-            self.l2.iter_lines().map(|l| PhysAddr::from_line_number(l.line)).collect();
+        let lines: Vec<PhysAddr> = self
+            .l2
+            .iter_lines()
+            .map(|l| PhysAddr::from_line_number(l.line))
+            .collect();
         for a in lines {
             if let Some(v) = self.l2.invalidate(a) {
                 self.handle_l2_eviction(v, &mut writebacks);
@@ -354,8 +431,16 @@ mod tests {
 
     fn tiny_config(cores: usize, dbi: bool) -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheConfig { size_bytes: 512, ways: 2, latency_cycles: 2 },
-            l2: CacheConfig { size_bytes: 2048, ways: 2, latency_cycles: 20 },
+            l1: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                ways: 2,
+                latency_cycles: 20,
+            },
             cores,
             dbi,
             prefetch_next_line: false,
@@ -378,7 +463,11 @@ mod tests {
         let c = PhysAddr::new(0x1000 + 8 * 64);
         h.access(0, b, None);
         h.access(0, c, None);
-        assert_eq!(h.access(0, a, None).level, HitLevel::L2, "evicted from L1, still in L2");
+        assert_eq!(
+            h.access(0, a, None).level,
+            HitLevel::L2,
+            "evicted from L1, still in L2"
+        );
     }
 
     #[test]
@@ -404,7 +493,10 @@ mod tests {
         h.access(0, PhysAddr::new(0x1000 + 8 * 64), Some(WordMask::single(2)));
         // a still lives in L2 and must carry word 0's dirty bit.
         let wbs = h.flush();
-        let entry = wbs.iter().find(|(addr, _)| *addr == a).expect("a written back");
+        let entry = wbs
+            .iter()
+            .find(|(addr, _)| *addr == a)
+            .expect("a written back");
         assert_eq!(entry.1, WordMask::single(0));
     }
 
@@ -429,8 +521,15 @@ mod tests {
         for k in 1..=2u64 {
             wbs.extend(h.access(0, PhysAddr::new(k * 16 * 64), None).writebacks);
         }
-        let entry = wbs.iter().find(|(addr, _)| *addr == a).expect("back-invalidated writeback");
-        assert_eq!(entry.1, WordMask::single(7), "dirty bits came from the L1 copy");
+        let entry = wbs
+            .iter()
+            .find(|(addr, _)| *addr == a)
+            .expect("back-invalidated writeback");
+        assert_eq!(
+            entry.1,
+            WordMask::single(7),
+            "dirty bits came from the L1 copy"
+        );
     }
 
     #[test]
@@ -455,7 +554,10 @@ mod tests {
         let mut wbs = Vec::new();
         wbs.extend(h.access(0, line(1024 + 160), None).writebacks);
         wbs.extend(h.access(0, line(1024 + 320), None).writebacks);
-        let trigger = wbs.iter().find(|(a, _)| *a == line(1024)).expect("trigger eviction");
+        let trigger = wbs
+            .iter()
+            .find(|(a, _)| *a == line(1024))
+            .expect("trigger eviction");
         assert_eq!(trigger.1, WordMask::single(0));
         assert_eq!(
             h.stats().dbi_writebacks,
@@ -481,7 +583,11 @@ mod tests {
         assert_eq!(h.stats().prefetches, 1);
         // The prefetched line is resident: the next sequential access hits.
         let second = h.access(0, a.offset(64), None);
-        assert_eq!(second.level, HitLevel::L2, "prefetch turned the miss into an L2 hit");
+        assert_eq!(
+            second.level,
+            HitLevel::L2,
+            "prefetch turned the miss into an L2 hit"
+        );
         assert_eq!(second.prefetch_read, None, "L2 hits do not prefetch");
         // A re-miss on an already-prefetched line does not double-issue.
         let third = h.access(0, a, None);
@@ -501,7 +607,11 @@ mod tests {
         let mut h = h(2, false);
         let a = PhysAddr::new(0x3000);
         h.access(0, a, None);
-        assert_eq!(h.access(1, a, None).level, HitLevel::L2, "core 1's L1 is cold");
+        assert_eq!(
+            h.access(1, a, None).level,
+            HitLevel::L2,
+            "core 1's L1 is cold"
+        );
         assert_eq!(h.access(0, a, None).level, HitLevel::L1);
     }
 

@@ -1,12 +1,15 @@
-//! Property-based tests of the cache hierarchy: dirty-word conservation
-//! against a flat reference model, inclusion maintenance, and histogram
-//! consistency.
+//! Randomized property tests of the cache hierarchy: dirty-word
+//! conservation against a flat reference model, inclusion maintenance, and
+//! histogram consistency.
+//!
+//! Formerly driven by proptest; now deterministic seeded sweeps over the
+//! in-repo [`mem_model::rng`] PRNG so the suite builds and runs offline.
 
 use std::collections::HashMap;
 
 use cache_sim::{CacheConfig, CacheHierarchy, HierarchyConfig};
+use mem_model::rng::Rng;
 use mem_model::{PhysAddr, WordMask};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct AccessSpec {
@@ -14,45 +17,57 @@ struct AccessSpec {
     store_bits: Option<u8>,
 }
 
-fn accesses() -> impl Strategy<Value = Vec<AccessSpec>> {
-    prop::collection::vec(
-        (0u64..4096, prop::option::of(1u8..=255)).prop_map(|(line, store_bits)| AccessSpec {
-            line,
-            store_bits,
-        }),
-        1..400,
-    )
+fn random_accesses(rng: &mut Rng) -> Vec<AccessSpec> {
+    let len = rng.random_range(1usize..400);
+    (0..len)
+        .map(|_| AccessSpec {
+            line: rng.random_range(0u64..4096),
+            store_bits: rng
+                .random_bool(0.5)
+                .then(|| rng.random_range(1u16..256) as u8),
+        })
+        .collect()
 }
 
 fn tiny_hierarchy(cores: usize, dbi: bool) -> CacheHierarchy {
     CacheHierarchy::new(HierarchyConfig {
-        l1: CacheConfig { size_bytes: 512, ways: 2, latency_cycles: 2 },
-        l2: CacheConfig { size_bytes: 4096, ways: 4, latency_cycles: 20 },
+        l1: CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            latency_cycles: 2,
+        },
+        l2: CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            latency_cycles: 20,
+        },
         cores,
         dbi,
         prefetch_next_line: false,
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Dirty-word conservation: every word ever dirtied is accounted for by
-    /// exactly the union of (a) words written back to memory and (b) words
-    /// still dirty somewhere in the hierarchy at flush time. No dirty word
-    /// is lost, none is invented.
-    #[test]
-    fn dirty_words_are_conserved(stream in accesses(), dbi: bool) {
+/// Dirty-word conservation: every word ever dirtied is accounted for by
+/// exactly the union of (a) words written back to memory and (b) words
+/// still dirty somewhere in the hierarchy at flush time. No dirty word is
+/// lost, none is invented.
+#[test]
+fn dirty_words_are_conserved() {
+    let mut rng = Rng::seed_from_u64(0x6469_7274);
+    for case in 0..64 {
+        let stream = random_accesses(&mut rng);
+        let dbi = case % 2 == 0;
         let mut h = tiny_hierarchy(1, dbi);
         // Ground truth: union of all dirty masks per line.
         let mut truth: HashMap<u64, WordMask> = HashMap::new();
         // Observed: accumulated writeback masks per line.
         let mut written_back: HashMap<u64, WordMask> = HashMap::new();
 
-        let record = |wbs: &[(PhysAddr, WordMask)],
-                          written_back: &mut HashMap<u64, WordMask>| {
+        let record = |wbs: &[(PhysAddr, WordMask)], written_back: &mut HashMap<u64, WordMask>| {
             for (addr, mask) in wbs {
-                let entry = written_back.entry(addr.line_number()).or_insert(WordMask::EMPTY);
+                let entry = written_back
+                    .entry(addr.line_number())
+                    .or_insert(WordMask::EMPTY);
                 *entry |= *mask;
             }
         };
@@ -72,7 +87,7 @@ proptest! {
 
         for (line, mask) in &truth {
             let observed = written_back.get(line).copied().unwrap_or(WordMask::EMPTY);
-            prop_assert!(
+            assert!(
                 mask.is_subset_of(observed),
                 "line {line}: dirtied {mask} but only {observed} written back"
             );
@@ -80,17 +95,21 @@ proptest! {
         // Nothing written back that was never dirtied.
         for (line, observed) in &written_back {
             let truth_mask = truth.get(line).copied().unwrap_or(WordMask::EMPTY);
-            prop_assert!(
+            assert!(
                 observed.is_subset_of(truth_mask),
                 "line {line}: wrote back {observed}, only {truth_mask} was dirtied"
             );
         }
     }
+}
 
-    /// The Figure 3 histogram counts exactly the demand (non-DBI) dirty
-    /// writebacks, and its buckets match the emitted mask widths.
-    #[test]
-    fn eviction_histogram_is_consistent(stream in accesses()) {
+/// The Figure 3 histogram counts exactly the demand (non-DBI) dirty
+/// writebacks, and its buckets match the emitted mask widths.
+#[test]
+fn eviction_histogram_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0x6869_7374);
+    for _ in 0..64 {
+        let stream = random_accesses(&mut rng);
         let mut h = tiny_hierarchy(1, false);
         let mut emitted = 0u64;
         for spec in &stream {
@@ -99,16 +118,24 @@ proptest! {
             emitted += access.writebacks.len() as u64;
         }
         let hist_total: u64 = h.stats().evict_dirty_hist.iter().sum();
-        prop_assert_eq!(hist_total, emitted);
-        prop_assert_eq!(h.stats().writebacks, emitted);
+        assert_eq!(hist_total, emitted);
+        assert_eq!(h.stats().writebacks, emitted);
     }
+}
 
-    /// The cache agrees with a straightforward reference LRU model on
-    /// residency after any access/fill sequence.
-    #[test]
-    fn lru_matches_reference_model(stream in accesses()) {
-        use cache_sim::{Cache, CacheConfig};
-        let config = CacheConfig { size_bytes: 1024, ways: 4, latency_cycles: 1 };
+/// The cache agrees with a straightforward reference LRU model on
+/// residency after any access/fill sequence.
+#[test]
+fn lru_matches_reference_model() {
+    use cache_sim::{Cache, CacheConfig};
+    let mut rng = Rng::seed_from_u64(0x6c72_7531);
+    for _ in 0..64 {
+        let stream = random_accesses(&mut rng);
+        let config = CacheConfig {
+            size_bytes: 1024,
+            ways: 4,
+            latency_cycles: 1,
+        };
         let sets = config.sets() as u64;
         let mut cache = Cache::new(config);
         // Reference: per-set vector ordered least- to most-recently used.
@@ -119,7 +146,7 @@ proptest! {
             let addr = PhysAddr::from_line_number(line);
             let hit = cache.access(addr);
             let model_hit = model[set].contains(&line);
-            prop_assert_eq!(hit, model_hit, "hit status diverged for line {}", line);
+            assert_eq!(hit, model_hit, "hit status diverged for line {line}");
             if model_hit {
                 // Move to MRU position.
                 model[set].retain(|&l| l != line);
@@ -128,13 +155,13 @@ proptest! {
                 let victim = cache.fill(addr);
                 if model[set].len() == 4 {
                     let expected_victim = model[set].remove(0);
-                    prop_assert_eq!(
+                    assert_eq!(
                         victim.map(|v| v.addr.line_number()),
                         Some(expected_victim),
                         "victim diverged"
                     );
                 } else {
-                    prop_assert!(victim.is_none(), "unexpected eviction from non-full set");
+                    assert!(victim.is_none(), "unexpected eviction from non-full set");
                 }
                 model[set].push(line);
             }
@@ -142,16 +169,24 @@ proptest! {
         // Final residency agrees exactly.
         for (set, lines) in model.iter().enumerate() {
             for &line in lines {
-                prop_assert!(cache.contains(PhysAddr::from_line_number(line)), "set {set}");
+                assert!(
+                    cache.contains(PhysAddr::from_line_number(line)),
+                    "set {set}"
+                );
             }
         }
-        prop_assert_eq!(cache.len(), model.iter().map(Vec::len).sum::<usize>());
+        assert_eq!(cache.len(), model.iter().map(Vec::len).sum::<usize>());
     }
+}
 
-    /// Multi-core accesses to disjoint address ranges never interfere with
-    /// each other's dirty state.
-    #[test]
-    fn disjoint_cores_do_not_interfere(stream_a in accesses(), stream_b in accesses()) {
+/// Multi-core accesses to disjoint address ranges never interfere with
+/// each other's dirty state.
+#[test]
+fn disjoint_cores_do_not_interfere() {
+    let mut rng = Rng::seed_from_u64(0x636f_7265);
+    for _ in 0..32 {
+        let stream_a = random_accesses(&mut rng);
+        let stream_b = random_accesses(&mut rng);
         let mut shared = tiny_hierarchy(2, false);
         let mut solo = tiny_hierarchy(1, false);
         // Core 1's lines are offset far away from core 0's.
@@ -170,8 +205,11 @@ proptest! {
                 let addr = PhysAddr::from_line_number(spec.line + OFFSET);
                 // Core 1's fills can evict core 0's lines from the shared
                 // L2; those writebacks surface here and must be kept.
-                shared_wbs
-                    .extend(shared.access(1, addr, spec.store_bits.map(WordMask::from_bits)).writebacks);
+                shared_wbs.extend(
+                    shared
+                        .access(1, addr, spec.store_bits.map(WordMask::from_bits))
+                        .writebacks,
+                );
             }
         }
         shared_wbs.extend(shared.flush());
@@ -192,6 +230,6 @@ proptest! {
         };
         let shared_map = collapse(&shared_wbs, OFFSET / 2);
         let solo_map = collapse(&solo_wbs, OFFSET / 2);
-        prop_assert_eq!(shared_map, solo_map);
+        assert_eq!(shared_map, solo_map);
     }
 }

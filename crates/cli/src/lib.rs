@@ -47,8 +47,9 @@ impl Options {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| err(format!("--{key} needs a value")))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| err(format!("--{key} needs a value")))?;
                 out.flags.insert(key.to_string(), value);
             } else {
                 out.positional.push(arg);
@@ -70,7 +71,9 @@ impl Options {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("--{key}: invalid number {v:?}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: invalid number {v:?}"))),
         }
     }
 }
@@ -120,7 +123,9 @@ pub fn parse_policy(name: &str) -> Result<PagePolicy, CliError> {
 ///
 /// Lists the valid names on failure.
 pub fn parse_workload(name: &str, cores: usize) -> Result<(String, Vec<BenchProfile>), CliError> {
-    if let Some(mix) = workloads::all_mixes().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    if let Some(mix) = workloads::all_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
     {
         return Ok((mix.name.to_string(), mix.apps.to_vec()));
     }
@@ -137,7 +142,9 @@ pub fn parse_workload(name: &str, cores: usize) -> Result<(String, Vec<BenchProf
 fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliError> {
     let cores = opts.get_u64("cores", 4)? as usize;
     if cores == 0 || cores > 4 {
-        return Err(err("--cores must be 1..=4 (the 8 GB space is split per core)"));
+        return Err(err(
+            "--cores must be 1..=4 (the 8 GB space is split per core)",
+        ));
     }
     let workload = opts.get("workload").unwrap_or("GUPS");
     let (name, apps) = parse_workload(workload, cores)?;
@@ -152,7 +159,9 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
         builder = builder.app(app);
     }
     if let Some(w) = opts.get("warmup") {
-        let w = w.parse().map_err(|_| err(format!("--warmup: invalid number {w:?}")))?;
+        let w = w
+            .parse()
+            .map_err(|_| err(format!("--warmup: invalid number {w:?}")))?;
         builder = builder.warmup_mem_ops(w);
     }
     match opts.get("prefetch") {
@@ -165,12 +174,21 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
 
 fn render_report(report: &Report) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "workload {}  scheme {}", report.workload, report.scheme);
+    let _ = writeln!(
+        out,
+        "workload {}  scheme {}",
+        report.workload, report.scheme
+    );
     let _ = writeln!(
         out,
         "IPC {:.3} (per core: {})",
         report.ipc_sum(),
-        report.ipc.iter().map(|i| format!("{i:.3}")).collect::<Vec<_>>().join(", ")
+        report
+            .ipc
+            .iter()
+            .map(|i| format!("{i:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(
         out,
@@ -193,7 +211,10 @@ fn render_report(report: &Report) -> String {
     let _ = writeln!(
         out,
         "activation granularity (1/8..full): {}",
-        p.iter().map(|v| format!("{:.1}%", v * 100.0)).collect::<Vec<_>>().join(" ")
+        p.iter()
+            .map(|v| format!("{:.1}%", v * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     out
 }
@@ -257,7 +278,10 @@ pub fn cmd_compare(opts: &Options) -> Result<String, CliError> {
             base = Some(report);
         }
     }
-    let _ = writeln!(out, "\n(norm/energy/EDP columns are relative to the baseline row)");
+    let _ = writeln!(
+        out,
+        "\n(norm/energy/EDP columns are relative to the baseline row)"
+    );
     Ok(out)
 }
 
@@ -288,19 +312,59 @@ pub fn cmd_list() -> String {
     out
 }
 
-/// `pra trace <record|info>`: workload trace tooling.
+/// `pra trace <run|record|info>`: event tracing and workload trace tooling.
 ///
 /// # Errors
 ///
 /// Propagates option errors and I/O failures (as messages).
 pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
     match opts.positional.first().map(String::as_str) {
+        Some("run") => {
+            let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
+            let (_, mut builder) = build(opts, scheme)?;
+            let trace_path = opts
+                .get("trace-out")
+                .ok_or_else(|| err("trace run needs --trace-out <file>"))?;
+            // Validate output paths up front so a bad path is a clean CLI
+            // error instead of a panic mid-run.
+            std::fs::File::create(trace_path)
+                .map_err(|e| err(format!("cannot create {trace_path}: {e}")))?;
+            builder = builder.trace_out(trace_path);
+            let epoch = opts.get_u64("metrics-epoch", 0)?;
+            if epoch > 0 {
+                builder = builder.metrics_epoch(epoch);
+            }
+            if let Some(metrics_path) = opts.get("metrics-out") {
+                std::fs::File::create(metrics_path)
+                    .map_err(|e| err(format!("cannot create {metrics_path}: {e}")))?;
+                builder = builder.metrics_out(metrics_path);
+            }
+            let report = builder.run();
+            let mut out = render_report(&report);
+            let events = std::fs::read_to_string(trace_path)
+                .map(|t| t.lines().count())
+                .unwrap_or(0);
+            let _ = writeln!(out, "\n{events} trace events written to {trace_path}");
+            if !report.metrics.is_empty() {
+                let effective_epoch = if epoch > 0 { epoch } else { 100_000 };
+                let _ = writeln!(
+                    out,
+                    "{} epoch snapshots (epoch {effective_epoch} memory cycles){}",
+                    report.metrics.len(),
+                    opts.get("metrics-out")
+                        .map(|p| format!(", streamed to {p}"))
+                        .unwrap_or_default()
+                );
+            }
+            Ok(out)
+        }
         Some("record") => {
             let (name, apps) = parse_workload(opts.get("workload").unwrap_or("GUPS"), 1)?;
             let ops = opts.get_u64("ops", 100_000)? as usize;
-            let path = opts.get("out").ok_or_else(|| err("trace record needs --out <file>"))?;
-            let mut generator =
-                workloads::WorkloadGen::new(apps[0], opts.get_u64("seed", 1)?, 0);
+            let path = opts
+                .get("out")
+                .ok_or_else(|| err("trace record needs --out <file>"))?;
+            let mut generator = workloads::WorkloadGen::new(apps[0], opts.get_u64("seed", 1)?, 0);
             let trace = workloads::Trace::record(&mut generator, ops);
             let file = std::fs::File::create(path)
                 .map_err(|e| err(format!("cannot create {path}: {e}")))?;
@@ -327,7 +391,7 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
             Ok(render_summary(path, &summary))
         }
         other => Err(err(format!(
-            "trace needs a subcommand (record | info), got {other:?}"
+            "trace needs a subcommand (run | record | info), got {other:?}"
         ))),
     }
 }
@@ -379,6 +443,9 @@ pub fn usage() -> String {
      \x20             [--instructions N] [--seed N] [--warmup N]\n\
      \x20 pra compare [same options]         compare all schemes on one workload\n\
      \x20 pra list                           available workloads/schemes/policies\n\
+     \x20 pra trace run  [run options] --trace-out FILE\n\
+     \x20                [--metrics-epoch N] [--metrics-out FILE]\n\
+     \x20                run with JSONL event tracing / epoch metric snapshots\n\
      \x20 pra trace record --workload NAME --ops N --out FILE [--seed N]\n\
      \x20 pra trace info FILE\n"
         .to_string()
@@ -411,10 +478,7 @@ mod tests {
 
     #[test]
     fn options_parse_flags_and_positionals() {
-        let o = Options::parse(
-            ["record", "--ops", "5", "file.txt"].map(String::from),
-        )
-        .unwrap();
+        let o = Options::parse(["record", "--ops", "5", "file.txt"].map(String::from)).unwrap();
         assert_eq!(o.positional, vec!["record", "file.txt"]);
         assert_eq!(o.get("ops"), Some("5"));
         assert_eq!(o.get_u64("ops", 0).unwrap(), 5);
@@ -451,8 +515,16 @@ mod tests {
     fn run_command_end_to_end() {
         let opts = Options::parse(
             [
-                "--workload", "gups", "--scheme", "pra", "--cores", "1",
-                "--instructions", "5000", "--warmup", "20000",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
             ]
             .map(String::from),
         )
@@ -482,13 +554,56 @@ mod tests {
         .unwrap();
         let out = cmd_trace(&record).unwrap();
         assert!(out.contains("recorded 200 ops"), "{out}");
-        let info = Options::parse(
-            ["info".to_string(), path.to_str().unwrap().to_string()],
-        )
-        .unwrap();
+        let info =
+            Options::parse(["info".to_string(), path.to_str().unwrap().to_string()]).unwrap();
         let out = cmd_trace(&info).unwrap();
         assert!(out.contains("200 ops"), "{out}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_run_writes_event_log_and_snapshots() {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.jsonl");
+        let metrics = dir.join("metrics.jsonl");
+        let opts = Options::parse(
+            [
+                "run",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-epoch",
+                "500",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let out = cmd_trace(&opts).unwrap();
+        assert!(out.contains("trace events written"), "{out}");
+        assert!(
+            out.contains("epoch snapshots (epoch 500 memory cycles)"),
+            "{out}"
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().count() > 0);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(std::fs::read_to_string(&metrics)
+            .unwrap()
+            .contains("dram.activations"));
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
     }
 
     #[test]

@@ -5,7 +5,9 @@
 
 use std::collections::HashMap;
 
-use dram_power::{ActivationEnergyModel, DevicePowerTimings, Figure9Point, IddParams, PowerBreakdown, PowerParams};
+use dram_power::{
+    ActivationEnergyModel, DevicePowerTimings, Figure9Point, IddParams, PowerBreakdown, PowerParams,
+};
 use dram_sim::PagePolicy;
 use workloads::BenchProfile;
 
@@ -30,12 +32,20 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Quick configuration for tests: short runs, shallow warmup.
     pub const fn quick() -> Self {
-        ExperimentConfig { instructions: 20_000, seed: 1, warmup: Some(40_000) }
+        ExperimentConfig {
+            instructions: 20_000,
+            seed: 1,
+            warmup: Some(40_000),
+        }
     }
 
     /// Default figure-quality configuration.
     pub const fn figure() -> Self {
-        ExperimentConfig { instructions: 300_000, seed: 1, warmup: None }
+        ExperimentConfig {
+            instructions: 300_000,
+            seed: 1,
+            warmup: None,
+        }
     }
 }
 
@@ -67,7 +77,10 @@ impl Runner {
         policy: PagePolicy,
         cfg: &ExperimentConfig,
     ) -> f64 {
-        let key = (profile.name.to_string(), matches!(policy, PagePolicy::RestrictedClosePage));
+        let key = (
+            profile.name.to_string(),
+            matches!(policy, PagePolicy::RestrictedClosePage),
+        );
         if let Some(&ipc) = self.alone_cache.get(&key) {
             return ipc;
         }
@@ -109,6 +122,12 @@ impl Runner {
     }
 
     /// Weighted speedup of a 4-core report (Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report does not come from a 4-core run matching
+    /// `apps`, or an alone run produced a zero IPC (both are driver bugs:
+    /// the runner itself produced the inputs).
     pub fn weighted_speedup(
         &mut self,
         report: &Report,
@@ -116,9 +135,13 @@ impl Runner {
         policy: PagePolicy,
         cfg: &ExperimentConfig,
     ) -> f64 {
-        let alone: Vec<f64> =
-            apps.iter().map(|a| self.alone_ipc(a, policy, cfg)).collect();
-        report.weighted_speedup(&alone)
+        let alone: Vec<f64> = apps
+            .iter()
+            .map(|a| self.alone_ipc(a, policy, cfg))
+            .collect();
+        report
+            .weighted_speedup(&alone)
+            .expect("alone-IPC runs were produced for this very report")
     }
 }
 
@@ -162,7 +185,10 @@ pub fn motivation_runs(cfg: &ExperimentConfig) -> Vec<Report> {
 
 /// Table 1: per-benchmark memory characteristics.
 pub fn table1(cfg: &ExperimentConfig) -> Vec<Table1Row> {
-    motivation_runs(cfg).into_iter().map(|r| table1_row(&r)).collect()
+    motivation_runs(cfg)
+        .into_iter()
+        .map(|r| table1_row(&r))
+        .collect()
 }
 
 /// Derives a Table 1 row from any report.
@@ -177,7 +203,10 @@ pub fn table1_row(report: &Report) -> Table1Row {
 
 /// Figure 2: baseline DRAM power breakdown per benchmark.
 pub fn fig2(cfg: &ExperimentConfig) -> Vec<(String, PowerBreakdown)> {
-    motivation_runs(cfg).into_iter().map(|r| (r.workload.clone(), r.power)).collect()
+    motivation_runs(cfg)
+        .into_iter()
+        .map(|r| (r.workload.clone(), r.power))
+        .collect()
 }
 
 /// Figure 3: dirty-word distribution of evicted LLC lines per benchmark.
@@ -194,7 +223,10 @@ pub fn fig3(cfg: &ExperimentConfig) -> Vec<(String, [f64; 8])> {
 
 /// Table 2: the activation-energy and die-area model.
 pub fn table2() -> (ActivationEnergyModel, dram_power::overheads::DieArea) {
-    (ActivationEnergyModel::paper_table2(), dram_power::overheads::DieArea::paper_table2())
+    (
+        ActivationEnergyModel::paper_table2(),
+        dram_power::overheads::DieArea::paper_table2(),
+    )
 }
 
 /// Figure 9: activation energy versus MATs activated.
@@ -254,7 +286,8 @@ pub fn fig10(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
     workloads::all_workloads()
         .into_iter()
         .map(|(name, apps)| {
-            let r = runner.run_workload(&name, &apps, Scheme::Pra, PagePolicy::RelaxedClosePage, cfg);
+            let r =
+                runner.run_workload(&name, &apps, Scheme::Pra, PagePolicy::RelaxedClosePage, cfg);
             let read = &r.dram.read;
             let write = &r.dram.write;
             Fig10Row {
@@ -337,7 +370,10 @@ pub fn scheme_comparison_filtered(
 ) -> Vec<ComparisonRow> {
     let mut runner = Runner::new();
     let mut rows = Vec::new();
-    for (name, apps) in workloads::all_workloads().into_iter().filter(|(n, _)| filter(n)) {
+    for (name, apps) in workloads::all_workloads()
+        .into_iter()
+        .filter(|(n, _)| filter(n))
+    {
         let base = runner.run_workload(&name, &apps, Scheme::Baseline, policy, cfg);
         let base_ws = runner.weighted_speedup(&base, &apps, policy, cfg);
         for &scheme in schemes {
@@ -465,7 +501,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { instructions: 4_000, seed: 1, warmup: Some(20_000) }
+        ExperimentConfig {
+            instructions: 4_000,
+            seed: 1,
+            warmup: Some(20_000),
+        }
     }
 
     #[test]
@@ -473,7 +513,11 @@ mod tests {
         let rows = table1(&tiny());
         assert_eq!(rows.len(), 8);
         for row in &rows {
-            assert!((row.traffic.0 + row.traffic.1 - 1.0).abs() < 1e-9, "{}", row.name);
+            assert!(
+                (row.traffic.0 + row.traffic.1 - 1.0).abs() < 1e-9,
+                "{}",
+                row.name
+            );
             assert!((row.activations.0 + row.activations.1 - 1.0).abs() < 1e-9);
             assert!(row.rb_hit.0 >= 0.0 && row.rb_hit.0 <= 1.0);
         }
@@ -494,8 +538,13 @@ mod tests {
         let cfg = tiny();
         let mut runner = Runner::new();
         let apps = [workloads::gups(); 4];
-        let base =
-            runner.run_workload("g", &apps, Scheme::Baseline, PagePolicy::RelaxedClosePage, &cfg);
+        let base = runner.run_workload(
+            "g",
+            &apps,
+            Scheme::Baseline,
+            PagePolicy::RelaxedClosePage,
+            &cfg,
+        );
         let row = |scheme: &str, v: f64| ComparisonRow {
             workload: "w".into(),
             scheme: scheme.into(),

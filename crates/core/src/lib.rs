@@ -43,11 +43,11 @@
 
 pub mod experiments;
 mod pra;
-pub mod sds;
-pub mod timing_diagram;
 mod report;
 mod scheme;
+pub mod sds;
 mod system;
+pub mod timing_diagram;
 
 pub use pra::{ChipActivation, ControllerPraState, PraChip, PraLatch, PraPin};
 pub use report::Report;

@@ -80,14 +80,20 @@ impl PraChip {
     /// Panics if `banks == 0`.
     pub fn new(banks: usize) -> Self {
         assert!(banks > 0, "a chip needs at least one bank");
-        PraChip { latches: vec![PraLatch::new(); banks], ecc_strapped: false }
+        PraChip {
+            latches: vec![PraLatch::new(); banks],
+            ecc_strapped: false,
+        }
     }
 
     /// A chip whose PRA# pin is strapped high (the ECC chip of an x72
     /// DIMM): every activation is a full-row activation and masks on the
     /// address bus are ignored.
     pub fn new_ecc_strapped(banks: usize) -> Self {
-        PraChip { ecc_strapped: true, ..Self::new(banks) }
+        PraChip {
+            ecc_strapped: true,
+            ..Self::new(banks)
+        }
     }
 
     /// Whether this chip ignores PRA commands.
@@ -110,7 +116,10 @@ impl PraChip {
         let effective = if self.ecc_strapped || pin == PraPin::FullActivation {
             WordMask::FULL
         } else {
-            assert!(!mask.is_empty(), "partial activation requires a non-empty mask");
+            assert!(
+                !mask.is_empty(),
+                "partial activation requires a non-empty mask"
+            );
             mask
         };
         self.latches[bank].load(effective);
@@ -150,7 +159,9 @@ pub struct ControllerPraState {
 impl ControllerPraState {
     /// State for `ranks` ranks of `banks` banks.
     pub fn new(ranks: usize, banks: usize) -> Self {
-        ControllerPraState { masks: vec![vec![None; banks]; ranks] }
+        ControllerPraState {
+            masks: vec![vec![None; banks]; ranks],
+        }
     }
 
     /// Records an activation's mask.
@@ -193,7 +204,10 @@ mod tests {
         assert_eq!(act.extra_cycles, 1, "mask transfer costs a cycle");
         assert_eq!(chip.latched_mask(3), Some(mask));
         assert!(chip.word_lands(3, 0) && chip.word_lands(3, 7));
-        assert!(!chip.word_lands(3, 1), "unselected MATs treat data as don't-care");
+        assert!(
+            !chip.word_lands(3, 1),
+            "unselected MATs treat data as don't-care"
+        );
     }
 
     #[test]
@@ -244,10 +258,22 @@ mod tests {
         let mut st = ControllerPraState::new(2, 8);
         assert_eq!(st.bits_per_rank(), 64, "the paper's 64 bits per rank");
         st.on_activate(0, 3, WordMask::from_words([0, 1]));
-        assert!(!st.is_false_hit(0, 3, WordMask::single(0)), "covered write hits");
-        assert!(st.is_false_hit(0, 3, WordMask::single(5)), "uncovered word is a false hit");
-        assert!(st.is_false_hit(0, 3, WordMask::FULL), "reads need full coverage");
+        assert!(
+            !st.is_false_hit(0, 3, WordMask::single(0)),
+            "covered write hits"
+        );
+        assert!(
+            st.is_false_hit(0, 3, WordMask::single(5)),
+            "uncovered word is a false hit"
+        );
+        assert!(
+            st.is_false_hit(0, 3, WordMask::FULL),
+            "reads need full coverage"
+        );
         st.on_precharge(0, 3);
-        assert!(!st.is_false_hit(0, 3, WordMask::FULL), "closed bank cannot false-hit");
+        assert!(
+            !st.is_false_hit(0, 3, WordMask::FULL),
+            "closed bank cannot false-hit"
+        );
     }
 }

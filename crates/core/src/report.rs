@@ -3,6 +3,7 @@
 use cache_sim::HierarchyStats;
 use dram_power::{EnergyBreakdown, PowerBreakdown};
 use dram_sim::DramStats;
+use sim_obs::EpochSnapshot;
 
 /// Everything one simulation run produces: performance, DRAM power/energy
 /// and the statistics behind each of the paper's figures.
@@ -26,6 +27,10 @@ pub struct Report {
     pub dram: DramStats,
     /// Cache statistics (Figure 3 histogram, DBI counters...).
     pub cache: HierarchyStats,
+    /// Epoch metric snapshots (empty unless the run enabled
+    /// `SimBuilder::metrics_epoch`); deltas per epoch, summing to the
+    /// end-of-run aggregates.
+    pub metrics: Vec<EpochSnapshot>,
     /// `true` if the run hit its cycle cap before completing.
     pub timed_out: bool,
 }
@@ -49,10 +54,11 @@ impl Report {
 
     /// Weighted speedup against per-core alone-IPCs (Equation 3).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `alone_ipc` does not match the core count.
-    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+    /// Returns [`cpu_sim::SpeedupError`] if `alone_ipc` does not match the
+    /// core count or contains a non-positive entry.
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> Result<f64, cpu_sim::SpeedupError> {
         cpu_sim::weighted_speedup(&self.ipc, alone_ipc)
     }
 
@@ -95,10 +101,14 @@ mod tests {
             ipc: vec![1.0, 2.0],
             cpu_cycles: 100,
             runtime_ns: 50.0,
-            energy: EnergyBreakdown { act_pre: 1e9, ..Default::default() },
+            energy: EnergyBreakdown {
+                act_pre: 1e9,
+                ..Default::default()
+            },
             power: PowerBreakdown::default(),
             dram,
             cache: HierarchyStats::default(),
+            metrics: Vec::new(),
             timed_out: false,
         }
     }
@@ -119,7 +129,11 @@ mod tests {
     #[test]
     fn ws_uses_eq3() {
         let r = dummy();
-        let ws = r.weighted_speedup(&[2.0, 2.0]);
+        let ws = r.weighted_speedup(&[2.0, 2.0]).unwrap();
         assert!((ws - 1.5).abs() < 1e-12);
+        assert!(
+            r.weighted_speedup(&[2.0]).is_err(),
+            "length mismatch is an error"
+        );
     }
 }

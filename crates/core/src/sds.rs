@@ -17,9 +17,8 @@
 //! word the store actually writes), which is exactly the information SDS's
 //! old/new data comparison would recover.
 
+use mem_model::rng::Rng;
 use mem_model::{WordMask, WORDS_PER_LINE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Distribution of written-value widths within a dirty word, in bytes.
 /// Probabilities for widths `[1, 2, 4, 8]`.
@@ -34,7 +33,9 @@ impl ValueWidthDist {
     /// half the stores write full 8-byte words (pointers, doubles,
     /// memcpy-style lines), a third write 4-byte ints, the rest smaller.
     pub const fn typical() -> Self {
-        ValueWidthDist { p: [0.05, 0.12, 0.33, 0.50] }
+        ValueWidthDist {
+            p: [0.05, 0.12, 0.33, 0.50],
+        }
     }
 
     /// Checks the distribution sums to one.
@@ -44,13 +45,16 @@ impl ValueWidthDist {
     /// Panics if probabilities are invalid.
     pub fn assert_valid(&self) {
         let sum: f64 = self.p.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "value width distribution sums to {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "value width distribution sums to {sum}"
+        );
         assert!(self.p.iter().all(|&x| (0.0..=1.0).contains(&x)));
     }
 
-    fn sample(&self, rng: &mut StdRng) -> usize {
+    fn sample(&self, rng: &mut Rng) -> usize {
         let widths = [1usize, 2, 4, 8];
-        let mut x: f64 = rng.random();
+        let mut x: f64 = rng.random_f64();
         for (w, &p) in widths.iter().zip(&self.p) {
             if x < p {
                 return *w;
@@ -90,7 +94,9 @@ impl ByteMask {
 
     /// Words with at least one dirty byte — the MAT groups PRA activates.
     pub fn words_dirty(&self) -> u32 {
-        (0..WORDS_PER_LINE as u8).filter(|&w| self.word_bytes(w) != 0).count() as u32
+        (0..WORDS_PER_LINE as u8)
+            .filter(|&w| self.word_bytes(w) != 0)
+            .count() as u32
     }
 
     /// The word-granularity FGD mask this byte mask collapses to.
@@ -147,14 +153,17 @@ pub fn compare_coverage(
     assert!(samples > 0, "need at least one sample");
     widths.assert_valid();
     let sum: f64 = dirty_words_dist.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-9, "dirty-word distribution sums to {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "dirty-word distribution sums to {sum}"
+    );
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut pra_words = 0u64;
     let mut sds_chips = 0u64;
     for _ in 0..samples {
         // Draw the number of dirty words, then a contiguous run position.
-        let mut x: f64 = rng.random();
+        let mut x: f64 = rng.random_f64();
         let mut words = WORDS_PER_LINE;
         for (k, &p) in dirty_words_dist.iter().enumerate() {
             if x < p {
@@ -169,7 +178,11 @@ pub fn compare_coverage(
             let width = widths.sample(&mut rng);
             // The value occupies the low `width` bytes of the word (aligned
             // stores), except full-line writes which dirty whole words.
-            let bytes: u8 = if width >= 8 { 0xFF } else { ((1u16 << width) - 1) as u8 };
+            let bytes: u8 = if width >= 8 {
+                0xFF
+            } else {
+                ((1u16 << width) - 1) as u8
+            };
             mask.0 |= u64::from(bytes) << (8 * w);
         }
         pra_words += u64::from(mask.words_dirty());
@@ -230,11 +243,16 @@ mod tests {
             d[0] = 1.0;
             d
         };
-        let all_eight_bytes = ValueWidthDist { p: [0.0, 0.0, 0.0, 1.0] };
+        let all_eight_bytes = ValueWidthDist {
+            p: [0.0, 0.0, 0.0, 1.0],
+        };
         let c = compare_coverage(dist, all_eight_bytes, 10_000, 1);
         assert!((c.pra_write_granularity - 0.125).abs() < 1e-9);
         assert!((c.sds_chip_fraction - 1.0).abs() < 1e-9);
-        assert!(c.sds_reduction.abs() < 1e-9, "SDS saves nothing on whole-word writes");
+        assert!(
+            c.sds_reduction.abs() < 1e-9,
+            "SDS saves nothing on whole-word writes"
+        );
         assert!((c.pra_reduction - 0.875).abs() < 1e-9);
     }
 
@@ -245,9 +263,14 @@ mod tests {
             d[0] = 1.0;
             d
         };
-        let all_ints = ValueWidthDist { p: [0.0, 0.0, 1.0, 0.0] };
+        let all_ints = ValueWidthDist {
+            p: [0.0, 0.0, 1.0, 0.0],
+        };
         let c = compare_coverage(dist, all_ints, 10_000, 1);
-        assert!((c.sds_chip_fraction - 0.5).abs() < 1e-9, "4-byte values touch half the chips");
+        assert!(
+            (c.sds_chip_fraction - 0.5).abs() < 1e-9,
+            "4-byte values touch half the chips"
+        );
     }
 
     #[test]
@@ -265,8 +288,14 @@ mod tests {
         // Overall (read-diluted), the paper's Table 1 shares give numbers in
         // the neighbourhood of its 42% / 16% claim.
         let (pra, sds) = c.overall_reductions(0.42, 0.36);
-        assert!((0.25..=0.45).contains(&pra), "overall PRA reduction {pra:.3}");
-        assert!((0.03..=0.20).contains(&sds), "overall SDS reduction {sds:.3}");
+        assert!(
+            (0.25..=0.45).contains(&pra),
+            "overall PRA reduction {pra:.3}"
+        );
+        assert!(
+            (0.03..=0.20).contains(&sds),
+            "overall SDS reduction {sds:.3}"
+        );
     }
 
     #[test]

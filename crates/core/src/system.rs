@@ -1,5 +1,7 @@
 //! The full-system simulation builder.
 
+use std::path::PathBuf;
+
 use cache_sim::{CacheHierarchy, HierarchyConfig};
 use cpu_sim::{CpuSystem, InstructionSource, SystemConfig};
 use dram_sim::{DramConfig, MemorySystem, PagePolicy};
@@ -74,6 +76,9 @@ pub struct SimBuilder {
     prefetch_next_line: bool,
     generation: DramGeneration,
     ecc_x72: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    metrics_epoch: u64,
 }
 
 impl SimBuilder {
@@ -93,6 +98,9 @@ impl SimBuilder {
             prefetch_next_line: false,
             generation: DramGeneration::Ddr3,
             ecc_x72: false,
+            trace_out: None,
+            metrics_out: None,
+            metrics_epoch: 0,
         }
     }
 
@@ -110,7 +118,10 @@ impl SimBuilder {
     /// Panics if the trace is empty.
     pub fn app_trace(mut self, name: impl Into<String>, trace: Trace) -> Self {
         assert!(!trace.is_empty(), "cannot drive a core with an empty trace");
-        self.apps.push(AppSpec::Trace { name: name.into(), trace });
+        self.apps.push(AppSpec::Trace {
+            name: name.into(),
+            trace,
+        });
         self
     }
 
@@ -197,6 +208,31 @@ impl SimBuilder {
         self
     }
 
+    /// Streams every trace event — DRAM commands, cache fills/writebacks
+    /// and core-stall episodes, interleaved in one file — as JSON Lines to
+    /// `path` (see DESIGN.md "Observability" for the event schema). Off by
+    /// default; the run is bit-identical with or without tracing.
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Takes a metrics snapshot every `cycles` memory cycles. The delta
+    /// records land in the report's `metrics` field (and in the
+    /// [`metrics_out`](Self::metrics_out) file when set). 0 disables.
+    pub fn metrics_epoch(mut self, cycles: u64) -> Self {
+        self.metrics_epoch = cycles;
+        self
+    }
+
+    /// Streams each closed epoch snapshot as a JSON line to `path`.
+    /// Implies a default epoch of 100 000 memory cycles unless
+    /// [`metrics_epoch`](Self::metrics_epoch) chose another length.
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
     /// Memory operations each core's generator plays through the cache
     /// hierarchy *functionally* (no timing, no DRAM traffic) before the
     /// measured phase, so the 4 MB LLC reaches its steady-state content
@@ -214,16 +250,22 @@ impl SimBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no applications were added.
+    /// Panics if no applications were added, or if a requested trace or
+    /// metrics output file cannot be created.
     pub fn run(&self) -> Report {
-        assert!(!self.apps.is_empty(), "add at least one application before running");
+        assert!(
+            !self.apps.is_empty(),
+            "add at least one application before running"
+        );
         let cores = self.apps.len();
         let hierarchy_config = HierarchyConfig {
             dbi: self.scheme.uses_dbi(),
             prefetch_next_line: self.prefetch_next_line,
             ..HierarchyConfig::paper(cores)
         };
-        let behavior = self.scheme_override.unwrap_or_else(|| self.scheme.behavior());
+        let behavior = self
+            .scheme_override
+            .unwrap_or_else(|| self.scheme.behavior());
         let mut dram_config = match self.generation {
             DramGeneration::Ddr3 => DramConfig::paper_baseline(self.policy, behavior),
             DramGeneration::Ddr4 => DramConfig::ddr4_2400(self.policy, behavior),
@@ -270,8 +312,41 @@ impl SimBuilder {
             }
         }
         hierarchy.reset_stats();
-        let mut system =
-            CpuSystem::new(SystemConfig::paper(), hierarchy, mem, generators, self.instructions);
+        let mut system = CpuSystem::new(
+            SystemConfig::paper(),
+            hierarchy,
+            mem,
+            generators,
+            self.instructions,
+        );
+        if let Some(path) = &self.trace_out {
+            let sink = sim_obs::JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            // One shared sink so DRAM, cache and core events interleave in
+            // emission order within a single JSONL stream.
+            let shared = std::rc::Rc::new(std::cell::RefCell::new(sink));
+            system
+                .mem_mut()
+                .set_trace_sink(Box::new(std::rc::Rc::clone(&shared)));
+            system
+                .hierarchy_mut()
+                .set_trace_sink(Box::new(std::rc::Rc::clone(&shared)));
+            system.set_trace_sink(Box::new(shared));
+        }
+        let epoch = if self.metrics_epoch == 0 && self.metrics_out.is_some() {
+            100_000
+        } else {
+            self.metrics_epoch
+        };
+        if epoch > 0 {
+            let out: Option<Box<dyn std::io::Write>> = self.metrics_out.as_ref().map(|path| {
+                let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                    panic!("cannot create metrics file {}: {e}", path.display())
+                });
+                Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>
+            });
+            system.mem_mut().set_metrics_epochs(epoch, out);
+        }
         let cap = if self.max_cpu_cycles > 0 {
             self.max_cpu_cycles
         } else {
@@ -280,7 +355,11 @@ impl SimBuilder {
         let outcome = system.run(cap);
 
         let workload = self.name.clone().unwrap_or_else(|| {
-            self.apps.iter().map(AppSpec::name).collect::<Vec<_>>().join("+")
+            self.apps
+                .iter()
+                .map(AppSpec::name)
+                .collect::<Vec<_>>()
+                .join("+")
         });
         Report {
             workload,
@@ -294,6 +373,7 @@ impl SimBuilder {
             power: system.mem().power(),
             dram: system.mem().stats().clone(),
             cache: system.hierarchy().stats().clone(),
+            metrics: system.mem().observer().snapshots().to_vec(),
             timed_out: outcome.timed_out,
         }
     }
@@ -352,8 +432,16 @@ mod tests {
     fn pra_activation_histogram_is_mostly_partial_on_gups() {
         let pra = quick(Scheme::Pra);
         let props = pra.dram.granularity_proportions();
-        assert!(props[0] > 0.2, "GUPS writes are single-word: 1/8 share {}", props[0]);
-        assert!(props[7] > 0.2, "reads stay full-row: full share {}", props[7]);
+        assert!(
+            props[0] > 0.2,
+            "GUPS writes are single-word: 1/8 share {}",
+            props[0]
+        );
+        assert!(
+            props[7] > 0.2,
+            "reads stay full-row: full share {}",
+            props[7]
+        );
     }
 
     #[test]
@@ -431,7 +519,10 @@ mod tests {
         };
         let plain = run(Scheme::Pra, false);
         let ecc = run(Scheme::Pra, true);
-        assert!(ecc.power.total() > plain.power.total(), "the ninth chip is not free");
+        assert!(
+            ecc.power.total() > plain.power.total(),
+            "the ninth chip is not free"
+        );
         // PRA still wins on the ECC DIMM.
         let ecc_base = run(Scheme::Baseline, true);
         assert!(ecc.power.total() < ecc_base.power.total());
@@ -465,7 +556,6 @@ mod tests {
 
     #[test]
     fn trace_driven_run_matches_generator_run() {
-        
         // Record enough GUPS ops to cover warmup + the measured phase, so
         // the trace replay never wraps and both runs see identical streams.
         let mut generator = workloads::WorkloadGen::new(workloads::gups(), 1, 0);
@@ -485,6 +575,61 @@ mod tests {
         assert_eq!(by_trace.cpu_cycles, by_generator.cpu_cycles);
         assert_eq!(by_trace.dram.activations, by_generator.dram.activations);
         assert_eq!(by_trace.workload, "GUPS-trace");
+    }
+
+    #[test]
+    fn trace_and_metrics_files_reconcile_with_the_report() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("pra_sim_builder_trace_test.jsonl");
+        let metrics = dir.join("pra_sim_builder_metrics_test.jsonl");
+        let r = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(10_000)
+            .warmup_mem_ops(100_000)
+            .trace_out(&trace)
+            .metrics_out(&metrics)
+            .metrics_epoch(10_000)
+            .run();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let (mut acts, mut partial, mut reads) = (0u64, 0u64, 0u64);
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "malformed JSONL: {line}"
+            );
+            if line.contains("\"kind\":\"ACT\"") {
+                acts += 1;
+            }
+            if line.contains("\"kind\":\"PARTIAL_ACT\"") {
+                partial += 1;
+            }
+            if line.contains("\"kind\":\"RD\"") {
+                reads += 1;
+            }
+        }
+        assert_eq!(
+            acts + partial,
+            r.dram.activations,
+            "trace must mirror DramStats"
+        );
+        assert_eq!(reads, r.dram.reads_completed);
+        assert!(partial > 0, "a PRA run on GUPS must partially activate");
+        // Epoch snapshots reach both the report and the metrics file, and
+        // their deltas sum back to the end-of-run aggregate.
+        assert!(!r.metrics.is_empty());
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert_eq!(m.lines().count(), r.metrics.len());
+        let delta_sum: u64 = r
+            .metrics
+            .iter()
+            .flat_map(|s| s.counters.iter())
+            .filter(|(name, _)| name == "dram.activations")
+            .map(|(_, delta)| *delta)
+            .sum();
+        assert_eq!(delta_sum, r.dram.activations);
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
     }
 
     #[test]

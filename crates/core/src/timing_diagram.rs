@@ -31,9 +31,21 @@ pub enum Bus {
 pub fn write_timeline(t: &TimingParams, partial: bool) -> Vec<TimingEvent> {
     let mut events = Vec::new();
     let mut push = |cycle: u64, bus: Bus, label: &str| {
-        events.push(TimingEvent { cycle, bus, label: label.to_string() });
+        events.push(TimingEvent {
+            cycle,
+            bus,
+            label: label.to_string(),
+        });
     };
-    push(0, Bus::Command, if partial { "ACT (PRA# low)" } else { "ACT (PRA# high)" });
+    push(
+        0,
+        Bus::Command,
+        if partial {
+            "ACT (PRA# low)"
+        } else {
+            "ACT (PRA# high)"
+        },
+    );
     let extra = if partial {
         push(1, Bus::Command, "PRA mask on address bus");
         1
@@ -56,7 +68,11 @@ pub fn write_timeline(t: &TimingParams, partial: bool) -> Vec<TimingEvent> {
 pub fn read_timeline(t: &TimingParams) -> Vec<TimingEvent> {
     let mut events = Vec::new();
     let mut push = |cycle: u64, bus: Bus, label: &str| {
-        events.push(TimingEvent { cycle, bus, label: label.to_string() });
+        events.push(TimingEvent {
+            cycle,
+            bus,
+            label: label.to_string(),
+        });
     };
     push(0, Bus::Command, "ACT (PRA# high)");
     push(t.trcd, Bus::Command, "RD");
@@ -153,7 +169,11 @@ mod tests {
         // The simulator's lone-read completion (tRCD + CL + burst, asserted
         // in dram-sim's tests as cycle 26) equals this timeline's data end.
         let timeline = read_timeline(&t());
-        let data_end = timeline.iter().filter(|e| e.label == "data").map(|e| e.cycle).max();
+        let data_end = timeline
+            .iter()
+            .filter(|e| e.label == "data")
+            .map(|e| e.cycle)
+            .max();
         assert_eq!(data_end, Some(t().trcd + t().tcas + t().burst_cycles - 1));
     }
 

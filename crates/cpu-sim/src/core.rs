@@ -48,7 +48,12 @@ impl CoreConfig {
     /// The paper's core, with an effective width of 4 (8-wide fetch rarely
     /// sustains more than half its width on memory-intensive code).
     pub const fn paper() -> Self {
-        CoreConfig { width: 4, rob: 192, ldq: 32, stq: 32 }
+        CoreConfig {
+            width: 4,
+            rob: 192,
+            ldq: 32,
+            stq: 32,
+        }
     }
 }
 
@@ -195,7 +200,15 @@ mod tests {
 
     #[test]
     fn rob_gate_engages_at_window() {
-        let mut c = Core::new(CoreConfig { width: 4, rob: 8, ldq: 4, stq: 4 }, 1000);
+        let mut c = Core::new(
+            CoreConfig {
+                width: 4,
+                rob: 8,
+                ldq: 4,
+                stq: 4,
+            },
+            1000,
+        );
         assert!(!c.rob_blocked());
         c.outstanding.push(Outstanding {
             done_at: None,
@@ -213,7 +226,15 @@ mod tests {
 
     #[test]
     fn store_fills_do_not_block_rob() {
-        let mut c = Core::new(CoreConfig { width: 4, rob: 8, ldq: 4, stq: 4 }, 1000);
+        let mut c = Core::new(
+            CoreConfig {
+                width: 4,
+                rob: 8,
+                ldq: 4,
+                stq: 4,
+            },
+            1000,
+        );
         c.outstanding.push(Outstanding {
             done_at: None,
             req_id: Some(1),

@@ -49,6 +49,8 @@ mod core;
 mod metrics;
 mod system;
 
-pub use crate::core::{Core, CoreConfig, CoreStats, InstructionSource, Op, Outstanding, StallReason};
-pub use metrics::{energy_delay_product, weighted_speedup, CoreResult};
+pub use crate::core::{
+    Core, CoreConfig, CoreStats, InstructionSource, Op, Outstanding, StallReason,
+};
+pub use metrics::{energy_delay_product, weighted_speedup, CoreResult, SpeedupError};
 pub use system::{CpuSystem, RunOutcome, SystemConfig};

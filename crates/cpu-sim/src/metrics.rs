@@ -20,21 +20,68 @@ impl CoreResult {
     }
 }
 
+/// Why a weighted-speedup computation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedupError {
+    /// The shared and alone IPC lists have different lengths.
+    LengthMismatch {
+        /// Entries in the shared-run list.
+        shared: usize,
+        /// Entries in the alone-run list.
+        alone: usize,
+    },
+    /// An alone-run IPC was zero, negative, or not finite, which would
+    /// make the per-core ratio meaningless.
+    BadAloneIpc {
+        /// Offending core index.
+        core: usize,
+        /// The rejected IPC value.
+        ipc: f64,
+    },
+}
+
+impl core::fmt::Display for SpeedupError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            SpeedupError::LengthMismatch { shared, alone } => {
+                write!(
+                    f,
+                    "per-core IPC lists must align: {shared} shared vs {alone} alone"
+                )
+            }
+            SpeedupError::BadAloneIpc { core, ipc } => {
+                write!(
+                    f,
+                    "alone IPC of core {core} must be positive and finite, got {ipc}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpeedupError {}
+
 /// Equation (3): `WS = sum_i IPC_i^shared / IPC_i^alone`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the slices differ in length or an alone-IPC is non-positive.
-pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
-    assert_eq!(shared_ipc.len(), alone_ipc.len(), "per-core IPC lists must align");
-    shared_ipc
-        .iter()
-        .zip(alone_ipc)
-        .map(|(&s, &a)| {
-            assert!(a > 0.0, "alone IPC must be positive, got {a}");
-            s / a
-        })
-        .sum()
+/// Returns [`SpeedupError`] if the slices differ in length or an alone-IPC
+/// is non-positive or non-finite.
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> Result<f64, SpeedupError> {
+    if shared_ipc.len() != alone_ipc.len() {
+        return Err(SpeedupError::LengthMismatch {
+            shared: shared_ipc.len(),
+            alone: alone_ipc.len(),
+        });
+    }
+    let mut ws = 0.0;
+    for (core, (&s, &a)) in shared_ipc.iter().zip(alone_ipc).enumerate() {
+        if !(a > 0.0 && a.is_finite()) {
+            return Err(SpeedupError::BadAloneIpc { core, ipc: a });
+        }
+        ws += s / a;
+    }
+    Ok(ws)
 }
 
 /// Energy-delay product from a total-energy and runtime pair; the paper
@@ -49,15 +96,25 @@ mod tests {
 
     #[test]
     fn ipc_basic() {
-        let r = CoreResult { instructions: 400, cycles: 100 };
+        let r = CoreResult {
+            instructions: 400,
+            cycles: 100,
+        };
         assert!((r.ipc() - 4.0).abs() < 1e-12);
-        assert_eq!(CoreResult { instructions: 1, cycles: 0 }.ipc(), 0.0);
+        assert_eq!(
+            CoreResult {
+                instructions: 1,
+                cycles: 0
+            }
+            .ipc(),
+            0.0
+        );
     }
 
     #[test]
     fn ws_equals_core_count_when_unaffected() {
         let shared = [1.0, 2.0, 0.5, 3.0];
-        let ws = weighted_speedup(&shared, &shared);
+        let ws = weighted_speedup(&shared, &shared).unwrap();
         assert!((ws - 4.0).abs() < 1e-12);
     }
 
@@ -65,13 +122,32 @@ mod tests {
     fn ws_reflects_slowdown() {
         let shared = [0.5, 1.0];
         let alone = [1.0, 1.0];
-        assert!((weighted_speedup(&shared, &alone) - 1.5).abs() < 1e-12);
+        assert!((weighted_speedup(&shared, &alone).unwrap() - 1.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "must align")]
     fn ws_rejects_mismatched_lengths() {
-        weighted_speedup(&[1.0], &[1.0, 2.0]);
+        assert_eq!(
+            weighted_speedup(&[1.0], &[1.0, 2.0]),
+            Err(SpeedupError::LengthMismatch {
+                shared: 1,
+                alone: 2
+            })
+        );
+    }
+
+    #[test]
+    fn ws_rejects_degenerate_alone_ipc() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = weighted_speedup(&[1.0, 1.0], &[1.0, bad]).unwrap_err();
+            assert!(
+                matches!(err, SpeedupError::BadAloneIpc { core: 1, .. }),
+                "{bad}: {err}"
+            );
+        }
+        // The error formats without panicking.
+        let msg = weighted_speedup(&[1.0], &[0.0]).unwrap_err().to_string();
+        assert!(msg.contains("core 0"));
     }
 
     #[test]

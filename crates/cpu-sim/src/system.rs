@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use cache_sim::{CacheHierarchy, HitLevel};
 use dram_sim::MemorySystem;
 use mem_model::{MemRequest, RequestId};
+use sim_obs::{SinkHandle, StallKind, TraceEvent, TraceSink};
 
-use crate::core::{Core, CoreConfig, InstructionSource, Op};
+use crate::core::{Core, CoreConfig, CoreStats, InstructionSource, Op};
 use crate::metrics::CoreResult;
 
 /// System-level parameters.
@@ -21,7 +22,10 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// The paper's clocking: 3.2 GHz cores over DDR3-1600.
     pub const fn paper() -> Self {
-        SystemConfig { core: CoreConfig::paper(), cpu_per_mem_clock: 4 }
+        SystemConfig {
+            core: CoreConfig::paper(),
+            cpu_per_mem_clock: 4,
+        }
     }
 }
 
@@ -42,6 +46,15 @@ pub struct RunOutcome {
     pub timed_out: bool,
 }
 
+/// A contiguous run of fully-stalled cycles on one core, pending emission
+/// as a single [`TraceEvent::CoreStall`] when it ends.
+#[derive(Debug, Clone, Copy)]
+struct StallRun {
+    kind: StallKind,
+    start: u64,
+    len: u64,
+}
+
 /// A complete simulated machine: N cores with private L1s, a shared L2 and
 /// a DDR3 memory system.
 ///
@@ -56,6 +69,8 @@ pub struct CpuSystem {
     cpu_cycle: u64,
     next_req_id: RequestId,
     req_owner: HashMap<RequestId, usize>,
+    sink: SinkHandle,
+    stall_runs: Vec<Option<StallRun>>,
 }
 
 impl CpuSystem {
@@ -78,8 +93,10 @@ impl CpuSystem {
             hierarchy.config().cores,
             "one source per core is required"
         );
-        let cores =
-            (0..sources.len()).map(|_| Core::new(config.core, instructions_per_core)).collect();
+        let stall_runs = vec![None; sources.len()];
+        let cores = (0..sources.len())
+            .map(|_| Core::new(config.core, instructions_per_core))
+            .collect();
         CpuSystem {
             config,
             cores,
@@ -89,7 +106,17 @@ impl CpuSystem {
             cpu_cycle: 0,
             next_req_id: 1,
             req_owner: HashMap::new(),
+            sink: SinkHandle::disabled(),
+            stall_runs,
         }
+    }
+
+    /// Attaches a trace sink for core-stall episode events. Sinks for DRAM
+    /// command and cache events are attached to the memory system and
+    /// hierarchy directly (share one sink via `Rc<RefCell<_>>` to get a
+    /// single interleaved stream).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = SinkHandle::new(sink);
     }
 
     /// The DRAM system (stats, energy, power).
@@ -97,9 +124,19 @@ impl CpuSystem {
         &self.mem
     }
 
+    /// Mutable DRAM system access (attach sinks, configure epochs).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
     /// The cache hierarchy (stats).
     pub fn hierarchy(&self) -> &CacheHierarchy {
         &self.hierarchy
+    }
+
+    /// Mutable hierarchy access (attach sinks).
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hierarchy
     }
 
     /// Per-core stats.
@@ -127,6 +164,7 @@ impl CpuSystem {
         // Drain outstanding DRAM work so energy accounting closes out.
         let spare = max_cpu_cycles.saturating_sub(self.cpu_cycle) / self.config.cpu_per_mem_clock;
         self.mem.run_until_idle(spare.max(100_000));
+        self.finalize_observability();
         let per_core = self
             .cores
             .iter()
@@ -135,16 +173,34 @@ impl CpuSystem {
                 cycles: c.finished_at.unwrap_or(self.cpu_cycle).max(1),
             })
             .collect();
-        RunOutcome { per_core, cpu_cycles: self.cpu_cycle, timed_out }
+        RunOutcome {
+            per_core,
+            cpu_cycles: self.cpu_cycle,
+            timed_out,
+        }
     }
 
     /// Advances one CPU cycle (and the DRAM clock on its divisor).
     pub(crate) fn tick_cpu_cycle(&mut self) {
+        self.hierarchy.set_now(self.cpu_cycle);
+        let tracing = self.sink.tracing();
         for core_idx in 0..self.cores.len() {
-            self.tick_core(core_idx);
+            if tracing {
+                let before = self.cores[core_idx].stats;
+                self.tick_core(core_idx);
+                self.track_stall(core_idx, before);
+            } else {
+                self.tick_core(core_idx);
+            }
         }
         self.cpu_cycle += 1;
         if self.cpu_cycle.is_multiple_of(self.config.cpu_per_mem_clock) {
+            if self.mem.epoch_closes_next_tick() {
+                // Fold cache and core counters into the registry before the
+                // memory system seals the epoch, so their deltas land in the
+                // same snapshot as the DRAM counters.
+                self.publish_cpu_metrics();
+            }
             let completed: Vec<RequestId> = self.mem.tick().to_vec();
             for id in completed {
                 if let Some(core) = self.req_owner.remove(&id) {
@@ -152,6 +208,108 @@ impl CpuSystem {
                 }
             }
         }
+    }
+
+    /// Classifies the cycle a core just executed: a stall cycle extends (or
+    /// opens) an episode; progress or a stall-kind change closes the open
+    /// episode as one [`TraceEvent::CoreStall`].
+    fn track_stall(&mut self, idx: usize, before: CoreStats) {
+        let after = &self.cores[idx].stats;
+        let kind = if after.retired != before.retired {
+            None
+        } else if after.store_stall_cycles > before.store_stall_cycles {
+            Some(StallKind::StoreBuffer)
+        } else if after.rob_stall_cycles > before.rob_stall_cycles {
+            Some(StallKind::Rob)
+        } else if after.ldq_stall_cycles > before.ldq_stall_cycles {
+            Some(StallKind::Ldq)
+        } else {
+            None
+        };
+        let now = self.cpu_cycle;
+        match (self.stall_runs[idx], kind) {
+            (Some(run), Some(k)) if run.kind == k => {
+                self.stall_runs[idx] = Some(StallRun {
+                    len: run.len + 1,
+                    ..run
+                });
+            }
+            (Some(run), k) => {
+                self.emit_stall(idx, run);
+                self.stall_runs[idx] = k.map(|kind| StallRun {
+                    kind,
+                    start: now,
+                    len: 1,
+                });
+            }
+            (None, Some(k)) => {
+                self.stall_runs[idx] = Some(StallRun {
+                    kind: k,
+                    start: now,
+                    len: 1,
+                });
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn emit_stall(&mut self, idx: usize, run: StallRun) {
+        self.sink.emit(|| TraceEvent::CoreStall {
+            cycle: run.start,
+            core: idx as u8,
+            reason: run.kind,
+            cycles: run.len,
+        });
+    }
+
+    /// Publishes `cache.*` and `cpu.*` counters into the memory system's
+    /// metrics registry. Called at epoch boundaries and at end of run.
+    fn publish_cpu_metrics(&mut self) {
+        let mut retired = 0u64;
+        let mut stores = 0u64;
+        let mut loads = [0u64; 3];
+        let mut stalls = [0u64; 3]; // rob, ldq, store buffer
+        for c in &self.cores {
+            retired += c.stats.retired;
+            stores += c.stats.stores;
+            for (total, lvl) in loads.iter_mut().zip(c.stats.loads_by_level) {
+                *total += lvl;
+            }
+            stalls[0] += c.stats.rob_stall_cycles;
+            stalls[1] += c.stats.ldq_stall_cycles;
+            stalls[2] += c.stats.store_stall_cycles;
+        }
+        let cpu_cycle = self.cpu_cycle;
+        self.hierarchy
+            .stats()
+            .publish_to(&mut self.mem.observer_mut().registry);
+        let reg = &mut self.mem.observer_mut().registry;
+        let mut set = |name: &str, value: u64| {
+            let id = reg.counter(name);
+            reg.set_counter(id, value);
+        };
+        set("cpu.cycles", cpu_cycle);
+        set("cpu.retired", retired);
+        set("cpu.stores", stores);
+        set("cpu.loads.l1", loads[0]);
+        set("cpu.loads.l2", loads[1]);
+        set("cpu.loads.memory", loads[2]);
+        set("cpu.stall_cycles.rob", stalls[0]);
+        set("cpu.stall_cycles.ldq", stalls[1]);
+        set("cpu.stall_cycles.store_buffer", stalls[2]);
+    }
+
+    /// Closes any open stall episodes, publishes final `cache.*`/`cpu.*`
+    /// counters and seals the last (partial) metrics epoch. Called
+    /// automatically at the end of [`run`](Self::run); harmless to repeat.
+    pub fn finalize_observability(&mut self) {
+        for idx in 0..self.cores.len() {
+            if let Some(run) = self.stall_runs[idx].take() {
+                self.emit_stall(idx, run);
+            }
+        }
+        self.publish_cpu_metrics();
+        self.mem.finish_observability();
     }
 
     fn tick_core(&mut self, idx: usize) {
@@ -220,14 +378,22 @@ impl CpuSystem {
 
     /// Issues a load; returns `false` (with the op deferred) on a full
     /// resource.
-    fn issue_load(&mut self, idx: usize, addr: mem_model::PhysAddr, now: u64, slots: &mut u64) -> bool {
+    fn issue_load(
+        &mut self,
+        idx: usize,
+        addr: mem_model::PhysAddr,
+        now: u64,
+        slots: &mut u64,
+    ) -> bool {
         if self.cores[idx].loads_in_flight() >= self.cores[idx].config.ldq {
             self.cores[idx].deferred = Some(Op::Load(addr));
             self.cores[idx].stats.ldq_stall_cycles += 1;
             return false;
         }
         let access = self.hierarchy.access(idx, addr, None);
-        self.cores[idx].pending_writebacks.extend(access.writebacks.clone());
+        self.cores[idx]
+            .pending_writebacks
+            .extend(access.writebacks.clone());
         self.issue_prefetch(idx, access.prefetch_read);
         let (l1_lat, l2_lat) = self.hierarchy.latencies();
         let _ = l1_lat; // L1 hits are fully hidden by the OoO window
@@ -246,7 +412,9 @@ impl CpuSystem {
                 });
             }
             HitLevel::Memory => {
-                let line = access.fill_read.expect("memory-level access carries a fill");
+                let line = access
+                    .fill_read
+                    .expect("memory-level access carries a fill");
                 let id = self.next_req_id;
                 let req = MemRequest::read(id, line).with_core(idx);
                 if self.mem.try_enqueue(req).is_err() {
@@ -310,7 +478,9 @@ impl CpuSystem {
             return false;
         }
         let access = self.hierarchy.access(idx, addr, Some(mask));
-        self.cores[idx].pending_writebacks.extend(access.writebacks.clone());
+        self.cores[idx]
+            .pending_writebacks
+            .extend(access.writebacks.clone());
         self.issue_prefetch(idx, access.prefetch_read);
         if let Some(line) = access.fill_read {
             // Write-allocate: the line must be fetched, but the store buffer
@@ -397,8 +567,16 @@ mod tests {
         use cache_sim::CacheConfig;
         let cores = sources.len();
         let hierarchy = CacheHierarchy::new(HierarchyConfig {
-            l1: CacheConfig { size_bytes: 1024, ways: 2, latency_cycles: 2 },
-            l2: CacheConfig { size_bytes: 8 * 1024, ways: 4, latency_cycles: 20 },
+            l1: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 4,
+                latency_cycles: 20,
+            },
             cores,
             dbi: false,
             prefetch_next_line: false,
@@ -422,18 +600,29 @@ mod tests {
         let out = sys.run(1_000_000);
         assert!(!out.timed_out);
         let ipc = out.per_core[0].ipc();
-        assert!((ipc - 4.0).abs() < 0.1, "compute-bound IPC {ipc} should be ~width");
+        assert!(
+            (ipc - 4.0).abs() < 0.1,
+            "compute-bound IPC {ipc} should be ~width"
+        );
     }
 
     #[test]
     fn cache_resident_loads_stay_fast() {
         // 16 KB footprint fits L1.
-        let src = StreamLoads { next: 0, wrap: 16 * 1024, compute: 0, toggle: false };
+        let src = StreamLoads {
+            next: 0,
+            wrap: 16 * 1024,
+            compute: 0,
+            toggle: false,
+        };
         let mut sys = build(vec![Box::new(src)], 100_000);
         let out = sys.run(10_000_000);
         assert!(!out.timed_out);
         let ipc = out.per_core[0].ipc();
-        assert!(ipc > 3.0, "L1-resident loads should sustain near-width IPC, got {ipc}");
+        assert!(
+            ipc > 3.0,
+            "L1-resident loads should sustain near-width IPC, got {ipc}"
+        );
         let loads = sys.cores()[0].stats.loads_by_level;
         assert!(loads[0] > loads[1] + loads[2], "mostly L1 hits: {loads:?}");
     }
@@ -462,7 +651,10 @@ mod tests {
 
     #[test]
     fn stores_generate_dram_writebacks() {
-        let src = StreamStores { next: 0, wrap: 64 * 1024 * 1024 };
+        let src = StreamStores {
+            next: 0,
+            wrap: 64 * 1024 * 1024,
+        };
         let mut sys = build_tiny_caches(vec![Box::new(src)], 40_000);
         let out = sys.run(100_000_000);
         assert!(!out.timed_out);
@@ -494,33 +686,49 @@ mod tests {
             }
             sys.tick_cpu_cycle();
             let in_flight = sys.cores()[0].loads_in_flight();
-            assert!(in_flight <= sys.cores()[0].config.ldq, "LDQ overflow: {in_flight}");
+            assert!(
+                in_flight <= sys.cores()[0].config.ldq,
+                "LDQ overflow: {in_flight}"
+            );
         }
-        assert!(sys.cores()[0].stats.loads_by_level[2] > 0, "loads reached memory");
+        assert!(
+            sys.cores()[0].stats.loads_by_level[2] > 0,
+            "loads reached memory"
+        );
     }
 
     #[test]
     fn store_buffer_backpressure_stalls_instead_of_dropping() {
         // A pure store stream over tiny caches floods the DRAM write queue;
         // the core must stall (store_stall_cycles) but never lose writebacks.
-        let src = StreamStores { next: 0, wrap: 64 * 1024 * 1024 };
+        let src = StreamStores {
+            next: 0,
+            wrap: 64 * 1024 * 1024,
+        };
         let mut sys = build_tiny_caches(vec![Box::new(src)], 60_000);
         let out = sys.run(100_000_000);
         assert!(!out.timed_out);
         let stats = sys.cores()[0].stats;
-        assert!(stats.store_stall_cycles > 0, "write-queue pressure must stall the core");
+        assert!(
+            stats.store_stall_cycles > 0,
+            "write-queue pressure must stall the core"
+        );
         // Every line dirtied in steady state eventually reaches DRAM: the
         // write count tracks the L2 eviction count exactly.
         assert_eq!(
             sys.mem().stats().writes_completed,
-            sys.hierarchy().stats().writebacks
-                - sys.cores()[0].pending_writebacks.len() as u64,
+            sys.hierarchy().stats().writebacks - sys.cores()[0].pending_writebacks.len() as u64,
         );
     }
 
     #[test]
     fn finished_cores_drain_without_fetching() {
-        let src = StreamLoads { next: 0, wrap: 64 * 1024 * 1024, compute: 0, toggle: false };
+        let src = StreamLoads {
+            next: 0,
+            wrap: 64 * 1024 * 1024,
+            compute: 0,
+            toggle: false,
+        };
         let mut sys = build(vec![Box::new(src)], 1_000);
         let out = sys.run(10_000_000);
         assert!(!out.timed_out);
@@ -528,6 +736,71 @@ mod tests {
         let retired = sys.cores()[0].stats.retired;
         assert!(retired >= 1_000);
         assert!(retired < 1_000 + 8, "no fetching after finish: {retired}");
+    }
+
+    #[test]
+    fn stall_episodes_and_cpu_counters_reach_the_observability_layer() {
+        use sim_obs::{RingSink, TraceEvent};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let src = StreamLoads {
+            next: 0,
+            wrap: 64 * 1024 * 1024,
+            compute: 0,
+            toggle: false,
+        };
+        let mut sys = build(vec![Box::new(src)], 20_000);
+        let ring = Rc::new(RefCell::new(RingSink::new(1 << 17)));
+        sys.set_trace_sink(Box::new(Rc::clone(&ring)));
+        sys.mem_mut().set_metrics_epochs(2_000, None);
+        let out = sys.run(50_000_000);
+        assert!(!out.timed_out);
+
+        // Stall episodes cover fully-stalled cycles: each accounted cycle
+        // corresponds to a stall-counter increment with no retirement, so
+        // the episode total is positive and never exceeds the raw counters.
+        let stats = sys.cores()[0].stats;
+        let episode_cycles: u64 = ring
+            .borrow()
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::CoreStall { cycles, .. } => Some(*cycles),
+                _ => None,
+            })
+            .sum();
+        let raw = stats.rob_stall_cycles + stats.ldq_stall_cycles + stats.store_stall_cycles;
+        assert!(
+            episode_cycles > 0,
+            "a memory-bound stream must produce stall episodes"
+        );
+        assert!(
+            episode_cycles <= raw,
+            "episodes ({episode_cycles}) cannot exceed raw stall counters ({raw})"
+        );
+
+        // cpu.* counters land in the DRAM-side registry…
+        let reg = &sys.mem().observer().registry;
+        assert_eq!(reg.counter_value("cpu.retired"), Some(stats.retired));
+        assert_eq!(reg.counter_value("cpu.stores"), Some(stats.stores));
+        assert_eq!(
+            reg.counter_value("cpu.loads.memory"),
+            Some(stats.loads_by_level[2])
+        );
+        assert_eq!(reg.counter_value("cpu.cycles"), Some(sys.cpu_cycle()));
+        assert!(reg.counter_value("cache.l1.misses").is_some());
+
+        // …and their epoch deltas sum back to the end-of-run totals.
+        let delta_sum: u64 = sys
+            .mem()
+            .observer()
+            .snapshots()
+            .iter()
+            .flat_map(|s| s.counters.iter())
+            .filter(|(name, _)| name == "cpu.retired")
+            .map(|(_, delta)| *delta)
+            .sum();
+        assert_eq!(delta_sum, stats.retired);
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! Property-based tests of the core model: any bounded random instruction
-//! mix must run to completion with resource limits respected and
-//! instruction accounting exact.
+//! Randomized property tests of the core model: any bounded random
+//! instruction mix must run to completion with resource limits respected
+//! and instruction accounting exact.
+//!
+//! Formerly driven by proptest; now deterministic seeded sweeps over the
+//! in-repo [`mem_model::rng`] PRNG so the suite builds and runs offline.
 
 use cache_sim::{CacheConfig, CacheHierarchy, HierarchyConfig};
 use cpu_sim::{CpuSystem, InstructionSource, Op, SystemConfig};
 use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::rng::Rng;
 use mem_model::{PhysAddr, WordMask};
-use proptest::prelude::*;
 
 /// A deterministic source parameterised by a small script of op templates,
 /// cycled forever.
@@ -23,27 +26,37 @@ impl InstructionSource for ScriptSource {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..40).prop_map(Op::Compute),
-        (0u64..1 << 22).prop_map(|l| Op::Load(PhysAddr::from_line_number(l))),
-        (0u64..1 << 22, 1u8..=255).prop_map(|(l, bits)| Op::Store(
-            PhysAddr::from_line_number(l),
-            WordMask::from_bits(bits)
-        )),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.random_range(0u8..3) {
+        0 => Op::Compute(rng.random_range(0u32..40)),
+        1 => Op::Load(PhysAddr::from_line_number(rng.random_range(0u64..1 << 22))),
+        _ => Op::Store(
+            PhysAddr::from_line_number(rng.random_range(0u64..1 << 22)),
+            WordMask::from_bits(rng.random_range(1u16..256) as u8),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every scripted mix retires its target and respects LDQ/STQ bounds.
-    #[test]
-    fn scripted_mixes_complete(script in prop::collection::vec(op_strategy(), 1..24),
-                               cores in 1usize..=2) {
+/// Every scripted mix retires its target and respects LDQ/STQ bounds.
+#[test]
+fn scripted_mixes_complete() {
+    let mut rng = Rng::seed_from_u64(0x6d69_7865);
+    for case in 0..24 {
+        let script: Vec<Op> = (0..rng.random_range(1usize..24))
+            .map(|_| random_op(&mut rng))
+            .collect();
+        let cores = 1 + case % 2;
         let hierarchy = CacheHierarchy::new(HierarchyConfig {
-            l1: CacheConfig { size_bytes: 1024, ways: 2, latency_cycles: 2 },
-            l2: CacheConfig { size_bytes: 16 * 1024, ways: 4, latency_cycles: 20 },
+            l1: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                latency_cycles: 20,
+            },
             cores,
             dbi: false,
             prefetch_next_line: false,
@@ -58,9 +71,7 @@ proptest! {
                 let script: Vec<Op> = script
                     .iter()
                     .map(|op| match *op {
-                        Op::Load(a) => {
-                            Op::Load(PhysAddr::new(a.raw() + ((core as u64) << 30)))
-                        }
+                        Op::Load(a) => Op::Load(PhysAddr::new(a.raw() + ((core as u64) << 30))),
                         Op::Store(a, m) => {
                             Op::Store(PhysAddr::new(a.raw() + ((core as u64) << 30)), m)
                         }
@@ -73,22 +84,22 @@ proptest! {
         let target = 3_000u64;
         let mut system = CpuSystem::new(SystemConfig::paper(), hierarchy, mem, sources, target);
         let outcome = system.run(80_000_000);
-        prop_assert!(!outcome.timed_out, "mix failed to finish");
+        assert!(!outcome.timed_out, "case {case}: mix failed to finish");
         for (i, core) in system.cores().iter().enumerate() {
-            prop_assert!(core.stats.retired >= target, "core {i} under-retired");
-            prop_assert!(
+            assert!(core.stats.retired >= target, "core {i} under-retired");
+            assert!(
                 core.loads_in_flight() <= core.config.ldq,
                 "core {i} LDQ overflow at exit"
             );
-            prop_assert!(
+            assert!(
                 core.pending_writebacks.len() <= core.config.stq + 8,
                 "core {i} runaway writeback backlog"
             );
         }
         // Per-core result cycles are consistent with the global clock.
         for result in &outcome.per_core {
-            prop_assert!(result.cycles <= outcome.cpu_cycles.max(1));
-            prop_assert!(result.ipc() > 0.0);
+            assert!(result.cycles <= outcome.cpu_cycles.max(1));
+            assert!(result.ipc() > 0.0);
         }
     }
 }

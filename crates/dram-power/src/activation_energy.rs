@@ -64,7 +64,10 @@ impl ActivationEnergyModel {
     /// Energy of activating one MAT's slice of the row (pJ). The paper's
     /// Table 2 totals this to 16.921 pJ.
     pub fn per_mat_energy_pj(&self) -> f64 {
-        self.local_bitline_pj + self.local_sense_amp_pj + self.local_wordline_pj + self.row_decoder_pj
+        self.local_bitline_pj
+            + self.local_sense_amp_pj
+            + self.local_wordline_pj
+            + self.row_decoder_pj
     }
 
     /// Bank-shared energy spent on any activation regardless of width (pJ).
@@ -111,7 +114,11 @@ impl ActivationEnergyModel {
             .map(|groups| {
                 let mats = groups * (self.mats_per_row / 8);
                 let energy = self.energy_per_activation_pj(mats);
-                Figure9Point { mats, energy_pj: energy, ratio: energy / full }
+                Figure9Point {
+                    mats,
+                    energy_pj: energy,
+                    ratio: energy / full,
+                }
             })
             .collect()
     }
@@ -157,7 +164,11 @@ mod tests {
         // Paper: "the energy reduction cannot reach 50% even though reducing
         // MATs by half because of shared structures".
         let half = &series[3]; // 8 MATs
-        assert!(half.ratio > 0.5, "8-MAT ratio {} must exceed 0.5", half.ratio);
+        assert!(
+            half.ratio > 0.5,
+            "8-MAT ratio {} must exceed 0.5",
+            half.ratio
+        );
         assert!(half.ratio < 0.56);
         // Monotone increasing energy.
         for w in series.windows(2) {
@@ -183,7 +194,11 @@ mod tests {
         let published = [3.7, 6.4, 9.1, 11.6, 14.3, 16.9, 19.6, 22.2];
         for (i, (a, b)) in arr.iter().zip(published.iter()).enumerate() {
             let rel = (a - b).abs() / b;
-            assert!(rel < 0.10, "granularity {}: projected {a:.2} vs published {b}", i + 1);
+            assert!(
+                rel < 0.10,
+                "granularity {}: projected {a:.2} vs published {b}",
+                i + 1
+            );
         }
     }
 

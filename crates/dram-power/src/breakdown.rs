@@ -46,7 +46,10 @@ impl EnergyBreakdown {
     ///
     /// Panics if `elapsed_ns` is not strictly positive.
     pub fn to_power(&self, elapsed_ns: f64) -> PowerBreakdown {
-        assert!(elapsed_ns > 0.0, "elapsed time must be positive, got {elapsed_ns}");
+        assert!(
+            elapsed_ns > 0.0,
+            "elapsed time must be positive, got {elapsed_ns}"
+        );
         PowerBreakdown {
             act_pre: self.act_pre / elapsed_ns,
             rd: self.rd / elapsed_ns,
@@ -138,7 +141,15 @@ impl PowerBreakdown {
     /// Component values in Figure 2 legend order:
     /// `[ACT-PRE, RD, WR, RD I/O, WR I/O, BG, REF]`.
     pub fn components(&self) -> [f64; 7] {
-        [self.act_pre, self.rd, self.wr, self.rd_io, self.wr_io, self.bg, self.refresh]
+        [
+            self.act_pre,
+            self.rd,
+            self.wr,
+            self.rd_io,
+            self.wr_io,
+            self.bg,
+            self.refresh,
+        ]
     }
 
     /// Component labels matching [`PowerBreakdown::components`].
@@ -152,7 +163,11 @@ impl fmt::Display for PowerBreakdown {
         let total = self.total();
         writeln!(f, "{:>10} {:>10} {:>8}", "component", "mW", "share")?;
         for (label, value) in Self::component_labels().iter().zip(self.components()) {
-            let share = if total > 0.0 { value / total * 100.0 } else { 0.0 };
+            let share = if total > 0.0 {
+                value / total * 100.0
+            } else {
+                0.0
+            };
             writeln!(f, "{label:>10} {value:>10.3} {share:>7.1}%")?;
         }
         write!(f, "{:>10} {total:>10.3} {:>7.1}%", "total", 100.0)

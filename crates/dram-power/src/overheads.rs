@@ -109,12 +109,20 @@ pub struct FgdOverheads {
 impl FgdOverheads {
     /// 32 KB L1 cache overheads.
     pub const fn l1_32k() -> Self {
-        FgdOverheads { area: 0.0031, dynamic_energy: 0.0012, leakage: 0.0126 }
+        FgdOverheads {
+            area: 0.0031,
+            dynamic_energy: 0.0012,
+            leakage: 0.0126,
+        }
     }
 
     /// 4 MB L2 cache overheads.
     pub const fn l2_4m() -> Self {
-        FgdOverheads { area: 0.0109, dynamic_energy: 0.0041, leakage: 0.0139 }
+        FgdOverheads {
+            area: 0.0109,
+            dynamic_energy: 0.0041,
+            leakage: 0.0139,
+        }
     }
 
     /// Extra dirty-bit storage per line: 7 bits on top of the existing one,

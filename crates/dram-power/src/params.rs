@@ -81,7 +81,12 @@ impl IddParams {
     /// IDD set calibrated so Eq. (1)/(2) give the paper's
     /// `P_ACT(full) = 22.2 mW` with DDR3-1600 timing.
     pub const fn calibrated_to_paper() -> Self {
-        IddParams { idd0_ma: 46.42, idd2n_ma: 23.0, idd3n_ma: 35.0, vdd: 1.5 }
+        IddParams {
+            idd0_ma: 46.42,
+            idd2n_ma: 23.0,
+            idd3n_ma: 35.0,
+            vdd: 1.5,
+        }
     }
 
     /// Equation (1): the pure activation current, i.e. IDD0 minus the
@@ -89,7 +94,8 @@ impl IddParams {
     ///
     /// `I_ACT = IDD0 - (IDD3N*tRAS + IDD2N*(tRC - tRAS)) / tRC`
     pub fn i_act_ma(&self, t: &DevicePowerTimings) -> f64 {
-        self.idd0_ma - (self.idd3n_ma * t.tras_ns + self.idd2n_ma * (t.trc_ns - t.tras_ns)) / t.trc_ns
+        self.idd0_ma
+            - (self.idd3n_ma * t.tras_ns + self.idd2n_ma * (t.trc_ns - t.tras_ns)) / t.trc_ns
     }
 
     /// Equation (2): `P_ACT = VDD * I_ACT`, in mW.
@@ -187,7 +193,10 @@ impl PowerParams {
 
     /// The Table 3 set on an x72 ECC DIMM (nine chips per rank).
     pub const fn paper_table3_ecc() -> Self {
-        PowerParams { ecc_x72: true, ..Self::paper_table3() }
+        PowerParams {
+            ecc_x72: true,
+            ..Self::paper_table3()
+        }
     }
 
     /// An **illustrative** DDR4-2400 parameter set: the paper publishes no
@@ -334,7 +343,11 @@ mod tests {
         for g in 1..=8u32 {
             let lin = 3.7 + (22.2 - 3.7) * (g as f64 - 1.0) / 7.0;
             let rel = (p.act_power_mw(g) - lin).abs() / lin;
-            assert!(rel < 0.03, "granularity {g}: {} vs linear {lin}", p.act_power_mw(g));
+            assert!(
+                rel < 0.03,
+                "granularity {g}: {} vs linear {lin}",
+                p.act_power_mw(g)
+            );
         }
     }
 
@@ -371,7 +384,10 @@ mod tests {
         // Write I/O: the ECC byte lane always transfers.
         let (_, odt_plain, _) = plain.write_line_energy_pj(0.125);
         let (_, odt_ecc, _) = ecc.write_line_energy_pj(0.125);
-        assert!((odt_ecc / odt_plain - 2.0).abs() < 1e-9, "1/8 data + 1/8 ecc");
+        assert!(
+            (odt_ecc / odt_plain - 2.0).abs() < 1e-9,
+            "1/8 data + 1/8 ecc"
+        );
     }
 
     #[test]

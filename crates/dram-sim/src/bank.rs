@@ -76,7 +76,12 @@ impl Bank {
     ) {
         debug_assert!(self.open.is_none(), "ACT to an open bank");
         debug_assert!(now >= self.ready_for_activate_at, "ACT during precharge");
-        self.open = Some(OpenRow { row, coverage, mats, hits_served: 0 });
+        self.open = Some(OpenRow {
+            row,
+            coverage,
+            mats,
+            hits_served: 0,
+        });
         self.ready_for_column_at = now + t.trcd + extra_cycles;
         self.ready_for_precharge_at = now + t.tras;
         self.auto_precharge_at = None;

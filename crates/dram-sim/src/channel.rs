@@ -3,9 +3,11 @@
 
 use dram_power::EnergyAccounting;
 use mem_model::{Location, MemRequest, ReqKind, RequestId, WordMask};
+use sim_obs::TraceEvent;
 
 use crate::checker::{DramCommand, ProtocolChecker};
 use crate::config::{DramConfig, PagePolicy};
+use crate::obs::DramObs;
 use crate::rank::{Rank, RefreshState};
 use crate::scheme::FULL_ROW_MATS;
 use crate::stats::DramStats;
@@ -37,7 +39,11 @@ struct DataBus {
 
 impl DataBus {
     fn new() -> Self {
-        DataBus { busy_until: 0, last_dir: None, last_rank: None }
+        DataBus {
+            busy_until: 0,
+            last_dir: None,
+            last_rank: None,
+        }
     }
 
     /// Earliest cycle a burst of `dir` from `rank` may start.
@@ -75,6 +81,8 @@ struct InflightRead {
 /// One channel's controller, ranks and queues.
 #[derive(Debug)]
 pub(crate) struct Channel {
+    /// This channel's index, stamped into every trace event it emits.
+    index: u8,
     pub ranks: Vec<Rank>,
     pub read_q: Vec<QueueEntry>,
     pub write_q: Vec<QueueEntry>,
@@ -99,6 +107,7 @@ impl Channel {
             })
             .collect();
         Channel {
+            index: channel_index as u8,
             ranks,
             read_q: Vec::with_capacity(cfg.queues.read_capacity),
             write_q: Vec::with_capacity(cfg.queues.write_capacity),
@@ -136,14 +145,44 @@ impl Channel {
     }
 
     /// Enqueues a decoded request; the caller has checked `can_accept`.
-    pub fn enqueue(&mut self, req: MemRequest, loc: Location, now: u64, cfg: &DramConfig) {
+    pub fn enqueue(
+        &mut self,
+        req: MemRequest,
+        loc: Location,
+        now: u64,
+        cfg: &DramConfig,
+        o: &mut DramObs,
+    ) {
+        let ch = self.index;
         // CKE is a dedicated pin: arriving work wakes the rank without
         // consuming a command-bus slot, paying tXP before the first command.
+        if self.ranks[loc.rank as usize].powered_down {
+            o.obs.emit(|| TraceEvent::PowerUp {
+                cycle: now,
+                channel: ch,
+                rank: loc.rank as u8,
+            });
+        }
         self.ranks[loc.rank as usize].exit_power_down(now, &cfg.timing);
-        let entry = QueueEntry { req, loc, enqueued_at: now, classified: false };
+        let entry = QueueEntry {
+            req,
+            loc,
+            enqueued_at: now,
+            classified: false,
+        };
         match req.kind {
-            ReqKind::Read => self.read_q.push(entry),
-            ReqKind::Write => self.write_q.push(entry),
+            ReqKind::Read => {
+                self.read_q.push(entry);
+                o.obs
+                    .registry
+                    .observe(o.read_q_occupancy, self.read_q.len() as u64);
+            }
+            ReqKind::Write => {
+                self.write_q.push(entry);
+                o.obs
+                    .registry
+                    .observe(o.write_q_occupancy, self.write_q.len() as u64);
+            }
         }
     }
 
@@ -164,8 +203,10 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
+        o: &mut DramObs,
         completed: &mut Vec<RequestId>,
     ) {
+        let ch = self.index;
         // 1. Housekeeping: refresh expiry, auto-precharges, data completions.
         for (r, rank) in self.ranks.iter_mut().enumerate() {
             rank.finish_refresh_if_done(now);
@@ -173,37 +214,50 @@ impl Channel {
             for (b, bank) in rank.banks.iter_mut().enumerate() {
                 if bank.tick_auto_precharge(now, &cfg.timing) {
                     stats.precharges += 1;
+                    o.obs.emit(|| TraceEvent::Precharge {
+                        cycle: now,
+                        channel: ch,
+                        rank: r as u8,
+                        bank: b as u8,
+                    });
                     Self::verify_cmd(
                         &mut self.checker,
                         now,
-                        DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                        DramCommand::Precharge {
+                            rank: r as u32,
+                            bank: b as u32,
+                        },
                     );
                 }
             }
         }
-        self.complete_transfers(now, stats, completed);
+        self.complete_transfers(now, stats, o, completed);
 
         // 2. Write-drain hysteresis (48/16 watermarks) plus opportunistic
         //    draining when no reads are waiting.
         if !self.drain_mode && self.write_q.len() >= cfg.queues.write_high_watermark {
             self.drain_mode = true;
             stats.drain_entries += 1;
+            o.obs.emit(|| TraceEvent::DrainEnter {
+                cycle: now,
+                channel: ch,
+            });
         } else if self.drain_mode && self.write_q.len() <= cfg.queues.write_low_watermark {
             self.drain_mode = false;
         }
 
         // 3. One command-bus slot per cycle, in priority order.
-        let issued = self.refresh_commands(now, cfg, stats, energy)
-            || self.issue_column(now, cfg, stats, energy)
-            || self.issue_activate(now, cfg, stats, energy)
-            || self.issue_precharge_for_pending(now, cfg, stats)
-            || self.issue_idle_close(now, cfg, stats);
+        let issued = self.refresh_commands(now, cfg, stats, energy, o)
+            || self.issue_column(now, cfg, stats, energy, o)
+            || self.issue_activate(now, cfg, stats, energy, o)
+            || self.issue_precharge_for_pending(now, cfg, stats, o)
+            || self.issue_idle_close(now, cfg, stats, o);
         let _ = issued;
 
         // 4. Power-down entry for idle ranks (relaxed policy only; CKE is
         //    not a command-bus command).
         if matches!(cfg.policy, PagePolicy::RelaxedClosePage) {
-            self.enter_power_down_where_idle();
+            self.enter_power_down_where_idle(now, o);
         }
 
         // 5. Background energy.
@@ -216,13 +270,27 @@ impl Channel {
         }
     }
 
-    fn complete_transfers(&mut self, now: u64, stats: &mut DramStats, completed: &mut Vec<RequestId>) {
+    fn complete_transfers(
+        &mut self,
+        now: u64,
+        stats: &mut DramStats,
+        o: &mut DramObs,
+        completed: &mut Vec<RequestId>,
+    ) {
+        let ch = self.index;
         let mut i = 0;
         while i < self.inflight_reads.len() {
             if self.inflight_reads[i].done_at <= now {
                 let fin = self.inflight_reads.swap_remove(i);
+                let latency = fin.done_at - fin.enqueued_at;
                 stats.reads_completed += 1;
-                stats.read_latency_sum += fin.done_at - fin.enqueued_at;
+                stats.read_latency_sum += latency;
+                o.obs.registry.observe(o.read_latency, latency);
+                o.obs.emit(|| TraceEvent::ReadComplete {
+                    cycle: now,
+                    channel: ch,
+                    latency,
+                });
                 completed.push(fin.id);
             } else {
                 i += 1;
@@ -256,7 +324,9 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
+        o: &mut DramObs,
     ) -> bool {
+        let ch = self.index;
         for r in 0..self.ranks.len() {
             if self.ranks[r].refresh_debt == 0
                 || !matches!(self.ranks[r].refresh, RefreshState::Idle)
@@ -269,6 +339,13 @@ impl Channel {
                 continue;
             }
             let rank = &mut self.ranks[r];
+            if rank.powered_down {
+                o.obs.emit(|| TraceEvent::PowerUp {
+                    cycle: now,
+                    channel: ch,
+                    rank: r as u8,
+                });
+            }
             rank.exit_power_down(now, &cfg.timing);
             if now < rank.available_at {
                 continue;
@@ -277,7 +354,16 @@ impl Channel {
                 rank.start_refresh(now, &cfg.timing);
                 stats.refreshes += 1;
                 energy.refresh();
-                Self::verify_cmd(&mut self.checker, now, DramCommand::Refresh { rank: r as u32 });
+                o.obs.emit(|| TraceEvent::Refresh {
+                    cycle: now,
+                    channel: ch,
+                    rank: r as u8,
+                });
+                Self::verify_cmd(
+                    &mut self.checker,
+                    now,
+                    DramCommand::Refresh { rank: r as u32 },
+                );
                 return true;
             }
             if forced {
@@ -286,10 +372,19 @@ impl Channel {
                     if bank.is_open() && now >= bank.ready_for_precharge_at {
                         bank.precharge(now, &cfg.timing);
                         stats.precharges += 1;
+                        o.obs.emit(|| TraceEvent::Precharge {
+                            cycle: now,
+                            channel: ch,
+                            rank: r as u8,
+                            bank: b as u8,
+                        });
                         Self::verify_cmd(
                             &mut self.checker,
                             now,
-                            DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                            DramCommand::Precharge {
+                                rank: r as u32,
+                                bank: b as u32,
+                            },
                         );
                         return true;
                     }
@@ -310,7 +405,11 @@ impl Channel {
     /// the active queue counts: a conflict that cannot be scheduled this
     /// phase must not be able to stall the bank forever.
     fn conflict_waiting(&self, loc: &Location, open_row: u32, in_writes: bool) -> bool {
-        let queue = if in_writes { &self.write_q } else { &self.read_q };
+        let queue = if in_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         queue
             .iter()
             .any(|e| e.loc.rank == loc.rank && e.loc.bank == loc.bank && e.loc.row != open_row)
@@ -326,10 +425,11 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
+        o: &mut DramObs,
     ) -> bool {
         let active_is_write = self.active_is_write();
-        self.issue_column_from(now, cfg, stats, energy, active_is_write)
-            || self.issue_column_from(now, cfg, stats, energy, !active_is_write)
+        self.issue_column_from(now, cfg, stats, energy, o, active_is_write)
+            || self.issue_column_from(now, cfg, stats, energy, o, !active_is_write)
     }
 
     fn issue_column_from(
@@ -338,13 +438,18 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
+        o: &mut DramObs,
         is_write: bool,
     ) -> bool {
         if now < self.next_col_allowed {
             return false;
         }
         let burst = cfg.timing.burst_cycles * cfg.scheme.burst_multiplier;
-        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let queue = if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         let mut chosen: Option<usize> = None;
         for (i, entry) in queue.iter().enumerate() {
             let rank = &self.ranks[entry.loc.rank as usize];
@@ -372,16 +477,28 @@ impl Channel {
             if now < bank.ready_for_column_at {
                 continue;
             }
-            let (dir, lat) = if is_write { (Dir::Write, cfg.timing.wl) } else { (Dir::Read, cfg.timing.tcas) };
+            let (dir, lat) = if is_write {
+                (Dir::Write, cfg.timing.wl)
+            } else {
+                (Dir::Read, cfg.timing.tcas)
+            };
             let start = now + lat;
-            if start < self.bus.earliest_start(dir, entry.loc.rank, cfg.timing.twtr, cfg.timing.trtrs) {
+            if start
+                < self
+                    .bus
+                    .earliest_start(dir, entry.loc.rank, cfg.timing.twtr, cfg.timing.trtrs)
+            {
                 continue;
             }
             chosen = Some(i);
             break;
         }
         let Some(i) = chosen else { return false };
-        let mut entry = if is_write { self.write_q.remove(i) } else { self.read_q.remove(i) };
+        let mut entry = if is_write {
+            self.write_q.remove(i)
+        } else {
+            self.read_q.remove(i)
+        };
         let rank_idx = entry.loc.rank as usize;
         let bank = &mut self.ranks[rank_idx].banks[entry.loc.bank as usize];
         if !entry.classified {
@@ -392,29 +509,53 @@ impl Channel {
                 stats.read.hits += 1;
             }
         }
+        let ch = self.index;
+        let loc = entry.loc;
         if is_write {
             let end = bank.column_write(now, burst, &cfg.timing);
-            self.bus.reserve(now + cfg.timing.wl, end, Dir::Write, entry.loc.rank);
+            self.bus
+                .reserve(now + cfg.timing.wl, end, Dir::Write, entry.loc.rank);
             energy.write_line(cfg.scheme.write_io_fraction(entry.req.mask));
             self.inflight_write_ends.push(end);
+            o.obs.emit(|| TraceEvent::Write {
+                cycle: now,
+                channel: ch,
+                rank: loc.rank as u8,
+                bank: loc.bank as u8,
+                row: loc.row,
+            });
             Self::verify_cmd(
                 &mut self.checker,
                 now,
-                DramCommand::Write { rank: entry.loc.rank, bank: entry.loc.bank },
+                DramCommand::Write {
+                    rank: entry.loc.rank,
+                    bank: entry.loc.bank,
+                },
             );
         } else {
             let end = bank.column_read(now, burst, &cfg.timing);
-            self.bus.reserve(now + cfg.timing.tcas, end, Dir::Read, entry.loc.rank);
+            self.bus
+                .reserve(now + cfg.timing.tcas, end, Dir::Read, entry.loc.rank);
             energy.read_line();
             self.inflight_reads.push(InflightRead {
                 id: entry.req.id,
                 done_at: end,
                 enqueued_at: entry.enqueued_at,
             });
+            o.obs.emit(|| TraceEvent::Read {
+                cycle: now,
+                channel: ch,
+                rank: loc.rank as u8,
+                bank: loc.bank as u8,
+                row: loc.row,
+            });
             Self::verify_cmd(
                 &mut self.checker,
                 now,
-                DramCommand::Read { rank: entry.loc.rank, bank: entry.loc.bank },
+                DramCommand::Read {
+                    rank: entry.loc.rank,
+                    bank: entry.loc.bank,
+                },
             );
         }
         if matches!(cfg.policy, PagePolicy::RestrictedClosePage) {
@@ -446,9 +587,14 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
+        o: &mut DramObs,
     ) -> bool {
         let is_write = self.active_is_write();
-        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let queue = if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         let mut chosen: Option<(usize, WordMask, u32)> = None;
         for (i, entry) in queue.iter().enumerate() {
             let rank = &self.ranks[entry.loc.rank as usize];
@@ -467,9 +613,17 @@ impl Channel {
                 debug_assert!(!mask.is_empty());
                 if mask.is_full() {
                     // Covers queued reads too; activate at read granularity.
-                    (WordMask::FULL, cfg.scheme.read_act_mats.max(cfg.scheme.write_act_mats(mask)))
+                    (
+                        WordMask::FULL,
+                        cfg.scheme
+                            .read_act_mats
+                            .max(cfg.scheme.write_act_mats(mask)),
+                    )
                 } else {
-                    (cfg.scheme.write_coverage(mask), cfg.scheme.write_act_mats(mask))
+                    (
+                        cfg.scheme.write_coverage(mask),
+                        cfg.scheme.write_act_mats(mask),
+                    )
                 }
             } else {
                 (WordMask::FULL, cfg.scheme.read_act_mats)
@@ -481,8 +635,14 @@ impl Channel {
             chosen = Some((i, coverage, mats));
             break;
         }
-        let Some((i, coverage, mats)) = chosen else { return false };
-        let queue = if is_write { &mut self.write_q } else { &mut self.read_q };
+        let Some((i, coverage, mats)) = chosen else {
+            return false;
+        };
+        let queue = if is_write {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
         let entry = &mut queue[i];
         if !entry.classified {
             entry.classified = true;
@@ -500,6 +660,17 @@ impl Channel {
         rank.record_activation(now, weight, cfg.scheme.relaxed_act_timing, &cfg.timing);
         stats.record_activation(mats, !is_write);
         energy.activation_mats(mats);
+        o.obs.registry.observe(o.act_mats, mats as u64);
+        let ch = self.index;
+        o.obs.emit(|| TraceEvent::Activate {
+            cycle: now,
+            channel: ch,
+            rank: loc.rank as u8,
+            bank: loc.bank as u8,
+            row: loc.row,
+            mats,
+            mask: coverage.bits(),
+        });
         Self::verify_cmd(
             &mut self.checker,
             now,
@@ -521,9 +692,14 @@ impl Channel {
         now: u64,
         cfg: &DramConfig,
         stats: &mut DramStats,
+        o: &mut DramObs,
     ) -> bool {
         let is_write = self.active_is_write();
-        let queue = if is_write { &self.write_q } else { &self.read_q };
+        let queue = if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         let mut chosen: Option<(usize, bool, bool)> = None; // (idx, false_hit, capped)
         for (i, entry) in queue.iter().enumerate() {
             let rank = &self.ranks[entry.loc.rank as usize];
@@ -551,12 +727,22 @@ impl Channel {
                 break;
             }
         }
-        let Some((i, false_hit, capped)) = chosen else { return false };
-        let queue = if is_write { &mut self.write_q } else { &mut self.read_q };
+        let Some((i, false_hit, capped)) = chosen else {
+            return false;
+        };
+        let queue = if is_write {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
         let entry = &mut queue[i];
         if !entry.classified {
             entry.classified = true;
-            let counters = if is_write { &mut stats.write } else { &mut stats.read };
+            let counters = if is_write {
+                &mut stats.write
+            } else {
+                &mut stats.read
+            };
             counters.misses += 1;
             if false_hit {
                 counters.false_hits += 1;
@@ -568,19 +754,36 @@ impl Channel {
         if capped {
             stats.hit_cap_precharges += 1;
         }
+        let ch = self.index;
+        o.obs.emit(|| TraceEvent::Precharge {
+            cycle: now,
+            channel: ch,
+            rank: loc.rank as u8,
+            bank: loc.bank as u8,
+        });
         Self::verify_cmd(
             &mut self.checker,
             now,
-            DramCommand::Precharge { rank: loc.rank, bank: loc.bank },
+            DramCommand::Precharge {
+                rank: loc.rank,
+                bank: loc.bank,
+            },
         );
         true
     }
 
     /// Relaxed close-page: close rows no queued request can still hit.
-    fn issue_idle_close(&mut self, now: u64, cfg: &DramConfig, stats: &mut DramStats) -> bool {
+    fn issue_idle_close(
+        &mut self,
+        now: u64,
+        cfg: &DramConfig,
+        stats: &mut DramStats,
+        o: &mut DramObs,
+    ) -> bool {
         if !matches!(cfg.policy, PagePolicy::RelaxedClosePage) {
             return false;
         }
+        let ch = self.index;
         for (r, rank) in self.ranks.iter_mut().enumerate() {
             if now < rank.available_at {
                 continue;
@@ -596,10 +799,19 @@ impl Channel {
                 if !wanted {
                     bank.precharge(now, &cfg.timing);
                     stats.precharges += 1;
+                    o.obs.emit(|| TraceEvent::Precharge {
+                        cycle: now,
+                        channel: ch,
+                        rank: r as u8,
+                        bank: b as u8,
+                    });
                     Self::verify_cmd(
                         &mut self.checker,
                         now,
-                        DramCommand::Precharge { rank: r as u32, bank: b as u32 },
+                        DramCommand::Precharge {
+                            rank: r as u32,
+                            bank: b as u32,
+                        },
                     );
                     return true;
                 }
@@ -608,7 +820,8 @@ impl Channel {
         false
     }
 
-    fn enter_power_down_where_idle(&mut self) {
+    fn enter_power_down_where_idle(&mut self, now: u64, o: &mut DramObs) {
+        let ch = self.index;
         for (r, rank) in self.ranks.iter_mut().enumerate() {
             if rank.powered_down
                 || rank.any_bank_open()
@@ -624,6 +837,11 @@ impl Channel {
                 .any(|e| e.loc.rank as usize == r);
             if !busy {
                 rank.enter_power_down();
+                o.obs.emit(|| TraceEvent::PowerDown {
+                    cycle: now,
+                    channel: ch,
+                    rank: r as u8,
+                });
             }
         }
     }

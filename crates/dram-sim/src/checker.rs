@@ -78,7 +78,11 @@ pub struct ProtocolError {
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cycle {}: {:?} violates {}", self.cycle, self.command, self.rule)
+        write!(
+            f,
+            "cycle {}: {:?} violates {}",
+            self.cycle, self.command, self.rule
+        )
     }
 }
 
@@ -160,7 +164,11 @@ impl ProtocolChecker {
     }
 
     fn err(cycle: u64, command: DramCommand, rule: impl Into<String>) -> ProtocolError {
-        ProtocolError { cycle, command, rule: rule.into() }
+        ProtocolError {
+            cycle,
+            command,
+            rule: rule.into(),
+        }
     }
 
     /// Observes one command at `cycle`.
@@ -172,7 +180,13 @@ impl ProtocolChecker {
         self.commands_checked += 1;
         let t = self.timing;
         match command {
-            DramCommand::Activate { rank, bank, mats, extra_cycles, .. } => {
+            DramCommand::Activate {
+                rank,
+                bank,
+                mats,
+                extra_cycles,
+                ..
+            } => {
                 if mats == 0 || mats > FULL_ROW_MATS {
                     return Err(Self::err(cycle, command, "mats out of range"));
                 }
@@ -304,15 +318,23 @@ mod tests {
     }
 
     fn act(rank: u32, bank: u32, row: u32) -> DramCommand {
-        DramCommand::Activate { rank, bank, row, mats: 16, extra_cycles: 0 }
+        DramCommand::Activate {
+            rank,
+            bank,
+            row,
+            mats: 16,
+            extra_cycles: 0,
+        }
     }
 
     #[test]
     fn legal_sequence_passes() {
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        c.observe(11, DramCommand::Read { rank: 0, bank: 0 }).unwrap();
-        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap();
         c.observe(39, act(0, 0, 6)).unwrap();
         assert_eq!(c.commands_checked(), 4);
     }
@@ -321,7 +343,9 @@ mod tests {
     fn trcd_violation_detected() {
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        let err = c.observe(10, DramCommand::Read { rank: 0, bank: 0 }).unwrap_err();
+        let err = c
+            .observe(10, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap_err();
         assert!(err.rule.contains("tRCD"), "{err}");
     }
 
@@ -329,7 +353,9 @@ mod tests {
     fn tras_violation_detected() {
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        let err = c.observe(27, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap_err();
+        let err = c
+            .observe(27, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap_err();
         assert!(err.rule.contains("tRAS"), "{err}");
     }
 
@@ -337,7 +363,8 @@ mod tests {
     fn trp_violation_detected() {
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap();
         let err = c.observe(38, act(0, 0, 6)).unwrap_err();
         assert!(err.rule.contains("tRP"), "{err}");
     }
@@ -371,7 +398,13 @@ mod tests {
         let mut c = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, true);
         // Eight 2-MAT activations inside one tFAW window: weight 8 * 1/8 = 1.
         for i in 0..8u32 {
-            let cmd = DramCommand::Activate { rank: 0, bank: i, row: 1, mats: 2, extra_cycles: 1 };
+            let cmd = DramCommand::Activate {
+                rank: 0,
+                bank: i,
+                row: 1,
+                mats: 2,
+                extra_cycles: 1,
+            };
             c.observe(u64::from(i) * 2, cmd).unwrap();
         }
     }
@@ -379,25 +412,42 @@ mod tests {
     #[test]
     fn pra_extra_cycle_enforced() {
         let mut c = checker();
-        c.observe(0, DramCommand::Activate { rank: 0, bank: 0, row: 5, mats: 2, extra_cycles: 1 })
-            .unwrap();
-        let err = c.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap_err();
+        c.observe(
+            0,
+            DramCommand::Activate {
+                rank: 0,
+                bank: 0,
+                row: 5,
+                mats: 2,
+                extra_cycles: 1,
+            },
+        )
+        .unwrap();
+        let err = c
+            .observe(11, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap_err();
         assert!(err.rule.contains("tRCD"), "{err}");
-        c.observe(12, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
+        c.observe(12, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap();
     }
 
     #[test]
     fn twr_violation_detected() {
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        c.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
+        c.observe(11, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap();
         // Write burst ends at 11 + WL(8) + 4 = 23; tWR ends at 35 > tRAS.
-        let err = c.observe(34, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap_err();
+        let err = c
+            .observe(34, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap_err();
         assert!(err.rule.contains("tWR"), "{err}");
         let mut c2 = checker();
         c2.observe(0, act(0, 0, 5)).unwrap();
-        c2.observe(11, DramCommand::Write { rank: 0, bank: 0 }).unwrap();
-        c2.observe(35, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c2.observe(11, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap();
+        c2.observe(35, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap();
     }
 
     #[test]
@@ -406,7 +456,8 @@ mod tests {
         c.observe(0, act(0, 0, 5)).unwrap();
         let err = c.observe(5, DramCommand::Refresh { rank: 0 }).unwrap_err();
         assert!(err.rule.contains("open"), "{err}");
-        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 }).unwrap();
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap();
         c.observe(39, DramCommand::Refresh { rank: 0 }).unwrap();
         // ACT during tRFC is illegal.
         let err = c.observe(100, act(0, 0, 5)).unwrap_err();
@@ -421,8 +472,11 @@ mod tests {
         c.observe(0, act(0, 1, 5)).unwrap_err(); // also tRRD, but check columns:
         let mut c = checker();
         c.observe(0, act(0, 0, 5)).unwrap();
-        c.observe(11, DramCommand::Read { rank: 0, bank: 0 }).unwrap();
-        let err = c.observe(14, DramCommand::Read { rank: 0, bank: 0 }).unwrap_err();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+        let err = c
+            .observe(14, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap_err();
         assert!(err.rule.contains("tCCD"), "{err}");
     }
 }

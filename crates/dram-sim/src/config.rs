@@ -27,9 +27,7 @@ impl PagePolicy {
     /// The address mapping the paper pairs with this policy.
     pub fn paper_mapping(self) -> AddressMapping {
         match self {
-            PagePolicy::RelaxedClosePage | PagePolicy::OpenPage => {
-                AddressMapping::RowInterleaved
-            }
+            PagePolicy::RelaxedClosePage | PagePolicy::OpenPage => AddressMapping::RowInterleaved,
             PagePolicy::RestrictedClosePage => AddressMapping::LineInterleaved,
         }
     }
@@ -66,7 +64,10 @@ impl QueueConfig {
     /// Panics if watermarks are inconsistent with capacities; configuration
     /// errors are construction-time bugs.
     pub fn assert_valid(&self) {
-        assert!(self.read_capacity > 0 && self.write_capacity > 0, "queues must be non-empty");
+        assert!(
+            self.read_capacity > 0 && self.write_capacity > 0,
+            "queues must be non-empty"
+        );
         assert!(
             self.write_low_watermark < self.write_high_watermark,
             "low watermark {} must be below high {}",
@@ -167,7 +168,10 @@ impl DramConfig {
         self.geometry.validate().expect("geometry");
         self.timing.validate().expect("timing");
         self.queues.assert_valid();
-        assert!(self.row_hit_cap >= 1, "row hit cap must allow at least one access");
+        assert!(
+            self.row_hit_cap >= 1,
+            "row hit cap must allow at least one access"
+        );
     }
 }
 

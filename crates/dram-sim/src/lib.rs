@@ -44,6 +44,7 @@ mod channel;
 mod checker;
 mod config;
 mod memory_system;
+mod obs;
 mod rank;
 mod scheme;
 mod stats;

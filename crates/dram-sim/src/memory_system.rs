@@ -1,12 +1,15 @@
 //! The memory-system facade: channels, global clock, stats and energy.
 
 use core::fmt;
+use std::io::Write;
 
 use dram_power::{EnergyAccounting, EnergyBreakdown, PowerBreakdown};
 use mem_model::{MemRequest, RequestId};
+use sim_obs::{Observer, TraceSink};
 
 use crate::channel::Channel;
 use crate::config::DramConfig;
+use crate::obs::DramObs;
 use crate::stats::DramStats;
 
 /// Error returned when a request cannot be accepted because its channel's
@@ -54,6 +57,7 @@ pub struct MemorySystem {
     stats: DramStats,
     energy: EnergyAccounting,
     completed_scratch: Vec<RequestId>,
+    obs: DramObs,
 }
 
 impl MemorySystem {
@@ -65,7 +69,9 @@ impl MemorySystem {
     /// [`DramConfig::assert_valid`]).
     pub fn new(config: DramConfig) -> Self {
         config.assert_valid();
-        let channels = (0..config.geometry.channels).map(|i| Channel::new(&config, i)).collect();
+        let channels = (0..config.geometry.channels)
+            .map(|i| Channel::new(&config, i))
+            .collect();
         let total_ranks = config.geometry.channels * config.geometry.ranks_per_channel;
         let energy = EnergyAccounting::new(config.power, total_ranks);
         MemorySystem {
@@ -74,8 +80,53 @@ impl MemorySystem {
             stats: DramStats::default(),
             energy,
             completed_scratch: Vec::new(),
+            obs: DramObs::new(),
             config,
         }
+    }
+
+    /// Attaches a trace sink; every subsequent DRAM command, power
+    /// transition and read completion is emitted as a [`sim_obs::TraceEvent`]
+    /// stamped with the memory cycle. Pass a `NullSink` (or never call
+    /// this) to keep tracing disabled at zero cost.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.obs.obs.set_sink(sink);
+    }
+
+    /// Enables epoch metric snapshots: every `cycles` memory cycles the
+    /// registry's counters and histograms are captured as a delta record
+    /// (written to `out` as JSONL when provided, and retained in memory
+    /// either way). `cycles == 0` disables snapshots.
+    pub fn set_metrics_epochs(&mut self, cycles: u64, out: Option<Box<dyn Write>>) {
+        self.obs.obs.set_epochs(cycles, out);
+    }
+
+    /// The observability layer: metrics registry, epoch snapshots, sink.
+    pub fn observer(&self) -> &Observer {
+        &self.obs.obs
+    }
+
+    /// Mutable observer access, used by outer simulation layers (caches,
+    /// cores) to register and publish their own metrics into the shared
+    /// registry so epoch snapshots cover the whole stack.
+    pub fn observer_mut(&mut self) -> &mut Observer {
+        &mut self.obs.obs
+    }
+
+    /// Whether the next [`MemorySystem::tick`] will close a metrics epoch.
+    /// Outer layers that mirror counters into the registry should publish
+    /// when this is true, just before ticking, so the closing snapshot sees
+    /// fresh values.
+    pub fn epoch_closes_next_tick(&self) -> bool {
+        self.obs.obs.epoch_due(self.cycle + 1)
+    }
+
+    /// Publishes final counter values into the registry, closes the last
+    /// partial epoch and flushes the sink and metrics writer. Call once
+    /// when the simulation ends; safe to call when observability is off.
+    pub fn finish_observability(&mut self) {
+        self.stats.publish_to(&mut self.obs.obs.registry);
+        self.obs.obs.finish(self.cycle);
     }
 
     /// The configuration in use.
@@ -104,9 +155,11 @@ impl MemorySystem {
         let loc = self.config.mapping.decode(req.addr, &self.config.geometry);
         let channel = &mut self.channels[loc.channel as usize];
         if !channel.can_accept(req.kind, &self.config) {
-            return Err(QueueFull { channel: loc.channel });
+            return Err(QueueFull {
+                channel: loc.channel,
+            });
         }
-        channel.enqueue(req, loc, self.cycle, &self.config);
+        channel.enqueue(req, loc, self.cycle, &self.config, &mut self.obs);
         Ok(())
     }
 
@@ -120,11 +173,16 @@ impl MemorySystem {
                 &self.config,
                 &mut self.stats,
                 &mut self.energy,
+                &mut self.obs,
                 &mut self.completed_scratch,
             );
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.obs.obs.epoch_due(self.cycle) {
+            self.stats.publish_to(&mut self.obs.obs.registry);
+            self.obs.obs.end_epoch(self.cycle);
+        }
         &self.completed_scratch
     }
 
@@ -186,13 +244,20 @@ mod tests {
     }
 
     fn loc(row: u32, column: u32) -> Location {
-        Location { channel: 0, rank: 0, bank: 0, row, column }
+        Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row,
+            column,
+        }
     }
 
     #[test]
     fn single_read_latency_is_act_plus_cas_plus_burst() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
-        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0))).unwrap();
+        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0)))
+            .unwrap();
         let mut done_cycle = None;
         for _ in 0..200 {
             if !mem.tick().is_empty() {
@@ -210,8 +275,10 @@ mod tests {
     fn second_read_to_same_row_hits() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
         let mapping = mem.config().mapping;
-        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
-        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping)))
+            .unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         assert_eq!(mem.stats().read.hits, 1);
         assert_eq!(mem.stats().read.misses, 1);
@@ -222,8 +289,10 @@ mod tests {
     fn row_conflict_precharges_and_reactivates() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
         let mapping = mem.config().mapping;
-        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
-        mem.try_enqueue(MemRequest::read(2, addr_for(loc(9, 0), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping)))
+            .unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(9, 0), mapping)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         assert_eq!(mem.stats().read.misses, 2);
         assert_eq!(mem.stats().activations, 2);
@@ -236,14 +305,16 @@ mod tests {
         let mapping = mem.config().mapping;
         // Same row twice: restricted close-page still pays two ACT/PRE pairs
         // because every column access auto-precharges.
-        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         // Let the armed auto-precharge fire (tRAS after the activate) before
         // the second request arrives.
         for _ in 0..64 {
             mem.tick();
         }
-        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         for _ in 0..64 {
             mem.tick(); // let the second auto-precharge fire
@@ -258,7 +329,8 @@ mod tests {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
         let mapping = mem.config().mapping;
         let a = addr_for(loc(3, 0), mapping);
-        mem.try_enqueue(MemRequest::write(1, a, WordMask::single(0))).unwrap();
+        mem.try_enqueue(MemRequest::write(1, a, WordMask::single(0)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         assert_eq!(mem.stats().activations, 1);
         assert_eq!(mem.stats().act_histogram[1], 1, "2 MATs for a 1-word mask");
@@ -271,14 +343,26 @@ mod tests {
     fn pra_masks_are_ored_across_queued_writes() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
         let mapping = mem.config().mapping;
-        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::single(0)))
-            .unwrap();
-        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(5)))
-            .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            1,
+            addr_for(loc(3, 0), mapping),
+            WordMask::single(0),
+        ))
+        .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            2,
+            addr_for(loc(3, 1), mapping),
+            WordMask::single(5),
+        ))
+        .unwrap();
         assert!(mem.run_until_idle(2000));
         // One activation with both groups selected; the second write hits.
         assert_eq!(mem.stats().activations, 1);
-        assert_eq!(mem.stats().act_histogram[3], 1, "4 MATs for the ORed 2-word mask");
+        assert_eq!(
+            mem.stats().act_histogram[3],
+            1,
+            "4 MATs for the ORed 2-word mask"
+        );
         assert_eq!(mem.stats().write.hits, 1);
         assert_eq!(mem.stats().write.misses, 1);
     }
@@ -288,7 +372,8 @@ mod tests {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
         let mapping = mem.config().mapping;
         let wa = addr_for(loc(3, 0), mapping);
-        mem.try_enqueue(MemRequest::write(1, wa, WordMask::single(0))).unwrap();
+        mem.try_enqueue(MemRequest::write(1, wa, WordMask::single(0)))
+            .unwrap();
         // Let the write open its partial row and be served.
         for _ in 0..60 {
             mem.tick();
@@ -302,10 +387,15 @@ mod tests {
             // has closed the row yet.
             mem.stats().precharges == 0
         };
-        mem.try_enqueue(MemRequest::read(2, addr_for(loc(3, 1), mapping))).unwrap();
+        mem.try_enqueue(MemRequest::read(2, addr_for(loc(3, 1), mapping)))
+            .unwrap();
         assert!(mem.run_until_idle(2000));
         if partially_open {
-            assert_eq!(mem.stats().read.false_hits, 1, "read to a partial row is a false hit");
+            assert_eq!(
+                mem.stats().read.false_hits,
+                1,
+                "read to a partial row is a false hit"
+            );
             assert_eq!(mem.stats().read.misses, 1);
         }
         assert_eq!(mem.stats().reads_completed, 1);
@@ -315,14 +405,22 @@ mod tests {
     fn pra_false_hit_on_uncovered_write() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
         let mapping = mem.config().mapping;
-        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::single(0)))
-            .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            1,
+            addr_for(loc(3, 0), mapping),
+            WordMask::single(0),
+        ))
+        .unwrap();
         for _ in 0..60 {
             mem.tick();
         }
         let still_open = mem.stats().precharges == 0;
-        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(7)))
-            .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            2,
+            addr_for(loc(3, 1), mapping),
+            WordMask::single(7),
+        ))
+        .unwrap();
         assert!(mem.run_until_idle(2000));
         if still_open {
             assert_eq!(mem.stats().write.false_hits, 1);
@@ -334,17 +432,29 @@ mod tests {
     fn covered_write_hits_partial_row() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
         let mapping = mem.config().mapping;
-        mem.try_enqueue(MemRequest::write(1, addr_for(loc(3, 0), mapping), WordMask::from_words([0, 7])))
-            .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            1,
+            addr_for(loc(3, 0), mapping),
+            WordMask::from_words([0, 7]),
+        ))
+        .unwrap();
         for _ in 0..60 {
             mem.tick();
         }
         let still_open = mem.stats().precharges == 0;
-        mem.try_enqueue(MemRequest::write(2, addr_for(loc(3, 1), mapping), WordMask::single(7)))
-            .unwrap();
+        mem.try_enqueue(MemRequest::write(
+            2,
+            addr_for(loc(3, 1), mapping),
+            WordMask::single(7),
+        ))
+        .unwrap();
         assert!(mem.run_until_idle(2000));
         if still_open {
-            assert_eq!(mem.stats().write.hits, 1, "subset mask hits the partial row");
+            assert_eq!(
+                mem.stats().write.hits,
+                1,
+                "subset mask hits the partial row"
+            );
             assert_eq!(mem.stats().write.false_hits, 0);
         }
     }
@@ -355,12 +465,14 @@ mod tests {
         let mut relaxed = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
         for mem in [&mut open, &mut relaxed] {
             let mapping = mem.config().mapping;
-            mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping))).unwrap();
+            mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 0), mapping)))
+                .unwrap();
             assert!(mem.run_until_idle(1000));
             for _ in 0..200 {
                 mem.tick(); // idle gap: relaxed closes the row, open-page keeps it
             }
-            mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping))).unwrap();
+            mem.try_enqueue(MemRequest::read(2, addr_for(loc(5, 1), mapping)))
+                .unwrap();
             assert!(mem.run_until_idle(1000));
         }
         assert_eq!(open.stats().read.hits, 1, "open page retains the row");
@@ -390,10 +502,8 @@ mod tests {
 
     #[test]
     fn refresh_postponing_defers_under_load_and_repays() {
-        let mut cfg = DramConfig::paper_baseline(
-            PagePolicy::RelaxedClosePage,
-            SchemeBehavior::baseline(),
-        );
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
         cfg.refresh_postpone_max = 8;
         let mut mem = MemorySystem::new(cfg);
         let mapping = mem.config().mapping;
@@ -435,7 +545,10 @@ mod tests {
         // power-down rate: 4 ranks x 1000 cycles x 18 mW x 1.25 ns.
         let bg = mem.energy().bg;
         let expected = 4.0 * 1000.0 * 18.0 * 1.25;
-        assert!((bg - expected).abs() / expected < 0.01, "bg {bg} vs {expected}");
+        assert!(
+            (bg - expected).abs() / expected < 0.01,
+            "bg {bg} vs {expected}"
+        );
     }
 
     #[test]
@@ -460,7 +573,8 @@ mod tests {
         let mapping = mem.config().mapping;
         for i in 0..48u64 {
             let a = addr_for(loc(i as u32, 0), mapping);
-            mem.try_enqueue(MemRequest::write(i, a, WordMask::FULL)).unwrap();
+            mem.try_enqueue(MemRequest::write(i, a, WordMask::FULL))
+                .unwrap();
         }
         mem.tick();
         assert_eq!(mem.stats().drain_entries, 1);
@@ -498,7 +612,10 @@ mod tests {
                 break;
             }
         }
-        assert!(fga_done > base_done, "FGA ({fga_done}) must be slower than baseline ({base_done})");
+        assert!(
+            fga_done > base_done,
+            "FGA ({fga_done}) must be slower than baseline ({base_done})"
+        );
         // I/O energy identical per line (the paper: FGA pays in runtime, not
         // energy per bit).
         assert!((base.energy().rd_io - fga.energy().rd_io).abs() < 1e-9);
@@ -507,7 +624,8 @@ mod tests {
     #[test]
     fn half_dram_charges_half_row_activations() {
         let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::half_dram());
-        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0))).unwrap();
+        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0)))
+            .unwrap();
         assert!(mem.run_until_idle(1000));
         assert_eq!(mem.stats().act_histogram[7], 1, "8 MATs");
         let act = mem.energy().act_pre;

@@ -1,0 +1,41 @@
+//! Wiring between the DRAM simulator and the `sim-obs` observability layer.
+//!
+//! [`DramObs`] bundles the [`Observer`] with the metric ids the hot path
+//! records into, pre-registered at construction so scheduler code pays an
+//! index into the registry per sample instead of a name lookup.
+
+use sim_obs::{MetricId, Observer};
+
+/// Observer plus pre-registered metric handles, owned by the memory system
+/// and lent to each channel during `tick`/`enqueue`.
+#[derive(Debug)]
+pub(crate) struct DramObs {
+    /// The shared observer: trace sink, metrics registry, epoch machinery.
+    pub obs: Observer,
+    /// `dram.read_latency` histogram — enqueue-to-data cycles per read.
+    pub read_latency: MetricId,
+    /// `dram.act_mats` histogram — MATs driven per activation.
+    pub act_mats: MetricId,
+    /// `dram.read_queue_occupancy` histogram — depth sampled at enqueue.
+    pub read_q_occupancy: MetricId,
+    /// `dram.write_queue_occupancy` histogram — depth sampled at enqueue.
+    pub write_q_occupancy: MetricId,
+}
+
+impl DramObs {
+    pub fn new() -> Self {
+        let mut obs = Observer::disabled();
+        let reg = &mut obs.registry;
+        let read_latency = reg.histogram("dram.read_latency");
+        let act_mats = reg.histogram("dram.act_mats");
+        let read_q_occupancy = reg.histogram("dram.read_queue_occupancy");
+        let write_q_occupancy = reg.histogram("dram.write_queue_occupancy");
+        DramObs {
+            obs,
+            read_latency,
+            act_mats,
+            read_q_occupancy,
+            write_q_occupancy,
+        }
+    }
+}

@@ -91,7 +91,11 @@ impl Rank {
     /// Records an activation issued at `now` with the given weight, updating
     /// tRRD and tFAW bookkeeping. `relaxed` selects granularity-scaled tRRD.
     pub fn record_activation(&mut self, now: u64, weight: f64, relaxed: bool, t: &TimingParams) {
-        let spacing = if relaxed { t.scaled_trrd(weight) } else { t.trrd };
+        let spacing = if relaxed {
+            t.scaled_trrd(weight)
+        } else {
+            t.trrd
+        };
         self.next_act_allowed_at = now + spacing;
         self.faw_window.push_back((now, weight));
         // Garbage-collect entries that can no longer affect any check.
@@ -152,7 +156,9 @@ impl Rank {
 
     /// `true` when every bank is closed and ready for the REF command.
     pub fn ready_for_refresh(&self, now: u64) -> bool {
-        self.banks.iter().all(|b| !b.is_open() && now >= b.ready_for_activate_at)
+        self.banks
+            .iter()
+            .all(|b| !b.is_open() && now >= b.ready_for_activate_at)
             && now >= self.available_at
     }
 
@@ -161,7 +167,9 @@ impl Rank {
         debug_assert!(matches!(self.refresh, RefreshState::Idle));
         debug_assert!(self.refresh_debt > 0, "REF without debt");
         debug_assert!(self.ready_for_refresh(now));
-        self.refresh = RefreshState::InProgress { until: now + t.trfc };
+        self.refresh = RefreshState::InProgress {
+            until: now + t.trfc,
+        };
         for bank in &mut self.banks {
             bank.ready_for_activate_at = bank.ready_for_activate_at.max(now + t.trfc);
         }

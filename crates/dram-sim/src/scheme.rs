@@ -218,7 +218,11 @@ mod tests {
         assert_eq!(s.write_coverage(m), m);
         assert!(s.has_partial_coverage());
         assert_eq!(s.act_extra_cycles(m), 1);
-        assert_eq!(s.act_extra_cycles(WordMask::FULL), 0, "full-mask writes need no extra cycle");
+        assert_eq!(
+            s.act_extra_cycles(WordMask::FULL),
+            0,
+            "full-mask writes need no extra cycle"
+        );
         assert_eq!(s.write_io_fraction(m), 0.25);
         assert_eq!(s.read_act_mats, 16, "PRA keeps full-row reads");
     }

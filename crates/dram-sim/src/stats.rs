@@ -105,7 +105,10 @@ impl DramStats {
     ///
     /// Panics if `mats` is outside `1..=16`.
     pub fn record_activation(&mut self, mats: u32, for_read: bool) {
-        assert!((1..=FULL_ROW_MATS).contains(&mats), "mats {mats} out of range");
+        assert!(
+            (1..=FULL_ROW_MATS).contains(&mats),
+            "mats {mats} out of range"
+        );
         self.activations += 1;
         self.act_histogram[(mats - 1) as usize] += 1;
         if for_read {
@@ -160,6 +163,42 @@ impl DramStats {
         out
     }
 
+    /// Mirrors every counter into `reg` under canonical `dram.*` names, so
+    /// epoch snapshots and metric dumps see the same numbers the public
+    /// accessors report. Registration is idempotent; call this whenever the
+    /// registry needs to be brought up to date (epoch boundaries, end of
+    /// run).
+    pub fn publish_to(&self, reg: &mut sim_obs::MetricsRegistry) {
+        let mut set = |name: &str, value: u64| {
+            let id = reg.counter(name);
+            reg.set_counter(id, value);
+        };
+        set("dram.cycles", self.cycles);
+        set("dram.read.hits", self.read.hits);
+        set("dram.read.false_hits", self.read.false_hits);
+        set("dram.read.misses", self.read.misses);
+        set("dram.write.hits", self.write.hits);
+        set("dram.write.false_hits", self.write.false_hits);
+        set("dram.write.misses", self.write.misses);
+        set("dram.reads_completed", self.reads_completed);
+        set("dram.writes_completed", self.writes_completed);
+        set("dram.read_latency_sum", self.read_latency_sum);
+        set("dram.activations", self.activations);
+        let partial: u64 = self.act_histogram[..FULL_ROW_MATS as usize - 1]
+            .iter()
+            .sum();
+        set("dram.activations.partial", partial);
+        set(
+            "dram.activations.for_reads",
+            self.act_histogram_reads.iter().sum(),
+        );
+        set("dram.precharges", self.precharges);
+        set("dram.refreshes", self.refreshes);
+        set("dram.bus_busy_cycles", self.bus_busy_cycles);
+        set("dram.hit_cap_precharges", self.hit_cap_precharges);
+        set("dram.drain_entries", self.drain_entries);
+    }
+
     /// Average activation granularity as a fraction of a full row; the
     /// paper's "reduces average row activation granularity by 42%" metric is
     /// `1.0 - this`.
@@ -184,7 +223,11 @@ mod tests {
 
     #[test]
     fn hit_rate_with_false_hits() {
-        let h = HitCounters { hits: 6, false_hits: 2, misses: 4 };
+        let h = HitCounters {
+            hits: 6,
+            false_hits: 2,
+            misses: 4,
+        };
         assert!((h.hit_rate() - 0.6).abs() < 1e-12);
         assert!((h.conventional_hit_rate() - 0.8).abs() < 1e-12);
     }
@@ -239,5 +282,75 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn activation_rejects_zero_mats() {
         DramStats::default().record_activation(0, true);
+    }
+
+    #[test]
+    fn false_hits_are_counted_inside_misses() {
+        // A false hit is recorded by incrementing BOTH false_hits and
+        // misses, so totals never double-count and false_hits <= misses.
+        let mut h = HitCounters::default();
+        for _ in 0..3 {
+            h.hits += 1;
+        }
+        for _ in 0..2 {
+            h.misses += 1; // plain conflict misses
+        }
+        for _ in 0..2 {
+            h.false_hits += 1; // PRA false row-buffer hits...
+            h.misses += 1; // ...always counted as misses too
+        }
+        assert_eq!(h.total(), 7, "false hits must not inflate the total");
+        assert!(h.false_hits <= h.misses);
+        assert!((h.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
+        assert!((h.conventional_hit_rate() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conventional_hit_rate_never_below_hit_rate() {
+        for hits in 0..6u64 {
+            for false_hits in 0..6u64 {
+                for extra_misses in 0..6u64 {
+                    let h = HitCounters {
+                        hits,
+                        false_hits,
+                        misses: false_hits + extra_misses,
+                    };
+                    assert!(
+                        h.conventional_hit_rate() >= h.hit_rate() - 1e-12,
+                        "{h:?}: conventional rate must dominate"
+                    );
+                    assert!(h.hit_rate() <= 1.0 && h.conventional_hit_rate() <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn publish_mirrors_counters_into_registry() {
+        let mut s = DramStats {
+            cycles: 1000,
+            read: HitCounters {
+                hits: 5,
+                false_hits: 1,
+                misses: 3,
+            },
+            ..DramStats::default()
+        };
+        s.record_activation(2, false);
+        s.record_activation(16, true);
+        s.refreshes = 4;
+        let mut reg = sim_obs::MetricsRegistry::new();
+        s.publish_to(&mut reg);
+        assert_eq!(reg.counter_value("dram.cycles"), Some(1000));
+        assert_eq!(reg.counter_value("dram.read.hits"), Some(5));
+        assert_eq!(reg.counter_value("dram.read.false_hits"), Some(1));
+        assert_eq!(reg.counter_value("dram.activations"), Some(2));
+        assert_eq!(reg.counter_value("dram.activations.partial"), Some(1));
+        assert_eq!(reg.counter_value("dram.activations.for_reads"), Some(1));
+        assert_eq!(reg.counter_value("dram.refreshes"), Some(4));
+        // Publishing again with advanced counters is fine (monotone).
+        s.refreshes = 6;
+        s.publish_to(&mut reg);
+        assert_eq!(reg.counter_value("dram.refreshes"), Some(6));
     }
 }

@@ -1,0 +1,180 @@
+//! Acceptance tests for the observability layer: trace events, final
+//! statistics and epoch snapshots must all agree on what the simulator did.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::rng::Rng;
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use sim_obs::{RingSink, TraceEvent};
+
+/// Drives `mem` with a deterministic random mix of reads and partial
+/// writes, with idle gaps so refresh and power-down paths fire too.
+fn drive(mem: &mut MemorySystem, requests: usize, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for id in 0..requests as u64 {
+        let addr = PhysAddr::from_line_number(rng.random_range(0u64..1 << 18));
+        let req = if rng.random_bool(0.4) {
+            let bits = rng.random_range(1u16..256) as u8;
+            MemRequest::write(id, addr, WordMask::from_bits(bits))
+        } else {
+            MemRequest::read(id, addr)
+        };
+        while mem.try_enqueue(req).is_err() {
+            mem.tick();
+        }
+        for _ in 0..rng.random_range(0u16..64) {
+            mem.tick();
+        }
+    }
+    assert!(mem.run_until_idle(2_000_000), "failed to drain");
+    // Idle long enough for refreshes and power-down entries to occur.
+    for _ in 0..20_000 {
+        mem.tick();
+    }
+}
+
+#[test]
+fn trace_event_counts_match_final_stats() {
+    let sink = Rc::new(RefCell::new(RingSink::new(4_000_000)));
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    mem.set_trace_sink(Box::new(Rc::clone(&sink)));
+    drive(&mut mem, 400, 0x7472_6163);
+    mem.finish_observability();
+
+    let sink = sink.borrow();
+    assert_eq!(
+        sink.dropped(),
+        0,
+        "ring must be large enough for the whole run"
+    );
+    let count = |kind: &str| sink.events().filter(|e| e.kind() == kind).count() as u64;
+
+    let stats = mem.stats();
+    let partial: u64 = stats.act_histogram[..15].iter().sum();
+    assert_eq!(count("ACT") + count("PARTIAL_ACT"), stats.activations);
+    assert_eq!(
+        count("PARTIAL_ACT"),
+        partial,
+        "partial-ACT events match the histogram"
+    );
+    assert_eq!(count("RD"), stats.reads_completed);
+    assert_eq!(count("WR"), stats.writes_completed);
+    assert_eq!(count("PRE"), stats.precharges);
+    assert_eq!(count("REF"), stats.refreshes);
+    assert_eq!(count("RD_DONE"), stats.reads_completed);
+    assert_eq!(count("DRAIN"), stats.drain_entries);
+    assert!(count("PDN") > 0, "idle gaps must power ranks down");
+    // Every power-up matches an earlier power-down on the same rank.
+    assert!(count("PUP") <= count("PDN"));
+
+    // Per-activation mats in the trace reproduce the histogram exactly.
+    let mut hist = [0u64; 16];
+    let mut latency_sum = 0u64;
+    for ev in sink.events() {
+        match *ev {
+            TraceEvent::Activate { mats, .. } => hist[(mats - 1) as usize] += 1,
+            TraceEvent::ReadComplete { latency, .. } => latency_sum += latency,
+            _ => {}
+        }
+    }
+    assert_eq!(hist, stats.act_histogram);
+    assert_eq!(latency_sum, stats.read_latency_sum);
+
+    // The registry's histograms agree with the counters.
+    let reg = &mem.observer().registry;
+    let lat = reg.histogram_value("dram.read_latency").unwrap();
+    assert_eq!(lat.count(), stats.reads_completed);
+    assert_eq!(lat.sum(), stats.read_latency_sum);
+    let mats = reg.histogram_value("dram.act_mats").unwrap();
+    assert_eq!(mats.count(), stats.activations);
+    assert_eq!(
+        reg.counter_value("dram.activations"),
+        Some(stats.activations)
+    );
+    assert_eq!(reg.counter_value("dram.read.hits"), Some(stats.read.hits));
+}
+
+#[test]
+fn epoch_deltas_sum_to_final_aggregates() {
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::half_dram_pra(),
+    ));
+    mem.set_metrics_epochs(5_000, None);
+    drive(&mut mem, 300, 0x6570_6f63);
+    mem.finish_observability();
+
+    let snaps = mem.observer().snapshots();
+    assert!(
+        snaps.len() >= 2,
+        "run must span several epochs, got {}",
+        snaps.len()
+    );
+    // Epochs tile the run: contiguous, in order, ending at the final cycle.
+    for pair in snaps.windows(2) {
+        assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        assert_eq!(pair[0].index + 1, pair[1].index);
+    }
+    assert_eq!(snaps[0].start_cycle, 0);
+    assert_eq!(snaps.last().unwrap().end_cycle, mem.cycle());
+
+    let sum_of = |name: &str| -> u64 {
+        snaps
+            .iter()
+            .map(|s| {
+                s.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |&(_, v)| v)
+            })
+            .sum()
+    };
+    let stats = mem.stats();
+    assert_eq!(sum_of("dram.cycles"), stats.cycles);
+    assert_eq!(sum_of("dram.activations"), stats.activations);
+    assert_eq!(sum_of("dram.precharges"), stats.precharges);
+    assert_eq!(sum_of("dram.refreshes"), stats.refreshes);
+    assert_eq!(sum_of("dram.reads_completed"), stats.reads_completed);
+    assert_eq!(sum_of("dram.writes_completed"), stats.writes_completed);
+    assert_eq!(sum_of("dram.read.hits"), stats.read.hits);
+    assert_eq!(sum_of("dram.read.misses"), stats.read.misses);
+    assert_eq!(sum_of("dram.write.false_hits"), stats.write.false_hits);
+
+    // Histogram deltas likewise sum to the full-run totals.
+    let hist_count_sum: u64 = snaps
+        .iter()
+        .flat_map(|s| &s.histograms)
+        .filter(|(n, _)| n == "dram.read_latency")
+        .map(|(_, d)| d.count)
+        .sum();
+    assert_eq!(hist_count_sum, stats.reads_completed);
+}
+
+#[test]
+fn observability_off_changes_nothing() {
+    let run = |observed: bool| {
+        let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+            PagePolicy::RestrictedClosePage,
+            SchemeBehavior::pra(),
+        ));
+        if observed {
+            mem.set_trace_sink(Box::new(Rc::new(RefCell::new(RingSink::new(1 << 20)))));
+            mem.set_metrics_epochs(1_000, None);
+        }
+        drive(&mut mem, 200, 0x6f66_6621);
+        mem.finish_observability();
+        (mem.stats().clone(), mem.energy())
+    };
+    let (plain_stats, plain_energy) = run(false);
+    let (obs_stats, obs_energy) = run(true);
+    assert_eq!(plain_stats.activations, obs_stats.activations);
+    assert_eq!(plain_stats.read, obs_stats.read);
+    assert_eq!(plain_stats.write, obs_stats.write);
+    assert_eq!(plain_stats.cycles, obs_stats.cycles);
+    assert!((plain_energy.total() - obs_energy.total()).abs() < 1e-9);
+}

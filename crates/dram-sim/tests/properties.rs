@@ -1,53 +1,57 @@
-//! Property-based tests of the cycle-level memory system: for arbitrary
-//! request streams, under every scheme and policy, the simulator must
-//! complete all work and keep its statistics and energy accounting
+//! Randomized property tests of the cycle-level memory system: for
+//! arbitrary request streams, under every scheme and policy, the simulator
+//! must complete all work and keep its statistics and energy accounting
 //! consistent.
+//!
+//! Formerly driven by proptest; now deterministic seeded sweeps over the
+//! in-repo [`mem_model::rng`] PRNG so the suite builds and runs offline.
 
 use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::rng::Rng;
 use mem_model::{MemRequest, PhysAddr, WordMask};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct ReqSpec {
     line: u64,
-    write_mask: Option<u8>, // None = read; Some(0) coerced to 1
+    write_mask: Option<u8>, // None = read
     gap: u8,
 }
 
-fn req_stream() -> impl Strategy<Value = Vec<ReqSpec>> {
-    prop::collection::vec(
-        (0u64..1 << 22, prop::option::of(any::<u8>()), any::<u8>()).prop_map(
-            |(line, write_mask, gap)| ReqSpec { line, write_mask, gap },
-        ),
-        1..60,
-    )
+fn random_stream(rng: &mut Rng) -> Vec<ReqSpec> {
+    let len = rng.random_range(1usize..60);
+    (0..len)
+        .map(|_| ReqSpec {
+            line: rng.random_range(0u64..1 << 22),
+            write_mask: rng
+                .random_bool(0.5)
+                .then(|| rng.random_range(1u16..256) as u8),
+            gap: rng.random_range(0u16..256) as u8,
+        })
+        .collect()
 }
 
-fn scheme_strategy() -> impl Strategy<Value = SchemeBehavior> {
-    prop_oneof![
-        Just(SchemeBehavior::baseline()),
-        Just(SchemeBehavior::fga_half()),
-        Just(SchemeBehavior::half_dram()),
-        Just(SchemeBehavior::pra()),
-        Just(SchemeBehavior::half_dram_pra()),
-    ]
-}
+const SCHEMES: [fn() -> SchemeBehavior; 5] = [
+    SchemeBehavior::baseline,
+    SchemeBehavior::fga_half,
+    SchemeBehavior::half_dram,
+    SchemeBehavior::pra,
+    SchemeBehavior::half_dram_pra,
+];
 
-fn policy_strategy() -> impl Strategy<Value = PagePolicy> {
-    prop_oneof![Just(PagePolicy::RelaxedClosePage), Just(PagePolicy::RestrictedClosePage)]
-}
+const POLICIES: [PagePolicy; 2] = [
+    PagePolicy::RelaxedClosePage,
+    PagePolicy::RestrictedClosePage,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every enqueued request completes, and the hit/miss classification
-    /// covers each request exactly once.
-    #[test]
-    fn all_requests_complete_and_classify(
-        stream in req_stream(),
-        scheme in scheme_strategy(),
-        policy in policy_strategy(),
-    ) {
+/// Every enqueued request completes, and the hit/miss classification covers
+/// each request exactly once.
+#[test]
+fn all_requests_complete_and_classify() {
+    let mut rng = Rng::seed_from_u64(0x636f_6d70);
+    for case in 0..48 {
+        let stream = random_stream(&mut rng);
+        let scheme = SCHEMES[case % SCHEMES.len()]();
+        let policy = POLICIES[case % POLICIES.len()];
         let mut mem = MemorySystem::new(DramConfig::paper_baseline(policy, scheme));
         let (mut reads, mut writes) = (0u64, 0u64);
         for (id, spec) in stream.iter().enumerate() {
@@ -68,40 +72,42 @@ proptest! {
             while mem.try_enqueue(pending).is_err() {
                 mem.tick();
                 tries += 1;
-                prop_assert!(tries < 100_000, "enqueue starved");
+                assert!(tries < 100_000, "enqueue starved");
                 pending = req;
             }
             for _ in 0..spec.gap {
                 mem.tick();
             }
         }
-        prop_assert!(mem.run_until_idle(2_000_000), "system failed to drain");
+        assert!(mem.run_until_idle(2_000_000), "system failed to drain");
         let stats = mem.stats();
-        prop_assert_eq!(stats.reads_completed, reads);
-        prop_assert_eq!(stats.writes_completed, writes);
-        prop_assert_eq!(stats.read.total(), reads, "each read classified once");
-        prop_assert_eq!(stats.write.total(), writes, "each write classified once");
+        assert_eq!(stats.reads_completed, reads);
+        assert_eq!(stats.writes_completed, writes);
+        assert_eq!(stats.read.total(), reads, "each read classified once");
+        assert_eq!(stats.write.total(), writes, "each write classified once");
         // False hits are a subset of misses.
-        prop_assert!(stats.read.false_hits <= stats.read.misses);
-        prop_assert!(stats.write.false_hits <= stats.write.misses);
+        assert!(stats.read.false_hits <= stats.read.misses);
+        assert!(stats.write.false_hits <= stats.write.misses);
         // Histogram totals match the activation count.
         let hist_total: u64 = stats.act_histogram.iter().sum();
-        prop_assert_eq!(hist_total, stats.activations);
+        assert_eq!(hist_total, stats.activations);
         // Energy components are non-negative and finite.
         let e = mem.energy();
         for part in [e.act_pre, e.rd, e.wr, e.rd_io, e.wr_io, e.bg, e.refresh] {
-            prop_assert!(part.is_finite() && part >= 0.0);
+            assert!(part.is_finite() && part >= 0.0);
         }
-        prop_assert!(e.total() > 0.0);
+        assert!(e.total() > 0.0);
     }
+}
 
-    /// Non-PRA schemes never record false row-buffer hits (full coverage
-    /// always), and never activate partially for coverage reasons.
-    #[test]
-    fn conventional_schemes_have_no_false_hits(
-        stream in req_stream(),
-        policy in policy_strategy(),
-    ) {
+/// Non-PRA schemes never record false row-buffer hits (full coverage
+/// always), and never activate partially for coverage reasons.
+#[test]
+fn conventional_schemes_have_no_false_hits() {
+    let mut rng = Rng::seed_from_u64(0x6261_7365);
+    for case in 0..24 {
+        let stream = random_stream(&mut rng);
+        let policy = POLICIES[case % POLICIES.len()];
         let mut mem = MemorySystem::new(DramConfig::paper_baseline(
             policy,
             SchemeBehavior::baseline(),
@@ -116,19 +122,23 @@ proptest! {
                 mem.tick();
             }
         }
-        prop_assert!(mem.run_until_idle(2_000_000));
-        prop_assert_eq!(mem.stats().read.false_hits, 0);
-        prop_assert_eq!(mem.stats().write.false_hits, 0);
+        assert!(mem.run_until_idle(2_000_000));
+        assert_eq!(mem.stats().read.false_hits, 0);
+        assert_eq!(mem.stats().write.false_hits, 0);
         // Baseline activations are all full-row (16 MATs).
         let hist = mem.stats().act_histogram;
         let partial: u64 = hist[..15].iter().sum();
-        prop_assert_eq!(partial, 0, "baseline must only do 16-MAT activations");
+        assert_eq!(partial, 0, "baseline must only do 16-MAT activations");
     }
+}
 
-    /// PRA's activation energy never exceeds the baseline's for the same
-    /// request stream (the core power claim, stream-by-stream).
-    #[test]
-    fn pra_activation_energy_never_exceeds_baseline(stream in req_stream()) {
+/// PRA's activation energy never exceeds the baseline's for the same
+/// request stream (the core power claim, stream-by-stream).
+#[test]
+fn pra_activation_energy_never_exceeds_baseline() {
+    let mut rng = Rng::seed_from_u64(0x7072_6131);
+    for _ in 0..24 {
+        let stream = random_stream(&mut rng);
         let run = |scheme: SchemeBehavior| {
             let mut mem = MemorySystem::new(DramConfig::paper_baseline(
                 PagePolicy::RestrictedClosePage,
@@ -154,9 +164,13 @@ proptest! {
         // Restricted close-page: same request stream implies at least as
         // many activations for PRA (false hits cannot reduce them), but
         // each write activation is no wider than full row.
-        prop_assert!(pra.act_pre <= base.act_pre + 1e-6,
-            "PRA ACT energy {} vs baseline {}", pra.act_pre, base.act_pre);
+        assert!(
+            pra.act_pre <= base.act_pre + 1e-6,
+            "PRA ACT energy {} vs baseline {}",
+            pra.act_pre,
+            base.act_pre
+        );
         // Write I/O energy shrinks or stays equal.
-        prop_assert!(pra.wr_io <= base.wr_io + 1e-6);
+        assert!(pra.wr_io <= base.wr_io + 1e-6);
     }
 }

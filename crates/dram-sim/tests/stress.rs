@@ -35,7 +35,11 @@ fn stress(requests: u64, scheme: SchemeBehavior, policy: PagePolicy, seed: u64) 
             }
             let r = rng.next();
             // Mix of hot rows (locality) and cold random lines.
-            let line = if r.is_multiple_of(5) { r % 512 } else { r % (1 << 24) };
+            let line = if r.is_multiple_of(5) {
+                r % 512
+            } else {
+                r % (1 << 24)
+            };
             let addr = PhysAddr::from_line_number(line);
             let req = if r.is_multiple_of(3) {
                 writes += 1;
@@ -95,5 +99,10 @@ fn stress_all_schemes_briefly() {
 #[test]
 #[ignore = "long-running; cargo test -p dram-sim --test stress -- --ignored"]
 fn stress_pra_half_million_requests() {
-    stress(500_000, SchemeBehavior::pra(), PagePolicy::RelaxedClosePage, 0xdead_beef);
+    stress(
+        500_000,
+        SchemeBehavior::pra(),
+        PagePolicy::RelaxedClosePage,
+        0xdead_beef,
+    );
 }

@@ -9,11 +9,20 @@ fn addr(loc: Location) -> PhysAddr {
 }
 
 fn loc(rank: u32, bank: u32, row: u32, column: u32) -> Location {
-    Location { channel: 0, rank, bank, row, column }
+    Location {
+        channel: 0,
+        rank,
+        bank,
+        row,
+        column,
+    }
 }
 
 fn system(scheme: SchemeBehavior) -> MemorySystem {
-    MemorySystem::new(DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, scheme))
+    MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        scheme,
+    ))
 }
 
 fn drain_cycles(mem: &mut MemorySystem) -> u64 {
@@ -26,13 +35,21 @@ fn drain_cycles(mem: &mut MemorySystem) -> u64 {
 fn write_to_read_turnaround_slows_the_pair() {
     // Same bank, same row: write then read must pay the bus turnaround.
     let mut wr_rd = system(SchemeBehavior::baseline());
-    wr_rd.try_enqueue(MemRequest::write(1, addr(loc(0, 0, 1, 0)), WordMask::FULL)).unwrap();
-    wr_rd.try_enqueue(MemRequest::read(2, addr(loc(0, 0, 1, 1)))).unwrap();
+    wr_rd
+        .try_enqueue(MemRequest::write(1, addr(loc(0, 0, 1, 0)), WordMask::FULL))
+        .unwrap();
+    wr_rd
+        .try_enqueue(MemRequest::read(2, addr(loc(0, 0, 1, 1))))
+        .unwrap();
     let mixed = drain_cycles(&mut wr_rd);
 
     let mut rd_rd = system(SchemeBehavior::baseline());
-    rd_rd.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0)))).unwrap();
-    rd_rd.try_enqueue(MemRequest::read(2, addr(loc(0, 0, 1, 1)))).unwrap();
+    rd_rd
+        .try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0))))
+        .unwrap();
+    rd_rd
+        .try_enqueue(MemRequest::read(2, addr(loc(0, 0, 1, 1))))
+        .unwrap();
     let same_dir = drain_cycles(&mut rd_rd);
 
     assert!(
@@ -46,13 +63,19 @@ fn rank_switch_pays_trtrs() {
     // Two reads to different ranks vs the same rank (different banks, so
     // bank timing does not dominate).
     let mut cross = system(SchemeBehavior::baseline());
-    cross.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0)))).unwrap();
-    cross.try_enqueue(MemRequest::read(2, addr(loc(1, 1, 1, 0)))).unwrap();
+    cross
+        .try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0))))
+        .unwrap();
+    cross
+        .try_enqueue(MemRequest::read(2, addr(loc(1, 1, 1, 0))))
+        .unwrap();
     let cross_cycles = drain_cycles(&mut cross);
 
     let mut same = system(SchemeBehavior::baseline());
-    same.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0)))).unwrap();
-    same.try_enqueue(MemRequest::read(2, addr(loc(0, 1, 1, 0)))).unwrap();
+    same.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0))))
+        .unwrap();
+    same.try_enqueue(MemRequest::read(2, addr(loc(0, 1, 1, 0))))
+        .unwrap();
     let same_cycles = drain_cycles(&mut same);
 
     assert!(
@@ -69,7 +92,8 @@ fn power_down_exit_adds_txp() {
     for _ in 0..200 {
         mem.tick();
     }
-    mem.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0)))).unwrap();
+    mem.try_enqueue(MemRequest::read(1, addr(loc(0, 0, 1, 0))))
+        .unwrap();
     let mut latency = 0;
     for c in 0..200u64 {
         if !mem.tick().is_empty() {
@@ -88,14 +112,18 @@ fn pra_partial_write_pays_one_extra_cycle() {
     // command by exactly one cycle relative to the baseline.
     let run = |scheme: SchemeBehavior, mask: WordMask| {
         let mut mem = system(scheme);
-        mem.try_enqueue(MemRequest::write(1, addr(loc(0, 0, 1, 0)), mask)).unwrap();
+        mem.try_enqueue(MemRequest::write(1, addr(loc(0, 0, 1, 0)), mask))
+            .unwrap();
         drain_cycles(&mut mem)
     };
     let base = run(SchemeBehavior::baseline(), WordMask::single(0));
     let pra_partial = run(SchemeBehavior::pra(), WordMask::single(0));
     let pra_full = run(SchemeBehavior::pra(), WordMask::FULL);
     assert_eq!(pra_partial, base + 1, "partial activation costs tRCD + tCK");
-    assert_eq!(pra_full, base, "full-mask PRA writes have conventional timing");
+    assert_eq!(
+        pra_full, base,
+        "full-mask PRA writes have conventional timing"
+    );
 }
 
 #[test]
@@ -133,7 +161,8 @@ fn refresh_blocks_and_releases_a_rank() {
     }
     assert!(mem.stats().refreshes >= 1, "first refresh must have fired");
     // The system still serves requests afterwards.
-    mem.try_enqueue(MemRequest::read(99, addr(loc(0, 0, 7, 0)))).unwrap();
+    mem.try_enqueue(MemRequest::read(99, addr(loc(0, 0, 7, 0))))
+        .unwrap();
     assert!(mem.run_until_idle(10_000));
     assert_eq!(mem.stats().reads_completed, 1);
 }
@@ -144,7 +173,8 @@ fn tccd_spaces_row_hits() {
     // Four reads hitting one open row complete tCCD apart.
     let mut mem = system(SchemeBehavior::baseline());
     for i in 0..4u64 {
-        mem.try_enqueue(MemRequest::read(i + 1, addr(loc(0, 0, 1, i as u32)))).unwrap();
+        mem.try_enqueue(MemRequest::read(i + 1, addr(loc(0, 0, 1, i as u32))))
+            .unwrap();
     }
     let mut completions = Vec::new();
     for c in 0..200u64 {

@@ -67,7 +67,11 @@ impl PhysAddr {
     /// Panics on overflow of the underlying 64-bit address space, which would
     /// indicate a bug in a workload generator.
     pub fn offset(self, bytes: u64) -> Self {
-        PhysAddr(self.0.checked_add(bytes).expect("physical address overflow"))
+        PhysAddr(
+            self.0
+                .checked_add(bytes)
+                .expect("physical address overflow"),
+        )
     }
 }
 

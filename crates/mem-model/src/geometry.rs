@@ -125,7 +125,9 @@ impl DramGeometry {
     pub fn validate(&self) -> Result<(), GeometryError> {
         let pow2 = |name: &str, v: usize| -> Result<(), GeometryError> {
             if v == 0 || !v.is_power_of_two() {
-                Err(GeometryError(format!("{name} must be a non-zero power of two, got {v}")))
+                Err(GeometryError(format!(
+                    "{name} must be a non-zero power of two, got {v}"
+                )))
             } else {
                 Ok(())
             }
@@ -140,7 +142,9 @@ impl DramGeometry {
         pow2("subarrays_per_bank", self.subarrays_per_bank)?;
         let bus = self.chips_per_rank * self.device_width_bits;
         if bus != 64 {
-            return Err(GeometryError(format!("rank data bus must be 64 bits, got {bus}")));
+            return Err(GeometryError(format!(
+                "rank data bus must be 64 bits, got {bus}"
+            )));
         }
         if !self.row_bytes().is_multiple_of(LINE_BYTES) {
             return Err(GeometryError(format!(

@@ -38,6 +38,7 @@ mod geometry;
 mod mapping;
 mod mask;
 mod request;
+pub mod rng;
 
 pub use addr::PhysAddr;
 pub use geometry::{DramGeometry, GeometryError};

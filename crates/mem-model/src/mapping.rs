@@ -120,7 +120,13 @@ impl AddressMapping {
                 } else {
                     bank
                 };
-                Location { channel, rank, bank, row, column }
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    column,
+                }
             }
             AddressMapping::LineInterleaved => {
                 let channel = take(&mut bits, ch_bits);
@@ -128,7 +134,13 @@ impl AddressMapping {
                 let rank = take(&mut bits, rank_bits);
                 let column = take(&mut bits, col_bits);
                 let row = take(&mut bits, row_bits);
-                Location { channel, rank, bank, row, column }
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    column,
+                }
             }
         }
     }
@@ -177,13 +189,19 @@ mod tests {
     use super::*;
 
     fn geometries() -> Vec<DramGeometry> {
-        vec![DramGeometry::baseline_ddr3(), DramGeometry::tiny_for_tests()]
+        vec![
+            DramGeometry::baseline_ddr3(),
+            DramGeometry::tiny_for_tests(),
+        ]
     }
 
     #[test]
     fn decode_fields_in_range() {
         for g in geometries() {
-            for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
+            for mapping in [
+                AddressMapping::RowInterleaved,
+                AddressMapping::LineInterleaved,
+            ] {
                 for raw in (0..g.total_bytes()).step_by((g.total_bytes() / 1024) as usize) {
                     let loc = mapping.decode(PhysAddr::new(raw), &g);
                     assert!((loc.channel as usize) < g.channels);
@@ -199,7 +217,10 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let g = DramGeometry::baseline_ddr3();
-        for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
+        for mapping in [
+            AddressMapping::RowInterleaved,
+            AddressMapping::LineInterleaved,
+        ] {
             for raw in [0u64, 64, 4096, 0x1234_5640, (8u64 << 30) - 64] {
                 let addr = PhysAddr::new(raw).line_aligned();
                 let loc = mapping.decode(addr, &g);
@@ -213,10 +234,11 @@ mod tests {
         let g = DramGeometry::baseline_ddr3();
         let base = AddressMapping::RowInterleaved.decode(PhysAddr::new(0x100000), &g);
         for i in 1..g.lines_per_row() / 2 {
-            let loc =
-                AddressMapping::RowInterleaved.decode(PhysAddr::new(0x100000 + i * 64), &g);
-            assert_eq!((loc.row, loc.bank, loc.rank, loc.channel),
-                       (base.row, base.bank, base.rank, base.channel));
+            let loc = AddressMapping::RowInterleaved.decode(PhysAddr::new(0x100000 + i * 64), &g);
+            assert_eq!(
+                (loc.row, loc.bank, loc.rank, loc.channel),
+                (base.row, base.bank, base.rank, base.channel)
+            );
         }
     }
 
@@ -243,9 +265,8 @@ mod tests {
         }
         // A same-bank-under-plain-mapping row stride hits different banks.
         let plain = AddressMapping::RowInterleaved;
-        let row_stride = g.lines_per_row()
-            * 64
-            * (g.channels * g.banks_per_rank * g.ranks_per_channel) as u64;
+        let row_stride =
+            g.lines_per_row() * 64 * (g.channels * g.banks_per_rank * g.ranks_per_channel) as u64;
         let mut plain_banks = std::collections::HashSet::new();
         let mut xor_banks = std::collections::HashSet::new();
         for i in 0..8u64 {
@@ -253,7 +274,11 @@ mod tests {
             xor_banks.insert(m.decode(PhysAddr::new(i * row_stride), &g).bank);
         }
         assert_eq!(plain_banks.len(), 1, "plain mapping thrashes one bank");
-        assert_eq!(xor_banks.len(), 8, "XOR hashing spreads the stride over all banks");
+        assert_eq!(
+            xor_banks.len(),
+            8,
+            "XOR hashing spreads the stride over all banks"
+        );
     }
 
     #[test]
@@ -263,7 +288,13 @@ mod tests {
         for ch in 0..g.channels as u32 {
             for rk in 0..g.ranks_per_channel as u32 {
                 for bk in 0..g.banks_per_rank as u32 {
-                    let loc = Location { channel: ch, rank: rk, bank: bk, row: 0, column: 0 };
+                    let loc = Location {
+                        channel: ch,
+                        rank: rk,
+                        bank: bk,
+                        row: 0,
+                        column: 0,
+                    };
                     let idx = loc.bank_index(&g);
                     assert!(idx < g.total_banks());
                     assert!(seen.insert(idx), "duplicate bank index {idx}");
@@ -276,9 +307,27 @@ mod tests {
     #[test]
     fn row_key_distinguishes_rows_and_banks() {
         let g = DramGeometry::baseline_ddr3();
-        let a = Location { channel: 0, rank: 0, bank: 0, row: 5, column: 0 };
-        let b = Location { channel: 0, rank: 0, bank: 0, row: 6, column: 0 };
-        let c = Location { channel: 0, rank: 0, bank: 1, row: 5, column: 0 };
+        let a = Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 5,
+            column: 0,
+        };
+        let b = Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 6,
+            column: 0,
+        };
+        let c = Location {
+            channel: 0,
+            rank: 0,
+            bank: 1,
+            row: 5,
+            column: 0,
+        };
         assert_ne!(a.row_key(&g), b.row_key(&g));
         assert_ne!(a.row_key(&g), c.row_key(&g));
         // Same row, different column: same key.

@@ -57,7 +57,10 @@ impl WordMask {
     ///
     /// Panics if `word >= 8`.
     pub fn single(word: u8) -> Self {
-        assert!((word as usize) < WORDS_PER_LINE, "word index {word} out of range");
+        assert!(
+            (word as usize) < WORDS_PER_LINE,
+            "word index {word} out of range"
+        );
         WordMask(1 << word)
     }
 
@@ -67,7 +70,9 @@ impl WordMask {
     ///
     /// Panics if any index is `>= 8`.
     pub fn from_words<I: IntoIterator<Item = u8>>(words: I) -> Self {
-        words.into_iter().fold(WordMask::EMPTY, |m, w| m | WordMask::single(w))
+        words
+            .into_iter()
+            .fold(WordMask::EMPTY, |m, w| m | WordMask::single(w))
     }
 
     /// Mask selecting the first `n` words (`n == 8` gives [`WordMask::FULL`]).
@@ -76,7 +81,10 @@ impl WordMask {
     ///
     /// Panics if `n > 8`.
     pub fn first_n(n: usize) -> Self {
-        assert!(n <= WORDS_PER_LINE, "cannot select {n} of {WORDS_PER_LINE} words");
+        assert!(
+            n <= WORDS_PER_LINE,
+            "cannot select {n} of {WORDS_PER_LINE} words"
+        );
         if n == WORDS_PER_LINE {
             WordMask::FULL
         } else {
@@ -124,7 +132,10 @@ impl WordMask {
     ///
     /// Panics if `word >= 8`.
     pub fn contains(self, word: u8) -> bool {
-        assert!((word as usize) < WORDS_PER_LINE, "word index {word} out of range");
+        assert!(
+            (word as usize) < WORDS_PER_LINE,
+            "word index {word} out of range"
+        );
         self.0 & (1 << word) != 0
     }
 

@@ -73,7 +73,13 @@ pub struct MemRequest {
 impl MemRequest {
     /// Creates a read request for the line containing `addr`.
     pub fn read(id: RequestId, addr: PhysAddr) -> Self {
-        MemRequest { id, kind: ReqKind::Read, addr: addr.line_aligned(), mask: WordMask::FULL, core: 0 }
+        MemRequest {
+            id,
+            kind: ReqKind::Read,
+            addr: addr.line_aligned(),
+            mask: WordMask::FULL,
+            core: 0,
+        }
     }
 
     /// Creates a write(back) request for the line containing `addr` with the
@@ -84,8 +90,17 @@ impl MemRequest {
     /// Panics if `mask` is empty: a writeback with no dirty words is a cache
     /// bookkeeping bug, not a valid request.
     pub fn write(id: RequestId, addr: PhysAddr, mask: WordMask) -> Self {
-        assert!(!mask.is_empty(), "write request must carry at least one dirty word");
-        MemRequest { id, kind: ReqKind::Write, addr: addr.line_aligned(), mask, core: 0 }
+        assert!(
+            !mask.is_empty(),
+            "write request must carry at least one dirty word"
+        );
+        MemRequest {
+            id,
+            kind: ReqKind::Write,
+            addr: addr.line_aligned(),
+            mask,
+            core: 0,
+        }
     }
 
     /// Tags the request with the generating core.
@@ -98,7 +113,11 @@ impl MemRequest {
 
 impl fmt::Display for MemRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{} {} {} mask {}", self.id, self.kind, self.addr, self.mask)
+        write!(
+            f,
+            "#{} {} {} mask {}",
+            self.id, self.kind, self.addr, self.mask
+        )
     }
 }
 

@@ -1,80 +1,123 @@
-//! Property-based tests for the mem-model vocabulary types.
+//! Randomized property tests for the mem-model vocabulary types.
+//!
+//! Formerly driven by proptest; now deterministic seeded sweeps over the
+//! in-repo [`mem_model::rng`] PRNG so the suite builds and runs offline.
 
+use mem_model::rng::Rng;
 use mem_model::{AddressMapping, DramGeometry, PhysAddr, WordMask};
-use proptest::prelude::*;
 
-proptest! {
-    /// encode(decode(a)) == line_aligned(a) for all in-capacity addresses,
-    /// under both mappings and several geometries.
-    #[test]
-    fn mapping_roundtrip(raw in 0u64..(8u64 << 30), line_interleaved: bool) {
-        let g = DramGeometry::baseline_ddr3();
-        let mapping = if line_interleaved {
-            AddressMapping::LineInterleaved
-        } else {
-            AddressMapping::RowInterleaved
-        };
-        let addr = PhysAddr::new(raw).line_aligned();
-        let loc = mapping.decode(addr, &g);
-        prop_assert_eq!(mapping.encode(loc, &g), addr);
-    }
+const CASES: u64 = 256;
 
-    /// Two distinct line-aligned in-capacity addresses never decode to the
-    /// same coordinates (the mapping is injective).
-    #[test]
-    fn mapping_injective(a in 0u64..(1u64 << 27), b in 0u64..(1u64 << 27)) {
-        prop_assume!(a / 64 != b / 64);
-        let g = DramGeometry::baseline_ddr3();
-        for mapping in [AddressMapping::RowInterleaved, AddressMapping::LineInterleaved] {
-            let la = mapping.decode(PhysAddr::new(a).line_aligned(), &g);
-            let lb = mapping.decode(PhysAddr::new(b).line_aligned(), &g);
-            prop_assert_ne!(la, lb);
+/// encode(decode(a)) == line_aligned(a) for all in-capacity addresses,
+/// under both mappings.
+#[test]
+fn mapping_roundtrip() {
+    let g = DramGeometry::baseline_ddr3();
+    let mut rng = Rng::seed_from_u64(0x6d61_7070);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0u64..(8u64 << 30));
+        for mapping in [
+            AddressMapping::RowInterleaved,
+            AddressMapping::LineInterleaved,
+        ] {
+            let addr = PhysAddr::new(raw).line_aligned();
+            let loc = mapping.decode(addr, &g);
+            assert_eq!(
+                mapping.encode(loc, &g),
+                addr,
+                "mapping {mapping:?}, raw {raw:#x}"
+            );
         }
     }
+}
 
-    /// Mask OR is monotone: the union covers both operands, and the
-    /// granularity never decreases.
-    #[test]
-    fn mask_or_monotone(a: u8, b: u8) {
-        let ma = WordMask::from_bits(a);
-        let mb = WordMask::from_bits(b);
-        let u = ma | mb;
-        prop_assert!(ma.is_subset_of(u));
-        prop_assert!(mb.is_subset_of(u));
-        prop_assert!(u.granularity_eighths() >= ma.granularity_eighths());
-        prop_assert!(u.granularity_eighths() >= mb.granularity_eighths());
+/// Two distinct line-aligned in-capacity addresses never decode to the
+/// same coordinates (the mapping is injective).
+#[test]
+fn mapping_injective() {
+    let g = DramGeometry::baseline_ddr3();
+    let mut rng = Rng::seed_from_u64(0x696e_6a65);
+    let mut checked = 0;
+    while checked < CASES {
+        let a = rng.random_range(0u64..(1u64 << 27));
+        let b = rng.random_range(0u64..(1u64 << 27));
+        if a / 64 == b / 64 {
+            continue;
+        }
+        checked += 1;
+        for mapping in [
+            AddressMapping::RowInterleaved,
+            AddressMapping::LineInterleaved,
+        ] {
+            let la = mapping.decode(PhysAddr::new(a).line_aligned(), &g);
+            let lb = mapping.decode(PhysAddr::new(b).line_aligned(), &g);
+            assert_ne!(la, lb, "mapping {mapping:?}: {a:#x} and {b:#x} collided");
+        }
     }
+}
 
-    /// Subset is a partial order consistent with bit containment.
-    #[test]
-    fn mask_subset_partial_order(a: u8, b: u8, c: u8) {
-        let (ma, mb, mc) = (WordMask::from_bits(a), WordMask::from_bits(b), WordMask::from_bits(c));
+/// Mask OR is monotone: the union covers both operands, and the
+/// granularity never decreases. Exhaustive over all 2^16 pairs.
+#[test]
+fn mask_or_monotone() {
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            let ma = WordMask::from_bits(a);
+            let mb = WordMask::from_bits(b);
+            let u = ma | mb;
+            assert!(ma.is_subset_of(u));
+            assert!(mb.is_subset_of(u));
+            assert!(u.granularity_eighths() >= ma.granularity_eighths());
+            assert!(u.granularity_eighths() >= mb.granularity_eighths());
+        }
+    }
+}
+
+/// Subset is a partial order consistent with bit containment.
+#[test]
+fn mask_subset_partial_order() {
+    let mut rng = Rng::seed_from_u64(0x7375_6273);
+    for _ in 0..4096 {
+        let a = rng.random_range(0u64..256) as u8;
+        let b = rng.random_range(0u64..256) as u8;
+        let c = rng.random_range(0u64..256) as u8;
+        let (ma, mb, mc) = (
+            WordMask::from_bits(a),
+            WordMask::from_bits(b),
+            WordMask::from_bits(c),
+        );
         // Reflexive.
-        prop_assert!(ma.is_subset_of(ma));
+        assert!(ma.is_subset_of(ma));
         // Transitive.
         if ma.is_subset_of(mb) && mb.is_subset_of(mc) {
-            prop_assert!(ma.is_subset_of(mc));
+            assert!(ma.is_subset_of(mc));
         }
         // Antisymmetric.
         if ma.is_subset_of(mb) && mb.is_subset_of(ma) {
-            prop_assert_eq!(ma, mb);
+            assert_eq!(ma, mb);
         }
     }
+}
 
-    /// iter_words reproduces exactly the set bits.
-    #[test]
-    fn mask_iter_matches_bits(bits: u8) {
+/// iter_words reproduces exactly the set bits. Exhaustive over all masks.
+#[test]
+fn mask_iter_matches_bits() {
+    for bits in 0..=255u8 {
         let m = WordMask::from_bits(bits);
         let rebuilt = WordMask::from_words(m.iter_words());
-        prop_assert_eq!(rebuilt, m);
-        prop_assert_eq!(m.iter_words().count() as u32, m.count_words());
+        assert_eq!(rebuilt, m);
+        assert_eq!(m.iter_words().count() as u32, m.count_words());
     }
+}
 
-    /// word_in_line is consistent with line-relative byte offsets.
-    #[test]
-    fn word_in_line_consistent(raw: u64) {
+/// word_in_line is consistent with line-relative byte offsets.
+#[test]
+fn word_in_line_consistent() {
+    let mut rng = Rng::seed_from_u64(0x776f_7264);
+    for _ in 0..CASES {
+        let raw = rng.next_u64();
         let addr = PhysAddr::new(raw);
         let offset = raw % 64;
-        prop_assert_eq!(u64::from(addr.word_in_line()), offset / 8);
+        assert_eq!(u64::from(addr.word_in_line()), offset / 8);
     }
 }

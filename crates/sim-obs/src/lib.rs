@@ -1,0 +1,253 @@
+//! Observability layer for the PRA simulation stack.
+//!
+//! Three pieces, designed to cost nothing when switched off:
+//!
+//! * **Event tracing** — typed [`TraceEvent`]s (DRAM commands with cycle,
+//!   channel/rank/bank, row and PRA mat-mask; cache fills/writebacks; core
+//!   stalls) flow through a [`TraceSink`]: [`NullSink`] (default, disabled),
+//!   [`RingSink`] (in-memory flight recorder) or [`JsonlSink`] (JSON Lines
+//!   file).
+//! * **Metrics registry** — [`MetricsRegistry`] holds named counters,
+//!   gauges and [`Log2Histogram`]s (read-latency p50/p95/p99, queue
+//!   occupancy, activation granularity) under a dotted naming convention.
+//! * **Epoch snapshots** — every N cycles the [`Observer`] serializes a
+//!   delta record ([`EpochSnapshot`]); counter deltas across a run sum to
+//!   its end-of-run aggregates, giving a time series chartable by the
+//!   `bench` crate and inspectable via `pra trace`.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_obs::{Observer, RingSink, TraceEvent};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let ring = Rc::new(RefCell::new(RingSink::new(1024)));
+//! let mut obs = Observer::disabled();
+//! obs.set_sink(Box::new(Rc::clone(&ring)));
+//! obs.set_epochs(1000, None);
+//!
+//! let acts = obs.registry.counter("dram.activations");
+//! obs.registry.add(acts, 1);
+//! obs.emit(|| TraceEvent::Activate {
+//!     cycle: 12, channel: 0, rank: 0, bank: 2, row: 40, mats: 4, mask: 0x0F,
+//! });
+//! obs.end_epoch(1000);
+//! assert_eq!(ring.borrow().total_emitted(), 1);
+//! assert_eq!(obs.snapshots()[0].counters[0], ("dram.activations".into(), 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod event;
+mod hist;
+mod registry;
+mod sink;
+
+pub use event::{StallKind, TraceEvent, FULL_ROW_MATS};
+pub use hist::Log2Histogram;
+pub use registry::{EpochSnapshot, HistogramDelta, MetricId, MetricsRegistry};
+pub use sink::{JsonlSink, NullSink, RingSink, SinkHandle, TraceSink};
+
+use std::fmt;
+use std::io::Write;
+
+/// A component's complete observability state: one trace sink, one metrics
+/// registry, and the epoch-snapshot machinery.
+///
+/// The default ([`Observer::disabled`]) traces nothing and snapshots
+/// nothing; the registry still exists so instrumentation code never has to
+/// branch, but with no epochs and no sink the per-event cost is one branch.
+pub struct Observer {
+    sink: SinkHandle,
+    /// The metrics registry. Public: instrumentation registers ids at
+    /// construction time and updates through them on the hot path.
+    pub registry: MetricsRegistry,
+    epoch_cycles: u64,
+    metrics_out: Option<Box<dyn Write>>,
+    snapshots: Vec<EpochSnapshot>,
+    epoch_index: u64,
+    epoch_start: u64,
+}
+
+impl Observer {
+    /// An observer with a [`NullSink`] and epoch snapshots off.
+    pub fn disabled() -> Self {
+        Observer {
+            sink: SinkHandle::disabled(),
+            registry: MetricsRegistry::new(),
+            epoch_cycles: 0,
+            metrics_out: None,
+            snapshots: Vec::new(),
+            epoch_index: 0,
+            epoch_start: 0,
+        }
+    }
+
+    /// Attaches a trace sink (replacing the current one).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = SinkHandle::new(sink);
+    }
+
+    /// Enables epoch snapshots every `cycles` cycles (0 disables), with an
+    /// optional JSONL writer receiving one record per epoch. Snapshots are
+    /// always also retained in memory (see [`Observer::snapshots`]).
+    pub fn set_epochs(&mut self, cycles: u64, out: Option<Box<dyn Write>>) {
+        self.epoch_cycles = cycles;
+        self.metrics_out = out;
+    }
+
+    /// Whether a sink is recording events.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.sink.tracing()
+    }
+
+    /// Emits the event produced by `build` if tracing is enabled;
+    /// otherwise `build` is never called.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TraceEvent) {
+        self.sink.emit(build);
+    }
+
+    /// Epoch length in cycles (0 = snapshots disabled).
+    pub fn epoch_cycles(&self) -> u64 {
+        self.epoch_cycles
+    }
+
+    /// `true` when the cycle just completed closes an epoch. Call with the
+    /// count of *completed* cycles.
+    #[inline]
+    pub fn epoch_due(&self, completed_cycles: u64) -> bool {
+        self.epoch_cycles != 0 && completed_cycles.is_multiple_of(self.epoch_cycles)
+    }
+
+    /// Closes the current epoch at `end_cycle`: takes a delta snapshot,
+    /// retains it and writes it to the metrics writer (if any).
+    pub fn end_epoch(&mut self, end_cycle: u64) {
+        let snap = self
+            .registry
+            .epoch_snapshot(self.epoch_index, self.epoch_start, end_cycle);
+        if let Some(out) = &mut self.metrics_out {
+            let mut line = snap.to_json();
+            line.push('\n');
+            let _ = out.write_all(line.as_bytes());
+        }
+        self.snapshots.push(snap);
+        self.epoch_index += 1;
+        self.epoch_start = end_cycle;
+    }
+
+    /// Finishes observation at `end_cycle`: closes a final partial epoch if
+    /// snapshots are enabled and any cycles elapsed since the last one,
+    /// then flushes the sink and the metrics writer.
+    pub fn finish(&mut self, end_cycle: u64) {
+        if self.epoch_cycles != 0 && end_cycle > self.epoch_start {
+            self.end_epoch(end_cycle);
+        }
+        self.sink.flush();
+        if let Some(out) = &mut self.metrics_out {
+            let _ = out.flush();
+        }
+    }
+
+    /// Epoch snapshots taken so far, oldest first.
+    pub fn snapshots(&self) -> &[EpochSnapshot] {
+        &self.snapshots
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Observer::disabled()
+    }
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Observer")
+            .field("tracing", &self.tracing())
+            .field("epoch_cycles", &self.epoch_cycles)
+            .field("epochs_taken", &self.epoch_index)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_emits_nothing() {
+        let mut obs = Observer::disabled();
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            TraceEvent::DrainEnter {
+                cycle: 0,
+                channel: 0,
+            }
+        });
+        assert!(!built);
+        assert!(!obs.tracing());
+        assert!(!obs.epoch_due(1000));
+    }
+
+    #[test]
+    fn epoch_cadence_and_final_partial_epoch() {
+        let mut obs = Observer::disabled();
+        obs.set_epochs(100, None);
+        let c = obs.registry.counter("x");
+        assert!(obs.epoch_due(100));
+        assert!(!obs.epoch_due(150));
+        obs.registry.add(c, 1);
+        obs.end_epoch(100);
+        obs.registry.add(c, 2);
+        obs.finish(150); // partial epoch [100, 150)
+        let snaps = obs.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!((snaps[0].start_cycle, snaps[0].end_cycle), (0, 100));
+        assert_eq!((snaps[1].start_cycle, snaps[1].end_cycle), (100, 150));
+        let total: u64 = snaps.iter().map(|s| s.counters[0].1).sum();
+        assert_eq!(total, 3, "epoch deltas sum to the aggregate");
+    }
+
+    #[test]
+    fn finish_without_epochs_is_a_noop_snapshotwise() {
+        let mut obs = Observer::disabled();
+        obs.finish(500);
+        assert!(obs.snapshots().is_empty());
+    }
+
+    #[test]
+    fn metrics_writer_receives_jsonl() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A tiny Rc-backed writer so the test can inspect what was written.
+        #[derive(Clone)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut obs = Observer::disabled();
+        obs.set_epochs(10, Some(Box::new(Shared(Rc::clone(&store)))));
+        let c = obs.registry.counter("dram.acts");
+        obs.registry.add(c, 4);
+        obs.end_epoch(10);
+        obs.finish(10);
+        let text = String::from_utf8(store.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"dram.acts\":4"), "{}", lines[0]);
+    }
+}

@@ -134,7 +134,10 @@ mod tests {
         let s = analyze(&mut g, 100_000);
         assert!((s.store_fraction() - 0.47).abs() < 0.02);
         assert!((s.compute_per_mem() - 8.0).abs() < 0.5);
-        assert!((s.avg_dirty_words() - 1.0).abs() < 1e-9, "GUPS stores one word");
+        assert!(
+            (s.avg_dirty_words() - 1.0).abs() < 1e-9,
+            "GUPS stores one word"
+        );
         assert!(s.sequential_fraction < 0.01, "random traffic");
         assert!(s.footprint_lines > 10_000);
     }

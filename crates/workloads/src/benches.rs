@@ -19,7 +19,11 @@ pub fn bzip2() -> BenchProfile {
         compute_per_mem: 60,
         store_fraction: 0.28,
         rmw_prob: 0.15,
-        pattern: AccessPattern::Streamed { streams: 4, stream_prob: 0.45, burst: 4 },
+        pattern: AccessPattern::Streamed {
+            streams: 4,
+            stream_prob: 0.45,
+            burst: 4,
+        },
         stores_stream: false,
         footprint_lines: 16 * MB_LINES,
         dirty_words_dist: [0.72, 0.15, 0.05, 0.03, 0.01, 0.01, 0.01, 0.02],
@@ -34,7 +38,11 @@ pub fn lbm() -> BenchProfile {
         compute_per_mem: 10,
         store_fraction: 0.52,
         rmw_prob: 0.3,
-        pattern: AccessPattern::Streamed { streams: 8, stream_prob: 0.30, burst: 2 },
+        pattern: AccessPattern::Streamed {
+            streams: 8,
+            stream_prob: 0.30,
+            burst: 2,
+        },
         stores_stream: true,
         footprint_lines: 64 * MB_LINES,
         dirty_words_dist: [0.55, 0.20, 0.08, 0.05, 0.03, 0.02, 0.02, 0.05],
@@ -50,7 +58,11 @@ pub fn libquantum() -> BenchProfile {
         compute_per_mem: 12,
         store_fraction: 0.30,
         rmw_prob: 0.6,
-        pattern: AccessPattern::Streamed { streams: 2, stream_prob: 0.85, burst: 2 },
+        pattern: AccessPattern::Streamed {
+            streams: 2,
+            stream_prob: 0.85,
+            burst: 2,
+        },
         stores_stream: true,
         footprint_lines: 32 * MB_LINES,
         dirty_words_dist: [0.90, 0.06, 0.02, 0.01, 0.005, 0.0025, 0.0025, 0.0],
@@ -65,7 +77,11 @@ pub fn mcf() -> BenchProfile {
         compute_per_mem: 15,
         store_fraction: 0.20,
         rmw_prob: 0.3,
-        pattern: AccessPattern::Streamed { streams: 2, stream_prob: 0.18, burst: 2 },
+        pattern: AccessPattern::Streamed {
+            streams: 2,
+            stream_prob: 0.18,
+            burst: 2,
+        },
         stores_stream: false,
         footprint_lines: 128 * MB_LINES,
         dirty_words_dist: [0.90, 0.07, 0.02, 0.01, 0.0, 0.0, 0.0, 0.0],
@@ -80,7 +96,11 @@ pub fn omnetpp() -> BenchProfile {
         compute_per_mem: 22,
         store_fraction: 0.26,
         rmw_prob: 0.2,
-        pattern: AccessPattern::Streamed { streams: 4, stream_prob: 0.60, burst: 4 },
+        pattern: AccessPattern::Streamed {
+            streams: 4,
+            stream_prob: 0.60,
+            burst: 4,
+        },
         stores_stream: false,
         footprint_lines: 32 * MB_LINES,
         dirty_words_dist: [0.80, 0.12, 0.04, 0.02, 0.01, 0.005, 0.005, 0.0],
@@ -133,12 +153,23 @@ pub fn linked_list() -> BenchProfile {
 
 /// All eight single-application benchmarks, in the paper's Table 1 order.
 pub fn all_benchmarks() -> Vec<BenchProfile> {
-    vec![bzip2(), lbm(), libquantum(), mcf(), omnetpp(), em3d(), gups(), linked_list()]
+    vec![
+        bzip2(),
+        lbm(),
+        libquantum(),
+        mcf(),
+        omnetpp(),
+        em3d(),
+        gups(),
+        linked_list(),
+    ]
 }
 
 /// Looks a benchmark up by its paper name (case-insensitive).
 pub fn by_name(name: &str) -> Option<BenchProfile> {
-    all_benchmarks().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 /// A named 4-application mix (paper Table 4).
@@ -153,12 +184,30 @@ pub struct Mix {
 /// The six Table 4 mixes.
 pub fn all_mixes() -> Vec<Mix> {
     vec![
-        Mix { name: "MIX1", apps: [bzip2(), lbm(), libquantum(), omnetpp()] },
-        Mix { name: "MIX2", apps: [mcf(), em3d(), gups(), linked_list()] },
-        Mix { name: "MIX3", apps: [bzip2(), mcf(), lbm(), em3d()] },
-        Mix { name: "MIX4", apps: [libquantum(), gups(), omnetpp(), linked_list()] },
-        Mix { name: "MIX5", apps: [bzip2(), linked_list(), lbm(), gups()] },
-        Mix { name: "MIX6", apps: [libquantum(), em3d(), omnetpp(), mcf()] },
+        Mix {
+            name: "MIX1",
+            apps: [bzip2(), lbm(), libquantum(), omnetpp()],
+        },
+        Mix {
+            name: "MIX2",
+            apps: [mcf(), em3d(), gups(), linked_list()],
+        },
+        Mix {
+            name: "MIX3",
+            apps: [bzip2(), mcf(), lbm(), em3d()],
+        },
+        Mix {
+            name: "MIX4",
+            apps: [libquantum(), gups(), omnetpp(), linked_list()],
+        },
+        Mix {
+            name: "MIX5",
+            apps: [bzip2(), linked_list(), lbm(), gups()],
+        },
+        Mix {
+            name: "MIX6",
+            apps: [libquantum(), em3d(), omnetpp(), mcf()],
+        },
     ]
 }
 
@@ -170,7 +219,11 @@ pub fn all_workloads() -> Vec<(String, [BenchProfile; 4])> {
         .into_iter()
         .map(|b| (b.name.to_string(), [b, b, b, b]))
         .collect();
-    out.extend(all_mixes().into_iter().map(|m| (m.name.to_string(), m.apps)));
+    out.extend(
+        all_mixes()
+            .into_iter()
+            .map(|m| (m.name.to_string(), m.apps)),
+    );
     out
 }
 
@@ -190,7 +243,16 @@ mod tests {
         let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            ["bzip2", "lbm", "libquantum", "mcf", "omnetpp", "em3d", "GUPS", "LinkedList"]
+            [
+                "bzip2",
+                "lbm",
+                "libquantum",
+                "mcf",
+                "omnetpp",
+                "em3d",
+                "GUPS",
+                "LinkedList"
+            ]
         );
     }
 

@@ -3,9 +3,8 @@
 use std::collections::VecDeque;
 
 use cpu_sim::{InstructionSource, Op};
+use mem_model::rng::Rng;
 use mem_model::{PhysAddr, WordMask, LINE_BYTES, WORDS_PER_LINE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::profile::{AccessPattern, BenchProfile};
 
@@ -30,7 +29,7 @@ use crate::profile::{AccessPattern, BenchProfile};
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
     profile: BenchProfile,
-    rng: StdRng,
+    rng: Rng,
     /// Current line of each sequential stream.
     streams: Vec<u64>,
     /// Base byte address of this instance's footprint (per-core isolation).
@@ -61,7 +60,7 @@ impl WorkloadGen {
     /// Panics if the profile is invalid.
     pub fn new(profile: BenchProfile, seed: u64, base: u64) -> Self {
         profile.assert_valid();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15 ^ base);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15 ^ base);
         let streams = match profile.pattern {
             AccessPattern::Streamed { streams, .. } => (0..streams)
                 .map(|_| rng.random_range(0..profile.footprint_lines))
@@ -93,7 +92,9 @@ impl WorkloadGen {
 
     fn pick_line(&mut self) -> u64 {
         match self.profile.pattern {
-            AccessPattern::Streamed { stream_prob, burst, .. } => {
+            AccessPattern::Streamed {
+                stream_prob, burst, ..
+            } => {
                 if let Some((idx, remaining)) = self.burst {
                     self.burst = (remaining > 1).then_some((idx, remaining - 1));
                     return self.advance_stream(idx);
@@ -127,7 +128,7 @@ impl WorkloadGen {
     }
 
     fn sample_dirty_mask(&mut self, line: u64) -> WordMask {
-        let mut x: f64 = self.rng.random();
+        let mut x: f64 = self.rng.random_f64();
         let mut words = WORDS_PER_LINE; // fall through to full on fp residue
         for (k, &p) in self.profile.dirty_words_dist.iter().enumerate() {
             if x < p {
@@ -303,7 +304,10 @@ mod tests {
             }
         }
         let frac = sequential as f64 / (lines.len() - 7) as f64;
-        assert!(frac > 0.5, "libquantum should stream, sequential fraction {frac}");
+        assert!(
+            frac > 0.5,
+            "libquantum should stream, sequential fraction {frac}"
+        );
     }
 
     #[test]

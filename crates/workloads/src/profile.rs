@@ -72,23 +72,44 @@ impl BenchProfile {
     /// Panics if probabilities are out of range or the dirty-word
     /// distribution does not sum to 1.
     pub fn assert_valid(&self) {
-        assert!(self.compute_per_mem < 10_000, "{}: implausible intensity", self.name);
+        assert!(
+            self.compute_per_mem < 10_000,
+            "{}: implausible intensity",
+            self.name
+        );
         assert!(
             (0.0..=1.0).contains(&self.store_fraction),
             "{}: store fraction out of range",
             self.name
         );
-        assert!((0.0..=1.0).contains(&self.rmw_prob), "{}: rmw prob out of range", self.name);
-        if let AccessPattern::Streamed { streams, stream_prob, burst } = self.pattern {
+        assert!(
+            (0.0..=1.0).contains(&self.rmw_prob),
+            "{}: rmw prob out of range",
+            self.name
+        );
+        if let AccessPattern::Streamed {
+            streams,
+            stream_prob,
+            burst,
+        } = self.pattern
+        {
             assert!(streams > 0, "{}: need at least one stream", self.name);
-            assert!(burst >= 1, "{}: burst must be at least one access", self.name);
+            assert!(
+                burst >= 1,
+                "{}: burst must be at least one access",
+                self.name
+            );
             assert!(
                 (0.0..=1.0).contains(&stream_prob),
                 "{}: stream prob out of range",
                 self.name
             );
         }
-        assert!(self.footprint_lines >= 64, "{}: footprint too small to be meaningful", self.name);
+        assert!(
+            self.footprint_lines >= 64,
+            "{}: footprint too small to be meaningful",
+            self.name
+        );
         let sum: f64 = self.dirty_words_dist.iter().sum();
         assert!(
             (sum - 1.0).abs() < 1e-9,
@@ -96,7 +117,9 @@ impl BenchProfile {
             self.name
         );
         assert!(
-            self.dirty_words_dist.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            self.dirty_words_dist
+                .iter()
+                .all(|&p| (0.0..=1.0).contains(&p)),
             "{}: negative probability",
             self.name
         );
@@ -155,7 +178,11 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn zero_streams_rejected() {
         let mut p = valid();
-        p.pattern = AccessPattern::Streamed { streams: 0, stream_prob: 0.5, burst: 1 };
+        p.pattern = AccessPattern::Streamed {
+            streams: 0,
+            stream_prob: 0.5,
+            burst: 1,
+        };
         p.assert_valid();
     }
 }

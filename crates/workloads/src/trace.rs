@@ -31,7 +31,9 @@ impl Trace {
 
     /// Records `n_ops` operations from a source.
     pub fn record<S: InstructionSource + ?Sized>(source: &mut S, n_ops: usize) -> Self {
-        Trace { ops: (0..n_ops).map(|_| source.next_op()).collect() }
+        Trace {
+            ops: (0..n_ops).map(|_| source.next_op()).collect(),
+        }
     }
 
     /// The recorded operations.
@@ -51,7 +53,10 @@ impl Trace {
 
     /// Memory operations (loads + stores) in the trace.
     pub fn memory_ops(&self) -> usize {
-        self.ops.iter().filter(|op| !matches!(op, Op::Compute(_))).count()
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, Op::Compute(_)))
+            .count()
     }
 
     /// Serialises the trace to a writer. A `&mut` reference works as the
@@ -78,7 +83,10 @@ impl Trace {
     /// Returns `InvalidData` on malformed lines; propagates reader errors.
     pub fn load<R: BufRead>(reader: R) -> io::Result<Self> {
         let bad = |line: &str| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("malformed trace line: {line:?}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed trace line: {line:?}"),
+            )
         };
         let mut ops = Vec::new();
         for line in reader.lines() {
@@ -135,13 +143,18 @@ impl Trace {
     /// Panics if the trace is empty (an empty loop would hang the core).
     pub fn replay(&self) -> TraceReplay {
         assert!(!self.is_empty(), "cannot replay an empty trace");
-        TraceReplay { trace: self.clone(), pos: 0 }
+        TraceReplay {
+            trace: self.clone(),
+            pos: 0,
+        }
     }
 }
 
 impl FromIterator<Op> for Trace {
     fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
-        Trace { ops: iter.into_iter().collect() }
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -221,7 +234,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let t: Trace = [Op::Compute(1), Op::Load(PhysAddr::new(64))].into_iter().collect();
+        let t: Trace = [Op::Compute(1), Op::Load(PhysAddr::new(64))]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 2);
     }
 

@@ -18,7 +18,11 @@ fn main() {
         compute_per_mem: 12,
         store_fraction: 0.35,
         rmw_prob: 0.8,
-        pattern: AccessPattern::Streamed { streams: 2, stream_prob: 0.35, burst: 2 },
+        pattern: AccessPattern::Streamed {
+            streams: 2,
+            stream_prob: 0.35,
+            burst: 2,
+        },
         stores_stream: false,
         footprint_lines: 48 * 1024 * 1024 / 64,
         dirty_words_dist: [0.30, 0.60, 0.05, 0.05, 0.0, 0.0, 0.0, 0.0],

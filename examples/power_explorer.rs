@@ -16,7 +16,12 @@ fn main() {
     println!("== activation energy vs activated MATs (Figure 9) ==");
     for point in model.figure9_series() {
         let bar = "#".repeat((point.ratio * 40.0) as usize);
-        println!("{:>2} MATs {:>8.1} pJ {:>6.1}% {bar}", point.mats, point.energy_pj, point.ratio * 100.0);
+        println!(
+            "{:>2} MATs {:>8.1} pJ {:>6.1}% {bar}",
+            point.mats,
+            point.energy_pj,
+            point.ratio * 100.0
+        );
     }
     println!(
         "\nshared structures keep the 8-MAT activation at {:.1}% of full-row energy\n",
@@ -30,7 +35,11 @@ fn main() {
         "IDD0 {:.2} mA, IDD2N {:.1} mA, IDD3N {:.1} mA, VDD {:.2} V",
         idd.idd0_ma, idd.idd2n_ma, idd.idd3n_ma, idd.vdd
     );
-    println!("I_ACT = {:.2} mA  ->  P_ACT = {:.2} mW (paper: 22.2 mW)\n", idd.i_act_ma(&t), idd.p_act_mw(&t));
+    println!(
+        "I_ACT = {:.2} mA  ->  P_ACT = {:.2} mW (paper: 22.2 mW)\n",
+        idd.i_act_ma(&t),
+        idd.p_act_mw(&t)
+    );
 
     println!("== per-granularity activation power (Table 3) ==");
     let params = PowerParams::paper_table3();

@@ -16,7 +16,11 @@ fn main() {
     println!(
         "running {} ({}) x 4 cores, {instructions} instructions/core\n",
         mix.name,
-        mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join("+"),
+        mix.apps
+            .iter()
+            .map(|a| a.name)
+            .collect::<Vec<_>>()
+            .join("+"),
     );
 
     let schemes = [

@@ -7,7 +7,11 @@ use pra_repro::pra_core::experiments::{table1, ExperimentConfig};
 use pra_repro::{Scheme, SimBuilder};
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { instructions: 25_000, seed: 1, warmup: Some(250_000) }
+    ExperimentConfig {
+        instructions: 25_000,
+        seed: 1,
+        warmup: Some(250_000),
+    }
 }
 
 #[test]
@@ -44,9 +48,16 @@ fn benchmark_character_matches_table1() {
     // libquantum has the best locality of the suite, on both sides.
     let libquantum = get("libquantum");
     for row in &rows {
-        assert!(libquantum.rb_hit.0 >= row.rb_hit.0 - 1e-9, "{} out-hits libquantum", row.name);
+        assert!(
+            libquantum.rb_hit.0 >= row.rb_hit.0 - 1e-9,
+            "{} out-hits libquantum",
+            row.name
+        );
     }
-    assert!(libquantum.rb_hit.1 > 0.3, "libquantum write locality is real");
+    assert!(
+        libquantum.rb_hit.1 > 0.3,
+        "libquantum write locality is real"
+    );
 
     // The random/pointer benchmarks have essentially no locality.
     for name in ["em3d", "GUPS", "LinkedList"] {
@@ -60,7 +71,11 @@ fn benchmark_character_matches_table1() {
     let mcf = get("mcf");
     for name in ["em3d", "GUPS"] {
         let row = get(name);
-        assert!(row.traffic.1 > 0.40, "{name} write traffic {:.3}", row.traffic.1);
+        assert!(
+            row.traffic.1 > 0.40,
+            "{name} write traffic {:.3}",
+            row.traffic.1
+        );
         assert!(row.traffic.1 > mcf.traffic.1, "{name} must out-write mcf");
     }
     assert!(mcf.traffic.0 > 0.75, "mcf read share {:.3}", mcf.traffic.0);
@@ -95,7 +110,10 @@ fn dirty_word_distribution_is_single_word_dominated() {
     }
     assert!(counted >= 6, "most benchmarks must produce writebacks");
     let avg_single = single / f64::from(counted);
-    assert!(avg_single > 0.6, "avg single-word share {avg_single:.3} (paper-like: ~0.8)");
+    assert!(
+        avg_single > 0.6,
+        "avg single-word share {avg_single:.3} (paper-like: ~0.8)"
+    );
 }
 
 #[test]

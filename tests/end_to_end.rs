@@ -16,7 +16,11 @@ fn run(scheme: Scheme, profile: workloads::BenchProfile, policy: PagePolicy) -> 
 
 #[test]
 fn pra_saves_total_power_on_every_random_write_benchmark() {
-    for profile in [workloads::gups(), workloads::em3d(), workloads::linked_list()] {
+    for profile in [
+        workloads::gups(),
+        workloads::em3d(),
+        workloads::linked_list(),
+    ] {
         let base = run(Scheme::Baseline, profile, PagePolicy::RelaxedClosePage);
         let pra = run(Scheme::Pra, profile, PagePolicy::RelaxedClosePage);
         assert!(
@@ -32,15 +36,26 @@ fn pra_saves_total_power_on_every_random_write_benchmark() {
 #[test]
 fn pra_performance_cost_is_small() {
     // Paper: 0.8% average, 4.8% worst-case performance loss.
-    let base = run(Scheme::Baseline, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let base = run(
+        Scheme::Baseline,
+        workloads::gups(),
+        PagePolicy::RelaxedClosePage,
+    );
     let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RelaxedClosePage);
     let ratio = pra.ipc[0] / base.ipc[0];
-    assert!(ratio > 0.90, "PRA must not cost more than ~10% IPC, got ratio {ratio}");
+    assert!(
+        ratio > 0.90,
+        "PRA must not cost more than ~10% IPC, got ratio {ratio}"
+    );
 }
 
 #[test]
 fn fga_loses_performance_pra_does_not() {
-    let base = run(Scheme::Baseline, workloads::lbm(), PagePolicy::RelaxedClosePage);
+    let base = run(
+        Scheme::Baseline,
+        workloads::lbm(),
+        PagePolicy::RelaxedClosePage,
+    );
     let fga = run(Scheme::Fga, workloads::lbm(), PagePolicy::RelaxedClosePage);
     let pra = run(Scheme::Pra, workloads::lbm(), PagePolicy::RelaxedClosePage);
     // FGA's halved prefetch width must hurt clearly more than PRA.
@@ -54,23 +69,41 @@ fn fga_loses_performance_pra_does_not() {
 
 #[test]
 fn half_dram_saves_activation_but_not_write_io() {
-    let base = run(Scheme::Baseline, workloads::gups(), PagePolicy::RelaxedClosePage);
-    let half = run(Scheme::HalfDram, workloads::gups(), PagePolicy::RelaxedClosePage);
+    let base = run(
+        Scheme::Baseline,
+        workloads::gups(),
+        PagePolicy::RelaxedClosePage,
+    );
+    let half = run(
+        Scheme::HalfDram,
+        workloads::gups(),
+        PagePolicy::RelaxedClosePage,
+    );
     let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RelaxedClosePage);
-    assert!(half.power.act_pre < base.power.act_pre * 0.7, "Half-DRAM halves activations");
+    assert!(
+        half.power.act_pre < base.power.act_pre * 0.7,
+        "Half-DRAM halves activations"
+    );
     // Half-DRAM moves full lines; PRA moves only dirty words.
     let half_io_energy = half.energy.wr_io / half.dram.writes_completed.max(1) as f64;
     let base_io_energy = base.energy.wr_io / base.dram.writes_completed.max(1) as f64;
     let pra_io_energy = pra.energy.wr_io / pra.dram.writes_completed.max(1) as f64;
     assert!((half_io_energy / base_io_energy - 1.0).abs() < 0.05);
-    assert!(pra_io_energy < base_io_energy * 0.5, "GUPS writes one word of eight");
+    assert!(
+        pra_io_energy < base_io_energy * 0.5,
+        "GUPS writes one word of eight"
+    );
 }
 
 #[test]
 fn restricted_policy_reflects_dirty_distribution_directly() {
     // Section 5.2.1: with restricted close-page the dirty-word distribution
     // maps straight onto activation granularity.
-    let pra = run(Scheme::Pra, workloads::gups(), PagePolicy::RestrictedClosePage);
+    let pra = run(
+        Scheme::Pra,
+        workloads::gups(),
+        PagePolicy::RestrictedClosePage,
+    );
     let props = pra.dram.granularity_proportions();
     // GUPS stores dirty exactly one word: every write activation is 1/8.
     let write_share = pra.dram.write_activation_share();
@@ -105,9 +138,16 @@ fn combined_half_dram_pra_beats_components_on_activation_power() {
 
 #[test]
 fn dbi_increases_write_row_hits() {
-    let base = run(Scheme::Baseline, workloads::em3d(), PagePolicy::RelaxedClosePage);
+    let base = run(
+        Scheme::Baseline,
+        workloads::em3d(),
+        PagePolicy::RelaxedClosePage,
+    );
     let dbi = run(Scheme::Dbi, workloads::em3d(), PagePolicy::RelaxedClosePage);
-    assert!(dbi.cache.dbi_writebacks > 0, "DBI must proactively write back");
+    assert!(
+        dbi.cache.dbi_writebacks > 0,
+        "DBI must proactively write back"
+    );
     assert!(
         dbi.dram.write.hit_rate() > base.dram.write.hit_rate(),
         "DBI row-clusters writebacks: {} vs {}",
@@ -118,7 +158,11 @@ fn dbi_increases_write_row_hits() {
 
 #[test]
 fn energy_is_conserved_across_breakdown() {
-    let r = run(Scheme::Pra, workloads::omnetpp(), PagePolicy::RelaxedClosePage);
+    let r = run(
+        Scheme::Pra,
+        workloads::omnetpp(),
+        PagePolicy::RelaxedClosePage,
+    );
     let e = r.energy;
     let sum = e.act_pre + e.rd + e.wr + e.rd_io + e.wr_io + e.bg + e.refresh;
     assert!((sum - e.total()).abs() < 1e-6);
