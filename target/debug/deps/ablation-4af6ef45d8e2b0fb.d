@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4af6ef45d8e2b0fb.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4af6ef45d8e2b0fb: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7ff7984571e4a3a8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7ff7984571e4a3a8: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-01d59a90d72e3f59.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-01d59a90d72e3f59.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-01d59a90d72e3f59.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-1c134a9c7d17a3fd.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-1c134a9c7d17a3fd: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-928552a2e72fd846.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-928552a2e72fd846.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-928552a2e72fd846.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

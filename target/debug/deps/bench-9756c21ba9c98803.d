@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-9756c21ba9c98803.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-9756c21ba9c98803: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-e3a505666f145c5c.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-e3a505666f145c5c.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-fb02706e74c3c5ff.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-fb02706e74c3c5ff.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

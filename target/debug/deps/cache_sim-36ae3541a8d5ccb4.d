@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cache_sim-36ae3541a8d5ccb4.d: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/debug/deps/cache_sim-36ae3541a8d5ccb4: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+crates/cache-sim/src/lib.rs:
+crates/cache-sim/src/cache.rs:
+crates/cache-sim/src/dbi.rs:
+crates/cache-sim/src/hierarchy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cache_sim-8b49eb5fe2990b13.d: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libcache_sim-8b49eb5fe2990b13.rlib: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libcache_sim-8b49eb5fe2990b13.rmeta: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+crates/cache-sim/src/lib.rs:
+crates/cache-sim/src/cache.rs:
+crates/cache-sim/src/dbi.rs:
+crates/cache-sim/src/hierarchy.rs:

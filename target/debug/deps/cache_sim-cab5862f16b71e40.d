@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cache_sim-cab5862f16b71e40.d: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libcache_sim-cab5862f16b71e40.rlib: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libcache_sim-cab5862f16b71e40.rmeta: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+crates/cache-sim/src/lib.rs:
+crates/cache-sim/src/cache.rs:
+crates/cache-sim/src/dbi.rs:
+crates/cache-sim/src/hierarchy.rs:

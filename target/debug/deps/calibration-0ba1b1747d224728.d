@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-0ba1b1747d224728.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-0ba1b1747d224728: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-fcd42fb1df2bdeb0.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-fcd42fb1df2bdeb0: tests/calibration.rs
+
+tests/calibration.rs:

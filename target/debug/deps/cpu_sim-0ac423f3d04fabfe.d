@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cpu_sim-0ac423f3d04fabfe.d: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/debug/deps/cpu_sim-0ac423f3d04fabfe: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+crates/cpu-sim/src/lib.rs:
+crates/cpu-sim/src/core.rs:
+crates/cpu-sim/src/metrics.rs:
+crates/cpu-sim/src/system.rs:

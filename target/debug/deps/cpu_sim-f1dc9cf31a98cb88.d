@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpu_sim-f1dc9cf31a98cb88.d: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/debug/deps/libcpu_sim-f1dc9cf31a98cb88.rlib: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/debug/deps/libcpu_sim-f1dc9cf31a98cb88.rmeta: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+crates/cpu-sim/src/lib.rs:
+crates/cpu-sim/src/core.rs:
+crates/cpu-sim/src/metrics.rs:
+crates/cpu-sim/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddr4_outlook-127b819db5d3d39b.d: crates/bench/src/bin/ddr4_outlook.rs
+
+/root/repo/target/debug/deps/ddr4_outlook-127b819db5d3d39b: crates/bench/src/bin/ddr4_outlook.rs
+
+crates/bench/src/bin/ddr4_outlook.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddr4_outlook-71c5c70a5b6f8613.d: crates/bench/src/bin/ddr4_outlook.rs
+
+/root/repo/target/debug/deps/ddr4_outlook-71c5c70a5b6f8613: crates/bench/src/bin/ddr4_outlook.rs
+
+crates/bench/src/bin/ddr4_outlook.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddr4_outlook-f52da91a28825d6f.d: crates/bench/src/bin/ddr4_outlook.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddr4_outlook-f52da91a28825d6f.rmeta: crates/bench/src/bin/ddr4_outlook.rs Cargo.toml
+
+crates/bench/src/bin/ddr4_outlook.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

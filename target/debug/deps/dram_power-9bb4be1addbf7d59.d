@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dram_power-9bb4be1addbf7d59.d: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/debug/deps/dram_power-9bb4be1addbf7d59: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+crates/dram-power/src/lib.rs:
+crates/dram-power/src/accounting.rs:
+crates/dram-power/src/activation_energy.rs:
+crates/dram-power/src/breakdown.rs:
+crates/dram-power/src/overheads.rs:
+crates/dram-power/src/params.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dram_power-a7052d02b7250164.d: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/debug/deps/libdram_power-a7052d02b7250164.rlib: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/debug/deps/libdram_power-a7052d02b7250164.rmeta: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+crates/dram-power/src/lib.rs:
+crates/dram-power/src/accounting.rs:
+crates/dram-power/src/activation_energy.rs:
+crates/dram-power/src/breakdown.rs:
+crates/dram-power/src/overheads.rs:
+crates/dram-power/src/params.rs:

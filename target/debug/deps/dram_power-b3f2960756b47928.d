@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dram_power-b3f2960756b47928.d: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_power-b3f2960756b47928.rmeta: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs Cargo.toml
+
+crates/dram-power/src/lib.rs:
+crates/dram-power/src/accounting.rs:
+crates/dram-power/src/activation_energy.rs:
+crates/dram-power/src/breakdown.rs:
+crates/dram-power/src/overheads.rs:
+crates/dram-power/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dram_sim-a0465ba3ad040940.d: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libdram_sim-a0465ba3ad040940.rlib: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libdram_sim-a0465ba3ad040940.rmeta: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+crates/dram-sim/src/lib.rs:
+crates/dram-sim/src/bank.rs:
+crates/dram-sim/src/channel.rs:
+crates/dram-sim/src/checker.rs:
+crates/dram-sim/src/config.rs:
+crates/dram-sim/src/memory_system.rs:
+crates/dram-sim/src/obs.rs:
+crates/dram-sim/src/rank.rs:
+crates/dram-sim/src/scheme.rs:
+crates/dram-sim/src/stats.rs:
+crates/dram-sim/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dram_sim-e0bee99addacc007.d: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+/root/repo/target/debug/deps/dram_sim-e0bee99addacc007: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+crates/dram-sim/src/lib.rs:
+crates/dram-sim/src/bank.rs:
+crates/dram-sim/src/channel.rs:
+crates/dram-sim/src/checker.rs:
+crates/dram-sim/src/config.rs:
+crates/dram-sim/src/memory_system.rs:
+crates/dram-sim/src/obs.rs:
+crates/dram-sim/src/rank.rs:
+crates/dram-sim/src/scheme.rs:
+crates/dram-sim/src/stats.rs:
+crates/dram-sim/src/timing.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dram_sim-f9d183b7e9d951a8.d: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_sim-f9d183b7e9d951a8.rmeta: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/obs.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs Cargo.toml
+
+crates/dram-sim/src/lib.rs:
+crates/dram-sim/src/bank.rs:
+crates/dram-sim/src/channel.rs:
+crates/dram-sim/src/checker.rs:
+crates/dram-sim/src/config.rs:
+crates/dram-sim/src/memory_system.rs:
+crates/dram-sim/src/obs.rs:
+crates/dram-sim/src/rank.rs:
+crates/dram-sim/src/scheme.rs:
+crates/dram-sim/src/stats.rs:
+crates/dram-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d7591c5f05afe244.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d7591c5f05afe244: tests/end_to_end.rs
+
+tests/end_to_end.rs:

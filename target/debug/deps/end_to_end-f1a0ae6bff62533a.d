@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f1a0ae6bff62533a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f1a0ae6bff62533a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-0a25438af5b4c207.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-0a25438af5b4c207: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-6cfb6065b8ff9e68.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-6cfb6065b8ff9e68: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

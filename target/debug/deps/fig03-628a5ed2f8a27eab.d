@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-628a5ed2f8a27eab.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-628a5ed2f8a27eab: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

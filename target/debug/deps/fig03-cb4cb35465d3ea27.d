@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-cb4cb35465d3ea27.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-cb4cb35465d3ea27: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-e3f724536de6ba04.d: crates/bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-e3f724536de6ba04.rmeta: crates/bench/src/bin/fig03.rs Cargo.toml
+
+crates/bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

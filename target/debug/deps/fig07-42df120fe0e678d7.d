@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-42df120fe0e678d7.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-42df120fe0e678d7: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

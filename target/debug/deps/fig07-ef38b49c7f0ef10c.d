@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-ef38b49c7f0ef10c.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-ef38b49c7f0ef10c: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

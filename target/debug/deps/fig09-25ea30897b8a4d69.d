@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-25ea30897b8a4d69.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-25ea30897b8a4d69: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09-2689cc64a5649433.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09-2689cc64a5649433.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

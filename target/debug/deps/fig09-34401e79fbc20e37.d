@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-34401e79fbc20e37.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-34401e79fbc20e37: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0cdcec0eeebdc68c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0cdcec0eeebdc68c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

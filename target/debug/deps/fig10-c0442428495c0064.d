@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c0442428495c0064.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c0442428495c0064: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-ce578c09059128b2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-ce578c09059128b2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-d4ea82811d143796.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-d4ea82811d143796: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

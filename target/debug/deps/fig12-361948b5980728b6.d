@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-361948b5980728b6.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-361948b5980728b6: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

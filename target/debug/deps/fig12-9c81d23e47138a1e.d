@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-9c81d23e47138a1e.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-9c81d23e47138a1e: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-2da7291fcbac3690.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-2da7291fcbac3690: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

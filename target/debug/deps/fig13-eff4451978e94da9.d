@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-eff4451978e94da9.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-eff4451978e94da9: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

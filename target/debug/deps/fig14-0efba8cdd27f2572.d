@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-0efba8cdd27f2572.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-0efba8cdd27f2572: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-20fb2632f5802493.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-20fb2632f5802493: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-03c499a8f9e37841.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-03c499a8f9e37841: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

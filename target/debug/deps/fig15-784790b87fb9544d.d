@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-784790b87fb9544d.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-784790b87fb9544d: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

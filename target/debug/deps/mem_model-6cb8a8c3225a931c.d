@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mem_model-6cb8a8c3225a931c.d: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/debug/deps/mem_model-6cb8a8c3225a931c: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/addr.rs:
+crates/mem-model/src/geometry.rs:
+crates/mem-model/src/mapping.rs:
+crates/mem-model/src/mask.rs:
+crates/mem-model/src/request.rs:
+crates/mem-model/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mem_model-800f5ca31bd27572.d: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/debug/deps/libmem_model-800f5ca31bd27572.rlib: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/debug/deps/libmem_model-800f5ca31bd27572.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/addr.rs:
+crates/mem-model/src/geometry.rs:
+crates/mem-model/src/mapping.rs:
+crates/mem-model/src/mask.rs:
+crates/mem-model/src/request.rs:
+crates/mem-model/src/rng.rs:

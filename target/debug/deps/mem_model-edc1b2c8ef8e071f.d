@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mem_model-edc1b2c8ef8e071f.d: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem_model-edc1b2c8ef8e071f.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs Cargo.toml
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/addr.rs:
+crates/mem-model/src/geometry.rs:
+crates/mem-model/src/mapping.rs:
+crates/mem-model/src/mask.rs:
+crates/mem-model/src/request.rs:
+crates/mem-model/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

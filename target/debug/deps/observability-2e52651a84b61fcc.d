@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-2e52651a84b61fcc.d: crates/dram-sim/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-2e52651a84b61fcc: crates/dram-sim/tests/observability.rs
+
+crates/dram-sim/tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-a846acfce3f20abe.d: crates/dram-sim/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-a846acfce3f20abe.rmeta: crates/dram-sim/tests/observability.rs Cargo.toml
+
+crates/dram-sim/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

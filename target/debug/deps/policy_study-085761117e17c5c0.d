@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_study-085761117e17c5c0.d: crates/bench/src/bin/policy_study.rs
+
+/root/repo/target/debug/deps/policy_study-085761117e17c5c0: crates/bench/src/bin/policy_study.rs
+
+crates/bench/src/bin/policy_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_study-39d4a3e00e5a9101.d: crates/bench/src/bin/policy_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_study-39d4a3e00e5a9101.rmeta: crates/bench/src/bin/policy_study.rs Cargo.toml
+
+crates/bench/src/bin/policy_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_study-fbe26b9172e05c10.d: crates/bench/src/bin/policy_study.rs
+
+/root/repo/target/debug/deps/policy_study-fbe26b9172e05c10: crates/bench/src/bin/policy_study.rs
+
+crates/bench/src/bin/policy_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_model-0311b22aeaab3022.d: crates/bench/benches/power_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_model-0311b22aeaab3022.rmeta: crates/bench/benches/power_model.rs Cargo.toml
+
+crates/bench/benches/power_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra-0c31d1c0f62a831a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/pra-0c31d1c0f62a831a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra-91350cfa0ef067e8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/pra-91350cfa0ef067e8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra-b0c7ff50f11c15df.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra-b0c7ff50f11c15df.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_cli-6d6fc24f605a3d8e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/pra_cli-6d6fc24f605a3d8e: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

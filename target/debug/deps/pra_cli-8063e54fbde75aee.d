@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_cli-8063e54fbde75aee.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_cli-8063e54fbde75aee.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

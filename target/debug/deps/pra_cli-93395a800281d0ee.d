@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_cli-93395a800281d0ee.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/pra_cli-93395a800281d0ee: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

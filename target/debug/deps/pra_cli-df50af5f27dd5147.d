@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pra_cli-df50af5f27dd5147.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpra_cli-df50af5f27dd5147.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpra_cli-df50af5f27dd5147.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pra_cli-facf3ff8b29615a3.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpra_cli-facf3ff8b29615a3.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpra_cli-facf3ff8b29615a3.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

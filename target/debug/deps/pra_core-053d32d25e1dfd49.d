@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pra_core-053d32d25e1dfd49.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+/root/repo/target/debug/deps/libpra_core-053d32d25e1dfd49.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+/root/repo/target/debug/deps/libpra_core-053d32d25e1dfd49.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/sds.rs:
+crates/core/src/system.rs:
+crates/core/src/timing_diagram.rs:

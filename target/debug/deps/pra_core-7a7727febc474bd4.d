@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pra_core-7a7727febc474bd4.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/sds.rs crates/core/src/timing_diagram.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libpra_core-7a7727febc474bd4.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/sds.rs crates/core/src/timing_diagram.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libpra_core-7a7727febc474bd4.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/sds.rs crates/core/src/timing_diagram.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/sds.rs:
+crates/core/src/timing_diagram.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pra_core-93ecf634c199a6f7.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/sds.rs crates/core/src/timing_diagram.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/pra_core-93ecf634c199a6f7: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/sds.rs crates/core/src/timing_diagram.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/sds.rs:
+crates/core/src/timing_diagram.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pra_core-c38cc7922c91dbaa.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_core-c38cc7922c91dbaa.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/sds.rs:
+crates/core/src/system.rs:
+crates/core/src/timing_diagram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pra_repro-17903417460b0461.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpra_repro-17903417460b0461.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpra_repro-17903417460b0461.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pra_repro-99b9534f832be88d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpra_repro-99b9534f832be88d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpra_repro-99b9534f832be88d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_repro-ab3549447e4c7898.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_repro-ab3549447e4c7898.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_repro-b40346f13ef045a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/pra_repro-b40346f13ef045a0: src/lib.rs
+
+src/lib.rs:

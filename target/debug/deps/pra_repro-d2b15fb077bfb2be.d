@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_repro-d2b15fb077bfb2be.d: src/lib.rs
+
+/root/repo/target/debug/deps/pra_repro-d2b15fb077bfb2be: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_repro-f359051408cd498f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_repro-f359051408cd498f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-11951e2019c4e89a.d: crates/dram-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-11951e2019c4e89a: crates/dram-sim/tests/properties.rs
+
+crates/dram-sim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-163f859a9e1acab3.d: crates/cache-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-163f859a9e1acab3.rmeta: crates/cache-sim/tests/properties.rs Cargo.toml
+
+crates/cache-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

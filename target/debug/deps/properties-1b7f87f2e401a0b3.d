@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1b7f87f2e401a0b3.d: crates/cpu-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1b7f87f2e401a0b3.rmeta: crates/cpu-sim/tests/properties.rs Cargo.toml
+
+crates/cpu-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

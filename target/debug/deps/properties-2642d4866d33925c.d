@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2642d4866d33925c.d: crates/cpu-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2642d4866d33925c: crates/cpu-sim/tests/properties.rs
+
+crates/cpu-sim/tests/properties.rs:

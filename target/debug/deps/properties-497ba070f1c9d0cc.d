@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-497ba070f1c9d0cc.d: crates/cache-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-497ba070f1c9d0cc: crates/cache-sim/tests/properties.rs
+
+crates/cache-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-55c66a0eae588505.d: crates/cache-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-55c66a0eae588505: crates/cache-sim/tests/properties.rs
+
+crates/cache-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-584cfa516b78d03c.d: crates/dram-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-584cfa516b78d03c: crates/dram-sim/tests/properties.rs
+
+crates/dram-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-67edcc5f2d9b2f21.d: crates/mem-model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-67edcc5f2d9b2f21: crates/mem-model/tests/properties.rs
+
+crates/mem-model/tests/properties.rs:

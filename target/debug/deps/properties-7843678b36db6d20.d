@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7843678b36db6d20.d: crates/dram-power/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7843678b36db6d20.rmeta: crates/dram-power/tests/properties.rs Cargo.toml
+
+crates/dram-power/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ac4cf978ecfc002f.d: crates/dram-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ac4cf978ecfc002f.rmeta: crates/dram-sim/tests/properties.rs Cargo.toml
+
+crates/dram-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

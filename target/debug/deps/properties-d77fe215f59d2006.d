@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d77fe215f59d2006.d: crates/mem-model/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d77fe215f59d2006.rmeta: crates/mem-model/tests/properties.rs Cargo.toml
+
+crates/mem-model/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dbb329614daac8e4.d: crates/dram-power/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dbb329614daac8e4: crates/dram-power/tests/properties.rs
+
+crates/dram-power/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec08c3655f8f7bab.d: crates/cpu-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec08c3655f8f7bab: crates/cpu-sim/tests/properties.rs
+
+crates/cpu-sim/tests/properties.rs:

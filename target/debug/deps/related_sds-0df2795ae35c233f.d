@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_sds-0df2795ae35c233f.d: crates/bench/src/bin/related_sds.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_sds-0df2795ae35c233f.rmeta: crates/bench/src/bin/related_sds.rs Cargo.toml
+
+crates/bench/src/bin/related_sds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_sds-a43097ed72afe7bb.d: crates/bench/src/bin/related_sds.rs
+
+/root/repo/target/debug/deps/related_sds-a43097ed72afe7bb: crates/bench/src/bin/related_sds.rs
+
+crates/bench/src/bin/related_sds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_sds-b89c441c88cbbc4e.d: crates/bench/src/bin/related_sds.rs
+
+/root/repo/target/debug/deps/related_sds-b89c441c88cbbc4e: crates/bench/src/bin/related_sds.rs
+
+crates/bench/src/bin/related_sds.rs:

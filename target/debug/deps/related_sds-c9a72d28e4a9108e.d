@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_sds-c9a72d28e4a9108e.d: crates/bench/src/bin/related_sds.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_sds-c9a72d28e4a9108e.rmeta: crates/bench/src/bin/related_sds.rs Cargo.toml
+
+crates/bench/src/bin/related_sds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/render_figures-0233c208786c811e.d: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/librender_figures-0233c208786c811e.rmeta: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+crates/bench/src/bin/render_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-74e1a60103b6248d.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-74e1a60103b6248d: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

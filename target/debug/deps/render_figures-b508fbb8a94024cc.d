@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-b508fbb8a94024cc.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-b508fbb8a94024cc: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sim_obs-0a8da0c66d12f7d1.d: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_obs-0a8da0c66d12f7d1.rmeta: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs Cargo.toml
+
+crates/sim-obs/src/lib.rs:
+crates/sim-obs/src/event.rs:
+crates/sim-obs/src/hist.rs:
+crates/sim-obs/src/registry.rs:
+crates/sim-obs/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

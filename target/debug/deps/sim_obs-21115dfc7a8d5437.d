@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sim_obs-21115dfc7a8d5437.d: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_obs-21115dfc7a8d5437.rmeta: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs Cargo.toml
+
+crates/sim-obs/src/lib.rs:
+crates/sim-obs/src/event.rs:
+crates/sim-obs/src/hist.rs:
+crates/sim-obs/src/registry.rs:
+crates/sim-obs/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sim_obs-52a0b0971677f2c9.d: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+/root/repo/target/debug/deps/libsim_obs-52a0b0971677f2c9.rlib: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+/root/repo/target/debug/deps/libsim_obs-52a0b0971677f2c9.rmeta: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+crates/sim-obs/src/lib.rs:
+crates/sim-obs/src/event.rs:
+crates/sim-obs/src/hist.rs:
+crates/sim-obs/src/registry.rs:
+crates/sim-obs/src/sink.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-462805270b68467e.d: crates/dram-sim/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-462805270b68467e.rmeta: crates/dram-sim/tests/stress.rs Cargo.toml
+
+crates/dram-sim/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

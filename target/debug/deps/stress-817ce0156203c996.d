@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-817ce0156203c996.d: crates/dram-sim/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-817ce0156203c996: crates/dram-sim/tests/stress.rs
+
+crates/dram-sim/tests/stress.rs:

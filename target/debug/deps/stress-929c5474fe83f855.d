@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-929c5474fe83f855.d: crates/dram-sim/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-929c5474fe83f855: crates/dram-sim/tests/stress.rs
+
+crates/dram-sim/tests/stress.rs:

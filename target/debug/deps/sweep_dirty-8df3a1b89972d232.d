@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_dirty-8df3a1b89972d232.d: crates/bench/src/bin/sweep_dirty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_dirty-8df3a1b89972d232.rmeta: crates/bench/src/bin/sweep_dirty.rs Cargo.toml
+
+crates/bench/src/bin/sweep_dirty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

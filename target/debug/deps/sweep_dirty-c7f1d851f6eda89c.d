@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_dirty-c7f1d851f6eda89c.d: crates/bench/src/bin/sweep_dirty.rs
+
+/root/repo/target/debug/deps/sweep_dirty-c7f1d851f6eda89c: crates/bench/src/bin/sweep_dirty.rs
+
+crates/bench/src/bin/sweep_dirty.rs:

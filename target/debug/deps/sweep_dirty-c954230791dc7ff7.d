@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_dirty-c954230791dc7ff7.d: crates/bench/src/bin/sweep_dirty.rs
+
+/root/repo/target/debug/deps/sweep_dirty-c954230791dc7ff7: crates/bench/src/bin/sweep_dirty.rs
+
+crates/bench/src/bin/sweep_dirty.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_dirty-e42929c3725a49d6.d: crates/bench/src/bin/sweep_dirty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_dirty-e42929c3725a49d6.rmeta: crates/bench/src/bin/sweep_dirty.rs Cargo.toml
+
+crates/bench/src/bin/sweep_dirty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

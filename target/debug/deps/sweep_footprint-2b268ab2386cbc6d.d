@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_footprint-2b268ab2386cbc6d.d: crates/bench/src/bin/sweep_footprint.rs
+
+/root/repo/target/debug/deps/sweep_footprint-2b268ab2386cbc6d: crates/bench/src/bin/sweep_footprint.rs
+
+crates/bench/src/bin/sweep_footprint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_footprint-b945d0b0131ffe15.d: crates/bench/src/bin/sweep_footprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_footprint-b945d0b0131ffe15.rmeta: crates/bench/src/bin/sweep_footprint.rs Cargo.toml
+
+crates/bench/src/bin/sweep_footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

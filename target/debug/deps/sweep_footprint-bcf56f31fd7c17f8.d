@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_footprint-bcf56f31fd7c17f8.d: crates/bench/src/bin/sweep_footprint.rs
+
+/root/repo/target/debug/deps/sweep_footprint-bcf56f31fd7c17f8: crates/bench/src/bin/sweep_footprint.rs
+
+crates/bench/src/bin/sweep_footprint.rs:

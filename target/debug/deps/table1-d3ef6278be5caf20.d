@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d3ef6278be5caf20.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d3ef6278be5caf20: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fab6ccd07ff1f5e5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-fab6ccd07ff1f5e5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3fa6183535aeb922.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3fa6183535aeb922: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e26faac997e2d2d4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e26faac997e2d2d4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

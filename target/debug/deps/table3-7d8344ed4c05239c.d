@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7d8344ed4c05239c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7d8344ed4c05239c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-bd53ca1ee3ab6e5b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-bd53ca1ee3ab6e5b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

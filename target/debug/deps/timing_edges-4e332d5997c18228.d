@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_edges-4e332d5997c18228.d: crates/dram-sim/tests/timing_edges.rs
+
+/root/repo/target/debug/deps/timing_edges-4e332d5997c18228: crates/dram-sim/tests/timing_edges.rs
+
+crates/dram-sim/tests/timing_edges.rs:

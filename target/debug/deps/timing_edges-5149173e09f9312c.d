@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_edges-5149173e09f9312c.d: crates/dram-sim/tests/timing_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_edges-5149173e09f9312c.rmeta: crates/dram-sim/tests/timing_edges.rs Cargo.toml
+
+crates/dram-sim/tests/timing_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

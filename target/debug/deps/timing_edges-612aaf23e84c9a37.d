@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_edges-612aaf23e84c9a37.d: crates/dram-sim/tests/timing_edges.rs
+
+/root/repo/target/debug/deps/timing_edges-612aaf23e84c9a37: crates/dram-sim/tests/timing_edges.rs
+
+crates/dram-sim/tests/timing_edges.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-554276d9a1cfd215.d: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libworkloads-554276d9a1cfd215.rlib: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libworkloads-554276d9a1cfd215.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analysis.rs:
+crates/workloads/src/benches.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/trace.rs:

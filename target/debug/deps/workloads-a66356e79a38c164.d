@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/workloads-a66356e79a38c164.d: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-a66356e79a38c164.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analysis.rs:
+crates/workloads/src/benches.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-c041d5181fe10ef6.d: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/workloads-c041d5181fe10ef6: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analysis.rs:
+crates/workloads/src/benches.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/trace.rs:

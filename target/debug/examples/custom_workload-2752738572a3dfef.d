@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-2752738572a3dfef.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-2752738572a3dfef: examples/custom_workload.rs
+
+examples/custom_workload.rs:

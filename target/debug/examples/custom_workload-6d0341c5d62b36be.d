@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-6d0341c5d62b36be.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-6d0341c5d62b36be: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecc_dimm-28e8a5625591e2e4.d: examples/ecc_dimm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecc_dimm-28e8a5625591e2e4.rmeta: examples/ecc_dimm.rs Cargo.toml
+
+examples/ecc_dimm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecc_dimm-a8fefab52aceb9b5.d: examples/ecc_dimm.rs
+
+/root/repo/target/debug/examples/ecc_dimm-a8fefab52aceb9b5: examples/ecc_dimm.rs
+
+examples/ecc_dimm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecc_dimm-aa129ca187de2e52.d: examples/ecc_dimm.rs
+
+/root/repo/target/debug/examples/ecc_dimm-aa129ca187de2e52: examples/ecc_dimm.rs
+
+examples/ecc_dimm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_explorer-05495505796c54c8.d: examples/power_explorer.rs
+
+/root/repo/target/debug/examples/power_explorer-05495505796c54c8: examples/power_explorer.rs
+
+examples/power_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_explorer-18d55591087e8a39.d: examples/power_explorer.rs
+
+/root/repo/target/debug/examples/power_explorer-18d55591087e8a39: examples/power_explorer.rs
+
+examples/power_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_explorer-f3558d0a26e57826.d: examples/power_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_explorer-f3558d0a26e57826.rmeta: examples/power_explorer.rs Cargo.toml
+
+examples/power_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2001b8afd73de0cb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2001b8afd73de0cb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5a6f6d2af1a3466f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5a6f6d2af1a3466f: examples/quickstart.rs
+
+examples/quickstart.rs:

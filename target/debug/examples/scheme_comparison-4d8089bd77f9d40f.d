@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_comparison-4d8089bd77f9d40f.d: examples/scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_comparison-4d8089bd77f9d40f.rmeta: examples/scheme_comparison.rs Cargo.toml
+
+examples/scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

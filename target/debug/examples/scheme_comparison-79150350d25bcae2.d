@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-79150350d25bcae2.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-79150350d25bcae2: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

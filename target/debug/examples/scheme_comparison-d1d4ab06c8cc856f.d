@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-d1d4ab06c8cc856f.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-d1d4ab06c8cc856f: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-7367f896bfb4ca33.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-7367f896bfb4ca33: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-c0ef5449970b4572.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-c0ef5449970b4572: examples/trace_replay.rs
+
+examples/trace_replay.rs:

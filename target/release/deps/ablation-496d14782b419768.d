@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-496d14782b419768.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-496d14782b419768: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-e7dd18d85fcfdac1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-e7dd18d85fcfdac1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-395cda3914675647.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-395cda3914675647.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-395cda3914675647.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

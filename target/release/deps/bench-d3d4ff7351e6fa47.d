@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-d3d4ff7351e6fa47.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/bench-d3d4ff7351e6fa47: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/timing.rs:

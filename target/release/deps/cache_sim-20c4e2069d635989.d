@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cache_sim-20c4e2069d635989.d: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/release/deps/cache_sim-20c4e2069d635989: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+crates/cache-sim/src/lib.rs:
+crates/cache-sim/src/cache.rs:
+crates/cache-sim/src/dbi.rs:
+crates/cache-sim/src/hierarchy.rs:

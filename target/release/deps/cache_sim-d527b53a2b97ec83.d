@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cache_sim-d527b53a2b97ec83.d: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/release/deps/libcache_sim-d527b53a2b97ec83.rlib: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+/root/repo/target/release/deps/libcache_sim-d527b53a2b97ec83.rmeta: crates/cache-sim/src/lib.rs crates/cache-sim/src/cache.rs crates/cache-sim/src/dbi.rs crates/cache-sim/src/hierarchy.rs
+
+crates/cache-sim/src/lib.rs:
+crates/cache-sim/src/cache.rs:
+crates/cache-sim/src/dbi.rs:
+crates/cache-sim/src/hierarchy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cpu_sim-27ff494584412ec2.d: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/release/deps/cpu_sim-27ff494584412ec2: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+crates/cpu-sim/src/lib.rs:
+crates/cpu-sim/src/core.rs:
+crates/cpu-sim/src/metrics.rs:
+crates/cpu-sim/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cpu_sim-2fb337c2e60085af.d: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/release/deps/libcpu_sim-2fb337c2e60085af.rlib: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/release/deps/libcpu_sim-2fb337c2e60085af.rmeta: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+crates/cpu-sim/src/lib.rs:
+crates/cpu-sim/src/core.rs:
+crates/cpu-sim/src/metrics.rs:
+crates/cpu-sim/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cpu_sim-bd56d684906d2e2a.d: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/release/deps/libcpu_sim-bd56d684906d2e2a.rlib: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+/root/repo/target/release/deps/libcpu_sim-bd56d684906d2e2a.rmeta: crates/cpu-sim/src/lib.rs crates/cpu-sim/src/core.rs crates/cpu-sim/src/metrics.rs crates/cpu-sim/src/system.rs
+
+crates/cpu-sim/src/lib.rs:
+crates/cpu-sim/src/core.rs:
+crates/cpu-sim/src/metrics.rs:
+crates/cpu-sim/src/system.rs:

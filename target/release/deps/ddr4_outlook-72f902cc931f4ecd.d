@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ddr4_outlook-72f902cc931f4ecd.d: crates/bench/src/bin/ddr4_outlook.rs
+
+/root/repo/target/release/deps/ddr4_outlook-72f902cc931f4ecd: crates/bench/src/bin/ddr4_outlook.rs
+
+crates/bench/src/bin/ddr4_outlook.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ddr4_outlook-86d044d5c258390d.d: crates/bench/src/bin/ddr4_outlook.rs
+
+/root/repo/target/release/deps/ddr4_outlook-86d044d5c258390d: crates/bench/src/bin/ddr4_outlook.rs
+
+crates/bench/src/bin/ddr4_outlook.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dram_power-6d2439c421de31aa.d: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/release/deps/libdram_power-6d2439c421de31aa.rlib: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/release/deps/libdram_power-6d2439c421de31aa.rmeta: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+crates/dram-power/src/lib.rs:
+crates/dram-power/src/accounting.rs:
+crates/dram-power/src/activation_energy.rs:
+crates/dram-power/src/breakdown.rs:
+crates/dram-power/src/overheads.rs:
+crates/dram-power/src/params.rs:

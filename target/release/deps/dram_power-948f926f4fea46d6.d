@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dram_power-948f926f4fea46d6.d: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+/root/repo/target/release/deps/dram_power-948f926f4fea46d6: crates/dram-power/src/lib.rs crates/dram-power/src/accounting.rs crates/dram-power/src/activation_energy.rs crates/dram-power/src/breakdown.rs crates/dram-power/src/overheads.rs crates/dram-power/src/params.rs
+
+crates/dram-power/src/lib.rs:
+crates/dram-power/src/accounting.rs:
+crates/dram-power/src/activation_energy.rs:
+crates/dram-power/src/breakdown.rs:
+crates/dram-power/src/overheads.rs:
+crates/dram-power/src/params.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dram_sim-26fdd08ef27f5019.d: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+/root/repo/target/release/deps/libdram_sim-26fdd08ef27f5019.rlib: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+/root/repo/target/release/deps/libdram_sim-26fdd08ef27f5019.rmeta: crates/dram-sim/src/lib.rs crates/dram-sim/src/bank.rs crates/dram-sim/src/channel.rs crates/dram-sim/src/checker.rs crates/dram-sim/src/config.rs crates/dram-sim/src/memory_system.rs crates/dram-sim/src/rank.rs crates/dram-sim/src/scheme.rs crates/dram-sim/src/stats.rs crates/dram-sim/src/timing.rs
+
+crates/dram-sim/src/lib.rs:
+crates/dram-sim/src/bank.rs:
+crates/dram-sim/src/channel.rs:
+crates/dram-sim/src/checker.rs:
+crates/dram-sim/src/config.rs:
+crates/dram-sim/src/memory_system.rs:
+crates/dram-sim/src/rank.rs:
+crates/dram-sim/src/scheme.rs:
+crates/dram-sim/src/stats.rs:
+crates/dram-sim/src/timing.rs:

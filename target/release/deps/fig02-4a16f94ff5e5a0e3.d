@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-4a16f94ff5e5a0e3.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-4a16f94ff5e5a0e3: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

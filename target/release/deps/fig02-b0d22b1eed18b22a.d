@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-b0d22b1eed18b22a.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-b0d22b1eed18b22a: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-1ad1e07267fc9788.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-1ad1e07267fc9788: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-fcb71a08957ed470.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-fcb71a08957ed470: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-11926cbd68eb18ac.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-11926cbd68eb18ac: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-b32caf34570835d6.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-b32caf34570835d6: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-515f81db1a3a4948.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-515f81db1a3a4948: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-5b5e38679d7b98e9.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-5b5e38679d7b98e9: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-143327b79a9ac41f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-143327b79a9ac41f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

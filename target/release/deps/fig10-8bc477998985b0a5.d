@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-8bc477998985b0a5.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-8bc477998985b0a5: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

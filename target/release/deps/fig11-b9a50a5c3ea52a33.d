@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-b9a50a5c3ea52a33.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-b9a50a5c3ea52a33: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-e1fcf604b4a99555.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-e1fcf604b4a99555: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

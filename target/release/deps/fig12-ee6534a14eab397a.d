@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-ee6534a14eab397a.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-ee6534a14eab397a: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

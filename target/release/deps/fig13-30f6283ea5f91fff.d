@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-30f6283ea5f91fff.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-30f6283ea5f91fff: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-fa921704039a4465.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-fa921704039a4465: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-42e64a57cb024f5d.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-42e64a57cb024f5d: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

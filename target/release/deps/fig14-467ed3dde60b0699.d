@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-467ed3dde60b0699.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-467ed3dde60b0699: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-3cd2327653335c9c.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-3cd2327653335c9c: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-f9887f383aa181ab.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-f9887f383aa181ab: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mem_model-47320759e694a52d.d: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/release/deps/libmem_model-47320759e694a52d.rlib: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/release/deps/libmem_model-47320759e694a52d.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/addr.rs:
+crates/mem-model/src/geometry.rs:
+crates/mem-model/src/mapping.rs:
+crates/mem-model/src/mask.rs:
+crates/mem-model/src/request.rs:
+crates/mem-model/src/rng.rs:

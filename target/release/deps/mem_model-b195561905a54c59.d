@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mem_model-b195561905a54c59.d: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+/root/repo/target/release/deps/mem_model-b195561905a54c59: crates/mem-model/src/lib.rs crates/mem-model/src/addr.rs crates/mem-model/src/geometry.rs crates/mem-model/src/mapping.rs crates/mem-model/src/mask.rs crates/mem-model/src/request.rs crates/mem-model/src/rng.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/addr.rs:
+crates/mem-model/src/geometry.rs:
+crates/mem-model/src/mapping.rs:
+crates/mem-model/src/mask.rs:
+crates/mem-model/src/request.rs:
+crates/mem-model/src/rng.rs:

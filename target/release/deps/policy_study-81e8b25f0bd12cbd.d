@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_study-81e8b25f0bd12cbd.d: crates/bench/src/bin/policy_study.rs
+
+/root/repo/target/release/deps/policy_study-81e8b25f0bd12cbd: crates/bench/src/bin/policy_study.rs
+
+crates/bench/src/bin/policy_study.rs:

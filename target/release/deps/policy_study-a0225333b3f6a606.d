@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_study-a0225333b3f6a606.d: crates/bench/src/bin/policy_study.rs
+
+/root/repo/target/release/deps/policy_study-a0225333b3f6a606: crates/bench/src/bin/policy_study.rs
+
+crates/bench/src/bin/policy_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_model-a8948aba7ce16823.d: crates/bench/benches/power_model.rs
+
+/root/repo/target/release/deps/power_model-a8948aba7ce16823: crates/bench/benches/power_model.rs
+
+crates/bench/benches/power_model.rs:

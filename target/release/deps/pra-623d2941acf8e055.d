@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pra-623d2941acf8e055.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/pra-623d2941acf8e055: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

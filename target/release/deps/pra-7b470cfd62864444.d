@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pra-7b470cfd62864444.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/pra-7b470cfd62864444: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pra_cli-033473d82502c6e4.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/pra_cli-033473d82502c6e4: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pra_cli-628c06eaf8ee0d40.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libpra_cli-628c06eaf8ee0d40.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libpra_cli-628c06eaf8ee0d40.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pra_core-754d162342c3040b.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+/root/repo/target/release/deps/pra_core-754d162342c3040b: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/sds.rs:
+crates/core/src/system.rs:
+crates/core/src/timing_diagram.rs:

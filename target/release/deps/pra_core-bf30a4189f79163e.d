@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pra_core-bf30a4189f79163e.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+/root/repo/target/release/deps/libpra_core-bf30a4189f79163e.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+/root/repo/target/release/deps/libpra_core-bf30a4189f79163e.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/pra.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/sds.rs crates/core/src/system.rs crates/core/src/timing_diagram.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pra.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/sds.rs:
+crates/core/src/system.rs:
+crates/core/src/timing_diagram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pra_repro-5014c8c43a17ee81.d: src/lib.rs
+
+/root/repo/target/release/deps/pra_repro-5014c8c43a17ee81: src/lib.rs
+
+src/lib.rs:

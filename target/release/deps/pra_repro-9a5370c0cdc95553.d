@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pra_repro-9a5370c0cdc95553.d: src/lib.rs
+
+/root/repo/target/release/deps/libpra_repro-9a5370c0cdc95553.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpra_repro-9a5370c0cdc95553.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pra_repro-d57fd856f40da030.d: src/lib.rs
+
+/root/repo/target/release/deps/libpra_repro-d57fd856f40da030.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpra_repro-d57fd856f40da030.rmeta: src/lib.rs
+
+src/lib.rs:

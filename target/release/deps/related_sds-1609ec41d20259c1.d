@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_sds-1609ec41d20259c1.d: crates/bench/src/bin/related_sds.rs
+
+/root/repo/target/release/deps/related_sds-1609ec41d20259c1: crates/bench/src/bin/related_sds.rs
+
+crates/bench/src/bin/related_sds.rs:

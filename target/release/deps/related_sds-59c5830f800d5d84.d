@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_sds-59c5830f800d5d84.d: crates/bench/src/bin/related_sds.rs
+
+/root/repo/target/release/deps/related_sds-59c5830f800d5d84: crates/bench/src/bin/related_sds.rs
+
+crates/bench/src/bin/related_sds.rs:

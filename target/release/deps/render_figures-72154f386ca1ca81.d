@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/render_figures-72154f386ca1ca81.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/release/deps/render_figures-72154f386ca1ca81: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/render_figures-b44d7956ec77a89a.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/release/deps/render_figures-b44d7956ec77a89a: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_obs-49b7e23bcb3dd4cc.d: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+/root/repo/target/release/deps/sim_obs-49b7e23bcb3dd4cc: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+crates/sim-obs/src/lib.rs:
+crates/sim-obs/src/event.rs:
+crates/sim-obs/src/hist.rs:
+crates/sim-obs/src/registry.rs:
+crates/sim-obs/src/sink.rs:

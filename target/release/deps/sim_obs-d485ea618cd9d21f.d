@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sim_obs-d485ea618cd9d21f.d: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+/root/repo/target/release/deps/libsim_obs-d485ea618cd9d21f.rlib: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+/root/repo/target/release/deps/libsim_obs-d485ea618cd9d21f.rmeta: crates/sim-obs/src/lib.rs crates/sim-obs/src/event.rs crates/sim-obs/src/hist.rs crates/sim-obs/src/registry.rs crates/sim-obs/src/sink.rs
+
+crates/sim-obs/src/lib.rs:
+crates/sim-obs/src/event.rs:
+crates/sim-obs/src/hist.rs:
+crates/sim-obs/src/registry.rs:
+crates/sim-obs/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-659dbb904c6114c4.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-659dbb904c6114c4: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

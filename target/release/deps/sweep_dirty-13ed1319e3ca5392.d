@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_dirty-13ed1319e3ca5392.d: crates/bench/src/bin/sweep_dirty.rs
+
+/root/repo/target/release/deps/sweep_dirty-13ed1319e3ca5392: crates/bench/src/bin/sweep_dirty.rs
+
+crates/bench/src/bin/sweep_dirty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_dirty-2bb423696842687a.d: crates/bench/src/bin/sweep_dirty.rs
+
+/root/repo/target/release/deps/sweep_dirty-2bb423696842687a: crates/bench/src/bin/sweep_dirty.rs
+
+crates/bench/src/bin/sweep_dirty.rs:

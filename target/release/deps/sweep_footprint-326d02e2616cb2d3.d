@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_footprint-326d02e2616cb2d3.d: crates/bench/src/bin/sweep_footprint.rs
+
+/root/repo/target/release/deps/sweep_footprint-326d02e2616cb2d3: crates/bench/src/bin/sweep_footprint.rs
+
+crates/bench/src/bin/sweep_footprint.rs:

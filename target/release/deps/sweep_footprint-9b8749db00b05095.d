@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_footprint-9b8749db00b05095.d: crates/bench/src/bin/sweep_footprint.rs
+
+/root/repo/target/release/deps/sweep_footprint-9b8749db00b05095: crates/bench/src/bin/sweep_footprint.rs
+
+crates/bench/src/bin/sweep_footprint.rs:

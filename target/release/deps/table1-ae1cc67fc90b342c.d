@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ae1cc67fc90b342c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ae1cc67fc90b342c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

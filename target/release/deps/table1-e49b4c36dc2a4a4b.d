@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e49b4c36dc2a4a4b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e49b4c36dc2a4a4b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

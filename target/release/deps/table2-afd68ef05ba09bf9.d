@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-afd68ef05ba09bf9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-afd68ef05ba09bf9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

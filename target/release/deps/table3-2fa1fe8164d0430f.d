@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-2fa1fe8164d0430f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-2fa1fe8164d0430f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

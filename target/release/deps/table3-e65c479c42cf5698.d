@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-e65c479c42cf5698.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-e65c479c42cf5698: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

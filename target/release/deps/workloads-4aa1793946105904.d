@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/workloads-4aa1793946105904.d: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libworkloads-4aa1793946105904.rlib: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libworkloads-4aa1793946105904.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analysis.rs:
+crates/workloads/src/benches.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/trace.rs:

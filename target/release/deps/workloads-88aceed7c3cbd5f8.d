@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-88aceed7c3cbd5f8.d: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/workloads-88aceed7c3cbd5f8: crates/workloads/src/lib.rs crates/workloads/src/analysis.rs crates/workloads/src/benches.rs crates/workloads/src/generator.rs crates/workloads/src/profile.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analysis.rs:
+crates/workloads/src/benches.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/trace.rs:
