@@ -1,6 +1,7 @@
 //! Two-level cache hierarchy with fine-grained dirty bits and optional DBI.
 
 use mem_model::{AddressMapping, DramGeometry, PhysAddr, WordMask, WORDS_PER_LINE};
+use sim_fault::{FaultCounts, FaultInjector};
 use sim_obs::{SinkHandle, TraceEvent, TraceSink};
 
 use crate::cache::{Cache, CacheConfig, Evicted};
@@ -171,6 +172,9 @@ pub struct CacheHierarchy {
     /// CPU cycle stamped onto emitted trace events; the driving system
     /// keeps it current via [`CacheHierarchy::set_now`].
     now: u64,
+    /// Optional FGD dirty-bit fault source (see [`sim_fault`]); `None`
+    /// leaves eviction masks untouched.
+    faults: Option<FaultInjector>,
 }
 
 impl CacheHierarchy {
@@ -209,7 +213,35 @@ impl CacheHierarchy {
             stats: HierarchyStats::default(),
             sink: SinkHandle::disabled(),
             now: 0,
+            faults: None,
             config,
+        }
+    }
+
+    /// Attaches a fault injector that can set spurious FGD dirty bits on L2
+    /// evictions (fail-safe direction only: a flipped bit widens the
+    /// writeback mask, it never drops dirty data). Without one, eviction
+    /// masks are exactly the merged L1/L2 dirty bits.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Fault-event counters accumulated by the attached injector (zero when
+    /// no injector is attached).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::counts)
+            .unwrap_or_default()
+    }
+
+    /// Publishes cache counters and (when an injector is attached) fault
+    /// counters into `reg`. Outer layers should call this instead of
+    /// `stats().publish_to` so fault metrics reach epoch snapshots too.
+    pub fn publish_metrics(&self, reg: &mut sim_obs::MetricsRegistry) {
+        self.stats.publish_to(reg);
+        if let Some(f) = &self.faults {
+            f.publish_to(reg, "fault.cache");
         }
     }
 
@@ -356,6 +388,14 @@ impl CacheHierarchy {
         for l1 in &mut self.l1s {
             if let Some(copy) = l1.invalidate(victim.addr) {
                 mask |= copy.dirty;
+            }
+        }
+        // Injected FGD upset: a spurious dirty bit widens the mask (a clean
+        // eviction can become a one-word spurious writeback). Bits are only
+        // ever set — clearing one would silently lose data.
+        if let Some(inj) = self.faults.as_mut() {
+            if let Some(widened) = inj.flip_dirty_bit(mask) {
+                mask = widened;
             }
         }
         if mask.is_empty() {

@@ -9,7 +9,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use dram_sim::PagePolicy;
-use pra_core::{Report, Scheme, SimBuilder};
+use pra_core::{Report, Scheme, SimBuilder, SimError};
+use sim_fault::FaultPlan;
 use workloads::BenchProfile;
 
 /// Errors surfaced to the user with a non-zero exit code.
@@ -24,9 +25,18 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
+
+/// Flags that take no value; `--flag` alone sets them.
+const BOOLEAN_FLAGS: &[&str] = &["verify-determinism"];
 
 /// Parsed `--key value` options plus positional arguments.
 #[derive(Debug, Default, Clone)]
@@ -47,6 +57,10 @@ impl Options {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&key) {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| err(format!("--{key} needs a value")))?;
@@ -61,6 +75,11 @@ impl Options {
     /// A string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (see [`BOOLEAN_FLAGS`]) was given.
+    pub fn get_bool(&self, key: &str) -> bool {
+        BOOLEAN_FLAGS.contains(&key) && self.flags.contains_key(key)
     }
 
     /// A parsed numeric option with a default.
@@ -169,6 +188,12 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
         Some("on") => builder = builder.prefetch_next_line(true),
         Some(other) => return Err(err(format!("--prefetch must be on|off, got {other:?}"))),
     }
+    if let Some(path) = opts.get("faults") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
+        let plan = FaultPlan::from_toml_str(&text).map_err(|e| err(format!("{path}: {e}")))?;
+        builder = builder.faults(plan);
+    }
     Ok((name, builder))
 }
 
@@ -216,6 +241,21 @@ fn render_report(report: &Report) -> String {
             .collect::<Vec<_>>()
             .join(" ")
     );
+    let f = &report.faults;
+    if f.injected > 0 {
+        let _ = writeln!(
+            out,
+            "faults: {} injected ({} mask, {} dropped, {} stretched, {} dirty flips), {} detected, {} degraded to full row",
+            f.injected,
+            f.masks_corrupted,
+            f.commands_dropped,
+            f.commands_stretched,
+            f.dirty_bits_flipped,
+            f.detected,
+            f.degraded
+        );
+    }
+    let _ = writeln!(out, "state digest {:016x}", report.state_digest());
     out
 }
 
@@ -227,8 +267,15 @@ fn render_report(report: &Report) -> String {
 pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
     let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
     let (_, builder) = build(opts, scheme)?;
-    let report = builder.run();
-    Ok(render_report(&report))
+    if opts.get_bool("verify-determinism") {
+        let report = builder.try_run_verified()?;
+        let mut out = render_report(&report);
+        let _ = writeln!(out, "determinism verified: two runs, identical digests");
+        Ok(out)
+    } else {
+        let report = builder.try_run()?;
+        Ok(render_report(&report))
+    }
 }
 
 /// `pra compare`: every scheme on one workload, normalised table.
@@ -255,7 +302,7 @@ pub fn cmd_compare(opts: &Options) -> Result<String, CliError> {
     let mut base: Option<Report> = None;
     for scheme in schemes {
         let (_, builder) = build(opts, scheme)?;
-        let report = builder.run();
+        let report = builder.try_run()?;
         let (norm_p, norm_e, norm_edp) = match &base {
             Some(b) => (
                 report.power.total() / b.power.total(),
@@ -339,7 +386,7 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
                     .map_err(|e| err(format!("cannot create {metrics_path}: {e}")))?;
                 builder = builder.metrics_out(metrics_path);
             }
-            let report = builder.run();
+            let report = builder.try_run()?;
             let mut out = render_report(&report);
             let events = std::fs::read_to_string(trace_path)
                 .map(|t| t.lines().count())
@@ -441,6 +488,8 @@ pub fn usage() -> String {
      usage:\n\
      \x20 pra run     [--workload NAME] [--scheme S] [--policy P] [--cores N]\n\
      \x20             [--instructions N] [--seed N] [--warmup N]\n\
+     \x20             [--faults PLAN.toml] [--verify-determinism]\n\
+     \x20             inject deterministic faults / run twice and compare digests\n\
      \x20 pra compare [same options]         compare all schemes on one workload\n\
      \x20 pra list                           available workloads/schemes/policies\n\
      \x20 pra trace run  [run options] --trace-out FILE\n\
@@ -476,13 +525,16 @@ pub fn dispatch(args: Vec<String>) -> Result<String, CliError> {
 mod tests {
     use super::*;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn options_parse_flags_and_positionals() {
-        let o = Options::parse(["record", "--ops", "5", "file.txt"].map(String::from)).unwrap();
+    fn options_parse_flags_and_positionals() -> TestResult {
+        let o = Options::parse(["record", "--ops", "5", "file.txt"].map(String::from))?;
         assert_eq!(o.positional, vec!["record", "file.txt"]);
         assert_eq!(o.get("ops"), Some("5"));
-        assert_eq!(o.get_u64("ops", 0).unwrap(), 5);
-        assert_eq!(o.get_u64("missing", 7).unwrap(), 7);
+        assert_eq!(o.get_u64("ops", 0)?, 5);
+        assert_eq!(o.get_u64("missing", 7)?, 7);
+        Ok(())
     }
 
     #[test]
@@ -491,28 +543,39 @@ mod tests {
     }
 
     #[test]
-    fn scheme_and_policy_names() {
-        assert_eq!(parse_scheme("PRA").unwrap(), Scheme::Pra);
-        assert_eq!(parse_scheme("half-dram").unwrap(), Scheme::HalfDram);
-        assert_eq!(parse_scheme("Half_Dram_PRA").unwrap(), Scheme::HalfDramPra);
-        assert!(parse_scheme("turbo").is_err());
-        assert_eq!(parse_policy("open").unwrap(), PagePolicy::OpenPage);
-        assert!(parse_policy("lazy").is_err());
+    fn boolean_flags_take_no_value() -> TestResult {
+        let o = Options::parse(["--verify-determinism", "--seed", "3"].map(String::from))?;
+        assert!(o.get_bool("verify-determinism"));
+        assert_eq!(o.get_u64("seed", 0)?, 3);
+        assert!(!o.get_bool("seed"), "valued flags are not boolean");
+        Ok(())
     }
 
     #[test]
-    fn workload_resolution() {
-        let (name, apps) = parse_workload("gups", 4).unwrap();
+    fn scheme_and_policy_names() -> TestResult {
+        assert_eq!(parse_scheme("PRA")?, Scheme::Pra);
+        assert_eq!(parse_scheme("half-dram")?, Scheme::HalfDram);
+        assert_eq!(parse_scheme("Half_Dram_PRA")?, Scheme::HalfDramPra);
+        assert!(parse_scheme("turbo").is_err());
+        assert_eq!(parse_policy("open")?, PagePolicy::OpenPage);
+        assert!(parse_policy("lazy").is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn workload_resolution() -> TestResult {
+        let (name, apps) = parse_workload("gups", 4)?;
         assert_eq!(name, "GUPS");
         assert_eq!(apps.len(), 4);
-        let (name, apps) = parse_workload("mix3", 1).unwrap();
+        let (name, apps) = parse_workload("mix3", 1)?;
         assert_eq!(name, "MIX3");
         assert_eq!(apps.len(), 4, "mixes are always four apps");
         assert!(parse_workload("dhrystone", 1).is_err());
+        Ok(())
     }
 
     #[test]
-    fn run_command_end_to_end() {
+    fn run_command_end_to_end() -> TestResult {
         let opts = Options::parse(
             [
                 "--workload",
@@ -527,18 +590,89 @@ mod tests {
                 "20000",
             ]
             .map(String::from),
-        )
-        .unwrap();
-        let out = cmd_run(&opts).unwrap();
+        )?;
+        let out = cmd_run(&opts)?;
         assert!(out.contains("scheme PRA"), "{out}");
         assert!(out.contains("ACT-PRE"), "{out}");
+        assert!(out.contains("state digest"), "{out}");
+        Ok(())
     }
 
     #[test]
-    fn trace_record_and_info_roundtrip() {
+    fn verify_determinism_runs_twice_and_passes() -> TestResult {
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--cores",
+                "1",
+                "--instructions",
+                "2000",
+                "--verify-determinism",
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_run(&opts)?;
+        assert!(out.contains("determinism verified"), "{out}");
+        Ok(())
+    }
+
+    #[test]
+    fn fault_plan_file_drives_injection() -> TestResult {
         let dir = std::env::temp_dir().join("pra-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
+        let plan = dir.join("plan.toml");
+        std::fs::write(
+            &plan,
+            "[faults]\nseed = 7\nmask_corrupt_rate = 1.0\ncommand_drop_rate = 0.1\n",
+        )?;
+        let path = plan.to_str().ok_or("non-utf8 temp path")?;
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--faults",
+                path,
+                "--verify-determinism",
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_run(&opts)?;
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("determinism verified"), "{out}");
+        std::fs::remove_file(plan).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_clean_error() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let plan = dir.join("bad-plan.toml");
+        std::fs::write(&plan, "mask_corrupt_rate = 2.0\n")?;
+        let path = plan.to_str().ok_or("non-utf8 temp path")?;
+        let opts = Options::parse(["--faults", path].map(String::from))?;
+        let e = cmd_run(&opts).expect_err("out-of-range rate must be rejected");
+        assert!(e.0.contains("invalid fault plan"), "{e}");
+        let missing = Options::parse(["--faults", "/no/such/plan.toml"].map(String::from))?;
+        let e = cmd_run(&missing).expect_err("missing plan file must be rejected");
+        assert!(e.0.contains("cannot read fault plan"), "{e}");
+        std::fs::remove_file(plan).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn trace_record_and_info_roundtrip() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("t.trace");
+        let path_str = path.to_str().ok_or("non-utf8 temp path")?;
         let record = Options::parse(
             [
                 "record",
@@ -547,24 +681,23 @@ mod tests {
                 "--ops",
                 "200",
                 "--out",
-                path.to_str().unwrap(),
+                path_str,
             ]
             .map(String::from),
-        )
-        .unwrap();
-        let out = cmd_trace(&record).unwrap();
+        )?;
+        let out = cmd_trace(&record)?;
         assert!(out.contains("recorded 200 ops"), "{out}");
-        let info =
-            Options::parse(["info".to_string(), path.to_str().unwrap().to_string()]).unwrap();
-        let out = cmd_trace(&info).unwrap();
+        let info = Options::parse(["info".to_string(), path_str.to_string()])?;
+        let out = cmd_trace(&info)?;
         assert!(out.contains("200 ops"), "{out}");
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn trace_run_writes_event_log_and_snapshots() {
+    fn trace_run_writes_event_log_and_snapshots() -> TestResult {
         let dir = std::env::temp_dir().join("pra-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let trace = dir.join("run.jsonl");
         let metrics = dir.join("metrics.jsonl");
         let opts = Options::parse(
@@ -581,36 +714,35 @@ mod tests {
                 "--warmup",
                 "20000",
                 "--trace-out",
-                trace.to_str().unwrap(),
+                trace.to_str().ok_or("non-utf8 temp path")?,
                 "--metrics-epoch",
                 "500",
                 "--metrics-out",
-                metrics.to_str().unwrap(),
+                metrics.to_str().ok_or("non-utf8 temp path")?,
             ]
             .map(String::from),
-        )
-        .unwrap();
-        let out = cmd_trace(&opts).unwrap();
+        )?;
+        let out = cmd_trace(&opts)?;
         assert!(out.contains("trace events written"), "{out}");
         assert!(
             out.contains("epoch snapshots (epoch 500 memory cycles)"),
             "{out}"
         );
-        let text = std::fs::read_to_string(&trace).unwrap();
+        let text = std::fs::read_to_string(&trace)?;
         assert!(text.lines().count() > 0);
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
-        assert!(std::fs::read_to_string(&metrics)
-            .unwrap()
-            .contains("dram.activations"));
+        assert!(std::fs::read_to_string(&metrics)?.contains("dram.activations"));
         std::fs::remove_file(trace).ok();
         std::fs::remove_file(metrics).ok();
+        Ok(())
     }
 
     #[test]
-    fn dispatch_unknown_command_errors() {
-        let e = dispatch(vec!["frobnicate".into()]).unwrap_err();
+    fn dispatch_unknown_command_errors() -> TestResult {
+        let e = dispatch(vec!["frobnicate".into()]).expect_err("unknown command must error");
         assert!(e.0.contains("unknown command"));
-        assert!(dispatch(vec![]).unwrap().contains("usage"));
+        assert!(dispatch(vec![])?.contains("usage"));
+        Ok(())
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Typed errors for the simulation-building and experiment paths.
+
+use core::fmt;
+use std::path::PathBuf;
+
+/// An error building or running a full-system simulation. Replaces the
+/// panic paths on config/CLI/experiment inputs: callers get an actionable
+/// message and a nonzero exit instead of an unwind.
+#[derive(Debug)]
+pub enum SimError {
+    /// [`SimBuilder`](crate::SimBuilder) has no application to run.
+    NoApplications,
+    /// The DRAM configuration is inconsistent.
+    Config(dram_sim::ConfigError),
+    /// The fault plan is inconsistent.
+    FaultPlan(sim_fault::PlanError),
+    /// An output file (trace or metrics) could not be created.
+    Io {
+        /// Path that failed to open.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Two identically-configured runs produced different state digests
+    /// (`pra run --verify-determinism`).
+    Nondeterministic {
+        /// Digest of the first run.
+        first: u64,
+        /// Digest of the second run.
+        second: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoApplications => {
+                write!(f, "add at least one application before running")
+            }
+            SimError::Config(e) => write!(f, "invalid DRAM configuration: {e}"),
+            SimError::FaultPlan(e) => write!(f, "{e}"),
+            SimError::Io { path, source } => {
+                write!(f, "cannot create {}: {source}", path.display())
+            }
+            SimError::Nondeterministic { first, second } => write!(
+                f,
+                "nondeterminism detected: run digests {first:016x} and {second:016x} differ"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::FaultPlan(e) => Some(e),
+            SimError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<dram_sim::ConfigError> for SimError {
+    fn from(e: dram_sim::ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<sim_fault::PlanError> for SimError {
+    fn from(e: sim_fault::PlanError) -> Self {
+        SimError::FaultPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        assert_eq!(
+            SimError::NoApplications.to_string(),
+            "add at least one application before running"
+        );
+        let nd = SimError::Nondeterministic {
+            first: 0xdead,
+            second: 0xbeef,
+        };
+        assert!(nd.to_string().contains("000000000000dead"), "{nd}");
+        let io = SimError::Io {
+            path: PathBuf::from("/no/such/dir/out.jsonl"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "nope"),
+        };
+        assert!(io.to_string().contains("/no/such/dir/out.jsonl"), "{io}");
+    }
+}

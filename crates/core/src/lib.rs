@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 pub mod experiments;
 mod pra;
 mod report;
@@ -49,7 +50,11 @@ pub mod sds;
 mod system;
 pub mod timing_diagram;
 
-pub use pra::{ChipActivation, ControllerPraState, PraChip, PraLatch, PraPin};
+pub use error::SimError;
+pub use pra::{
+    ChipActivation, ControllerPraState, GuardedActivation, MaskFault, MaskTransfer, PraChip,
+    PraLatch, PraPin,
+};
 pub use report::Report;
 pub use scheme::Scheme;
 pub use system::{DramGeneration, SimBuilder};

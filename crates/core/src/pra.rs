@@ -8,7 +8,92 @@
 //! documentation to check that the behavioural model and the hardware
 //! description agree.
 
+use core::fmt;
+
 use mem_model::{WordMask, WORDS_PER_LINE};
+use sim_fault::even_parity;
+
+/// A PRA mask on the address bus: the eight mask bits plus the even-parity
+/// bit the controller drives alongside them, so the chip can detect a
+/// single-bit upset during the transfer cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskTransfer {
+    bits: u8,
+    parity: bool,
+}
+
+impl MaskTransfer {
+    /// Encodes a mask for transfer, computing its even parity.
+    pub fn encode(mask: WordMask) -> Self {
+        MaskTransfer {
+            bits: mask.bits(),
+            parity: even_parity(mask),
+        }
+    }
+
+    /// The transfer after a single-event upset on mask bit `bit` (the
+    /// parity bit still describes the original mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a valid mask bit index.
+    #[must_use]
+    pub fn with_flipped_bit(self, bit: u8) -> Self {
+        assert!((bit as usize) < WORDS_PER_LINE, "bit {bit} out of range");
+        MaskTransfer {
+            bits: self.bits ^ (1 << bit),
+            parity: self.parity,
+        }
+    }
+
+    /// Chip-side decode: checks parity and rejects the all-zero mask (the
+    /// controller never requests an activation that drives no MATs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MaskFault`] the chip detected. Note an *even* number
+    /// of flips preserves parity and escapes detection — the documented
+    /// limit of single-parity protection (see `even_parity_misses_double_flips`).
+    pub fn decode(self) -> Result<WordMask, MaskFault> {
+        let mask = WordMask::from_bits(self.bits);
+        if even_parity(mask) != self.parity {
+            return Err(MaskFault::Parity);
+        }
+        if mask.is_empty() {
+            return Err(MaskFault::Empty);
+        }
+        Ok(mask)
+    }
+}
+
+/// A fault the chip detected while decoding a PRA mask transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskFault {
+    /// The received bits disagree with the parity bit (odd number of
+    /// upsets in transit).
+    Parity,
+    /// The received mask selects no MAT group.
+    Empty,
+}
+
+impl fmt::Display for MaskFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskFault::Parity => write!(f, "mask transfer parity mismatch"),
+            MaskFault::Empty => write!(f, "mask transfer selected no MAT group"),
+        }
+    }
+}
+
+/// A row activation together with the fault, if any, the chip detected and
+/// degraded around. Returned by [`PraChip::activate_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardedActivation {
+    /// The activation actually performed.
+    pub activation: ChipActivation,
+    /// The detected mask fault, when the activation is a full-row fallback.
+    pub fault: Option<MaskFault>,
+}
 
 /// The PRA# command pin level accompanying a row-activation command
 /// (active-low: pulled down selects partial activation, Fig. 7).
@@ -127,6 +212,44 @@ impl PraChip {
             selected_groups: effective,
             mats: effective.granularity_eighths() * 2,
             extra_cycles: if effective.is_full() { 0 } else { 1 },
+        }
+    }
+
+    /// Performs a row activation on `bank` from a raw mask *transfer*,
+    /// decoding it as the chip would: on a detected fault (parity mismatch
+    /// or empty mask) the chip degrades to a fail-safe full-row activation
+    /// — never a narrower one, which could silently drop write data. The
+    /// failed transfer still cost its address-bus cycle, so the fallback
+    /// keeps `extra_cycles == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn activate_checked(
+        &mut self,
+        bank: usize,
+        pin: PraPin,
+        transfer: MaskTransfer,
+    ) -> GuardedActivation {
+        if self.ecc_strapped || pin == PraPin::FullActivation {
+            return GuardedActivation {
+                activation: self.activate(bank, pin, WordMask::FULL),
+                fault: None,
+            };
+        }
+        match transfer.decode() {
+            Ok(mask) => GuardedActivation {
+                activation: self.activate(bank, pin, mask),
+                fault: None,
+            },
+            Err(fault) => {
+                let mut activation = self.activate(bank, PraPin::FullActivation, WordMask::FULL);
+                activation.extra_cycles = 1;
+                GuardedActivation {
+                    activation,
+                    fault: Some(fault),
+                }
+            }
         }
     }
 
@@ -251,6 +374,84 @@ mod tests {
     #[should_panic(expected = "non-empty mask")]
     fn empty_partial_mask_rejected() {
         PraChip::new(8).activate(0, PraPin::PartialActivation, WordMask::EMPTY);
+    }
+
+    #[test]
+    fn mask_transfer_roundtrips() {
+        for bits in 0..=u8::MAX {
+            let mask = WordMask::from_bits(bits);
+            let decoded = MaskTransfer::encode(mask).decode();
+            if mask.is_empty() {
+                assert_eq!(decoded, Err(MaskFault::Empty));
+            } else {
+                assert_eq!(decoded, Ok(mask));
+            }
+        }
+    }
+
+    #[test]
+    fn single_flip_is_always_detected_and_degrades_to_full_row() {
+        let mut chip = PraChip::new(8);
+        let mask = WordMask::from_words([0, 7]);
+        for bit in 0..WORDS_PER_LINE as u8 {
+            let transfer = MaskTransfer::encode(mask).with_flipped_bit(bit);
+            assert_eq!(transfer.decode(), Err(MaskFault::Parity));
+            let guarded = chip.activate_checked(3, PraPin::PartialActivation, transfer);
+            assert_eq!(guarded.fault, Some(MaskFault::Parity));
+            assert_eq!(
+                guarded.activation.selected_groups,
+                WordMask::FULL,
+                "degradation is fail-safe: full row, never narrower"
+            );
+            assert_eq!(guarded.activation.mats, 16);
+            assert_eq!(
+                guarded.activation.extra_cycles, 1,
+                "the failed transfer still cost its cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_transfer_activates_partially() {
+        let mut chip = PraChip::new(8);
+        let mask = WordMask::from_words([2, 5]);
+        let guarded =
+            chip.activate_checked(0, PraPin::PartialActivation, MaskTransfer::encode(mask));
+        assert_eq!(guarded.fault, None);
+        assert_eq!(guarded.activation.selected_groups, mask);
+        assert_eq!(guarded.activation.mats, 4);
+        // Full-pin path never consults the transfer.
+        let full = chip.activate_checked(
+            1,
+            PraPin::FullActivation,
+            MaskTransfer::encode(mask).with_flipped_bit(0),
+        );
+        assert_eq!(full.fault, None);
+        assert_eq!(full.activation.selected_groups, WordMask::FULL);
+    }
+
+    #[test]
+    fn even_parity_misses_double_flips() {
+        // The documented limitation: two upsets cancel in the parity sum,
+        // so the corrupted mask decodes cleanly. Pinned here so a future
+        // stronger code (e.g. two parity bits) shows up as a test change.
+        let mask = WordMask::from_words([0, 3]);
+        let transfer = MaskTransfer::encode(mask)
+            .with_flipped_bit(1)
+            .with_flipped_bit(6);
+        let decoded = transfer.decode().expect("double flip escapes parity");
+        assert_ne!(decoded, mask, "...and yields a wrong mask undetected");
+    }
+
+    #[test]
+    fn empty_transfer_is_rejected_not_panicking() {
+        let mut chip = PraChip::new(8);
+        // An upset that zeroes a single-bit mask: decode reports Parity
+        // (the parity bit no longer matches), still degrading safely.
+        let transfer = MaskTransfer::encode(WordMask::single(4)).with_flipped_bit(4);
+        let guarded = chip.activate_checked(0, PraPin::PartialActivation, transfer);
+        assert!(guarded.fault.is_some());
+        assert_eq!(guarded.activation.selected_groups, WordMask::FULL);
     }
 
     #[test]

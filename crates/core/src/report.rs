@@ -3,6 +3,7 @@
 use cache_sim::HierarchyStats;
 use dram_power::{EnergyBreakdown, PowerBreakdown};
 use dram_sim::DramStats;
+use sim_fault::FaultCounts;
 use sim_obs::EpochSnapshot;
 
 /// Everything one simulation run produces: performance, DRAM power/energy
@@ -31,11 +32,30 @@ pub struct Report {
     /// `SimBuilder::metrics_epoch`); deltas per epoch, summing to the
     /// end-of-run aggregates.
     pub metrics: Vec<EpochSnapshot>,
+    /// Injected/detected/degraded fault counters, merged across the DRAM
+    /// and cache injectors. All zero unless the run attached a
+    /// [`sim_fault::FaultPlan`].
+    pub faults: FaultCounts,
     /// `true` if the run hit its cycle cap before completing.
     pub timed_out: bool,
 }
 
 impl Report {
+    /// Order-sensitive digest of every statistic in the report (FNV-1a 64
+    /// over the `Debug` rendering). Two runs of the same configuration and
+    /// seed must produce identical digests; `pra run --verify-determinism`
+    /// compares them.
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+
     /// Total DRAM energy in millijoules.
     pub fn energy_mj(&self) -> f64 {
         self.energy.total_mj()
@@ -109,6 +129,7 @@ mod tests {
             dram,
             cache: HierarchyStats::default(),
             metrics: Vec::new(),
+            faults: FaultCounts::default(),
             timed_out: false,
         }
     }
@@ -124,6 +145,16 @@ mod tests {
         assert!((wr - 50.0 / 150.0).abs() < 1e-12);
         let (ra, wa) = r.activation_split();
         assert!((ra - 0.5).abs() < 1e-12 && (wa - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_digest_is_stable_and_sensitive() {
+        let a = dummy();
+        let b = dummy();
+        assert_eq!(a.state_digest(), b.state_digest());
+        let mut c = dummy();
+        c.cpu_cycles += 1;
+        assert_ne!(a.state_digest(), c.state_digest());
     }
 
     #[test]

@@ -5,7 +5,10 @@ use std::path::PathBuf;
 use cache_sim::{CacheHierarchy, HierarchyConfig};
 use cpu_sim::{CpuSystem, InstructionSource, SystemConfig};
 use dram_sim::{DramConfig, MemorySystem, PagePolicy};
+use sim_fault::{Domain, FaultPlan};
 use workloads::{BenchProfile, Trace, WorkloadGen};
+
+use crate::error::SimError;
 
 /// What drives one core: a synthetic profile or a recorded trace (replayed
 /// in a loop, SimPoint-style).
@@ -79,6 +82,7 @@ pub struct SimBuilder {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     metrics_epoch: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl SimBuilder {
@@ -101,6 +105,7 @@ impl SimBuilder {
             trace_out: None,
             metrics_out: None,
             metrics_epoch: 0,
+            faults: None,
         }
     }
 
@@ -246,17 +251,64 @@ impl SimBuilder {
         self
     }
 
+    /// Injects faults during the measured phase according to `plan` (see
+    /// [`sim_fault`]): per-domain injectors derived from `plan.seed` attach
+    /// to the DRAM controller and the cache hierarchy. A no-op plan (all
+    /// rates zero) attaches nothing, keeping the run bit-identical to one
+    /// without a plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the system and runs it to completion.
     ///
     /// # Panics
     ///
-    /// Panics if no applications were added, or if a requested trace or
-    /// metrics output file cannot be created.
+    /// Panics if no applications were added, the configuration or fault
+    /// plan is inconsistent, or a requested trace or metrics output file
+    /// cannot be created. Use [`SimBuilder::try_run`] to handle these as
+    /// [`SimError`]s instead.
     pub fn run(&self) -> Report {
-        assert!(
-            !self.apps.is_empty(),
-            "add at least one application before running"
-        );
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation twice and verifies the two reports are
+    /// byte-identical (same [`Report::state_digest`]), catching
+    /// nondeterminism in the stack or in an attached fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimBuilder::try_run`] error, plus
+    /// [`SimError::Nondeterministic`] with both digests on a mismatch.
+    pub fn try_run_verified(&self) -> Result<Report, SimError> {
+        let first = self.try_run()?;
+        let second = self.try_run()?;
+        let (a, b) = (first.state_digest(), second.state_digest());
+        if a != b {
+            return Err(SimError::Nondeterministic {
+                first: a,
+                second: b,
+            });
+        }
+        Ok(second)
+    }
+
+    /// Builds the system and runs it to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoApplications`] when no applications were added,
+    /// [`SimError::Config`]/[`SimError::FaultPlan`] on inconsistent inputs,
+    /// and [`SimError::Io`] when a trace or metrics output file cannot be
+    /// created.
+    pub fn try_run(&self) -> Result<Report, SimError> {
+        if self.apps.is_empty() {
+            return Err(SimError::NoApplications);
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         let cores = self.apps.len();
         let hierarchy_config = HierarchyConfig {
             dbi: self.scheme.uses_dbi(),
@@ -276,7 +328,13 @@ impl SimBuilder {
             dram_config.geometry,
             dram_config.mapping,
         );
-        let mem = MemorySystem::new(dram_config);
+        let mut mem = MemorySystem::try_new(dram_config)?;
+        // A no-op plan attaches nothing: the injector-free fast path stays
+        // bit-identical to a run without a plan.
+        let fault_plan = self.faults.filter(|p| !p.is_noop());
+        if let Some(plan) = &fault_plan {
+            mem.set_fault_injector(plan.injector(Domain::Dram));
+        }
         // Give each core a disjoint 2 GB slice of the 8 GB physical space,
         // modelling separate address spaces.
         let mut generators: Vec<Box<dyn InstructionSource>> = self
@@ -312,6 +370,11 @@ impl SimBuilder {
             }
         }
         hierarchy.reset_stats();
+        // Cache-side faults start with the measured phase, after warmup, so
+        // warmup cache contents are identical with and without a plan.
+        if let Some(plan) = &fault_plan {
+            hierarchy.set_fault_injector(plan.injector(Domain::Cache));
+        }
         let mut system = CpuSystem::new(
             SystemConfig::paper(),
             hierarchy,
@@ -320,8 +383,10 @@ impl SimBuilder {
             self.instructions,
         );
         if let Some(path) = &self.trace_out {
-            let sink = sim_obs::JsonlSink::create(path)
-                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            let sink = sim_obs::JsonlSink::create(path).map_err(|e| SimError::Io {
+                path: path.clone(),
+                source: e,
+            })?;
             // One shared sink so DRAM, cache and core events interleave in
             // emission order within a single JSONL stream.
             let shared = std::rc::Rc::new(std::cell::RefCell::new(sink));
@@ -339,12 +404,16 @@ impl SimBuilder {
             self.metrics_epoch
         };
         if epoch > 0 {
-            let out: Option<Box<dyn std::io::Write>> = self.metrics_out.as_ref().map(|path| {
-                let file = std::fs::File::create(path).unwrap_or_else(|e| {
-                    panic!("cannot create metrics file {}: {e}", path.display())
-                });
-                Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>
-            });
+            let out = match self.metrics_out.as_ref() {
+                Some(path) => {
+                    let file = std::fs::File::create(path).map_err(|e| SimError::Io {
+                        path: path.clone(),
+                        source: e,
+                    })?;
+                    Some(Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>)
+                }
+                None => None,
+            };
             system.mem_mut().set_metrics_epochs(epoch, out);
         }
         let cap = if self.max_cpu_cycles > 0 {
@@ -361,7 +430,7 @@ impl SimBuilder {
                 .collect::<Vec<_>>()
                 .join("+")
         });
-        Report {
+        Ok(Report {
             workload,
             scheme: self
                 .scheme_override
@@ -374,8 +443,12 @@ impl SimBuilder {
             dram: system.mem().stats().clone(),
             cache: system.hierarchy().stats().clone(),
             metrics: system.mem().observer().snapshots().to_vec(),
+            faults: system
+                .mem()
+                .fault_counts()
+                .merged(system.hierarchy().fault_counts()),
             timed_out: outcome.timed_out,
-        }
+        })
     }
 }
 

@@ -281,8 +281,7 @@ impl CpuSystem {
         }
         let cpu_cycle = self.cpu_cycle;
         self.hierarchy
-            .stats()
-            .publish_to(&mut self.mem.observer_mut().registry);
+            .publish_metrics(&mut self.mem.observer_mut().registry);
         let reg = &mut self.mem.observer_mut().registry;
         let mut set = |name: &str, value: u64| {
             let id = reg.counter(name);

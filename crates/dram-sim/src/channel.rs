@@ -3,6 +3,7 @@
 
 use dram_power::EnergyAccounting;
 use mem_model::{Location, MemRequest, ReqKind, RequestId, WordMask};
+use sim_fault::FaultInjector;
 use sim_obs::TraceEvent;
 
 use crate::checker::{DramCommand, ProtocolChecker};
@@ -196,7 +197,9 @@ impl Channel {
     }
 
     /// Advances the channel one memory cycle. Completed read ids are pushed
-    /// onto `completed`.
+    /// onto `completed`. `faults` is the optional injector shared by all
+    /// channels; `None` (the default) leaves every decision untouched.
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
@@ -205,12 +208,17 @@ impl Channel {
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
         completed: &mut Vec<RequestId>,
+        faults: &mut Option<FaultInjector>,
     ) {
         let ch = self.index;
+        // Refresh stress shortens the effective refresh interval.
+        let trefi = faults
+            .as_ref()
+            .map_or(cfg.timing.trefi, |f| f.effective_trefi(cfg.timing.trefi));
         // 1. Housekeeping: refresh expiry, auto-precharges, data completions.
         for (r, rank) in self.ranks.iter_mut().enumerate() {
             rank.finish_refresh_if_done(now);
-            rank.update_refresh_due(now, cfg.timing.trefi);
+            rank.update_refresh_due(now, trefi);
             for (b, bank) in rank.banks.iter_mut().enumerate() {
                 if bank.tick_auto_precharge(now, &cfg.timing) {
                     stats.precharges += 1;
@@ -248,8 +256,8 @@ impl Channel {
 
         // 3. One command-bus slot per cycle, in priority order.
         let issued = self.refresh_commands(now, cfg, stats, energy, o)
-            || self.issue_column(now, cfg, stats, energy, o)
-            || self.issue_activate(now, cfg, stats, energy, o)
+            || self.issue_column(now, cfg, stats, energy, o, faults)
+            || self.issue_activate(now, cfg, stats, energy, o, faults)
             || self.issue_precharge_for_pending(now, cfg, stats, o)
             || self.issue_idle_close(now, cfg, stats, o);
         let _ = issued;
@@ -400,6 +408,14 @@ impl Channel {
         self.drain_mode || (self.read_q.is_empty() && !self.write_q.is_empty())
     }
 
+    fn active_queue(&self, is_write: bool) -> &[QueueEntry] {
+        if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        }
+    }
+
     /// Whether another request in the *currently served* queue waits for
     /// `bank` with a different row (drives the row-hit fairness cap). Only
     /// the active queue counts: a conflict that cannot be scheduled this
@@ -426,12 +442,14 @@ impl Channel {
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
+        faults: &mut Option<FaultInjector>,
     ) -> bool {
         let active_is_write = self.active_is_write();
-        self.issue_column_from(now, cfg, stats, energy, o, active_is_write)
-            || self.issue_column_from(now, cfg, stats, energy, o, !active_is_write)
+        self.issue_column_from(now, cfg, stats, energy, o, faults, active_is_write)
+            || self.issue_column_from(now, cfg, stats, energy, o, faults, !active_is_write)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_column_from(
         &mut self,
         now: u64,
@@ -439,6 +457,7 @@ impl Channel {
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
+        faults: &mut Option<FaultInjector>,
         is_write: bool,
     ) -> bool {
         if now < self.next_col_allowed {
@@ -494,6 +513,13 @@ impl Channel {
             break;
         }
         let Some(i) = chosen else { return false };
+        // Injected bus fault: the command is lost. The queue entry survives
+        // and retries on a later cycle; the command-bus slot is consumed.
+        if let Some(inj) = faults.as_mut() {
+            if inj.drop_command() {
+                return true;
+            }
+        }
         let mut entry = if is_write {
             self.write_q.remove(i)
         } else {
@@ -588,6 +614,7 @@ impl Channel {
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
+        faults: &mut Option<FaultInjector>,
     ) -> bool {
         let is_write = self.active_is_write();
         let queue = if is_write {
@@ -635,9 +662,43 @@ impl Channel {
             chosen = Some((i, coverage, mats));
             break;
         }
-        let Some((i, coverage, mats)) = chosen else {
+        let Some((i, mut coverage, mut mats)) = chosen else {
             return false;
         };
+        // The mask-transfer cycle is paid for the coverage the controller
+        // *sent*, before any fault handling — a corrupted transfer still
+        // cost its cycle.
+        let extra_base = cfg.scheme.act_extra_cycles(coverage);
+        if let Some(inj) = faults.as_mut() {
+            // Injected bus fault: the ACT is lost; retry on a later cycle.
+            if inj.drop_command() {
+                return true;
+            }
+            // Injected mask-transfer upset (partial activations only — a
+            // full-row ACT carries no mask). The chip's parity check always
+            // catches a single-bit flip, and the controller degrades to a
+            // fail-safe full-row activation rather than trusting either
+            // mask (see core::pra::MaskTransfer for the chip-side model).
+            if !coverage.is_full() && inj.corrupt_mask(coverage).is_some() {
+                inj.record_mask_fault_handled();
+                stats.degraded_activations += 1;
+                coverage = WordMask::FULL;
+                mats = cfg
+                    .scheme
+                    .read_act_mats
+                    .max(cfg.scheme.write_act_mats(WordMask::FULL));
+                // The wider activation carries more timing weight; if it is
+                // no longer legal this cycle, give the slot up and retry.
+                let weight = cfg.scheme.act_timing_weight(mats);
+                if !self.ranks[self.active_queue(is_write)[i].loc.rank as usize].can_activate(
+                    now,
+                    weight,
+                    &cfg.timing,
+                ) {
+                    return true;
+                }
+            }
+        }
         let queue = if is_write {
             &mut self.write_q
         } else {
@@ -653,7 +714,8 @@ impl Channel {
             }
         }
         let loc = entry.loc;
-        let extra = cfg.scheme.act_extra_cycles(coverage);
+        let stretch = faults.as_mut().map_or(0, FaultInjector::stretch_command);
+        let extra = extra_base + stretch;
         let weight = cfg.scheme.act_timing_weight(mats);
         let rank = &mut self.ranks[loc.rank as usize];
         rank.banks[loc.bank as usize].activate(now, loc.row, coverage, mats, extra, &cfg.timing);

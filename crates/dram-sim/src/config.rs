@@ -1,10 +1,50 @@
 //! Top-level memory-system configuration.
 
+use core::fmt;
+
 use dram_power::PowerParams;
 use mem_model::{AddressMapping, DramGeometry};
 
 use crate::scheme::SchemeBehavior;
-use crate::timing::TimingParams;
+use crate::timing::{TimingError, TimingParams};
+
+/// A configuration inconsistency, reported with enough context to fix the
+/// offending field. Returned by the `validate()` family; the legacy
+/// `assert_valid()` wrappers panic with the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// DRAM geometry is inconsistent (see [`mem_model::GeometryError`]).
+    Geometry(String),
+    /// Timing parameters are inconsistent.
+    Timing(TimingError),
+    /// Queue capacities or watermarks are inconsistent.
+    Queues(String),
+    /// The row-hit cap would starve every row hit.
+    RowHitCap,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Geometry(msg) => write!(f, "geometry: {msg}"),
+            ConfigError::Timing(err) => write!(f, "timing: {err}"),
+            ConfigError::Queues(msg) => write!(f, "queues: {msg}"),
+            ConfigError::RowHitCap => {
+                write!(f, "row hit cap must allow at least one access")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Whether new configurations verify every issued command against the
+/// independent protocol checker: on in debug builds, and forced on in any
+/// build when the `PRA_VERIFY_PROTOCOL` environment variable is set (the
+/// release-mode CI job uses this).
+pub fn verify_protocol_default() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("PRA_VERIFY_PROTOCOL").is_some()
+}
 
 /// Row-buffer management policy (Section 5.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,27 +99,38 @@ impl QueueConfig {
 
     /// Checks watermark ordering and capacity sanity.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Queues`] naming the inconsistent field pair.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.read_capacity == 0 || self.write_capacity == 0 {
+            return Err(ConfigError::Queues("queues must be non-empty".into()));
+        }
+        if self.write_low_watermark >= self.write_high_watermark {
+            return Err(ConfigError::Queues(format!(
+                "low watermark {} must be below high {}",
+                self.write_low_watermark, self.write_high_watermark
+            )));
+        }
+        if self.write_high_watermark > self.write_capacity {
+            return Err(ConfigError::Queues(format!(
+                "high watermark {} exceeds capacity {}",
+                self.write_high_watermark, self.write_capacity
+            )));
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`QueueConfig::validate`] for call sites
+    /// where a bad configuration is a construction-time bug.
+    ///
     /// # Panics
     ///
-    /// Panics if watermarks are inconsistent with capacities; configuration
-    /// errors are construction-time bugs.
+    /// Panics with the [`ConfigError`] message on any inconsistency.
     pub fn assert_valid(&self) {
-        assert!(
-            self.read_capacity > 0 && self.write_capacity > 0,
-            "queues must be non-empty"
-        );
-        assert!(
-            self.write_low_watermark < self.write_high_watermark,
-            "low watermark {} must be below high {}",
-            self.write_low_watermark,
-            self.write_high_watermark
-        );
-        assert!(
-            self.write_high_watermark <= self.write_capacity,
-            "high watermark {} exceeds capacity {}",
-            self.write_high_watermark,
-            self.write_capacity
-        );
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -111,8 +162,9 @@ pub struct DramConfig {
     pub power: PowerParams,
     /// Re-verify every issued command against the independent
     /// [`ProtocolChecker`](crate::ProtocolChecker) (panics on violation).
-    /// Defaults to on in debug builds — the whole test suite runs verified —
-    /// and off in release builds.
+    /// Defaults to [`verify_protocol_default`]: on in debug builds — the
+    /// whole test suite runs verified — and off in release builds unless
+    /// `PRA_VERIFY_PROTOCOL` is set in the environment.
     pub verify_protocol: bool,
     /// Refreshes the controller may postpone while a rank is busy (DDR3/4
     /// permit up to 8). While debt stays at or below this bound, refresh
@@ -134,7 +186,7 @@ impl DramConfig {
             row_hit_cap: 4,
             scheme,
             power: PowerParams::paper_table3(),
-            verify_protocol: cfg!(debug_assertions),
+            verify_protocol: verify_protocol_default(),
             refresh_postpone_max: 0,
         }
     }
@@ -153,25 +205,40 @@ impl DramConfig {
             row_hit_cap: 4,
             scheme,
             power: PowerParams::ddr4_2400_estimate(),
-            verify_protocol: cfg!(debug_assertions),
+            verify_protocol: verify_protocol_default(),
             refresh_postpone_max: 0,
         }
     }
 
     /// Validates geometry, timing and queues together.
     ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: inconsistent geometry
+    /// (zero or non-power-of-two banks/ranks, bad MAT pairing), timing
+    /// (e.g. tRAS < tRCD + CL), queue watermarks above capacity, or a
+    /// zero row-hit cap.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.geometry
+            .validate()
+            .map_err(|e| ConfigError::Geometry(e.to_string()))?;
+        self.timing.validate().map_err(ConfigError::Timing)?;
+        self.queues.validate()?;
+        if self.row_hit_cap < 1 {
+            return Err(ConfigError::RowHitCap);
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`DramConfig::validate`].
+    ///
     /// # Panics
     ///
-    /// Panics on any inconsistency; configurations are static inputs and a
-    /// bad one is a programming error.
+    /// Panics with the [`ConfigError`] message on any inconsistency.
     pub fn assert_valid(&self) {
-        self.geometry.validate().expect("geometry");
-        self.timing.validate().expect("timing");
-        self.queues.assert_valid();
-        assert!(
-            self.row_hit_cap >= 1,
-            "row hit cap must allow at least one access"
-        );
+        if let Err(e) = self.validate() {
+            panic!("invalid DRAM configuration: {e}");
+        }
     }
 }
 
@@ -219,5 +286,78 @@ mod tests {
             write_low_watermark: 48,
         };
         q.assert_valid();
+    }
+
+    #[test]
+    fn validate_rejects_watermark_above_capacity() {
+        let mut cfg = DramConfig::default();
+        cfg.queues.write_high_watermark = cfg.queues.write_capacity + 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Queues(_)));
+        assert!(err.to_string().contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_watermarks() {
+        let mut cfg = DramConfig::default();
+        cfg.queues.write_low_watermark = 48;
+        cfg.queues.write_high_watermark = 16;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("low watermark"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_empty_queues() {
+        let mut cfg = DramConfig::default();
+        cfg.queues.read_capacity = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_banks() {
+        let mut cfg = DramConfig::default();
+        cfg.geometry.banks_per_rank = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Geometry(_)));
+        assert!(err.to_string().contains("bank"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_ranks() {
+        let mut cfg = DramConfig::default();
+        cfg.geometry.ranks_per_channel = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Geometry(_)));
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_short_tras() {
+        let mut cfg = DramConfig::default();
+        cfg.timing.tras = cfg.timing.trcd + cfg.timing.tcas - 1;
+        cfg.timing.trc = cfg.timing.tras + cfg.timing.trp;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Timing(_)));
+        assert!(err.to_string().contains("tRAS"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_row_hit_cap() {
+        let cfg = DramConfig {
+            row_hit_cap: 0,
+            ..DramConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::RowHitCap);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn assert_valid_panics_with_readable_message() {
+        let cfg = DramConfig {
+            row_hit_cap: 0,
+            ..DramConfig::default()
+        };
+        cfg.assert_valid();
     }
 }

@@ -52,7 +52,7 @@ mod timing;
 
 pub use bank::{Bank, OpenRow};
 pub use checker::{DramCommand, ProtocolChecker, ProtocolError};
-pub use config::{DramConfig, PagePolicy, QueueConfig};
+pub use config::{verify_protocol_default, ConfigError, DramConfig, PagePolicy, QueueConfig};
 pub use memory_system::{MemorySystem, QueueFull};
 pub use rank::{Rank, RefreshState};
 pub use scheme::{SchemeBehavior, WriteActPolicy, FULL_ROW_MATS};

@@ -5,10 +5,11 @@ use std::io::Write;
 
 use dram_power::{EnergyAccounting, EnergyBreakdown, PowerBreakdown};
 use mem_model::{MemRequest, RequestId};
+use sim_fault::{FaultCounts, FaultInjector};
 use sim_obs::{Observer, TraceSink};
 
 use crate::channel::Channel;
-use crate::config::DramConfig;
+use crate::config::{ConfigError, DramConfig};
 use crate::obs::DramObs;
 use crate::stats::DramStats;
 
@@ -58,6 +59,7 @@ pub struct MemorySystem {
     energy: EnergyAccounting,
     completed_scratch: Vec<RequestId>,
     obs: DramObs,
+    faults: Option<FaultInjector>,
 }
 
 impl MemorySystem {
@@ -65,24 +67,52 @@ impl MemorySystem {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is inconsistent (see
-    /// [`DramConfig::assert_valid`]).
+    /// Panics if the configuration is inconsistent; use
+    /// [`MemorySystem::try_new`] to handle the error instead.
     pub fn new(config: DramConfig) -> Self {
-        config.assert_valid();
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid DRAM configuration: {e}"))
+    }
+
+    /// Builds a memory system, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] describing the first inconsistency found
+    /// by [`DramConfig::validate`].
+    pub fn try_new(config: DramConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let channels = (0..config.geometry.channels)
             .map(|i| Channel::new(&config, i))
             .collect();
         let total_ranks = config.geometry.channels * config.geometry.ranks_per_channel;
         let energy = EnergyAccounting::new(config.power, total_ranks);
-        MemorySystem {
+        Ok(MemorySystem {
             channels,
             cycle: 0,
             stats: DramStats::default(),
             energy,
             completed_scratch: Vec::new(),
             obs: DramObs::new(),
+            faults: None,
             config,
-        }
+        })
+    }
+
+    /// Attaches a fault injector (see [`sim_fault`]); every channel consults
+    /// it on command issue and refresh scheduling. Without one (the
+    /// default), no fault branches are taken and behaviour is bit-identical
+    /// to a build without fault support.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Fault-event counters accumulated by the attached injector (zero when
+    /// no injector is attached).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::counts)
+            .unwrap_or_default()
     }
 
     /// Attaches a trace sink; every subsequent DRAM command, power
@@ -126,6 +156,9 @@ impl MemorySystem {
     /// when the simulation ends; safe to call when observability is off.
     pub fn finish_observability(&mut self) {
         self.stats.publish_to(&mut self.obs.obs.registry);
+        if let Some(f) = &self.faults {
+            f.publish_to(&mut self.obs.obs.registry, "fault");
+        }
         self.obs.obs.finish(self.cycle);
     }
 
@@ -175,12 +208,16 @@ impl MemorySystem {
                 &mut self.energy,
                 &mut self.obs,
                 &mut self.completed_scratch,
+                &mut self.faults,
             );
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         if self.obs.obs.epoch_due(self.cycle) {
             self.stats.publish_to(&mut self.obs.obs.registry);
+            if let Some(f) = &self.faults {
+                f.publish_to(&mut self.obs.obs.registry, "fault");
+            }
             self.obs.obs.end_epoch(self.cycle);
         }
         &self.completed_scratch

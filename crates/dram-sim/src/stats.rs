@@ -75,6 +75,9 @@ pub struct DramStats {
     pub hit_cap_precharges: u64,
     /// Write-drain mode entries.
     pub drain_entries: u64,
+    /// Partial activations widened to full rows after a detected
+    /// mask-transfer fault (fault injection only; always 0 otherwise).
+    pub degraded_activations: u64,
 }
 
 impl Default for DramStats {
@@ -94,6 +97,7 @@ impl Default for DramStats {
             bus_busy_cycles: 0,
             hit_cap_precharges: 0,
             drain_entries: 0,
+            degraded_activations: 0,
         }
     }
 }
@@ -197,6 +201,7 @@ impl DramStats {
         set("dram.bus_busy_cycles", self.bus_busy_cycles);
         set("dram.hit_cap_precharges", self.hit_cap_precharges);
         set("dram.drain_entries", self.drain_entries);
+        set("dram.degraded_activations", self.degraded_activations);
     }
 
     /// Average activation granularity as a fraction of a full row; the

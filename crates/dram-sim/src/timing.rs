@@ -119,8 +119,9 @@ impl TimingParams {
     /// # Errors
     ///
     /// Returns a [`TimingError`] if `tRC != tRAS + tRP`, any parameter that
-    /// must be non-zero is zero, or `tFAW < tRRD` (which would make the FAW
-    /// window meaningless).
+    /// must be non-zero is zero, `tFAW < tRRD` (which would make the FAW
+    /// window meaningless), or `tRAS < tRCD + CL` (a row could close before
+    /// its first read completes).
     pub fn validate(&self) -> Result<(), TimingError> {
         if self.trc != self.tras + self.trp {
             return Err(TimingError(format!(
@@ -150,6 +151,13 @@ impl TimingParams {
             return Err(TimingError(format!(
                 "tFAW ({}) must be at least tRRD ({})",
                 self.tfaw, self.trrd
+            )));
+        }
+        if self.tras < self.trcd + self.tcas {
+            return Err(TimingError(format!(
+                "tRAS ({}) must cover tRCD ({}) + CL ({}): a read issued at \
+                 tRCD must complete before the row can close",
+                self.tras, self.trcd, self.tcas
             )));
         }
         Ok(())
@@ -196,6 +204,15 @@ mod tests {
         let mut t = TimingParams::ddr3_1600_table3();
         t.tccd = 0;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn short_tras_rejected() {
+        let mut t = TimingParams::ddr3_1600_table3();
+        t.tras = t.trcd + t.tcas - 1; // 21 < 11 + 11
+        t.trc = t.tras + t.trp;
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("tRAS"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! One deliberately illegal command stream per timing rule, asserting the
+//! protocol checker flags exactly that rule (via the public API, as an
+//! external consumer of the crate would drive it).
+//!
+//! DDR3-1600 Table 3 timing: tRCD 11, tRP 11, tRAS 28, tRRD 5, tFAW 24,
+//! tCCD 4, tWR 12, WL 8, burst 4.
+
+use dram_sim::{DramCommand, ProtocolChecker, TimingParams};
+
+fn checker() -> ProtocolChecker {
+    ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 1, 8, false)
+}
+
+fn act(bank: u32, row: u32) -> DramCommand {
+    DramCommand::Activate {
+        rank: 0,
+        bank,
+        row,
+        mats: 16,
+        extra_cycles: 0,
+    }
+}
+
+fn read(bank: u32) -> DramCommand {
+    DramCommand::Read { rank: 0, bank }
+}
+
+fn write(bank: u32) -> DramCommand {
+    DramCommand::Write { rank: 0, bank }
+}
+
+fn pre(bank: u32) -> DramCommand {
+    DramCommand::Precharge { rank: 0, bank }
+}
+
+#[test]
+fn trcd_read_too_early() {
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT to idle bank is legal");
+    let e = c.observe(10, read(0)).expect_err("READ at tRCD-1");
+    assert!(e.rule.contains("tRCD"), "{e}");
+    assert_eq!(e.cycle, 10);
+    assert_eq!(e.command, read(0));
+}
+
+#[test]
+fn trp_reactivation_too_early() {
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, read(0)).expect("READ at tRCD");
+    c.observe(28, pre(0)).expect("PRE at tRAS");
+    let e = c
+        .observe(38, act(0, 8))
+        .expect_err("ACT at tRP-1 after PRE");
+    assert!(e.rule.contains("tRP"), "{e}");
+    c.observe(39, act(0, 8))
+        .expect("ACT at exactly tRP is legal");
+}
+
+#[test]
+fn trrd_acts_too_close() {
+    let mut c = checker();
+    c.observe(0, act(0, 1)).expect("first ACT");
+    let e = c.observe(4, act(1, 1)).expect_err("second ACT at tRRD-1");
+    assert!(e.rule.contains("tRRD"), "{e}");
+    let mut c = checker();
+    c.observe(0, act(0, 1)).expect("first ACT");
+    c.observe(5, act(1, 1))
+        .expect("ACT at exactly tRRD is legal");
+}
+
+#[test]
+fn tfaw_fifth_act_in_window() {
+    let mut c = checker();
+    for (bank, cycle) in [0u64, 5, 10, 15].into_iter().enumerate() {
+        c.observe(cycle, act(bank as u32, 1))
+            .expect("four ACTs fit");
+    }
+    let e = c.observe(20, act(4, 1)).expect_err("fifth ACT inside tFAW");
+    assert!(e.rule.contains("tFAW"), "{e}");
+    // Once the first ACT leaves the 24-cycle window, the fifth is legal.
+    c.observe(24, act(4, 1)).expect("window slid");
+}
+
+#[test]
+fn twr_precharge_before_write_recovery() {
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, write(0)).expect("WRITE at tRCD");
+    // Fence: 11 + WL(8) + burst(4) + tWR(12) = 35.
+    let e = c.observe(34, pre(0)).expect_err("PRE one cycle early");
+    assert!(e.rule.contains("tWR"), "{e}");
+    c.observe(35, pre(0)).expect("PRE at the fence is legal");
+}
+
+#[test]
+fn tccd_column_commands_too_close() {
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, read(0)).expect("first READ");
+    let e = c.observe(14, read(0)).expect_err("READ at tCCD-1");
+    assert!(e.rule.contains("tCCD"), "{e}");
+    c.observe(15, read(0))
+        .expect("READ at exactly tCCD is legal");
+}

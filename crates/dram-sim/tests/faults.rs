@@ -1,0 +1,204 @@
+//! Fault-injection behaviour of the memory system: deterministic replay,
+//! graceful PRA degradation, command drop/stretch survival, refresh
+//! stress, and metric publication.
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::rng::Rng;
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use sim_fault::{Domain, FaultPlan};
+
+fn pra_config() -> DramConfig {
+    DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::pra())
+}
+
+/// Feeds a deterministic mixed read/partial-write stream and drains.
+fn run_stream(mem: &mut MemorySystem, ops: usize, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for id in 0..ops as u64 {
+        let line = rng.bounded_u64(1 << 20);
+        let addr = PhysAddr::from_line_number(line);
+        let req = if rng.random_bool(0.5) {
+            // Partial write: one to three dirty words, never the full line,
+            // so PRA issues maskable (non-full-coverage) activations.
+            let bits = 1u8 << rng.bounded_u64(6) as u8;
+            MemRequest::write(id, addr, WordMask::from_bits(bits | 1))
+        } else {
+            MemRequest::read(id, addr)
+        };
+        while mem.try_enqueue(req).is_err() {
+            mem.tick();
+        }
+    }
+    assert!(mem.run_until_idle(2_000_000), "system failed to drain");
+}
+
+#[test]
+fn same_plan_and_stream_replays_identically() {
+    let plan = FaultPlan {
+        seed: 42,
+        mask_corrupt_rate: 0.3,
+        command_drop_rate: 0.1,
+        command_stretch_rate: 0.2,
+        command_stretch_cycles: 2,
+        ..FaultPlan::disabled()
+    };
+    let run = || {
+        let mut mem = MemorySystem::new(pra_config());
+        mem.set_fault_injector(plan.injector(Domain::Dram));
+        run_stream(&mut mem, 300, 7);
+        (format!("{:?}", mem.stats()), mem.fault_counts())
+    };
+    let (stats_a, counts_a) = run();
+    let (stats_b, counts_b) = run();
+    assert_eq!(stats_a, stats_b, "stats must replay bit-identically");
+    assert_eq!(counts_a, counts_b, "fault counts must replay identically");
+    assert!(counts_a.injected > 0, "stress plan must actually inject");
+}
+
+#[test]
+fn corrupted_masks_degrade_to_full_row_and_are_all_detected() {
+    let plan = FaultPlan {
+        seed: 1,
+        mask_corrupt_rate: 1.0,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config());
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 200, 11);
+    let counts = mem.fault_counts();
+    let stats = mem.stats();
+    assert!(
+        counts.masks_corrupted > 0,
+        "every partial ACT was corrupted"
+    );
+    assert_eq!(
+        counts.detected, counts.masks_corrupted,
+        "parity catches every single-bit corruption"
+    );
+    assert_eq!(
+        counts.degraded, counts.detected,
+        "every detected fault degrades to full row"
+    );
+    assert_eq!(
+        stats.degraded_activations, counts.degraded,
+        "controller stats agree with the injector"
+    );
+    // Degraded activations land in the full-row (16 MAT) histogram bucket.
+    assert!(stats.act_histogram[15] >= counts.degraded);
+}
+
+#[test]
+fn dropped_commands_are_retried_and_all_requests_complete() {
+    let plan = FaultPlan {
+        seed: 3,
+        command_drop_rate: 0.5,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config());
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 200, 13);
+    let counts = mem.fault_counts();
+    assert!(counts.commands_dropped > 0, "half of issuances must drop");
+    let stats = mem.stats();
+    assert_eq!(
+        stats.reads_completed + stats.writes_completed,
+        200,
+        "dropped commands retry; no request is lost"
+    );
+}
+
+#[test]
+fn stretched_activation_delays_the_read_by_exactly_the_stretch() {
+    let latency = |plan: Option<FaultPlan>| {
+        let mut mem = MemorySystem::new(pra_config());
+        if let Some(p) = plan {
+            mem.set_fault_injector(p.injector(Domain::Dram));
+        }
+        let req = MemRequest::read(0, PhysAddr::from_line_number(99));
+        mem.try_enqueue(req).expect("empty queue accepts");
+        assert!(mem.run_until_idle(100_000));
+        mem.stats().read_latency_sum
+    };
+    let clean = latency(None);
+    let stretched = latency(Some(FaultPlan {
+        seed: 5,
+        command_stretch_rate: 1.0,
+        command_stretch_cycles: 3,
+        ..FaultPlan::disabled()
+    }));
+    assert_eq!(
+        stretched,
+        clean + 3,
+        "a 3-cycle ACT stretch shows up as exactly 3 cycles of read latency"
+    );
+}
+
+#[test]
+fn refresh_stress_multiplies_the_refresh_rate() {
+    let count_refreshes = |plan: Option<FaultPlan>| {
+        let mut mem = MemorySystem::new(pra_config());
+        if let Some(p) = plan {
+            mem.set_fault_injector(p.injector(Domain::Dram));
+        }
+        for _ in 0..20_000 {
+            mem.tick();
+        }
+        mem.stats().refreshes
+    };
+    let normal = count_refreshes(None);
+    let stressed = count_refreshes(Some(FaultPlan {
+        seed: 9,
+        refresh_interval_divisor: 4,
+        ..FaultPlan::disabled()
+    }));
+    assert!(
+        (8..=12).contains(&normal),
+        "baseline refresh envelope broke: {normal}"
+    );
+    assert!(
+        stressed >= normal * 3,
+        "divisor 4 must roughly quadruple refreshes: {stressed} vs {normal}"
+    );
+}
+
+#[test]
+fn disabled_plan_attached_is_indistinguishable_from_none() {
+    let run = |attach: bool| {
+        let mut mem = MemorySystem::new(pra_config());
+        if attach {
+            mem.set_fault_injector(FaultPlan::disabled().injector(Domain::Dram));
+        }
+        run_stream(&mut mem, 150, 21);
+        format!("{:?}", mem.stats())
+    };
+    assert_eq!(run(false), run(true), "disabled injector is zero-cost");
+}
+
+#[test]
+fn fault_counters_publish_to_the_metrics_registry() {
+    let plan = FaultPlan {
+        seed: 2,
+        mask_corrupt_rate: 1.0,
+        command_drop_rate: 0.2,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config());
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 100, 17);
+    mem.finish_observability();
+    let counts = mem.fault_counts();
+    let registry = &mem.observer().registry;
+    assert_eq!(
+        registry.counter_value("fault.injected"),
+        Some(counts.injected)
+    );
+    assert_eq!(
+        registry.counter_value("fault.detected"),
+        Some(counts.detected)
+    );
+    assert_eq!(
+        registry.counter_value("fault.degraded"),
+        Some(counts.degraded)
+    );
+    assert!(counts.injected > 0);
+}

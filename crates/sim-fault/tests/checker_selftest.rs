@@ -1,0 +1,254 @@
+//! Checker self-test: replays deliberately corrupted command streams
+//! through `dram_sim::ProtocolChecker` and asserts every violation class
+//! is flagged with the right rule.
+//!
+//! Each case prepends a seed-randomised *legal* prefix on rank 0 (so the
+//! checker is exercised with realistic warm state, not a blank slate) and
+//! then issues an illegal suffix on rank 1. The suffix is legal except for
+//! its final command; the checker must accept everything before it and
+//! reject exactly that command, naming the violated rule. Run across ten
+//! seeds per class, the harness demands a 100% detection rate.
+
+use dram_sim::{DramCommand, ProtocolChecker, TimingParams};
+use mem_model::rng::Rng;
+
+const SEEDS: u64 = 10;
+
+fn act(rank: u32, bank: u32, row: u32) -> DramCommand {
+    DramCommand::Activate {
+        rank,
+        bank,
+        row,
+        mats: 16,
+        extra_cycles: 0,
+    }
+}
+
+/// A violation class: a suffix of (cycle offset, command) pairs whose last
+/// command breaks `expect`, issued on rank 1 after a legal rank-0 prefix.
+struct Violation {
+    name: &'static str,
+    expect: &'static str,
+    suffix: Vec<(u64, DramCommand)>,
+}
+
+/// All violation classes the checker knows, one illegal stream each.
+/// Offsets assume DDR3-1600 Table 3 timing (tRCD 11, tRP 11, tRAS 28,
+/// tRRD 5, tFAW 24, tCCD 4, tWR 12, tRTP 6, WL 8, burst 4, tRFC 128).
+fn violation_classes() -> Vec<Violation> {
+    let rd = |bank| DramCommand::Read { rank: 1, bank };
+    let wr = |bank| DramCommand::Write { rank: 1, bank };
+    let pre = |bank| DramCommand::Precharge { rank: 1, bank };
+    let refresh = DramCommand::Refresh { rank: 1 };
+    vec![
+        Violation {
+            name: "mats above full row",
+            expect: "mats out of range",
+            suffix: vec![(
+                0,
+                DramCommand::Activate {
+                    rank: 1,
+                    bank: 0,
+                    row: 1,
+                    mats: 17,
+                    extra_cycles: 0,
+                },
+            )],
+        },
+        Violation {
+            name: "zero mats",
+            expect: "mats out of range",
+            suffix: vec![(
+                0,
+                DramCommand::Activate {
+                    rank: 1,
+                    bank: 0,
+                    row: 1,
+                    mats: 0,
+                    extra_cycles: 0,
+                },
+            )],
+        },
+        Violation {
+            name: "back-to-back ACTs inside tRRD",
+            expect: "tRRD",
+            suffix: vec![(0, act(1, 0, 1)), (4, act(1, 1, 1))],
+        },
+        Violation {
+            name: "five ACTs inside the tFAW window",
+            expect: "tFAW",
+            suffix: vec![
+                (0, act(1, 0, 1)),
+                (5, act(1, 1, 1)),
+                (10, act(1, 2, 1)),
+                (15, act(1, 3, 1)),
+                (20, act(1, 4, 1)),
+            ],
+        },
+        Violation {
+            name: "ACT to an already-open bank",
+            expect: "ACT to an open bank",
+            suffix: vec![(0, act(1, 0, 1)), (5, act(1, 0, 2))],
+        },
+        Violation {
+            name: "re-ACT before tRP elapses",
+            expect: "tRP",
+            suffix: vec![
+                (0, act(1, 0, 1)),
+                (11, rd(0)),
+                (28, pre(0)),
+                (38, act(1, 0, 2)),
+            ],
+        },
+        Violation {
+            name: "ACT while the rank is refreshing",
+            expect: "tRFC",
+            suffix: vec![(0, refresh), (100, act(1, 0, 1))],
+        },
+        Violation {
+            name: "column commands inside tCCD",
+            expect: "tCCD",
+            suffix: vec![(0, act(1, 0, 1)), (11, rd(0)), (14, rd(0))],
+        },
+        Violation {
+            name: "read from a closed bank",
+            expect: "column to a closed bank",
+            suffix: vec![(0, rd(0))],
+        },
+        Violation {
+            name: "read before tRCD elapses",
+            expect: "tRCD",
+            suffix: vec![(0, act(1, 0, 1)), (10, rd(0))],
+        },
+        Violation {
+            name: "write ignoring the PRA mask-transfer cycle",
+            expect: "tRCD",
+            suffix: vec![
+                (
+                    0,
+                    DramCommand::Activate {
+                        rank: 1,
+                        bank: 0,
+                        row: 1,
+                        mats: 2,
+                        extra_cycles: 1,
+                    },
+                ),
+                (11, wr(0)),
+            ],
+        },
+        Violation {
+            name: "PRE to a closed bank",
+            expect: "PRE to a closed bank",
+            suffix: vec![(0, pre(0))],
+        },
+        Violation {
+            name: "PRE before tRAS elapses",
+            expect: "tRAS",
+            suffix: vec![(0, act(1, 0, 1)), (27, pre(0))],
+        },
+        Violation {
+            name: "PRE cutting a late read short of tRTP",
+            expect: "tRTP",
+            suffix: vec![(0, act(1, 0, 1)), (25, rd(0)), (28, pre(0))],
+        },
+        Violation {
+            name: "PRE before the write-recovery fence",
+            expect: "tWR",
+            suffix: vec![(0, act(1, 0, 1)), (11, wr(0)), (34, pre(0))],
+        },
+        Violation {
+            name: "REF with a bank open",
+            expect: "open",
+            suffix: vec![(0, act(1, 0, 1)), (5, refresh)],
+        },
+        Violation {
+            name: "REF before tRP elapses",
+            expect: "tRP before REF",
+            suffix: vec![(0, act(1, 0, 1)), (11, rd(0)), (28, pre(0)), (38, refresh)],
+        },
+    ]
+}
+
+/// Replays `rounds` legal closed-page rounds on rank 0 and returns the
+/// first cycle safely past all rank-0 and cross-rank (tCCD) constraints.
+fn legal_prefix(checker: &mut ProtocolChecker, rng: &mut Rng) -> u64 {
+    let rounds = 3 + rng.bounded_u64(5);
+    let mut cursor = 0u64;
+    for round in 0..rounds {
+        let bank = (round % 8) as u32;
+        let row = round as u32;
+        checker
+            .observe(cursor, act(0, bank, row))
+            .expect("prefix ACT must be legal");
+        checker
+            .observe(cursor + 11, DramCommand::Read { rank: 0, bank })
+            .expect("prefix READ must be legal");
+        checker
+            .observe(cursor + 28, DramCommand::Precharge { rank: 0, bank })
+            .expect("prefix PRE must be legal");
+        cursor += 39 + 40 + rng.bounded_u64(20);
+    }
+    cursor + 200
+}
+
+#[test]
+fn every_violation_class_is_flagged() {
+    let classes = violation_classes();
+    let mut streams = 0u64;
+    let mut flagged = 0u64;
+    for class in &classes {
+        for seed in 0..SEEDS {
+            let mut checker = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false);
+            let mut rng = Rng::seed_from_u64(seed);
+            let base = legal_prefix(&mut checker, &mut rng);
+            let (last, head) = class
+                .suffix
+                .split_last()
+                .expect("violation suffix is non-empty");
+            for &(offset, command) in head {
+                checker
+                    .observe(base + offset, command)
+                    .unwrap_or_else(|e| panic!("{}: setup command rejected: {e}", class.name));
+            }
+            streams += 1;
+            match checker.observe(base + last.0, last.1) {
+                Err(e) => {
+                    assert!(
+                        e.rule.contains(class.expect),
+                        "{}: flagged the wrong rule: got {e}, want {}",
+                        class.name,
+                        class.expect
+                    );
+                    flagged += 1;
+                }
+                Ok(()) => panic!("{}: illegal command accepted (seed {seed})", class.name),
+            }
+        }
+    }
+    assert_eq!(
+        flagged, streams,
+        "checker must flag 100% of injected-illegal streams"
+    );
+    assert_eq!(streams, classes.len() as u64 * SEEDS);
+}
+
+#[test]
+fn clean_streams_stay_clean() {
+    // The same harness minus the illegal suffix never trips the checker.
+    for seed in 0..SEEDS {
+        let mut checker = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false);
+        let mut rng = Rng::seed_from_u64(seed);
+        let base = legal_prefix(&mut checker, &mut rng);
+        checker
+            .observe(base, act(1, 0, 1))
+            .expect("legal ACT after the prefix");
+        checker
+            .observe(base + 11, DramCommand::Read { rank: 1, bank: 0 })
+            .expect("legal READ at tRCD");
+        checker
+            .observe(base + 28, DramCommand::Precharge { rank: 1, bank: 0 })
+            .expect("legal PRE at tRAS");
+        assert!(checker.commands_checked() > 3);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`cache_sim`] | L1/L2 hierarchy with fine-grained dirty bits (FGD) and the Dirty-Block Index |
 //! | [`cpu_sim`] | simplified OoO multi-core model, IPC and weighted speedup |
 //! | [`workloads`] | synthetic benchmarks calibrated to the paper's Table 1 / Figure 3 |
+//! | [`sim_fault`] | deterministic fault injection: mask corruption, command drop/stretch, dirty-bit flips, refresh stress |
 //! | [`pra_core`] | the PRA mechanism, scheme composition, [`SimBuilder`] and per-figure experiments |
 //!
 //! # Quickstart
@@ -55,8 +56,10 @@ pub use dram_power;
 pub use dram_sim;
 pub use mem_model;
 pub use pra_core;
+pub use sim_fault;
 pub use workloads;
 
 pub use dram_sim::{PagePolicy, SchemeBehavior};
 pub use mem_model::{PhysAddr, WordMask};
-pub use pra_core::{Report, Scheme, SimBuilder};
+pub use pra_core::{Report, Scheme, SimBuilder, SimError};
+pub use sim_fault::{FaultCounts, FaultPlan};
