@@ -45,13 +45,16 @@ impl CacheConfig {
     /// Panics if the capacity is not a whole power-of-two number of sets of
     /// whole lines.
     pub fn assert_valid(&self) {
+        // sim-lint: allow(no-panic-hot-path): documented # Panics contract — construction-time config validation, runs once before simulation
         assert!(self.ways > 0, "cache needs at least one way");
         let lines = self.size_bytes / LINE_BYTES as usize;
+        // sim-lint: allow(no-panic-hot-path): documented # Panics contract — construction-time config validation, runs once before simulation
         assert!(
             lines * LINE_BYTES as usize == self.size_bytes,
             "capacity must be a whole number of lines"
         );
         let sets = self.sets();
+        // sim-lint: allow(no-panic-hot-path): documented # Panics contract — construction-time config validation, runs once before simulation
         assert!(
             sets > 0 && sets.is_power_of_two(),
             "set count {sets} must be a power of two"
@@ -172,11 +175,13 @@ impl Cache {
             return None;
         }
         let victim = if set.len() == ways {
-            let (pos, _) = set
+            // A full set is non-empty (ways >= 1 is config-validated), so the
+            // LRU scan always finds a victim; fall back to way 0 regardless.
+            let pos = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru_stamp)
-                .expect("full set is non-empty");
+                .map_or(0, |(pos, _)| pos);
             let v = set.swap_remove(pos);
             Some(Evicted {
                 addr: PhysAddr::from_line_number(v.line),

@@ -203,6 +203,7 @@ impl CacheHierarchy {
         geometry: DramGeometry,
         mapping: AddressMapping,
     ) -> Self {
+        // sim-lint: allow(no-panic-hot-path): constructor argument contract, runs once before simulation
         assert!(config.cores > 0, "need at least one core");
         CacheHierarchy {
             l1s: (0..config.cores).map(|_| Cache::new(config.l1)).collect(),
@@ -288,6 +289,7 @@ impl CacheHierarchy {
     pub fn access(&mut self, core: usize, addr: PhysAddr, store: Option<WordMask>) -> Access {
         let a = addr.line_aligned();
         if let Some(mask) = store {
+            // sim-lint: allow(no-panic-hot-path): documented # Panics contract — an empty store mask is a caller bug, not a workload property
             assert!(!mask.is_empty(), "a store must dirty at least one word");
         }
         let mut writebacks = Vec::new();

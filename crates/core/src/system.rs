@@ -122,6 +122,7 @@ impl SimBuilder {
     ///
     /// Panics if the trace is empty.
     pub fn app_trace(mut self, name: impl Into<String>, trace: Trace) -> Self {
+        // sim-lint: allow(no-panic-hot-path): documented # Panics builder contract, runs once before simulation
         assert!(!trace.is_empty(), "cannot drive a core with an empty trace");
         self.apps.push(AppSpec::Trace {
             name: name.into(),
@@ -270,6 +271,7 @@ impl SimBuilder {
     /// cannot be created. Use [`SimBuilder::try_run`] to handle these as
     /// [`SimError`]s instead.
     pub fn run(&self) -> Report {
+        // sim-lint: allow(no-panic-hot-path): documented panicking facade; try_run is the fallible API
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -115,26 +115,26 @@ pub fn render(events: &[TimingEvent]) -> String {
     out
 }
 
+/// Cycle of the first `label` event. `write_timeline` emits WR, data and
+/// PRE events unconditionally, so a miss here is a construction bug.
+fn cycle_of(timeline: &[TimingEvent], label: &str) -> u64 {
+    timeline
+        .iter()
+        .find(|e| e.label == label)
+        // sim-lint: allow(no-panic-hot-path): write_timeline emits every label this is called with; absence is a construction bug worth aborting on
+        .unwrap_or_else(|| panic!("timeline is missing a {label} event"))
+        .cycle
+}
+
 /// Key latencies of the Figure 7 cases, for tests and the bin's summary:
 /// `(write_cmd_at, data_start, precharge_at)`.
 pub fn write_latencies(t: &TimingParams, partial: bool) -> (u64, u64, u64) {
     let timeline = write_timeline(t, partial);
-    let wr = timeline
-        .iter()
-        .find(|e| e.label == "WR")
-        .expect("timeline has a write")
-        .cycle;
-    let data = timeline
-        .iter()
-        .find(|e| e.label == "data")
-        .expect("timeline has data")
-        .cycle;
-    let pre = timeline
-        .iter()
-        .find(|e| e.label == "PRE")
-        .expect("timeline has a precharge")
-        .cycle;
-    (wr, data, pre)
+    (
+        cycle_of(&timeline, "WR"),
+        cycle_of(&timeline, "data"),
+        cycle_of(&timeline, "PRE"),
+    )
 }
 
 #[cfg(test)]

@@ -87,7 +87,9 @@ impl CpuSystem {
         sources: Vec<Box<dyn InstructionSource>>,
         instructions_per_core: u64,
     ) -> Self {
+        // sim-lint: allow(no-panic-hot-path): constructor argument contract, runs once before simulation
         assert!(!sources.is_empty(), "need at least one instruction source");
+        // sim-lint: allow(no-panic-hot-path): constructor argument contract, runs once before simulation
         assert_eq!(
             sources.len(),
             hierarchy.config().cores,
@@ -413,6 +415,7 @@ impl CpuSystem {
             HitLevel::Memory => {
                 let line = access
                     .fill_read
+                    // sim-lint: allow(no-panic-hot-path): CacheHierarchy::access always populates fill_read for HitLevel::Memory outcomes
                     .expect("memory-level access carries a fill");
                 let id = self.next_req_id;
                 let req = MemRequest::read(id, line).with_core(idx);

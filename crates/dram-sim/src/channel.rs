@@ -6,7 +6,7 @@ use mem_model::{Location, MemRequest, ReqKind, RequestId, WordMask};
 use sim_fault::FaultInjector;
 use sim_obs::TraceEvent;
 
-use crate::checker::{DramCommand, ProtocolChecker};
+use crate::checker::{DramCommand, ProtocolChecker, ProtocolError};
 use crate::config::{DramConfig, PagePolicy};
 use crate::obs::DramObs;
 use crate::rank::{Rank, RefreshState};
@@ -123,17 +123,23 @@ impl Channel {
                     cfg.geometry.ranks_per_channel,
                     cfg.geometry.banks_per_rank,
                     cfg.scheme.relaxed_act_timing,
+                    cfg.timing.burst_cycles * cfg.scheme.burst_multiplier,
                 )
             }),
         }
     }
 
-    /// Feeds the protocol checker; a violation is a simulator bug.
-    fn verify_cmd(checker: &mut Option<ProtocolChecker>, now: u64, command: DramCommand) {
-        if let Some(checker) = checker {
-            if let Err(err) = checker.observe(now, command) {
-                panic!("DRAM protocol violation: {err}");
-            }
+    /// Feeds the protocol checker; a violation is a simulator bug, surfaced
+    /// to the caller as an error rather than a panic so embedders (and the
+    /// fault-injection harness) can decide how to react.
+    fn verify_cmd(
+        checker: &mut Option<ProtocolChecker>,
+        now: u64,
+        command: DramCommand,
+    ) -> Result<(), ProtocolError> {
+        match checker {
+            Some(checker) => checker.observe(now, command),
+            None => Ok(()),
         }
     }
 
@@ -199,6 +205,9 @@ impl Channel {
     /// Advances the channel one memory cycle. Completed read ids are pushed
     /// onto `completed`. `faults` is the optional injector shared by all
     /// channels; `None` (the default) leaves every decision untouched.
+    ///
+    /// Returns `Err` if the protocol checker (when enabled) rejects a command
+    /// the scheduler issued this cycle — always a simulator bug.
     #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
@@ -209,7 +218,7 @@ impl Channel {
         o: &mut DramObs,
         completed: &mut Vec<RequestId>,
         faults: &mut Option<FaultInjector>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let ch = self.index;
         // Refresh stress shortens the effective refresh interval.
         let trefi = faults
@@ -235,7 +244,7 @@ impl Channel {
                             rank: r as u32,
                             bank: b as u32,
                         },
-                    );
+                    )?;
                 }
             }
         }
@@ -255,11 +264,11 @@ impl Channel {
         }
 
         // 3. One command-bus slot per cycle, in priority order.
-        let issued = self.refresh_commands(now, cfg, stats, energy, o)
-            || self.issue_column(now, cfg, stats, energy, o, faults)
-            || self.issue_activate(now, cfg, stats, energy, o, faults)
-            || self.issue_precharge_for_pending(now, cfg, stats, o)
-            || self.issue_idle_close(now, cfg, stats, o);
+        let issued = self.refresh_commands(now, cfg, stats, energy, o)?
+            || self.issue_column(now, cfg, stats, energy, o, faults)?
+            || self.issue_activate(now, cfg, stats, energy, o, faults)?
+            || self.issue_precharge_for_pending(now, cfg, stats, o)?
+            || self.issue_idle_close(now, cfg, stats, o)?;
         let _ = issued;
 
         // 4. Power-down entry for idle ranks (relaxed policy only; CKE is
@@ -276,6 +285,7 @@ impl Channel {
         if now < self.bus.busy_until {
             stats.bus_busy_cycles += 1;
         }
+        Ok(())
     }
 
     fn complete_transfers(
@@ -333,7 +343,7 @@ impl Channel {
         stats: &mut DramStats,
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         let ch = self.index;
         for r in 0..self.ranks.len() {
             if self.ranks[r].refresh_debt == 0
@@ -371,8 +381,8 @@ impl Channel {
                     &mut self.checker,
                     now,
                     DramCommand::Refresh { rank: r as u32 },
-                );
-                return true;
+                )?;
+                return Ok(true);
             }
             if forced {
                 // Close one open bank whose precharge is legal.
@@ -393,13 +403,13 @@ impl Channel {
                                 rank: r as u32,
                                 bank: b as u32,
                             },
-                        );
-                        return true;
+                        )?;
+                        return Ok(true);
                     }
                 }
             }
         }
-        false
+        Ok(false)
     }
 
     /// Queue the scheduler currently serves: writes in drain mode or when no
@@ -443,10 +453,12 @@ impl Channel {
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
         faults: &mut Option<FaultInjector>,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         let active_is_write = self.active_is_write();
-        self.issue_column_from(now, cfg, stats, energy, o, faults, active_is_write)
-            || self.issue_column_from(now, cfg, stats, energy, o, faults, !active_is_write)
+        Ok(
+            self.issue_column_from(now, cfg, stats, energy, o, faults, active_is_write)?
+                || self.issue_column_from(now, cfg, stats, energy, o, faults, !active_is_write)?,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -459,9 +471,9 @@ impl Channel {
         o: &mut DramObs,
         faults: &mut Option<FaultInjector>,
         is_write: bool,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         if now < self.next_col_allowed {
-            return false;
+            return Ok(false);
         }
         let burst = cfg.timing.burst_cycles * cfg.scheme.burst_multiplier;
         let queue = if is_write {
@@ -512,12 +524,12 @@ impl Channel {
             chosen = Some(i);
             break;
         }
-        let Some(i) = chosen else { return false };
+        let Some(i) = chosen else { return Ok(false) };
         // Injected bus fault: the command is lost. The queue entry survives
         // and retries on a later cycle; the command-bus slot is consumed.
         if let Some(inj) = faults.as_mut() {
             if inj.drop_command() {
-                return true;
+                return Ok(true);
             }
         }
         let mut entry = if is_write {
@@ -557,7 +569,7 @@ impl Channel {
                     rank: entry.loc.rank,
                     bank: entry.loc.bank,
                 },
-            );
+            )?;
         } else {
             let end = bank.column_read(now, burst, &cfg.timing);
             self.bus
@@ -582,13 +594,13 @@ impl Channel {
                     rank: entry.loc.rank,
                     bank: entry.loc.bank,
                 },
-            );
+            )?;
         }
         if matches!(cfg.policy, PagePolicy::RestrictedClosePage) {
             bank.arm_auto_precharge();
         }
         self.next_col_allowed = now + cfg.timing.tccd.max(burst);
-        true
+        Ok(true)
     }
 
     /// The PRA mask for activating `loc.row`: the OR of all queued same-row
@@ -615,7 +627,7 @@ impl Channel {
         energy: &mut EnergyAccounting,
         o: &mut DramObs,
         faults: &mut Option<FaultInjector>,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         let is_write = self.active_is_write();
         let queue = if is_write {
             &self.write_q
@@ -663,7 +675,7 @@ impl Channel {
             break;
         }
         let Some((i, mut coverage, mut mats)) = chosen else {
-            return false;
+            return Ok(false);
         };
         // The mask-transfer cycle is paid for the coverage the controller
         // *sent*, before any fault handling — a corrupted transfer still
@@ -672,7 +684,7 @@ impl Channel {
         if let Some(inj) = faults.as_mut() {
             // Injected bus fault: the ACT is lost; retry on a later cycle.
             if inj.drop_command() {
-                return true;
+                return Ok(true);
             }
             // Injected mask-transfer upset (partial activations only — a
             // full-row ACT carries no mask). The chip's parity check always
@@ -695,7 +707,7 @@ impl Channel {
                     weight,
                     &cfg.timing,
                 ) {
-                    return true;
+                    return Ok(true);
                 }
             }
         }
@@ -743,8 +755,8 @@ impl Channel {
                 mats,
                 extra_cycles: extra,
             },
-        );
-        true
+        )?;
+        Ok(true)
     }
 
     /// FR-FCFS step three: precharge a bank blocking the oldest conflicting
@@ -755,7 +767,7 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         o: &mut DramObs,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         let is_write = self.active_is_write();
         let queue = if is_write {
             &self.write_q
@@ -790,7 +802,7 @@ impl Channel {
             }
         }
         let Some((i, false_hit, capped)) = chosen else {
-            return false;
+            return Ok(false);
         };
         let queue = if is_write {
             &mut self.write_q
@@ -830,8 +842,8 @@ impl Channel {
                 rank: loc.rank,
                 bank: loc.bank,
             },
-        );
-        true
+        )?;
+        Ok(true)
     }
 
     /// Relaxed close-page: close rows no queued request can still hit.
@@ -841,9 +853,9 @@ impl Channel {
         cfg: &DramConfig,
         stats: &mut DramStats,
         o: &mut DramObs,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         if !matches!(cfg.policy, PagePolicy::RelaxedClosePage) {
-            return false;
+            return Ok(false);
         }
         let ch = self.index;
         for (r, rank) in self.ranks.iter_mut().enumerate() {
@@ -874,12 +886,12 @@ impl Channel {
                             rank: r as u32,
                             bank: b as u32,
                         },
-                    );
-                    return true;
+                    )?;
+                    return Ok(true);
                 }
             }
         }
-        false
+        Ok(false)
     }
 
     fn enter_power_down_where_idle(&mut self, now: u64, o: &mut DramObs) {

@@ -126,6 +126,12 @@ pub struct ProtocolChecker {
     timing: TimingParams,
     ranks: Vec<RankCheck>,
     last_col_at: Option<u64>,
+    /// Previous data burst: `(end_cycle, was_read, rank)`. Drives the
+    /// bus-level tWTR / tRTRS / overlap rules.
+    last_burst: Option<(u64, bool, u32)>,
+    /// Data-bus cycles one column burst occupies (the scheme's effective
+    /// burst: `timing.burst_cycles * burst_multiplier` for FGA).
+    burst_cycles: u64,
     /// Whether partial activations relax tRRD/tFAW proportionally (the
     /// scheme under test declares its own contract).
     relaxed_act_timing: bool,
@@ -134,7 +140,15 @@ pub struct ProtocolChecker {
 
 impl ProtocolChecker {
     /// A checker for `ranks` ranks of `banks` banks under `timing`.
-    pub fn new(timing: TimingParams, ranks: usize, banks: usize, relaxed_act_timing: bool) -> Self {
+    /// `burst_cycles` is the effective data-bus occupancy of one column
+    /// burst (the raw `timing.burst_cycles` times any scheme multiplier).
+    pub fn new(
+        timing: TimingParams,
+        ranks: usize,
+        banks: usize,
+        relaxed_act_timing: bool,
+        burst_cycles: u64,
+    ) -> Self {
         ProtocolChecker {
             timing,
             ranks: (0..ranks)
@@ -145,6 +159,8 @@ impl ProtocolChecker {
                 })
                 .collect(),
             last_col_at: None,
+            last_burst: None,
+            burst_cycles,
             relaxed_act_timing,
             commands_checked: 0,
         }
@@ -183,9 +199,9 @@ impl ProtocolChecker {
             DramCommand::Activate {
                 rank,
                 bank,
+                row,
                 mats,
                 extra_cycles,
-                ..
             } => {
                 if mats == 0 || mats > FULL_ROW_MATS {
                     return Err(Self::err(cycle, command, "mats out of range"));
@@ -229,10 +245,7 @@ impl ProtocolChecker {
                 if cycle < b.busy_until {
                     return Err(Self::err(cycle, command, "tRFC (rank refreshing)"));
                 }
-                b.open_row = Some(match command {
-                    DramCommand::Activate { row, .. } => row,
-                    _ => unreachable!(),
-                });
+                b.open_row = Some(row);
                 b.act_at = cycle;
                 b.act_extra = extra_cycles;
                 b.last_read_at = None;
@@ -248,6 +261,7 @@ impl ProtocolChecker {
                 }
             }
             DramCommand::Read { rank, bank } | DramCommand::Write { rank, bank } => {
+                let is_read = matches!(command, DramCommand::Read { .. });
                 if let Some(last) = self.last_col_at {
                     if cycle < last + t.tccd {
                         return Err(Self::err(cycle, command, "tCCD"));
@@ -260,10 +274,37 @@ impl ProtocolChecker {
                 if cycle < b.act_at + t.trcd + b.act_extra {
                     return Err(Self::err(cycle, command, "tRCD (+PRA mask cycle)"));
                 }
-                match command {
-                    DramCommand::Read { .. } => b.last_read_at = Some(cycle),
-                    DramCommand::Write { .. } => b.last_write_at = Some(cycle),
-                    _ => unreachable!(),
+                // Bus-level rules, mirroring the shared-data-bus model the
+                // scheduler's DataBus implements: a burst starts CL (reads)
+                // or WL (writes) after its column command, must not overlap
+                // the previous burst, and pays tWTR on a direction change
+                // plus tRTRS on a rank change.
+                let start = cycle + if is_read { t.tcas } else { t.wl };
+                if let Some((prev_end, prev_read, prev_rank)) = self.last_burst {
+                    let turnaround = prev_read != is_read;
+                    let rank_switch = prev_rank != rank;
+                    let mut min_start = prev_end;
+                    if turnaround {
+                        min_start += t.twtr;
+                    }
+                    if rank_switch {
+                        min_start += t.trtrs;
+                    }
+                    if start < min_start {
+                        let rule = match (turnaround, rank_switch) {
+                            (true, true) => "tWTR+tRTRS (bus turnaround and rank switch)",
+                            (true, false) => "tWTR (bus turnaround)",
+                            (false, true) => "tRTRS (rank-to-rank switch)",
+                            (false, false) => "data-bus overlap",
+                        };
+                        return Err(Self::err(cycle, command, rule));
+                    }
+                }
+                self.last_burst = Some((start + self.burst_cycles, is_read, rank));
+                if is_read {
+                    b.last_read_at = Some(cycle);
+                } else {
+                    b.last_write_at = Some(cycle);
                 }
                 self.last_col_at = Some(cycle);
             }
@@ -314,7 +355,8 @@ mod tests {
     use super::*;
 
     fn checker() -> ProtocolChecker {
-        ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false)
+        let t = TimingParams::ddr3_1600_table3();
+        ProtocolChecker::new(t, 2, 8, false, t.burst_cycles)
     }
 
     fn act(rank: u32, bank: u32, row: u32) -> DramCommand {
@@ -395,7 +437,8 @@ mod tests {
 
     #[test]
     fn relaxed_partial_activations_pass_tfaw() {
-        let mut c = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, true);
+        let t = TimingParams::ddr3_1600_table3();
+        let mut c = ProtocolChecker::new(t, 2, 8, true, t.burst_cycles);
         // Eight 2-MAT activations inside one tFAW window: weight 8 * 1/8 = 1.
         for i in 0..8u32 {
             let cmd = DramCommand::Activate {
@@ -463,6 +506,67 @@ mod tests {
         let err = c.observe(100, act(0, 0, 5)).unwrap_err();
         assert!(err.rule.contains("tRFC"), "{err}");
         c.observe(39 + 128, act(0, 0, 5)).unwrap();
+    }
+
+    #[test]
+    fn twtr_violation_detected() {
+        // Write burst: issued at 11, starts 11+WL(8)=19, ends 19+4=23. A
+        // read burst must start at 23+tWTR(6)=29, i.e. the RD command may
+        // not issue before 29-CL(11)=18.
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap();
+        let err = c
+            .observe(16, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap_err();
+        assert!(err.rule.contains("tWTR"), "{err}");
+        let mut c2 = checker();
+        c2.observe(0, act(0, 0, 5)).unwrap();
+        c2.observe(11, DramCommand::Write { rank: 0, bank: 0 })
+            .unwrap();
+        c2.observe(18, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+    }
+
+    #[test]
+    fn trtrs_violation_detected() {
+        // Read burst from rank 0 ends at 11+CL(11)+4=26; a rank-1 burst
+        // must start at 26+tRTRS(2)=28, so its RD may not issue before 17.
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(5, act(1, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+        let err = c
+            .observe(16, DramCommand::Read { rank: 1, bank: 0 })
+            .unwrap_err();
+        assert!(err.rule.contains("tRTRS"), "{err}");
+        let mut c2 = checker();
+        c2.observe(0, act(0, 0, 5)).unwrap();
+        c2.observe(5, act(1, 0, 5)).unwrap();
+        c2.observe(11, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+        c2.observe(17, DramCommand::Read { rank: 1, bank: 0 })
+            .unwrap();
+    }
+
+    #[test]
+    fn data_bus_overlap_detected_with_effective_burst() {
+        // With an FGA-style burst multiplier the effective burst is 8
+        // cycles: a read at 11 occupies the bus 22..30, so a same-rank
+        // same-direction read at 16 (tCCD-legal) would overlap.
+        let t = TimingParams::ddr3_1600_table3();
+        let mut c = ProtocolChecker::new(t, 2, 8, false, 2 * t.burst_cycles);
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.observe(11, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+        let err = c
+            .observe(16, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap_err();
+        assert!(err.rule.contains("data-bus overlap"), "{err}");
+        c.observe(19, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl QueueConfig {
     /// Panics with the [`ConfigError`] message on any inconsistency.
     pub fn assert_valid(&self) {
         if let Err(e) = self.validate() {
+            // sim-lint: allow(no-panic-hot-path): documented panicking facade over validate(), runs once before simulation
             panic!("{e}");
         }
     }
@@ -237,6 +238,7 @@ impl DramConfig {
     /// Panics with the [`ConfigError`] message on any inconsistency.
     pub fn assert_valid(&self) {
         if let Err(e) = self.validate() {
+            // sim-lint: allow(no-panic-hot-path): documented panicking facade over validate(), runs once before simulation
             panic!("invalid DRAM configuration: {e}");
         }
     }

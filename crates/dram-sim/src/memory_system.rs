@@ -9,6 +9,7 @@ use sim_fault::{FaultCounts, FaultInjector};
 use sim_obs::{Observer, TraceSink};
 
 use crate::channel::Channel;
+use crate::checker::ProtocolError;
 use crate::config::{ConfigError, DramConfig};
 use crate::obs::DramObs;
 use crate::stats::DramStats;
@@ -70,6 +71,7 @@ impl MemorySystem {
     /// Panics if the configuration is inconsistent; use
     /// [`MemorySystem::try_new`] to handle the error instead.
     pub fn new(config: DramConfig) -> Self {
+        // sim-lint: allow(no-panic-hot-path): documented panicking facade; try_new is the fallible API
         Self::try_new(config).unwrap_or_else(|e| panic!("invalid DRAM configuration: {e}"))
     }
 
@@ -198,7 +200,13 @@ impl MemorySystem {
 
     /// Advances one memory cycle; returns the ids of reads whose data
     /// completed during this cycle.
-    pub fn tick(&mut self) -> &[RequestId] {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] when the protocol checker (enabled via
+    /// [`DramConfig::verify_protocol`]) rejects a command the scheduler
+    /// issued — always a simulator bug, never a workload property.
+    pub fn try_tick(&mut self) -> Result<&[RequestId], ProtocolError> {
         self.completed_scratch.clear();
         for channel in &mut self.channels {
             channel.tick(
@@ -209,7 +217,7 @@ impl MemorySystem {
                 &mut self.obs,
                 &mut self.completed_scratch,
                 &mut self.faults,
-            );
+            )?;
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
@@ -220,7 +228,20 @@ impl MemorySystem {
             }
             self.obs.obs.end_epoch(self.cycle);
         }
-        &self.completed_scratch
+        Ok(&self.completed_scratch)
+    }
+
+    /// Advances one memory cycle; returns the ids of reads whose data
+    /// completed during this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol checker rejects a scheduled command; use
+    /// [`Self::try_tick`] to observe the violation as an error instead.
+    pub fn tick(&mut self) -> &[RequestId] {
+        self.try_tick()
+            // sim-lint: allow(no-panic-hot-path): documented panicking facade; a checker rejection is a simulator bug and try_tick is the fallible API
+            .unwrap_or_else(|e| panic!("DRAM protocol violation: {e}"))
     }
 
     /// Requests queued or in flight across all channels.

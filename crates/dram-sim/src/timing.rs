@@ -28,16 +28,19 @@ pub struct TimingParams {
     /// Four-activation window (tFAW).
     pub tfaw: u64,
     /// Row cycle (tRC = tRAS + tRP).
+    // sim-lint: allow(checker-parity): derived band (tRC = tRAS + tRP) validated by TimingParams::validate; tRAS and tRP are enforced individually
     pub trc: u64,
     /// Read to precharge (tRTP).
     pub trtp: u64,
     /// Write-to-read turnaround (tWTR), end of write burst to read command.
     pub twtr: u64,
     /// Power-down exit latency (tXP).
+    // sim-lint: allow(checker-parity): CKE is a dedicated pin, not a command-bus command; rank::exit_power_down folds tXP into rank availability which the per-command rules then cover
     pub txp: u64,
     /// Rank-to-rank switching penalty on the data bus (tRTRS).
     pub trtrs: u64,
     /// Average refresh interval (tREFI).
+    // sim-lint: allow(checker-parity): refresh scheduling policy (when to refresh), not per-command legality; the checker verifies tRFC around each REF it does see
     pub trefi: u64,
     /// Refresh cycle time (tRFC).
     pub trfc: u64,

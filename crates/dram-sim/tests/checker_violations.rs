@@ -8,7 +8,13 @@
 use dram_sim::{DramCommand, ProtocolChecker, TimingParams};
 
 fn checker() -> ProtocolChecker {
-    ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 1, 8, false)
+    let t = TimingParams::ddr3_1600_table3();
+    ProtocolChecker::new(t, 1, 8, false, t.burst_cycles)
+}
+
+fn two_rank_checker() -> ProtocolChecker {
+    let t = TimingParams::ddr3_1600_table3();
+    ProtocolChecker::new(t, 2, 8, false, t.burst_cycles)
 }
 
 fn act(bank: u32, row: u32) -> DramCommand {
@@ -102,4 +108,63 @@ fn tccd_column_commands_too_close() {
     assert!(e.rule.contains("tCCD"), "{e}");
     c.observe(15, read(0))
         .expect("READ at exactly tCCD is legal");
+}
+
+#[test]
+fn twtr_read_too_soon_after_write_burst() {
+    // Write at 11: burst starts 11+WL(8)=19, ends 23. The next read burst
+    // must start at 23+tWTR(6)=29, so the RD command (CL 11 ahead of its
+    // burst) is illegal before cycle 18.
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, write(0)).expect("WRITE at tRCD");
+    let e = c.observe(16, read(0)).expect_err("READ inside tWTR");
+    assert!(e.rule.contains("tWTR"), "{e}");
+    assert_eq!(e.cycle, 16);
+    let mut c = checker();
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, write(0)).expect("WRITE at tRCD");
+    c.observe(18, read(0))
+        .expect("READ whose burst starts exactly at tWTR is legal");
+}
+
+#[test]
+fn trtrs_rank_switch_too_soon() {
+    // Rank-0 read burst ends at 11+CL(11)+burst(4)=26; a rank-1 burst must
+    // start at 26+tRTRS(2)=28, i.e. its RD may not issue before 17.
+    let mut c = two_rank_checker();
+    c.observe(0, act(0, 7)).expect("ACT rank 0");
+    c.observe(
+        5,
+        DramCommand::Activate {
+            rank: 1,
+            bank: 0,
+            row: 7,
+            mats: 16,
+            extra_cycles: 0,
+        },
+    )
+    .expect("ACT rank 1 at tRRD");
+    c.observe(11, read(0)).expect("rank-0 READ");
+    let e = c
+        .observe(16, DramCommand::Read { rank: 1, bank: 0 })
+        .expect_err("rank-1 READ inside tRTRS");
+    assert!(e.rule.contains("tRTRS"), "{e}");
+    c.observe(17, DramCommand::Read { rank: 1, bank: 0 })
+        .expect("rank-1 READ after the switch penalty is legal");
+}
+
+#[test]
+fn data_bus_overlap_with_widened_burst() {
+    // An FGA-style scheme doubles the effective burst to 8 cycles: the
+    // read at 11 occupies the bus 22..30, so a tCCD-legal read at 16
+    // (burst would start at 27) still overlaps.
+    let t = TimingParams::ddr3_1600_table3();
+    let mut c = ProtocolChecker::new(t, 1, 8, false, 2 * t.burst_cycles);
+    c.observe(0, act(0, 7)).expect("ACT");
+    c.observe(11, read(0)).expect("first READ");
+    let e = c.observe(16, read(0)).expect_err("overlapping burst");
+    assert!(e.rule.contains("data-bus overlap"), "{e}");
+    c.observe(19, read(0))
+        .expect("back-to-back bursts at the widened length are legal");
 }

@@ -70,6 +70,7 @@ impl PhysAddr {
         PhysAddr(
             self.0
                 .checked_add(bytes)
+                // sim-lint: allow(no-panic-hot-path): documented contract — u64 address overflow means a broken workload generator, not a recoverable state
                 .expect("physical address overflow"),
         )
     }

@@ -158,6 +158,26 @@ fn violation_classes() -> Vec<Violation> {
             suffix: vec![(0, act(1, 0, 1)), (11, wr(0)), (34, pre(0))],
         },
         Violation {
+            name: "read inside the tWTR bus turnaround",
+            expect: "tWTR",
+            // Write burst occupies WL(8)..WL+4 after cycle 11; the read
+            // burst (CL 11 after its command) starts inside end+tWTR(6).
+            suffix: vec![(0, act(1, 0, 1)), (11, wr(0)), (16, rd(0))],
+        },
+        Violation {
+            name: "rank switch inside tRTRS",
+            expect: "tRTRS",
+            // Rank-0 burst ends at +26; the rank-1 burst must wait
+            // tRTRS(2) more, so a rank-1 RD at +16 (burst start +27) is
+            // one cycle early.
+            suffix: vec![
+                (0, act(0, 7, 1)),
+                (5, act(1, 0, 1)),
+                (11, DramCommand::Read { rank: 0, bank: 7 }),
+                (16, rd(0)),
+            ],
+        },
+        Violation {
             name: "REF with a bank open",
             expect: "open",
             suffix: vec![(0, act(1, 0, 1)), (5, refresh)],
@@ -199,7 +219,8 @@ fn every_violation_class_is_flagged() {
     let mut flagged = 0u64;
     for class in &classes {
         for seed in 0..SEEDS {
-            let mut checker = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false);
+            let t = TimingParams::ddr3_1600_table3();
+            let mut checker = ProtocolChecker::new(t, 2, 8, false, t.burst_cycles);
             let mut rng = Rng::seed_from_u64(seed);
             let base = legal_prefix(&mut checker, &mut rng);
             let (last, head) = class
@@ -237,7 +258,8 @@ fn every_violation_class_is_flagged() {
 fn clean_streams_stay_clean() {
     // The same harness minus the illegal suffix never trips the checker.
     for seed in 0..SEEDS {
-        let mut checker = ProtocolChecker::new(TimingParams::ddr3_1600_table3(), 2, 8, false);
+        let t = TimingParams::ddr3_1600_table3();
+        let mut checker = ProtocolChecker::new(t, 2, 8, false, t.burst_cycles);
         let mut rng = Rng::seed_from_u64(seed);
         let base = legal_prefix(&mut checker, &mut rng);
         checker

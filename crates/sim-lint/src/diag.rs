@@ -1,0 +1,107 @@
+//! Diagnostics and their human / JSON renderings.
+
+use std::fmt;
+
+/// One lint finding, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the lint that produced it (`no-panic-hot-path`, …).
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(lint: &str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}:{}: {}",
+            self.lint, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array (stable field order, no deps).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"lint\":\"{}\",", escape(&d.lint)));
+        out.push_str(&format!("\"file\":\"{}\",", escape(&d.file)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"message\":\"{}\"", escape(&d.message)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering() {
+        let d = Diagnostic::new(
+            "no-panic-hot-path",
+            "crates/x/src/a.rs",
+            7,
+            "call to `unwrap`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[no-panic-hot-path]: crates/x/src/a.rs:7: call to `unwrap`"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let d = Diagnostic::new("metric-registry", "a.rs", 1, "name \"x\\y\" bad");
+        let j = to_json(&[d]);
+        assert!(j.contains("\\\"x\\\\y\\\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_is_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

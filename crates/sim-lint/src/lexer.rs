@@ -1,0 +1,528 @@
+//! A hand-rolled Rust lexer, sufficient for lint-level analysis.
+//!
+//! The lexer's one job is to never mistake text for code: `panic!` inside a
+//! string, a `//` comment, a doc comment, a char literal or a nested block
+//! comment must not produce an `Ident` token. It does not parse expressions
+//! and it does not need to — every lint pass works on the token stream.
+//!
+//! Comments are lexed into a separate list (they carry suppression pragmas);
+//! string and char literals become single tokens whose text is the literal's
+//! *content*, so passes can match metric-name literals without re-scanning.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#type`).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `(`, …).
+    Punct(char),
+    /// String literal (plain, raw, byte or byte-raw); text is the content.
+    Str,
+    /// Char or byte-char literal; text is the content.
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`); text excludes the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (content only, for literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment (line, doc or block) with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Token stream plus the comments that were skipped over.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < len {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < len && b[i + 1] == b'/' => {
+                let start = i;
+                while i < len && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < len && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < len && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < len && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < len && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' => {
+                // Raw strings (r"", r#""#), byte strings (b"", br#""#),
+                // byte chars (b'x'), raw identifiers (r#type) — or a plain
+                // identifier starting with r/b.
+                if let Some(ni) = lex_r_or_b(src, b, i, &mut line, &mut out) {
+                    i = ni;
+                } else {
+                    i = lex_ident(src, b, i, line, &mut out);
+                }
+            }
+            b'"' => i = lex_string(src, b, i, &mut line, &mut out),
+            b'\'' => i = lex_quote(src, b, i, line, &mut out),
+            _ if is_ident_start(c) => i = lex_ident(src, b, i, line, &mut out),
+            _ if c.is_ascii_digit() => i = lex_number(src, b, i, line, &mut out),
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(src: &str, b: &[u8], start: usize, line: u32, out: &mut Lexed) -> usize {
+    let mut i = start;
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Ident,
+        text: src[start..i].to_string(),
+        line,
+    });
+    i
+}
+
+fn lex_number(src: &str, b: &[u8], start: usize, line: u32, out: &mut Lexed) -> usize {
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    // A fractional part, but not a `..` range operator.
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Num,
+        text: src[start..i].to_string(),
+        line,
+    });
+    i
+}
+
+/// Handles the `r`/`b` prefixed literal forms. Returns the new position if a
+/// literal (or raw identifier) was consumed, `None` if this is a plain
+/// identifier the caller should lex.
+fn lex_r_or_b(src: &str, b: &[u8], start: usize, line: &mut u32, out: &mut Lexed) -> Option<usize> {
+    let len = b.len();
+    let mut i = start;
+    let is_b = b[i] == b'b';
+    i += 1;
+    if is_b {
+        if i < len && b[i] == b'\'' {
+            // Byte char literal b'x'.
+            return Some(lex_quote(src, b, i, *line, out));
+        }
+        if i < len && b[i] == b'r' {
+            i += 1; // br"..." / br#"..."#
+        } else if i < len && b[i] == b'"' {
+            return Some(lex_string(src, b, i, line, out));
+        } else {
+            return None; // identifier starting with `b`
+        }
+    }
+    // Here: after `r` (or `br`). Count hashes.
+    let mut hashes = 0usize;
+    while i < len && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < len && b[i] == b'"' {
+        // Raw string: content runs to `"` followed by `hashes` hashes.
+        let content_start = i + 1;
+        let start_line = *line;
+        let mut j = content_start;
+        while j < len {
+            if b[j] == b'\n' {
+                *line += 1;
+                j += 1;
+                continue;
+            }
+            if b[j] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < len && b[j + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: src[content_start..j].to_string(),
+                        line: start_line,
+                    });
+                    return Some(j + 1 + hashes);
+                }
+            }
+            j += 1;
+        }
+        // Unterminated raw string: consume the rest.
+        out.tokens.push(Token {
+            kind: TokKind::Str,
+            text: src[content_start..].to_string(),
+            line: start_line,
+        });
+        return Some(len);
+    }
+    if !is_b && hashes == 1 && i < len && is_ident_start(b[i]) {
+        // Raw identifier r#type.
+        let id_start = i;
+        let mut j = i;
+        while j < len && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Ident,
+            text: src[id_start..j].to_string(),
+            line: *line,
+        });
+        return Some(j);
+    }
+    None
+}
+
+fn lex_string(src: &str, b: &[u8], start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    debug_assert_eq!(b[start], b'"');
+    let len = b.len();
+    let start_line = *line;
+    let content_start = start + 1;
+    let mut i = content_start;
+    while i < len {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src[content_start..i].to_string(),
+                    line: start_line,
+                });
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Str,
+        text: src[content_start..].to_string(),
+        line: start_line,
+    });
+    len
+}
+
+/// A `'`: either a lifetime/loop label or a char literal.
+fn lex_quote(src: &str, b: &[u8], start: usize, line: u32, out: &mut Lexed) -> usize {
+    debug_assert_eq!(b[start], b'\'');
+    let len = b.len();
+    let mut i = start + 1;
+    if i < len && is_ident_start(b[i]) && b[i] != b'\\' {
+        // Could be 'a' (char) or 'a / 'static (lifetime): scan the ident
+        // run; a closing quote right after makes it a char literal.
+        let id_start = i;
+        let mut j = i;
+        while j < len && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if j < len && b[j] == b'\'' {
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: src[id_start..j].to_string(),
+                line,
+            });
+            return j + 1;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Lifetime,
+            text: src[id_start..j].to_string(),
+            line,
+        });
+        return j;
+    }
+    // Char literal with an escape or non-ident content ('\n', '\'', '.').
+    let content_start = i;
+    if i < len && b[i] == b'\\' {
+        i += 2; // skip the escape introducer and its first char
+        if i <= len && i >= 2 {
+            match b[i - 1] {
+                b'x' => i += 2,
+                b'u' => {
+                    while i < len && b[i] != b'}' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+    } else if i < len {
+        // One (possibly multi-byte) character.
+        i += 1;
+        while i < len && (b[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+    }
+    let content_end = i.min(len);
+    if i < len && b[i] == b'\'' {
+        i += 1;
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Char,
+        text: src[content_start..content_end].to_string(),
+        line,
+    });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn panic_inside_plain_string_is_not_an_ident() {
+        let l = lex(r#"let s = "do not panic! here";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("panic!")));
+    }
+
+    #[test]
+    fn panic_inside_raw_string_is_not_an_ident() {
+        let src = "let s = r#\"x.unwrap() and panic!(\"boom\") inside\"#; s.len()";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_inner_quote() {
+        let src = "r##\"she said \"#hi\"# loudly\"## ; unwrap";
+        let l = lex(src);
+        let s: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, "she said \"#hi\"# loudly");
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn unwrap_in_line_and_doc_comments_is_not_an_ident() {
+        let src =
+            "// call .unwrap() here\n/// docs: .unwrap() is fine\n//! also .unwrap()\nlet x = 1;";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[1].text.starts_with("///"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_entirely() {
+        let src = "/* outer /* inner .unwrap() */ still comment panic! */ let real = 2;";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("real")));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let src = "/* a\nb\nc */\nfn f() {}";
+        let l = lex(src);
+        let f = l.tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        // A naive scanner treats '"' as opening a string and swallows code.
+        let src = "let q = '\"'; let p = '\\''; x.unwrap()";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { loop { break 'outer; } }";
+        let l = lex(src);
+        let lt: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lt, ["a", "a", "static", "outer"]);
+        assert!(!l.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn single_letter_char_vs_lifetime() {
+        let src = "let c = 'a'; fn g<'a>() {}";
+        let l = lex(src);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let c = b'x'; let r = br#\"unwrap()\"#; keep";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1; r#fn"), ["let", "type", "fn"]);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let src = r#"let s = "she \"said\" panic!"; after"#;
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..16 { let x = 1.25 + 1e-9; }";
+        let l = lex(src);
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0"));
+        assert!(nums.contains(&"16"));
+        assert!(nums.contains(&"1.25"));
+    }
+
+    #[test]
+    fn metric_literal_content_is_preserved() {
+        let l = lex(r#"reg.histogram("dram.read_latency")"#);
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "dram.read_latency");
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "fn a() {}\n\nfn b() {\n    x.unwrap();\n}\n";
+        let l = lex(src);
+        let u = l.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(u.line, 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! CLI driver: `cargo run -p sim-lint -- --workspace [--json] [--root PATH]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `--offline` is accepted (and ignored) so CI can pass the same flag set
+//! to cargo and the tool.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--offline" => {} // parity with cargo's flag set; no network use anyway
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sim-lint: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sim-lint: unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !workspace {
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "sim-lint: cannot locate the workspace root (no Cargo.toml with a crates/ \
+                 directory above the current directory); pass --root PATH"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match sim_lint::lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                println!("{}", sim_lint::to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    eprintln!("sim-lint: workspace clean");
+                } else {
+                    eprintln!("sim-lint: {} violation(s)", diags.len());
+                }
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("sim-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first directory holding both
+/// a `Cargo.toml` and a `crates/` directory.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: sim-lint --workspace [--json] [--offline] [--root PATH]\n\
+         \n\
+         Statically enforces the simulator's correctness contracts:\n\
+         no-panic-hot-path, checker-parity, metric-registry,\n\
+         forbid-wallclock-and-unsafe. Exit 0 = clean, 1 = violations, 2 = error."
+    );
+}

@@ -1,0 +1,37 @@
+//! The lint passes. Each pass walks the lexed workspace and appends
+//! [`Diagnostic`]s; suppression is applied afterwards by the driver.
+
+pub mod metrics;
+pub mod no_panic;
+pub mod parity;
+pub mod wallclock;
+
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// A lint pass.
+pub trait Pass {
+    /// Lint name used in diagnostics and `allow(...)` pragmas.
+    fn name(&self) -> &'static str;
+    /// Runs the pass over the whole workspace.
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// All shipped passes, in reporting order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(no_panic::NoPanicHotPath),
+        Box::new(parity::CheckerParity),
+        Box::new(metrics::MetricRegistry),
+        Box::new(wallclock::ForbidWallclockAndUnsafe),
+    ]
+}
+
+/// Names of every lint a pragma may reference (the `pragma` meta lint is
+/// always on and cannot be suppressed).
+pub const LINT_NAMES: &[&str] = &[
+    "no-panic-hot-path",
+    "checker-parity",
+    "metric-registry",
+    "forbid-wallclock-and-unsafe",
+];

@@ -1,0 +1,157 @@
+//! `no-panic-hot-path`: forbid panicking constructs in non-test code of the
+//! simulator hot-path crates.
+//!
+//! Flagged: `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`, and the `assert!` / `assert_eq!` / `assert_ne!` macros
+//! (indexing-style runtime asserts). `debug_assert*` is allowed — it
+//! compiles out of release builds, so it cannot take a production run down.
+//! The fix is a typed `SimError` / `Result` path; a pragma with a reason is
+//! acceptable only for provably-infallible sites.
+
+use crate::diag::Diagnostic;
+use crate::passes::Pass;
+use crate::workspace::Workspace;
+
+/// Crates whose non-test code must not panic.
+pub const HOT_CRATES: &[&str] = &["dram-sim", "cache-sim", "cpu-sim", "mem-model", "core"];
+
+const LINT: &str = "no-panic-hot-path";
+
+/// Pass implementation.
+pub struct NoPanicHotPath;
+
+impl Pass for NoPanicHotPath {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !HOT_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            for (i, tok) in file.code_tokens() {
+                if !matches!(tok.kind, crate::lexer::TokKind::Ident) {
+                    continue;
+                }
+                let prev_dot = i > 0 && file.tokens[i - 1].is_punct('.');
+                let next_bang = file
+                    .tokens
+                    .get(i + 1)
+                    .map(|t| t.is_punct('!'))
+                    .unwrap_or(false);
+                let next_paren = file
+                    .tokens
+                    .get(i + 1)
+                    .map(|t| t.is_punct('('))
+                    .unwrap_or(false);
+                let flagged = match tok.text.as_str() {
+                    "unwrap" | "expect" => prev_dot && next_paren,
+                    "panic" | "unreachable" | "todo" | "unimplemented" => {
+                        // `panic!(...)` — but not `std::panic::catch_unwind`.
+                        next_bang
+                    }
+                    "assert" | "assert_eq" | "assert_ne" => next_bang,
+                    _ => false,
+                };
+                if flagged {
+                    let display = match tok.text.as_str() {
+                        "unwrap" | "expect" => format!(".{}(...)", tok.text),
+                        t => format!("{t}!(...)"),
+                    };
+                    out.push(Diagnostic::new(
+                        LINT,
+                        &file.rel_path,
+                        tok.line,
+                        format!(
+                            "`{display}` in simulator hot path — return a typed \
+                             `SimError`/`Result` instead, or pragma-annotate a \
+                             provably-infallible site with a reason"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::workspace::Workspace;
+
+    fn ws_one(crate_name: &str, rel: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::parse(crate_name, rel, src, false)],
+            manifest: None,
+            manifest_path: "docs/metrics.md".to_string(),
+        }
+    }
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        NoPanicHotPath.run(ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_unreachable_assert() {
+        let ws = ws_one(
+            "dram-sim",
+            "crates/dram-sim/src/x.rs",
+            "fn f() {\n    a.unwrap();\n    b.expect(\"m\");\n    panic!(\"x\");\n    \
+             unreachable!();\n    assert!(x > 0);\n    assert_eq!(a, b);\n}\n",
+        );
+        let d = run(&ws);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[0].line, 2);
+        assert!(d.iter().all(|d| d.lint == "no-panic-hot-path"));
+    }
+
+    #[test]
+    fn ignores_non_hot_crates_and_test_code() {
+        let ws = ws_one(
+            "sim-obs",
+            "crates/sim-obs/src/x.rs",
+            "fn f() { a.unwrap(); }",
+        );
+        assert!(run(&ws).is_empty());
+        let ws = ws_one(
+            "dram-sim",
+            "crates/dram-sim/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n",
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_or_else_and_expect_err() {
+        let ws = ws_one(
+            "dram-sim",
+            "crates/dram-sim/src/x.rs",
+            "fn f() { a.unwrap_or_else(|| 0); b.unwrap_or(1); c.expect_err(\"m\"); }",
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn ignores_debug_assert_and_catch_unwind() {
+        let ws = ws_one(
+            "dram-sim",
+            "crates/dram-sim/src/x.rs",
+            "fn f() { debug_assert!(x); debug_assert_eq!(a, b); std::panic::catch_unwind(g); }",
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn ignores_panic_in_strings_and_comments() {
+        let ws = ws_one(
+            "dram-sim",
+            "crates/dram-sim/src/x.rs",
+            "// panic!(\"no\") and .unwrap()\nfn f() { let s = \"panic!\"; let r = r#\"a.unwrap()\"#; }",
+        );
+        assert!(run(&ws).is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Workspace discovery: finds every `.rs` source file in the repository and
+//! loads the `docs/metrics.md` manifest.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// Metric kinds a manifest entry may declare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Value distribution.
+    Histogram,
+    /// Trace-event kind tag (uppercase).
+    TraceEvent,
+}
+
+impl MetricKind {
+    /// Parses a manifest kind cell (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            "trace-event" => Some(MetricKind::TraceEvent),
+            _ => None,
+        }
+    }
+
+    /// Human name matching the manifest spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::TraceEvent => "trace-event",
+        }
+    }
+}
+
+/// One row of the `docs/metrics.md` manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Metric or trace-event name.
+    pub name: String,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// `true` when the name is built at runtime (`format!`), so no string
+    /// literal in code will match it.
+    pub dynamic: bool,
+    /// 1-based line in the manifest file.
+    pub line: u32,
+}
+
+/// Parsed `docs/metrics.md`.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// All declared entries, in file order.
+    pub entries: Vec<ManifestEntry>,
+    /// Rows that looked like entries but could not be parsed.
+    pub errors: Vec<(u32, String)>,
+}
+
+impl Manifest {
+    /// Parses manifest markdown. Recognized rows are table rows whose first
+    /// cell is a backticked name and whose second cell names a kind,
+    /// optionally suffixed `(dynamic)`.
+    pub fn parse(text: &str) -> Self {
+        let mut m = Manifest::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let trimmed = raw.trim();
+            if !trimmed.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = trimmed
+                .trim_matches('|')
+                .split('|')
+                .map(str::trim)
+                .collect();
+            if cells.len() < 2 {
+                continue;
+            }
+            let first = cells[0];
+            // Header / separator rows have no backticked first cell.
+            if !(first.starts_with('`') && first.ends_with('`') && first.len() > 2) {
+                continue;
+            }
+            let name = first.trim_matches('`').to_string();
+            let kind_cell = cells[1];
+            let dynamic = kind_cell.contains("(dynamic)");
+            let kind_word = kind_cell.replace("(dynamic)", "");
+            match MetricKind::parse(kind_word.trim()) {
+                Some(kind) => m.entries.push(ManifestEntry {
+                    name,
+                    kind,
+                    dynamic,
+                    line,
+                }),
+                None => m.errors.push((
+                    line,
+                    format!(
+                        "manifest row for `{}` has unknown kind `{}` (expected counter, \
+                         gauge, histogram or trace-event)",
+                        name, kind_cell
+                    ),
+                )),
+            }
+        }
+        m
+    }
+
+    /// Looks up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Everything the lint passes need: lexed sources plus the metric manifest.
+pub struct Workspace {
+    /// All lexed source files, in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+    /// Parsed `docs/metrics.md`, if present.
+    pub manifest: Option<Manifest>,
+    /// Workspace-relative manifest path (for diagnostics).
+    pub manifest_path: String,
+}
+
+/// Loads every crate's `src/**/*.rs` (plus the root package's `src/`) and
+/// the metrics manifest from `root`.
+pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
+    let mut files = Vec::new();
+    load_src_dir(&root.join("src"), root, "pra-repro", &mut files)?;
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        let rd = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+        for entry in rd {
+            let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+            if entry.path().is_dir() {
+                crate_dirs.push(entry.path());
+            }
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unknown")
+            .to_string();
+        load_src_dir(&dir.join("src"), root, &crate_name, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+    let manifest_path = "docs/metrics.md".to_string();
+    let manifest = match fs::read_to_string(root.join(&manifest_path)) {
+        Ok(text) => Some(Manifest::parse(&text)),
+        Err(_) => None,
+    };
+    Ok(Workspace {
+        files,
+        manifest,
+        manifest_path,
+    })
+}
+
+fn load_src_dir(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let rd = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            load_src_dir(&path, root, crate_name, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_else(|_| path.to_string_lossy().into_owned());
+            out.push(SourceFile::parse(crate_name, &rel, &text, false));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parses_rows_and_dynamic_marker() {
+        let m = Manifest::parse(
+            "| Name | Kind | Meaning |\n\
+             | --- | --- | --- |\n\
+             | `dram.cycles` | counter | ticks |\n\
+             | `dram.read_latency` | histogram | latency |\n\
+             | `fault.injected` | counter (dynamic) | built with format! |\n\
+             | `ACT` | trace-event | activate |\n",
+        );
+        assert_eq!(m.entries.len(), 4);
+        assert!(m.errors.is_empty());
+        assert_eq!(m.get("dram.cycles").unwrap().kind, MetricKind::Counter);
+        assert!(m.get("fault.injected").unwrap().dynamic);
+        assert_eq!(m.get("ACT").unwrap().kind, MetricKind::TraceEvent);
+    }
+
+    #[test]
+    fn manifest_flags_unknown_kind() {
+        let m = Manifest::parse("| `x.y` | timer | huh |\n");
+        assert!(m.entries.is_empty());
+        assert_eq!(m.errors.len(), 1);
+    }
+
+    #[test]
+    fn separator_and_header_rows_are_skipped() {
+        let m = Manifest::parse("| Name | Kind |\n|---|---|\n");
+        assert!(m.entries.is_empty());
+        assert!(m.errors.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-pass fixtures: each lint must flag a deliberately seeded violation
+//! and honour an inline `// sim-lint: allow(...)` pragma on the same site.
+//! This is the regression gate for the analyzer itself — if a pass stops
+//! firing, these tests fail before the workspace quietly rots.
+
+use sim_lint::source::SourceFile;
+use sim_lint::workspace::{Manifest, Workspace};
+
+/// Builds a synthetic workspace from `(crate_name, rel_path, source)`.
+fn ws(files: Vec<(&str, &str, &str)>) -> Workspace {
+    Workspace {
+        files: files
+            .into_iter()
+            .map(|(c, p, s)| SourceFile::parse(c, p, s, false))
+            .collect(),
+        manifest: None,
+        manifest_path: "docs/metrics.md".to_string(),
+    }
+}
+
+fn lints_named<'a>(diags: &'a [sim_lint::Diagnostic], lint: &str) -> Vec<&'a sim_lint::Diagnostic> {
+    diags.iter().filter(|d| d.lint == lint).collect()
+}
+
+// ---------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_flags_seeded_unwrap() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "no-panic-hot-path");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 1);
+}
+
+#[test]
+fn no_panic_pragma_suppresses_seeded_unwrap() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "// sim-lint: allow(no-panic-hot-path): fixture — provably Some\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "no-panic-hot-path").is_empty(),
+        "{diags:?}"
+    );
+    assert!(lints_named(&diags, "pragma").is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------------- checker-parity
+
+const SEEDED_TIMING: &str = "pub struct TimingParams {\n    pub tzap: u64,\n}\n";
+
+fn parity_files(timing: &'static str) -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("dram-sim", "crates/dram-sim/src/timing.rs", timing),
+        (
+            "dram-sim",
+            "crates/dram-sim/src/channel.rs",
+            "pub fn fence(t: &TimingParams) -> u64 { t.tzap }\n",
+        ),
+        (
+            "dram-sim",
+            "crates/dram-sim/src/checker.rs",
+            "pub fn observe() {}\n",
+        ),
+    ]
+}
+
+#[test]
+fn parity_flags_scheduler_only_field() {
+    let diags = sim_lint::lint_sources(&ws(parity_files(SEEDED_TIMING)));
+    let hits = lints_named(&diags, "checker-parity");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert!(hits[0].message.contains("tzap"), "{}", hits[0].message);
+    assert!(
+        hits[0]
+            .message
+            .contains("never verified by the protocol checker"),
+        "{}",
+        hits[0].message
+    );
+    assert_eq!(hits[0].file, "crates/dram-sim/src/timing.rs");
+}
+
+#[test]
+fn parity_pragma_on_field_line_suppresses() {
+    let timing = "pub struct TimingParams {\n\
+         // sim-lint: allow(checker-parity): fixture — pin-side timing\n\
+         pub tzap: u64,\n\
+         }\n";
+    let diags = sim_lint::lint_sources(&ws(parity_files(timing)));
+    assert!(
+        lints_named(&diags, "checker-parity").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------- metric-registry
+
+#[test]
+fn metrics_flags_undeclared_name_and_unused_entry() {
+    let mut w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/stats.rs",
+        "pub fn publish(reg: &mut R) { reg.counter(\"dram.seeded_metric\"); }\n",
+    )]);
+    w.manifest = Some(Manifest::parse(
+        "| `dram.declared_but_never_emitted` | counter | fixture |\n",
+    ));
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "metric-registry");
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("dram.seeded_metric") && d.file.ends_with("stats.rs")));
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("dram.declared_but_never_emitted")
+            && d.file == "docs/metrics.md"));
+}
+
+#[test]
+fn metrics_flags_bad_naming_convention() {
+    let mut w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/stats.rs",
+        "pub fn publish(reg: &mut R) { reg.counter(\"BadName\"); }\n",
+    )]);
+    w.manifest = Some(Manifest::default());
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "metric-registry");
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("convention") && d.message.contains("BadName")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn metrics_pragma_suppresses_undeclared_name() {
+    let mut w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/stats.rs",
+        "pub fn publish(reg: &mut R) {\n\
+         // sim-lint: allow(metric-registry): fixture — experimental metric\n\
+         reg.counter(\"dram.seeded_metric\");\n\
+         }\n",
+    )]);
+    w.manifest = Some(Manifest::default());
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "metric-registry").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------- forbid-wallclock-and-unsafe
+
+#[test]
+fn wallclock_flags_instant_and_missing_forbid() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "forbid-wallclock-and-unsafe");
+    assert!(
+        hits.iter().any(|d| d.message.contains("`Instant`")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("#![forbid(unsafe_code)]") && d.line == 1),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_exempts_bench_crate_but_not_unsafe() {
+    let w = ws(vec![(
+        "bench",
+        "crates/bench/src/timing.rs",
+        "pub fn t() { let _ = Instant::now(); unsafe { core::hint::unreachable_unchecked() } }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "forbid-wallclock-and-unsafe");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert!(hits[0].message.contains("unsafe"), "{}", hits[0].message);
+}
+
+#[test]
+fn wallclock_pragma_suppresses_seeded_instant() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/clock.rs",
+        "// sim-lint: allow(forbid-wallclock-and-unsafe): fixture — host-time probe\n\
+         pub fn now() -> Instant { Instant::now() }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "forbid-wallclock-and-unsafe").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ------------------------------------------------------------------ pragma
+
+#[test]
+fn pragma_without_reason_is_rejected_and_does_not_suppress() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "// sim-lint: allow(no-panic-hot-path)\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        !lints_named(&diags, "pragma").is_empty(),
+        "reasonless pragma must be reported: {diags:?}"
+    );
+    assert!(
+        !lints_named(&diags, "no-panic-hot-path").is_empty(),
+        "reasonless pragma must not suppress: {diags:?}"
+    );
+}

@@ -1,0 +1,25 @@
+//! The lint gate as a test: the real workspace must be clean. This is what
+//! makes `cargo test` fail on a new violation even when nobody runs the
+//! `sim-lint` binary directly.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/sim-lint sits two levels below the workspace root")
+        .to_path_buf();
+    let diags = sim_lint::lint_workspace(&root).expect("workspace loads");
+    assert!(
+        diags.is_empty(),
+        "sim-lint found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
