@@ -8,18 +8,50 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use std::path::{Path, PathBuf};
+
 use dram_sim::PagePolicy;
 use pra_core::{Report, Scheme, SimBuilder, SimError};
 use sim_fault::FaultPlan;
+use sim_harness::{load_journal, run_campaign, Campaign, CampaignOptions, RunStatus};
 use workloads::BenchProfile;
+
+/// Failure category, mapped one-to-one onto the process exit code so
+/// scripts can branch on *why* `pra` failed without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad options, unknown names, unreadable inputs — exit 2.
+    Config,
+    /// A protocol or liveness violation stopped a simulation — exit 3.
+    Liveness,
+    /// A campaign ran to completion but journaled failed, hung or
+    /// nondeterministic runs — exit 4.
+    CampaignFailures,
+}
+
+impl ErrorKind {
+    /// The process exit code for this category.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorKind::Config => 2,
+            ErrorKind::Liveness => 3,
+            ErrorKind::CampaignFailures => 4,
+        }
+    }
+}
 
 /// Errors surfaced to the user with a non-zero exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// The user-facing message.
+    pub message: String,
+    /// Which exit code the process should use.
+    pub kind: ErrorKind,
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -27,12 +59,22 @@ impl std::error::Error for CliError {}
 
 impl From<SimError> for CliError {
     fn from(e: SimError) -> Self {
-        CliError(e.to_string())
+        let kind = match &e {
+            SimError::Protocol(_) | SimError::Liveness(_) => ErrorKind::Liveness,
+            _ => ErrorKind::Config,
+        };
+        CliError {
+            message: e.to_string(),
+            kind,
+        }
     }
 }
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        message: msg.into(),
+        kind: ErrorKind::Config,
+    }
 }
 
 /// Flags that take no value; `--flag` alone sets them.
@@ -193,6 +235,11 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
             .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
         let plan = FaultPlan::from_toml_str(&text).map_err(|e| err(format!("{path}: {e}")))?;
         builder = builder.faults(plan);
+    }
+    let no_retire = opts.get_u64("watchdog-no-retire", 0)?;
+    let queue_age = opts.get_u64("watchdog-queue-age", 0)?;
+    if no_retire > 0 || queue_age > 0 {
+        builder = builder.liveness_watchdog(no_retire, queue_age);
     }
     Ok((name, builder))
 }
@@ -468,6 +515,93 @@ fn render_summary(label: &str, s: &workloads::analysis::StreamSummary) -> String
     out
 }
 
+fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> String {
+    let mut out = String::new();
+    let count = |status: RunStatus| loaded.records.iter().filter(|r| r.status == status).count();
+    let _ = writeln!(
+        out,
+        "{journal}: {} journaled runs ({} ok, {} failed, {} hung)",
+        loaded.records.len(),
+        count(RunStatus::Ok),
+        count(RunStatus::Failed),
+        count(RunStatus::Hung),
+    );
+    if loaded.dropped_lines > 0 {
+        let _ = writeln!(
+            out,
+            "{} malformed line(s) dropped (their runs will re-execute on resume)",
+            loaded.dropped_lines
+        );
+    }
+    for r in &loaded.records {
+        if r.status != RunStatus::Ok {
+            let _ = writeln!(
+                out,
+                "[{}] {}/{} seed {} (config {:016x}): {}\n  repro: {}",
+                r.status, r.scheme, r.workload, r.seed, r.config_digest, r.detail, r.repro
+            );
+        }
+    }
+    out
+}
+
+/// `pra campaign <run|resume|report>`: batch experiment campaigns over a
+/// scheme × workload × seed matrix, with a JSONL journal for resumability.
+///
+/// `run` executes a matrix file, `resume` continues an interrupted journal
+/// (skipping completed runs), `report` summarises a journal without
+/// running anything. A campaign that completes but journaled failures
+/// returns its summary as a [`ErrorKind::CampaignFailures`] error (exit 4).
+///
+/// # Errors
+///
+/// Option/matrix/journal problems as [`ErrorKind::Config`]; journaled run
+/// failures as [`ErrorKind::CampaignFailures`].
+pub fn cmd_campaign(opts: &Options) -> Result<String, CliError> {
+    match opts.positional.first().map(String::as_str) {
+        Some(verb @ ("run" | "resume")) => {
+            let matrix = opts
+                .get("matrix")
+                .ok_or_else(|| err(format!("campaign {verb} needs --matrix <file>")))?;
+            let text = std::fs::read_to_string(matrix)
+                .map_err(|e| err(format!("cannot read campaign matrix {matrix}: {e}")))?;
+            let campaign =
+                Campaign::from_toml_str(&text).map_err(|e| err(format!("{matrix}: {e}")))?;
+            let journal = opts
+                .get("journal")
+                .ok_or_else(|| err(format!("campaign {verb} needs --journal <file>")))?;
+            let options = CampaignOptions {
+                jobs: opts.get_u64("jobs", 0)? as usize,
+                journal: PathBuf::from(journal),
+                resume: verb == "resume",
+            };
+            let summary = run_campaign(&campaign, &options).map_err(|e| err(e.to_string()))?;
+            let rendered = format!("{}\n", summary.render());
+            if summary.has_failures() {
+                // The campaign itself completed: the summary goes to
+                // stdout, the exit code says "with failures".
+                Err(CliError {
+                    message: rendered,
+                    kind: ErrorKind::CampaignFailures,
+                })
+            } else {
+                Ok(rendered)
+            }
+        }
+        Some("report") => {
+            let journal = opts
+                .get("journal")
+                .ok_or_else(|| err("campaign report needs --journal <file>"))?;
+            let loaded = load_journal(Path::new(journal))
+                .map_err(|e| err(format!("cannot read journal {journal}: {e}")))?;
+            Ok(render_journal_report(journal, &loaded))
+        }
+        other => Err(err(format!(
+            "campaign needs a subcommand (run | resume | report), got {other:?}"
+        ))),
+    }
+}
+
 /// `pra analyze`: emergent characteristics of a workload's stream.
 ///
 /// # Errors
@@ -489,9 +623,18 @@ pub fn usage() -> String {
      \x20 pra run     [--workload NAME] [--scheme S] [--policy P] [--cores N]\n\
      \x20             [--instructions N] [--seed N] [--warmup N]\n\
      \x20             [--faults PLAN.toml] [--verify-determinism]\n\
+     \x20             [--watchdog-no-retire N] [--watchdog-queue-age N]\n\
      \x20             inject deterministic faults / run twice and compare digests\n\
+     \x20             / stop livelocked runs after N quiet memory cycles\n\
      \x20 pra compare [same options]         compare all schemes on one workload\n\
      \x20 pra list                           available workloads/schemes/policies\n\
+     \x20 pra campaign run    --matrix M.toml --journal J.jsonl [--jobs N]\n\
+     \x20 pra campaign resume --matrix M.toml --journal J.jsonl [--jobs N]\n\
+     \x20 pra campaign report --journal J.jsonl\n\
+     \x20                run a batch campaign on a worker pool; every run is\n\
+     \x20                journaled, panics are isolated, resume skips done runs\n\
+     \x20                exit codes: 0 ok, 2 config, 3 protocol/liveness,\n\
+     \x20                4 campaign finished with failures\n\
      \x20 pra trace run  [run options] --trace-out FILE\n\
      \x20                [--metrics-epoch N] [--metrics-out FILE]\n\
      \x20                run with JSONL event tracing / epoch metric snapshots\n\
@@ -515,6 +658,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, CliError> {
         "compare" => cmd_compare(&opts),
         "list" => Ok(cmd_list()),
         "trace" => cmd_trace(&opts),
+        "campaign" => cmd_campaign(&opts),
         "analyze" => cmd_analyze(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
@@ -659,10 +803,11 @@ mod tests {
         let path = plan.to_str().ok_or("non-utf8 temp path")?;
         let opts = Options::parse(["--faults", path].map(String::from))?;
         let e = cmd_run(&opts).expect_err("out-of-range rate must be rejected");
-        assert!(e.0.contains("invalid fault plan"), "{e}");
+        assert!(e.message.contains("invalid fault plan"), "{e}");
+        assert_eq!(e.kind.exit_code(), 2);
         let missing = Options::parse(["--faults", "/no/such/plan.toml"].map(String::from))?;
         let e = cmd_run(&missing).expect_err("missing plan file must be rejected");
-        assert!(e.0.contains("cannot read fault plan"), "{e}");
+        assert!(e.message.contains("cannot read fault plan"), "{e}");
         std::fs::remove_file(plan).ok();
         Ok(())
     }
@@ -740,8 +885,84 @@ mod tests {
     #[test]
     fn dispatch_unknown_command_errors() -> TestResult {
         let e = dispatch(vec!["frobnicate".into()]).expect_err("unknown command must error");
-        assert!(e.0.contains("unknown command"));
+        assert!(e.message.contains("unknown command"));
+        assert_eq!(e.kind, ErrorKind::Config);
         assert!(dispatch(vec![])?.contains("usage"));
+        Ok(())
+    }
+
+    #[test]
+    fn tight_watchdog_maps_to_the_liveness_exit_code() -> TestResult {
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--cores",
+                "1",
+                "--instructions",
+                "2000",
+                "--watchdog-no-retire",
+                "20",
+            ]
+            .map(String::from),
+        )?;
+        let e = cmd_run(&opts).expect_err("a 20-cycle bound must trip");
+        assert_eq!(e.kind, ErrorKind::Liveness);
+        assert_eq!(e.kind.exit_code(), 3);
+        assert!(e.message.contains("liveness violation"), "{e}");
+        Ok(())
+    }
+
+    #[test]
+    fn campaign_run_report_and_failure_exit_code() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let matrix = dir.join("campaign.toml");
+        std::fs::write(
+            &matrix,
+            "[campaign]\nschemes = [\"baseline\"]\nworkloads = [\"GUPS\"]\nseeds = [1, 2]\n\
+             instructions = 300\nwarmup = 1000\ninclude_hang_fixture = true\n",
+        )?;
+        let journal = dir.join("campaign.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let args = |verb: &str| {
+            Options::parse(
+                [
+                    verb,
+                    "--matrix",
+                    matrix.to_str().unwrap(),
+                    "--journal",
+                    journal.to_str().unwrap(),
+                    "--jobs",
+                    "2",
+                ]
+                .map(String::from),
+            )
+        };
+        // The hang fixture makes the campaign "complete with failures".
+        let e = cmd_campaign(&args("run")?).expect_err("hang fixture must surface as exit 4");
+        assert_eq!(e.kind, ErrorKind::CampaignFailures);
+        assert_eq!(e.kind.exit_code(), 4);
+        assert!(e.message.contains("3 runs"), "{e}");
+        assert!(e.message.contains("1 hung"), "{e}");
+        assert!(e.message.contains("repro:"), "{e}");
+        // Resume skips everything journaled — including the hung run — so
+        // it exits clean.
+        let out = cmd_campaign(&args("resume")?)?;
+        assert!(out.contains("3 skipped"), "{out}");
+        // Report reads the journal without running anything.
+        let report = cmd_campaign(&Options::parse(
+            ["report", "--journal", journal.to_str().unwrap()].map(String::from),
+        )?)?;
+        assert!(report.contains("3 journaled runs"), "{report}");
+        assert!(report.contains("1 hung"), "{report}");
+        assert!(report.contains("repro:"), "{report}");
+        // Resume without a journal is a plain config error.
+        let _ = std::fs::remove_file(&journal);
+        let e = cmd_campaign(&args("resume")?).expect_err("resume needs a journal");
+        assert_eq!(e.kind, ErrorKind::Config);
+        assert!(e.message.contains("cannot resume"), "{e}");
+        std::fs::remove_file(matrix).ok();
         Ok(())
     }
 

@@ -6,8 +6,14 @@ fn main() {
     match pra_cli::dispatch(args) {
         Ok(output) => print!("{output}"),
         Err(error) => {
-            eprintln!("error: {error}");
-            std::process::exit(1);
+            if error.kind == pra_cli::ErrorKind::CampaignFailures {
+                // The campaign itself completed; its summary is the normal
+                // output. Only the exit code marks the journaled failures.
+                print!("{error}");
+            } else {
+                eprintln!("error: {error}");
+            }
+            std::process::exit(error.kind.exit_code());
         }
     }
 }

@@ -29,6 +29,13 @@ pub enum SimError {
         /// Digest of the second run.
         second: u64,
     },
+    /// The protocol checker rejected a command mid-run — always a simulator
+    /// bug, never a workload property.
+    Protocol(dram_sim::ProtocolError),
+    /// A liveness watchdog tripped: the memory system stopped retiring
+    /// requests, or starved one queued request past its bound. Carries the
+    /// victim's address/bank trail.
+    Liveness(dram_sim::LivenessError),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +53,8 @@ impl fmt::Display for SimError {
                 f,
                 "nondeterminism detected: run digests {first:016x} and {second:016x} differ"
             ),
+            SimError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            SimError::Liveness(e) => write!(f, "liveness violation: {e}"),
         }
     }
 }
@@ -56,6 +65,8 @@ impl std::error::Error for SimError {
             SimError::Config(e) => Some(e),
             SimError::FaultPlan(e) => Some(e),
             SimError::Io { source, .. } => Some(source),
+            SimError::Protocol(e) => Some(e),
+            SimError::Liveness(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +81,15 @@ impl From<dram_sim::ConfigError> for SimError {
 impl From<sim_fault::PlanError> for SimError {
     fn from(e: sim_fault::PlanError) -> Self {
         SimError::FaultPlan(e)
+    }
+}
+
+impl From<dram_sim::TickError> for SimError {
+    fn from(e: dram_sim::TickError) -> Self {
+        match e {
+            dram_sim::TickError::Protocol(p) => SimError::Protocol(p),
+            dram_sim::TickError::Liveness(l) => SimError::Liveness(l),
+        }
     }
 }
 

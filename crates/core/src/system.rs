@@ -83,6 +83,8 @@ pub struct SimBuilder {
     metrics_out: Option<PathBuf>,
     metrics_epoch: u64,
     faults: Option<FaultPlan>,
+    liveness: dram_sim::LivenessConfig,
+    escalation_age: Option<u64>,
 }
 
 impl SimBuilder {
@@ -106,6 +108,8 @@ impl SimBuilder {
             metrics_out: None,
             metrics_epoch: 0,
             faults: None,
+            liveness: dram_sim::LivenessConfig::disabled(),
+            escalation_age: None,
         }
     }
 
@@ -262,6 +266,29 @@ impl SimBuilder {
         self
     }
 
+    /// Arms the DRAM liveness watchdogs (both in memory cycles, 0 disables
+    /// each): `max_no_retire` bounds how long the memory system may tick
+    /// without retiring any request while work is pending;
+    /// `max_queue_age` bounds how long any single request may sit queued.
+    /// A trip surfaces as [`SimError::Liveness`] from
+    /// [`SimBuilder::try_run`], carrying the victim's address/bank trail.
+    pub fn liveness_watchdog(mut self, max_no_retire: u64, max_queue_age: u64) -> Self {
+        self.liveness = dram_sim::LivenessConfig {
+            max_no_retire_cycles: max_no_retire,
+            max_queue_age_cycles: max_queue_age,
+        };
+        self
+    }
+
+    /// Overrides the FR-FCFS starvation-escalation age (memory cycles a
+    /// request may wait before the scheduler stops taking row hits over it;
+    /// 0 disables escalation). Defaults to
+    /// [`dram_sim::DEFAULT_ESCALATION_AGE`].
+    pub fn starvation_escalation_age(mut self, cycles: u64) -> Self {
+        self.escalation_age = Some(cycles);
+        self
+    }
+
     /// Builds the system and runs it to completion.
     ///
     /// # Panics
@@ -325,6 +352,10 @@ impl SimBuilder {
             DramGeneration::Ddr4 => DramConfig::ddr4_2400(self.policy, behavior),
         };
         dram_config.power.ecc_x72 = self.ecc_x72;
+        dram_config.liveness = self.liveness;
+        if let Some(age) = self.escalation_age {
+            dram_config.starvation_escalation_age = age;
+        }
         let mut hierarchy = CacheHierarchy::with_dram_view(
             hierarchy_config,
             dram_config.geometry,
@@ -423,7 +454,7 @@ impl SimBuilder {
         } else {
             self.instructions.saturating_mul(2000).max(10_000_000)
         };
-        let outcome = system.run(cap);
+        let outcome = system.try_run(cap)?;
 
         let workload = self.name.clone().unwrap_or_else(|| {
             self.apps
@@ -705,6 +736,26 @@ mod tests {
         assert_eq!(delta_sum, r.dram.activations);
         let _ = std::fs::remove_file(&trace);
         let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn liveness_watchdog_surfaces_as_sim_error() {
+        // A 20-cycle no-retire bound is tighter than a single read's
+        // latency, so any memory-bound run must trip it.
+        let err = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Baseline)
+            .instructions(5_000)
+            .warmup_mem_ops(10_000)
+            .liveness_watchdog(20, 0)
+            .try_run()
+            .unwrap_err();
+        match err {
+            SimError::Liveness(e) => {
+                assert!(e.to_string().contains("no request retired"), "{e}");
+            }
+            other => panic!("expected SimError::Liveness, got {other}"),
+        }
     }
 
     #[test]

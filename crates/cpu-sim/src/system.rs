@@ -154,18 +154,37 @@ impl CpuSystem {
     /// Runs until every core retires its instruction target (or
     /// `max_cpu_cycles` elapse), then lets DRAM drain. Returns per-core
     /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a DRAM protocol or liveness violation; use
+    /// [`Self::try_run`] to observe it as an error instead.
     pub fn run(&mut self, max_cpu_cycles: u64) -> RunOutcome {
+        self.try_run(max_cpu_cycles)
+            // sim-lint: allow(no-panic-hot-path): documented panicking facade; try_run is the fallible API
+            .unwrap_or_else(|e| panic!("DRAM {e}"))
+    }
+
+    /// Fallible variant of [`Self::run`]: a protocol-checker rejection or a
+    /// tripped liveness watchdog surfaces as a [`dram_sim::TickError`]
+    /// instead of a panic (the campaign harness classifies the latter as a
+    /// hung run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`dram_sim::TickError`] the memory system raises.
+    pub fn try_run(&mut self, max_cpu_cycles: u64) -> Result<RunOutcome, dram_sim::TickError> {
         let mut timed_out = false;
         while self.cores.iter().any(|c| !c.finished()) {
             if self.cpu_cycle >= max_cpu_cycles {
                 timed_out = true;
                 break;
             }
-            self.tick_cpu_cycle();
+            self.try_tick_cpu_cycle()?;
         }
         // Drain outstanding DRAM work so energy accounting closes out.
         let spare = max_cpu_cycles.saturating_sub(self.cpu_cycle) / self.config.cpu_per_mem_clock;
-        self.mem.run_until_idle(spare.max(100_000));
+        self.mem.try_run_until_idle(spare.max(100_000))?;
         self.finalize_observability();
         let per_core = self
             .cores
@@ -175,15 +194,32 @@ impl CpuSystem {
                 cycles: c.finished_at.unwrap_or(self.cpu_cycle).max(1),
             })
             .collect();
-        RunOutcome {
+        Ok(RunOutcome {
             per_core,
             cpu_cycles: self.cpu_cycle,
             timed_out,
-        }
+        })
     }
 
     /// Advances one CPU cycle (and the DRAM clock on its divisor).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a DRAM protocol or liveness violation.
+    #[cfg(test)]
     pub(crate) fn tick_cpu_cycle(&mut self) {
+        self.try_tick_cpu_cycle()
+            // sim-lint: allow(no-panic-hot-path): documented panicking facade; try_tick_cpu_cycle is the fallible API
+            .unwrap_or_else(|e| panic!("DRAM {e}"))
+    }
+
+    /// Advances one CPU cycle (and the DRAM clock on its divisor).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`dram_sim::TickError`] raised by the memory system's
+    /// protocol checker or liveness watchdogs, if any.
+    pub(crate) fn try_tick_cpu_cycle(&mut self) -> Result<(), dram_sim::TickError> {
         self.hierarchy.set_now(self.cpu_cycle);
         let tracing = self.sink.tracing();
         for core_idx in 0..self.cores.len() {
@@ -203,13 +239,14 @@ impl CpuSystem {
                 // same snapshot as the DRAM counters.
                 self.publish_cpu_metrics();
             }
-            let completed: Vec<RequestId> = self.mem.tick().to_vec();
+            let completed: Vec<RequestId> = self.mem.try_tick()?.to_vec();
             for id in completed {
                 if let Some(core) = self.req_owner.remove(&id) {
                     self.cores[core].complete_request(id);
                 }
             }
         }
+        Ok(())
     }
 
     /// Classifies the cycle a core just executed: a stall cycle extends (or

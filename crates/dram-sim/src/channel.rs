@@ -8,6 +8,7 @@ use sim_obs::TraceEvent;
 
 use crate::checker::{DramCommand, ProtocolChecker, ProtocolError};
 use crate::config::{DramConfig, PagePolicy};
+use crate::liveness::RequestTrail;
 use crate::obs::DramObs;
 use crate::rank::{Rank, RefreshState};
 use crate::scheme::FULL_ROW_MATS;
@@ -93,6 +94,12 @@ pub(crate) struct Channel {
     bus: DataBus,
     next_col_allowed: u64,
     checker: Option<ProtocolChecker>,
+    /// Age-based starvation escalation: when the oldest queued request's
+    /// age exceeds `cfg.starvation_escalation_age`, the scheduler pins the
+    /// active queue to that request's queue and stops serving row-buffer
+    /// hits that keep its bank occupied until it retires. `(is_write,
+    /// location)` of the escalated entry; recomputed every cycle.
+    escalated: Option<(bool, Location)>,
 }
 
 impl Channel {
@@ -117,6 +124,7 @@ impl Channel {
             drain_mode: false,
             bus: DataBus::new(),
             next_col_allowed: 0,
+            escalated: None,
             checker: cfg.verify_protocol.then(|| {
                 ProtocolChecker::new(
                     cfg.timing,
@@ -262,6 +270,10 @@ impl Channel {
         } else if self.drain_mode && self.write_q.len() <= cfg.queues.write_low_watermark {
             self.drain_mode = false;
         }
+
+        // 2b. Age-based starvation escalation (recomputed every cycle so it
+        //     clears as soon as the starved request retires).
+        self.update_escalation(now, cfg);
 
         // 3. One command-bus slot per cycle, in priority order.
         let issued = self.refresh_commands(now, cfg, stats, energy, o)?
@@ -412,9 +424,67 @@ impl Channel {
         Ok(false)
     }
 
+    /// The oldest entry across both queues, if any. Queues are
+    /// order-preserving `Vec`s, so each queue's front is its oldest entry.
+    fn oldest_entry(&self) -> Option<(bool, &QueueEntry)> {
+        match (self.read_q.first(), self.write_q.first()) {
+            (Some(r), Some(w)) => {
+                if r.enqueued_at <= w.enqueued_at {
+                    Some((false, r))
+                } else {
+                    Some((true, w))
+                }
+            }
+            (Some(r), None) => Some((false, r)),
+            (None, Some(w)) => Some((true, w)),
+            (None, None) => None,
+        }
+    }
+
+    /// Address/bank trail of the oldest queued request, for liveness
+    /// diagnostics.
+    pub(crate) fn oldest_trail(&self, channel: u32) -> Option<RequestTrail> {
+        self.oldest_entry().map(|(is_write, e)| {
+            let open_row = self.ranks[e.loc.rank as usize].banks[e.loc.bank as usize]
+                .open
+                .map(|o| o.row);
+            RequestTrail {
+                channel,
+                rank: e.loc.rank,
+                bank: e.loc.bank,
+                row: e.loc.row,
+                addr: e.req.addr.raw(),
+                is_write,
+                enqueued_at: e.enqueued_at,
+                open_row,
+            }
+        })
+    }
+
+    /// Recomputes the escalation slot: the oldest queued request, when its
+    /// age exceeds the configured bound. Cleared automatically once the
+    /// request retires (it leaves its queue and a younger entry becomes the
+    /// oldest).
+    fn update_escalation(&mut self, now: u64, cfg: &DramConfig) {
+        self.escalated = None;
+        let bound = cfg.starvation_escalation_age;
+        if bound == 0 {
+            return;
+        }
+        if let Some((is_write, e)) = self.oldest_entry() {
+            if now.saturating_sub(e.enqueued_at) > bound {
+                self.escalated = Some((is_write, e.loc));
+            }
+        }
+    }
+
     /// Queue the scheduler currently serves: writes in drain mode or when no
-    /// reads wait; reads otherwise.
+    /// reads wait; reads otherwise. An escalated (starved) request overrides
+    /// both rules: its queue stays active until it retires.
     fn active_is_write(&self) -> bool {
+        if let Some((is_write, _)) = self.escalated {
+            return is_write;
+        }
         self.drain_mode || (self.read_q.is_empty() && !self.write_q.is_empty())
     }
 
@@ -504,6 +574,18 @@ impl Channel {
                 && self.conflict_waiting(&entry.loc, open.row, is_write)
             {
                 continue; // fairness cap: let the precharge path reclaim the bank
+            }
+            // Escalation: a starved request owns its bank — stop feeding it
+            // row hits (from either queue) so the precharge path can reclaim
+            // it. The row-hit cap alone cannot guarantee this because its
+            // conflict check only sees the active queue.
+            if let Some((_, starved)) = self.escalated {
+                if starved.rank == entry.loc.rank
+                    && starved.bank == entry.loc.bank
+                    && starved.row != open.row
+                {
+                    continue;
+                }
             }
             if now < bank.ready_for_column_at {
                 continue;

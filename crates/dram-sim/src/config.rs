@@ -5,6 +5,7 @@ use core::fmt;
 use dram_power::PowerParams;
 use mem_model::{AddressMapping, DramGeometry};
 
+use crate::liveness::LivenessConfig;
 use crate::scheme::SchemeBehavior;
 use crate::timing::{TimingError, TimingParams};
 
@@ -21,6 +22,8 @@ pub enum ConfigError {
     Queues(String),
     /// The row-hit cap would starve every row hit.
     RowHitCap,
+    /// Liveness watchdog bounds are mutually inconsistent.
+    Liveness(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -32,6 +35,7 @@ impl fmt::Display for ConfigError {
             ConfigError::RowHitCap => {
                 write!(f, "row hit cap must allow at least one access")
             }
+            ConfigError::Liveness(msg) => write!(f, "liveness: {msg}"),
         }
     }
 }
@@ -45,6 +49,12 @@ impl std::error::Error for ConfigError {}
 pub fn verify_protocol_default() -> bool {
     cfg!(debug_assertions) || std::env::var_os("PRA_VERIFY_PROTOCOL").is_some()
 }
+
+/// Default starvation-escalation age, in memory cycles. Orders of magnitude
+/// above the worst queue residency a full 64-entry queue produces under
+/// refresh and write-drain pressure, so only genuinely pathological streams
+/// engage escalation.
+pub const DEFAULT_ESCALATION_AGE: u64 = 20_000;
 
 /// Row-buffer management policy (Section 5.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -173,6 +183,18 @@ pub struct DramConfig {
     /// forcibly closed. 0 (default) reproduces the paper's strict
     /// refresh-on-schedule behaviour.
     pub refresh_postpone_max: u32,
+    /// Cycle-domain liveness watchdog bounds (both disabled by default).
+    /// See [`LivenessConfig`]; violations surface as
+    /// [`LivenessError`](crate::LivenessError) on the `try_tick` path.
+    pub liveness: LivenessConfig,
+    /// Age (in memory cycles) past which the oldest queued request is
+    /// escalated: the scheduler stops serving row-buffer hits that keep its
+    /// bank occupied and switches to its queue until it retires, so a
+    /// continuous hit stream cannot starve it indefinitely. 0 disables
+    /// escalation. The default (20 000 cycles) is far above any age a
+    /// healthy FR-FCFS schedule produces, so it only engages on
+    /// pathological streams.
+    pub starvation_escalation_age: u64,
 }
 
 impl DramConfig {
@@ -189,6 +211,8 @@ impl DramConfig {
             power: PowerParams::paper_table3(),
             verify_protocol: verify_protocol_default(),
             refresh_postpone_max: 0,
+            liveness: LivenessConfig::disabled(),
+            starvation_escalation_age: DEFAULT_ESCALATION_AGE,
         }
     }
 
@@ -208,6 +232,8 @@ impl DramConfig {
             power: PowerParams::ddr4_2400_estimate(),
             verify_protocol: verify_protocol_default(),
             refresh_postpone_max: 0,
+            liveness: LivenessConfig::disabled(),
+            starvation_escalation_age: DEFAULT_ESCALATION_AGE,
         }
     }
 
@@ -227,6 +253,16 @@ impl DramConfig {
         self.queues.validate()?;
         if self.row_hit_cap < 1 {
             return Err(ConfigError::RowHitCap);
+        }
+        if self.liveness.max_queue_age_cycles > 0
+            && self.starvation_escalation_age > 0
+            && self.liveness.max_queue_age_cycles <= self.starvation_escalation_age
+        {
+            return Err(ConfigError::Liveness(format!(
+                "starvation watchdog bound {} must exceed the escalation age {} \
+                 (otherwise the watchdog kills runs escalation would have rescued)",
+                self.liveness.max_queue_age_cycles, self.starvation_escalation_age
+            )));
         }
         Ok(())
     }
@@ -351,6 +387,21 @@ mod tests {
             ..DramConfig::default()
         };
         assert_eq!(cfg.validate().unwrap_err(), ConfigError::RowHitCap);
+    }
+
+    #[test]
+    fn validate_rejects_watchdog_bound_below_escalation_age() {
+        let mut cfg = DramConfig {
+            starvation_escalation_age: 500,
+            ..DramConfig::default()
+        };
+        cfg.liveness.max_queue_age_cycles = 400;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Liveness(_)));
+        assert!(err.to_string().contains("escalation age"), "{err}");
+        // Disabling escalation (or raising the bound) makes it valid again.
+        cfg.starvation_escalation_age = 0;
+        cfg.validate().unwrap();
     }
 
     #[test]

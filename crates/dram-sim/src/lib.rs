@@ -43,6 +43,7 @@ mod bank;
 mod channel;
 mod checker;
 mod config;
+mod liveness;
 mod memory_system;
 mod obs;
 mod rank;
@@ -52,7 +53,13 @@ mod timing;
 
 pub use bank::{Bank, OpenRow};
 pub use checker::{DramCommand, ProtocolChecker, ProtocolError};
-pub use config::{verify_protocol_default, ConfigError, DramConfig, PagePolicy, QueueConfig};
+pub use config::{
+    verify_protocol_default, ConfigError, DramConfig, PagePolicy, QueueConfig,
+    DEFAULT_ESCALATION_AGE,
+};
+pub use liveness::{
+    LivenessConfig, LivenessError, LivenessKind, RequestTrail, TickError, STARVATION_SCAN_INTERVAL,
+};
 pub use memory_system::{MemorySystem, QueueFull};
 pub use rank::{Rank, RefreshState};
 pub use scheme::{SchemeBehavior, WriteActPolicy, FULL_ROW_MATS};

@@ -9,8 +9,10 @@ use sim_fault::{FaultCounts, FaultInjector};
 use sim_obs::{Observer, TraceSink};
 
 use crate::channel::Channel;
-use crate::checker::ProtocolError;
 use crate::config::{ConfigError, DramConfig};
+use crate::liveness::{
+    LivenessError, LivenessKind, RequestTrail, TickError, STARVATION_SCAN_INTERVAL,
+};
 use crate::obs::DramObs;
 use crate::stats::DramStats;
 
@@ -61,6 +63,11 @@ pub struct MemorySystem {
     completed_scratch: Vec<RequestId>,
     obs: DramObs,
     faults: Option<FaultInjector>,
+    /// Cycle at which a request last retired (or the queues last drained);
+    /// drives the no-retire liveness watchdog.
+    last_progress_cycle: u64,
+    /// reads+writes completed as of `last_progress_cycle`.
+    last_completed_total: u64,
 }
 
 impl MemorySystem {
@@ -96,6 +103,8 @@ impl MemorySystem {
             completed_scratch: Vec::new(),
             obs: DramObs::new(),
             faults: None,
+            last_progress_cycle: 0,
+            last_completed_total: 0,
             config,
         })
     }
@@ -203,10 +212,12 @@ impl MemorySystem {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] when the protocol checker (enabled via
-    /// [`DramConfig::verify_protocol`]) rejects a command the scheduler
-    /// issued — always a simulator bug, never a workload property.
-    pub fn try_tick(&mut self) -> Result<&[RequestId], ProtocolError> {
+    /// Returns [`TickError::Protocol`] when the protocol checker (enabled
+    /// via [`DramConfig::verify_protocol`]) rejects a command the scheduler
+    /// issued — always a simulator bug, never a workload property — and
+    /// [`TickError::Liveness`] when a watchdog armed via
+    /// [`DramConfig::liveness`] detects no forward progress.
+    pub fn try_tick(&mut self) -> Result<&[RequestId], TickError> {
         self.completed_scratch.clear();
         for channel in &mut self.channels {
             channel.tick(
@@ -220,6 +231,7 @@ impl MemorySystem {
             )?;
         }
         self.cycle += 1;
+        self.check_liveness()?;
         self.stats.cycles = self.cycle;
         if self.obs.obs.epoch_due(self.cycle) {
             self.stats.publish_to(&mut self.obs.obs.registry);
@@ -241,7 +253,60 @@ impl MemorySystem {
     pub fn tick(&mut self) -> &[RequestId] {
         self.try_tick()
             // sim-lint: allow(no-panic-hot-path): documented panicking facade; a checker rejection is a simulator bug and try_tick is the fallible API
-            .unwrap_or_else(|e| panic!("DRAM protocol violation: {e}"))
+            .unwrap_or_else(|e| panic!("DRAM {e}"))
+    }
+
+    /// Cycle-domain liveness watchdogs (see [`crate::liveness`]). Called
+    /// after every tick; a cheap early-out keeps the disabled case free.
+    fn check_liveness(&mut self) -> Result<(), LivenessError> {
+        let live = self.config.liveness;
+        if !live.enabled() {
+            return Ok(());
+        }
+        let completed = self.stats.reads_completed + self.stats.writes_completed;
+        let progressed = completed != self.last_completed_total || self.pending() == 0;
+        if progressed {
+            self.last_completed_total = completed;
+            self.last_progress_cycle = self.cycle;
+        }
+        // Progress resets the no-retire watchdog, but not the starvation
+        // scan: a stream that retires plenty of requests can still starve
+        // one queued victim indefinitely.
+        if !progressed && live.max_no_retire_cycles > 0 {
+            let stalled_for = self.cycle - self.last_progress_cycle;
+            if stalled_for > live.max_no_retire_cycles {
+                return Err(LivenessError {
+                    cycle: self.cycle,
+                    kind: LivenessKind::NoRetire { stalled_for },
+                    victim: self.oldest_trail(),
+                });
+            }
+        }
+        if live.max_queue_age_cycles > 0 && self.cycle.is_multiple_of(STARVATION_SCAN_INTERVAL) {
+            if let Some(victim) = self.oldest_trail() {
+                let age = self.cycle.saturating_sub(victim.enqueued_at);
+                if age > live.max_queue_age_cycles {
+                    return Err(LivenessError {
+                        cycle: self.cycle,
+                        kind: LivenessKind::Starvation {
+                            age,
+                            bound: live.max_queue_age_cycles,
+                        },
+                        victim: Some(victim),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Trail of the oldest queued request across all channels.
+    fn oldest_trail(&self) -> Option<RequestTrail> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ch)| ch.oldest_trail(i as u32))
+            .min_by_key(|t| t.enqueued_at)
     }
 
     /// Requests queued or in flight across all channels.
@@ -251,6 +316,11 @@ impl MemorySystem {
 
     /// Ticks until no work remains or `max_cycles` elapse; returns `true`
     /// if the system drained completely.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol or liveness violation; use
+    /// [`Self::try_run_until_idle`] to observe it as an error instead.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
             if self.pending() == 0 {
@@ -259,6 +329,21 @@ impl MemorySystem {
             self.tick();
         }
         self.pending() == 0
+    }
+
+    /// Fallible variant of [`Self::run_until_idle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TickError`] raised while draining.
+    pub fn try_run_until_idle(&mut self, max_cycles: u64) -> Result<bool, TickError> {
+        for _ in 0..max_cycles {
+            if self.pending() == 0 {
+                return Ok(true);
+            }
+            self.try_tick()?;
+        }
+        Ok(self.pending() == 0)
     }
 
     /// Collected statistics.
@@ -688,6 +773,167 @@ mod tests {
         assert_eq!(mem.stats().act_histogram[7], 1, "8 MATs");
         let act = mem.energy().act_pre;
         assert!((act - 11.6 * 48.75).abs() < 1e-6);
+    }
+
+    /// Drives a continuous stream of row-buffer hits (bank 0, row 5) past a
+    /// single older write to the same bank's row 9. The write queue stays far
+    /// below the drain watermark and the hit stream never conflicts inside
+    /// the read queue, so nothing in plain FR-FCFS ever closes the row for
+    /// the write. Returns the memory system after `cycles` ticks.
+    fn run_hit_stream_against_lone_write(escalation_age: u64, cycles: u64) -> MemorySystem {
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        cfg.starvation_escalation_age = escalation_age;
+        let mut mem = MemorySystem::new(cfg);
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(
+            0,
+            addr_for(loc(9, 0), mapping),
+            WordMask::FULL,
+        ))
+        .unwrap();
+        let mut id = 1u64;
+        for _ in 0..cycles {
+            if mem.pending() < 8 {
+                id += 1;
+                let a = addr_for(loc(5, (id % 64) as u32), mapping);
+                let _ = mem.try_enqueue(MemRequest::read(id, a));
+            }
+            mem.tick();
+        }
+        mem
+    }
+
+    #[test]
+    fn row_hit_stream_starves_cross_queue_write_without_escalation() {
+        // Keep the run under the first refresh (~6240) so only the scheduler
+        // decides; the hit stream holds row 5 open for the entire run.
+        let mem = run_hit_stream_against_lone_write(0, 5_000);
+        assert_eq!(
+            mem.stats().writes_completed,
+            0,
+            "documents the starvation hole escalation exists to close"
+        );
+        assert!(mem.stats().reads_completed > 100);
+    }
+
+    #[test]
+    fn escalation_retires_starved_write_within_bound() {
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        cfg.starvation_escalation_age = 300;
+        let mut mem = MemorySystem::new(cfg);
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(
+            0,
+            addr_for(loc(9, 0), mapping),
+            WordMask::FULL,
+        ))
+        .unwrap();
+        let mut id = 1u64;
+        let mut write_done_at = None;
+        for _ in 0..5_000u64 {
+            if mem.pending() < 8 {
+                id += 1;
+                let a = addr_for(loc(5, (id % 64) as u32), mapping);
+                let _ = mem.try_enqueue(MemRequest::read(id, a));
+            }
+            mem.tick();
+            if write_done_at.is_none() && mem.stats().writes_completed == 1 {
+                write_done_at = Some(mem.cycle());
+            }
+        }
+        let done = write_done_at.expect("escalation must retire the starved write");
+        assert!(
+            done <= 300 + 200,
+            "write retired at {done}, expected within the 300-cycle bound plus service slack"
+        );
+        // The hit stream resumes after the escalated write retires.
+        assert!(mem.stats().reads_completed > 100);
+    }
+
+    #[test]
+    fn no_retire_watchdog_trips_with_trail() {
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        cfg.liveness.max_no_retire_cycles = 10;
+        let mut mem = MemorySystem::new(cfg);
+        let mapping = mem.config().mapping;
+        // A lone read legitimately takes 26 cycles, so an absurd 10-cycle
+        // bound trips deterministically at cycle 11.
+        mem.try_enqueue(MemRequest::read(1, addr_for(loc(5, 3), mapping)))
+            .unwrap();
+        let err = loop {
+            match mem.try_tick() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        let TickError::Liveness(live) = err else {
+            panic!("expected a liveness error, got {err}");
+        };
+        assert_eq!(live.cycle, 11);
+        assert!(matches!(
+            live.kind,
+            LivenessKind::NoRetire { stalled_for: 11 }
+        ));
+        let victim = live.victim.expect("the queued read is the victim");
+        assert_eq!((victim.bank, victim.row), (0, 5));
+        assert!(!victim.is_write);
+        assert_eq!(victim.enqueued_at, 0);
+    }
+
+    #[test]
+    fn queue_age_watchdog_trips_on_starved_write() {
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        cfg.liveness.max_queue_age_cycles = 500;
+        cfg.starvation_escalation_age = 0; // watchdog observes the raw hole
+        let mut mem = MemorySystem::new(cfg);
+        let mapping = mem.config().mapping;
+        mem.try_enqueue(MemRequest::write(
+            0,
+            addr_for(loc(9, 0), mapping),
+            WordMask::FULL,
+        ))
+        .unwrap();
+        let mut id = 1u64;
+        let err = loop {
+            if mem.pending() < 8 {
+                id += 1;
+                let a = addr_for(loc(5, (id % 64) as u32), mapping);
+                let _ = mem.try_enqueue(MemRequest::read(id, a));
+            }
+            match mem.try_tick() {
+                Ok(_) => {
+                    assert!(mem.cycle() < 2_000, "watchdog never tripped");
+                }
+                Err(e) => break e,
+            }
+        };
+        let TickError::Liveness(live) = err else {
+            panic!("expected a liveness error, got {err}");
+        };
+        let LivenessKind::Starvation { age, bound } = live.kind else {
+            panic!("expected starvation, got {:?}", live.kind);
+        };
+        assert_eq!(bound, 500);
+        assert!(age > 500);
+        assert!(live.cycle.is_multiple_of(STARVATION_SCAN_INTERVAL));
+        let victim = live.victim.expect("starvation always names a victim");
+        assert!(victim.is_write);
+        assert_eq!((victim.bank, victim.row), (0, 9));
+        assert_eq!(victim.open_row, Some(5), "the hit stream holds row 5 open");
+    }
+
+    #[test]
+    fn disabled_watchdogs_change_nothing() {
+        let mut mem = system(PagePolicy::RelaxedClosePage, SchemeBehavior::baseline());
+        assert!(!mem.config().liveness.enabled());
+        mem.try_enqueue(MemRequest::read(1, PhysAddr::new(0)))
+            .unwrap();
+        assert!(mem.try_run_until_idle(10_000).unwrap());
+        assert_eq!(mem.stats().reads_completed, 1);
     }
 
     #[test]

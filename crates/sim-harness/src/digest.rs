@@ -1,0 +1,91 @@
+//! Deterministic configuration digests.
+//!
+//! The journal keys resumability on `(config_digest, seed)`: the digest
+//! covers every field of a [`RunSpec`] *except* the seed, so one matrix row
+//! shares a digest across its seed axis and a resumed campaign can tell
+//! exactly which (row, seed) pairs already ran. Everything here must stay a
+//! pure function of the spec — this module is held to the strict
+//! `forbid-wallclock` lint even though the rest of the crate (timing the
+//! campaign) is exempt.
+
+use crate::matrix::{policy_cli_name, scheme_cli_name, Fixture, RunSpec};
+
+/// 64-bit FNV-1a over a byte string — the same digest primitive
+/// [`pra_core::Report::state_digest`] uses, kept dependency-free.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of a run's configuration, excluding its seed. Two specs collide
+/// exactly when they would simulate the same system on the same workload —
+/// the identity the journal's resume logic needs.
+pub fn config_digest(spec: &RunSpec) -> u64 {
+    let fixture = match spec.fixture {
+        Fixture::None => "none",
+        Fixture::Panic => "panic",
+        Fixture::Hang => "hang",
+    };
+    let canonical = format!(
+        "scheme={};workload={};policy={};cores={};instructions={};warmup={};\
+         no_retire={};queue_age={};faults={};fixture={}",
+        scheme_cli_name(spec.scheme),
+        spec.workload,
+        policy_cli_name(spec.policy),
+        spec.cores,
+        spec.instructions,
+        spec.warmup,
+        spec.watchdog_no_retire,
+        spec.watchdog_queue_age,
+        spec.fault_plan.as_deref().unwrap_or("-"),
+        fixture,
+    );
+    fnv1a_64(canonical.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_core::Scheme;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            scheme: Scheme::Pra,
+            workload: "GUPS".to_string(),
+            policy: dram_sim::PagePolicy::RelaxedClosePage,
+            cores: 1,
+            instructions: 5_000,
+            warmup: 10_000,
+            seed: 1,
+            watchdog_no_retire: 1_000_000,
+            watchdog_queue_age: 0,
+            fault_plan: None,
+            fixture: Fixture::None,
+        }
+    }
+
+    #[test]
+    fn digest_ignores_seed_but_not_config() {
+        let base = spec();
+        let mut reseeded = spec();
+        reseeded.seed = 99;
+        assert_eq!(config_digest(&base), config_digest(&reseeded));
+        let mut other_scheme = spec();
+        other_scheme.scheme = Scheme::Baseline;
+        assert_ne!(config_digest(&base), config_digest(&other_scheme));
+        let mut other_fixture = spec();
+        other_fixture.fixture = Fixture::Panic;
+        assert_ne!(config_digest(&base), config_digest(&other_fixture));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

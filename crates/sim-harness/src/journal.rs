@@ -1,0 +1,360 @@
+//! The append-only campaign journal.
+//!
+//! One JSON line per completed run, flushed as each run finishes, so a
+//! killed campaign loses at most the in-flight runs. Loading is tolerant:
+//! a malformed or truncated trailing line (the artifact of killing the
+//! process mid-write) is dropped and counted, never fatal — the affected
+//! run simply re-executes on resume.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// How a journaled run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The simulation completed and produced a report.
+    Ok,
+    /// The run panicked or returned a non-liveness error.
+    Failed,
+    /// A liveness watchdog (or the protocol checker) tripped mid-run.
+    Hung,
+}
+
+impl RunStatus {
+    /// The journal's string encoding of this status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed => "failed",
+            RunStatus::Hung => "hung",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "failed" => Some(RunStatus::Failed),
+            "hung" => Some(RunStatus::Hung),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One journaled run: identity, outcome and enough context to reproduce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// [`crate::config_digest`] of the run's spec (seed excluded).
+    pub config_digest: u64,
+    /// Workload RNG seed of the run.
+    pub seed: u64,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Scheme name, for human-readable reports.
+    pub scheme: String,
+    /// Workload name, for human-readable reports.
+    pub workload: String,
+    /// CPU cycles the run simulated (0 for failed/hung runs).
+    pub cycles: u64,
+    /// [`pra_core::Report::state_digest`] of a successful run.
+    pub state_digest: Option<u64>,
+    /// Failure detail: panic payload or error message (empty when ok).
+    pub detail: String,
+    /// Copy-pasteable reproduction command.
+    pub repro: String,
+}
+
+impl JournalRecord {
+    /// Serialises the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut line = format!(
+            "{{\"config\":\"{:016x}\",\"seed\":{},\"status\":\"{}\",\"scheme\":\"{}\",\
+             \"workload\":\"{}\",\"cycles\":{}",
+            self.config_digest,
+            self.seed,
+            self.status,
+            escape(&self.scheme),
+            escape(&self.workload),
+            self.cycles,
+        );
+        if let Some(digest) = self.state_digest {
+            line.push_str(&format!(",\"state_digest\":\"{digest:016x}\""));
+        }
+        line.push_str(&format!(
+            ",\"detail\":\"{}\",\"repro\":\"{}\"}}",
+            escape(&self.detail),
+            escape(&self.repro)
+        ));
+        line
+    }
+
+    /// Parses one journal line; `None` for malformed or truncated input.
+    pub fn parse(line: &str) -> Option<Self> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        Some(JournalRecord {
+            config_digest: u64::from_str_radix(&json_str(line, "config")?, 16).ok()?,
+            seed: json_u64(line, "seed")?,
+            status: RunStatus::from_str(&json_str(line, "status")?)?,
+            scheme: json_str(line, "scheme")?,
+            workload: json_str(line, "workload")?,
+            cycles: json_u64(line, "cycles")?,
+            state_digest: match json_str(line, "state_digest") {
+                Some(s) => Some(u64::from_str_radix(&s, 16).ok()?),
+                None => None,
+            },
+            detail: json_str(line, "detail")?,
+            repro: json_str(line, "repro")?,
+        })
+    }
+
+    /// The resume key: a run is "already done" when its (config, seed)
+    /// pair appears in the journal, whatever its status — failed runs are
+    /// not silently retried.
+    pub fn key(&self) -> (u64, u64) {
+        (self.config_digest, self.seed)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extracts the raw (still-escaped) value of a `"key":"value"` pair.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    // Scan for the closing quote, honouring backslash escapes.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(unescape(&rest[..end?]))
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// A journal read back from disk.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedJournal {
+    /// Every well-formed record, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Lines that failed to parse (typically a truncated tail after a
+    /// mid-write kill) — dropped, their runs will re-execute on resume.
+    pub dropped_lines: usize,
+}
+
+impl LoadedJournal {
+    /// The set of (config-digest, seed) pairs already journaled.
+    pub fn completed_keys(&self) -> HashSet<(u64, u64)> {
+        self.records.iter().map(JournalRecord::key).collect()
+    }
+}
+
+/// Reads a journal, tolerating malformed lines.
+///
+/// # Errors
+///
+/// Only on I/O failure; parse failures are counted in
+/// [`LoadedJournal::dropped_lines`] instead.
+pub fn load_journal(path: &Path) -> io::Result<LoadedJournal> {
+    let text = std::fs::read_to_string(path)?;
+    let mut loaded = LoadedJournal::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalRecord::parse(line) {
+            Some(record) => loaded.records.push(record),
+            None => loaded.dropped_lines += 1,
+        }
+    }
+    Ok(loaded)
+}
+
+/// An append-only journal writer: one flushed JSON line per record.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it (and nothing else) when
+    /// missing. If the existing file ends mid-line (a kill landed inside a
+    /// write), a newline is emitted first so the stranded fragment cannot
+    /// merge with — and masquerade as — the next record.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying [`io::Error`].
+    pub fn open_append(path: &Path) -> io::Result<Self> {
+        use std::io::{Read, Seek, SeekFrom};
+        let needs_newline = match File::open(path) {
+            Ok(mut file) => {
+                if file.metadata()?.len() == 0 {
+                    false
+                } else {
+                    file.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    file.read_exact(&mut last)?;
+                    last[0] != b'\n'
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut out = BufWriter::new(file);
+        if needs_newline {
+            out.write_all(b"\n")?;
+            out.flush()?;
+        }
+        Ok(JournalWriter { out })
+    }
+
+    /// Appends one record and flushes, so a kill right after loses
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying [`io::Error`].
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        writeln!(self.out, "{}", record.to_json_line())?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64, status: RunStatus) -> JournalRecord {
+        JournalRecord {
+            config_digest: 0xdead_beef_0123_4567,
+            seed,
+            status,
+            scheme: "PRA".to_string(),
+            workload: "GUPS".to_string(),
+            cycles: if status == RunStatus::Ok { 12_345 } else { 0 },
+            state_digest: (status == RunStatus::Ok).then_some(0xabcd),
+            detail: if status == RunStatus::Ok {
+                String::new()
+            } else {
+                "panicked: \"quoted\"\nsecond line".to_string()
+            },
+            repro: "pra run --scheme pra --workload GUPS --seed 1".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        for status in [RunStatus::Ok, RunStatus::Failed, RunStatus::Hung] {
+            let r = record(7, status);
+            let parsed = JournalRecord::parse(&r.to_json_line()).unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_lines_are_dropped_not_fatal() {
+        let dir = std::env::temp_dir().join("sim_harness_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.jsonl");
+        let good = record(1, RunStatus::Ok).to_json_line();
+        let half = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}\nnot json\n{half}")).unwrap();
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.dropped_lines, 2);
+        assert!(loaded
+            .completed_keys()
+            .contains(&(0xdead_beef_0123_4567, 1)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_appends_without_rewriting() {
+        let dir = std::env::temp_dir().join("sim_harness_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::open_append(&path).unwrap();
+            w.append(&record(1, RunStatus::Ok)).unwrap();
+        }
+        let first_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut w = JournalWriter::open_append(&path).unwrap();
+            w.append(&record(2, RunStatus::Hung)).unwrap();
+        }
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert!(std::fs::metadata(&path).unwrap().len() > first_len);
+        assert_eq!(loaded.records[0].seed, 1, "append must not rewrite");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

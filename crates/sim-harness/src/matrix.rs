@@ -1,0 +1,511 @@
+//! The experiment matrix: a TOML-subset campaign description and its
+//! expansion into individual run specifications.
+
+use core::fmt;
+
+use dram_sim::PagePolicy;
+use pra_core::Scheme;
+
+/// Error parsing or validating a campaign matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixError(String);
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid campaign matrix: {}", self.0)
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+fn matrix_err(msg: impl Into<String>) -> MatrixError {
+    MatrixError(msg.into())
+}
+
+/// Synthetic run kinds a campaign can inject to exercise the harness's
+/// failure paths end to end (used by CI and the demo campaign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fixture {
+    /// A normal simulation run.
+    #[default]
+    None,
+    /// Panics instead of simulating — proves panic isolation.
+    Panic,
+    /// Runs with an impossibly tight no-retire watchdog — trips a
+    /// [`dram_sim::LivenessError`] and is classified hung.
+    Hang,
+}
+
+/// One fully-resolved simulation the campaign will execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Activation scheme under test.
+    pub scheme: Scheme,
+    /// Workload name (a benchmark or `MIX1`..`MIX6`).
+    pub workload: String,
+    /// Page policy.
+    pub policy: PagePolicy,
+    /// Cores for benchmark workloads (mixes always use 4).
+    pub cores: usize,
+    /// Instructions each core retires.
+    pub instructions: u64,
+    /// Functional-warmup memory operations per core.
+    pub warmup: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// No-retire liveness bound in memory cycles (0 disables).
+    pub watchdog_no_retire: u64,
+    /// Queue-age (starvation) liveness bound in memory cycles (0 disables).
+    pub watchdog_queue_age: u64,
+    /// Optional fault-plan file injected into the run.
+    pub fault_plan: Option<String>,
+    /// Synthetic-fixture kind, [`Fixture::None`] for real runs.
+    pub fixture: Fixture,
+}
+
+/// The CLI spelling of a scheme (`pra run --scheme <this>`).
+pub(crate) fn scheme_cli_name(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Baseline => "baseline",
+        Scheme::Fga => "fga",
+        Scheme::HalfDram => "half-dram",
+        Scheme::Pra => "pra",
+        Scheme::HalfDramPra => "half-dram-pra",
+        Scheme::Dbi => "dbi",
+        Scheme::DbiPra => "dbi-pra",
+    }
+}
+
+fn parse_scheme(name: &str) -> Result<Scheme, MatrixError> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "baseline" | "base" | "conventional" => Ok(Scheme::Baseline),
+        "fga" => Ok(Scheme::Fga),
+        "halfdram" | "half" => Ok(Scheme::HalfDram),
+        "pra" => Ok(Scheme::Pra),
+        "halfdrampra" | "combined" => Ok(Scheme::HalfDramPra),
+        "dbi" => Ok(Scheme::Dbi),
+        "dbipra" => Ok(Scheme::DbiPra),
+        _ => Err(matrix_err(format!(
+            "unknown scheme {name:?}; valid: baseline, fga, half-dram, pra, half-dram-pra, dbi, dbi-pra"
+        ))),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PagePolicy, MatrixError> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "relaxed" | "relaxedclosepage" => Ok(PagePolicy::RelaxedClosePage),
+        "restricted" | "restrictedclosepage" => Ok(PagePolicy::RestrictedClosePage),
+        "open" | "openpage" => Ok(PagePolicy::OpenPage),
+        _ => Err(matrix_err(format!(
+            "unknown policy {name:?}; valid: relaxed, restricted, open"
+        ))),
+    }
+}
+
+pub(crate) fn policy_cli_name(policy: PagePolicy) -> &'static str {
+    match policy {
+        PagePolicy::RelaxedClosePage => "relaxed",
+        PagePolicy::RestrictedClosePage => "restricted",
+        PagePolicy::OpenPage => "open",
+    }
+}
+
+/// Resolves a workload name to its canonical spelling, or errors listing
+/// the valid names.
+fn canonical_workload(name: &str) -> Result<String, MatrixError> {
+    if let Some(mix) = workloads::all_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+    {
+        return Ok(mix.name.to_string());
+    }
+    if let Some(profile) = workloads::by_name(name) {
+        return Ok(profile.name.to_string());
+    }
+    let names: Vec<&str> = workloads::all_benchmarks().iter().map(|b| b.name).collect();
+    Err(matrix_err(format!(
+        "unknown workload {name:?}; valid: {} or MIX1..MIX6",
+        names.join(", ")
+    )))
+}
+
+/// A campaign description: the axes of the experiment matrix plus the knobs
+/// shared by every run. Parses from a minimal TOML subset
+/// ([`Campaign::from_toml_str`]) and expands to the full cross product
+/// ([`Campaign::expand`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Schemes axis (at least one).
+    pub schemes: Vec<Scheme>,
+    /// Workloads axis, canonical names (at least one).
+    pub workloads: Vec<String>,
+    /// Seeds axis (at least one).
+    pub seeds: Vec<u64>,
+    /// Page policy shared by every run.
+    pub policy: PagePolicy,
+    /// Cores for benchmark workloads (mixes always use 4).
+    pub cores: usize,
+    /// Instructions each core retires.
+    pub instructions: u64,
+    /// Functional-warmup memory operations per core.
+    pub warmup: u64,
+    /// No-retire liveness bound for every run (memory cycles, 0 disables).
+    pub watchdog_no_retire: u64,
+    /// Queue-age liveness bound for every run (memory cycles, 0 disables).
+    pub watchdog_queue_age: u64,
+    /// Re-run every Nth run twice and compare state digests (0 disables).
+    pub determinism_sample: u64,
+    /// Fault-plan files: each becomes an extra matrix axis value (a run
+    /// without a plan is always included).
+    pub fault_plans: Vec<String>,
+    /// Append one synthetic panicking run (harness self-test).
+    pub include_panic_fixture: bool,
+    /// Append one synthetic hanging run (harness self-test).
+    pub include_hang_fixture: bool,
+}
+
+impl Campaign {
+    /// Parses a campaign from a minimal TOML subset: `key = value` lines,
+    /// `#` comments, string/integer arrays in `[...]`, and an optional
+    /// `[campaign]` section header. Unknown keys are errors (a typo must
+    /// not silently shrink the matrix).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError`] naming the offending line, unknown scheme/workload
+    /// names, or a missing required axis.
+    pub fn from_toml_str(text: &str) -> Result<Self, MatrixError> {
+        let mut schemes: Option<Vec<Scheme>> = None;
+        let mut workload_names: Option<Vec<String>> = None;
+        let mut seeds: Option<Vec<u64>> = None;
+        let mut policy = PagePolicy::RelaxedClosePage;
+        let mut cores = 1usize;
+        let mut instructions = 5_000u64;
+        let mut warmup = 10_000u64;
+        let mut watchdog_no_retire = 1_000_000u64;
+        let mut watchdog_queue_age = 0u64;
+        let mut determinism_sample = 0u64;
+        let mut fault_plans = Vec::new();
+        let mut include_panic_fixture = false;
+        let mut include_hang_fixture = false;
+
+        for (index, raw) in text.lines().enumerate() {
+            let lineno = index + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                if line == "[campaign]" {
+                    continue;
+                }
+                return Err(matrix_err(format!(
+                    "line {lineno}: unknown section {line:?} (only [campaign] is allowed)"
+                )));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(matrix_err(format!(
+                    "line {lineno}: expected `key = value`, got {line:?}"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let as_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|_| {
+                    matrix_err(format!("line {lineno}: {key} wants an integer, got {v:?}"))
+                })
+            };
+            let as_bool = |v: &str| match v {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                _ => Err(matrix_err(format!(
+                    "line {lineno}: {key} wants true|false, got {v:?}"
+                ))),
+            };
+            match key {
+                "schemes" => {
+                    let names = parse_string_array(value, key, lineno)?;
+                    schemes = Some(
+                        names
+                            .iter()
+                            .map(|n| parse_scheme(n))
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "workloads" => {
+                    let names = parse_string_array(value, key, lineno)?;
+                    workload_names = Some(
+                        names
+                            .iter()
+                            .map(|n| canonical_workload(n))
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "seeds" => {
+                    let items = parse_raw_array(value, key, lineno)?;
+                    seeds = Some(items.iter().map(|v| as_u64(v)).collect::<Result<_, _>>()?);
+                }
+                "policy" => policy = parse_policy(value.trim_matches('"'))?,
+                "cores" => cores = as_u64(value)? as usize,
+                "instructions" => instructions = as_u64(value)?,
+                "warmup" => warmup = as_u64(value)?,
+                "watchdog_no_retire" => watchdog_no_retire = as_u64(value)?,
+                "watchdog_queue_age" => watchdog_queue_age = as_u64(value)?,
+                "determinism_sample" => determinism_sample = as_u64(value)?,
+                "fault_plans" => {
+                    fault_plans = parse_string_array(value, key, lineno)?;
+                }
+                "include_panic_fixture" => include_panic_fixture = as_bool(value)?,
+                "include_hang_fixture" => include_hang_fixture = as_bool(value)?,
+                _ => {
+                    return Err(matrix_err(format!("line {lineno}: unknown key {key:?}")));
+                }
+            }
+        }
+        let campaign = Campaign {
+            schemes: schemes.ok_or_else(|| matrix_err("missing required axis `schemes`"))?,
+            workloads: workload_names
+                .ok_or_else(|| matrix_err("missing required axis `workloads`"))?,
+            seeds: seeds.ok_or_else(|| matrix_err("missing required axis `seeds`"))?,
+            policy,
+            cores,
+            instructions,
+            warmup,
+            watchdog_no_retire,
+            watchdog_queue_age,
+            determinism_sample,
+            fault_plans,
+            include_panic_fixture,
+            include_hang_fixture,
+        };
+        campaign.validate()?;
+        Ok(campaign)
+    }
+
+    /// Checks the campaign for consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError`] when an axis is empty or `cores` is outside 1..=4.
+    pub fn validate(&self) -> Result<(), MatrixError> {
+        if self.schemes.is_empty() {
+            return Err(matrix_err("schemes axis must not be empty"));
+        }
+        if self.workloads.is_empty() {
+            return Err(matrix_err("workloads axis must not be empty"));
+        }
+        if self.seeds.is_empty() {
+            return Err(matrix_err("seeds axis must not be empty"));
+        }
+        if self.cores == 0 || self.cores > 4 {
+            return Err(matrix_err(format!(
+                "cores must be 1..=4, got {}",
+                self.cores
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expands the matrix into the full, deterministically-ordered run
+    /// list: scheme-major, then workload, then fault plan, then seed, with
+    /// the synthetic fixtures (when enabled) appended last.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        let mut plans: Vec<Option<String>> = vec![None];
+        plans.extend(self.fault_plans.iter().cloned().map(Some));
+        for &scheme in &self.schemes {
+            for workload in &self.workloads {
+                for plan in &plans {
+                    for &seed in &self.seeds {
+                        specs.push(RunSpec {
+                            scheme,
+                            workload: workload.clone(),
+                            policy: self.policy,
+                            cores: self.cores,
+                            instructions: self.instructions,
+                            warmup: self.warmup,
+                            seed,
+                            watchdog_no_retire: self.watchdog_no_retire,
+                            watchdog_queue_age: self.watchdog_queue_age,
+                            fault_plan: plan.clone(),
+                            fixture: Fixture::None,
+                        });
+                    }
+                }
+            }
+        }
+        let template = specs.first().cloned();
+        if let Some(first) = template {
+            if self.include_panic_fixture {
+                specs.push(RunSpec {
+                    fixture: Fixture::Panic,
+                    fault_plan: None,
+                    ..first.clone()
+                });
+            }
+            if self.include_hang_fixture {
+                // A 20-cycle no-retire bound is below a single read's
+                // latency: the run is guaranteed to classify as hung.
+                specs.push(RunSpec {
+                    fixture: Fixture::Hang,
+                    watchdog_no_retire: 20,
+                    watchdog_queue_age: 0,
+                    fault_plan: None,
+                    ..first
+                });
+            }
+        }
+        specs
+    }
+}
+
+fn parse_raw_array(value: &str, key: &str, lineno: usize) -> Result<Vec<String>, MatrixError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            matrix_err(format!(
+                "line {lineno}: {key} wants an array `[...]`, got {value:?}"
+            ))
+        })?;
+    Ok(inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+fn parse_string_array(value: &str, key: &str, lineno: usize) -> Result<Vec<String>, MatrixError> {
+    let items = parse_raw_array(value, key, lineno)?;
+    items
+        .into_iter()
+        .map(|item| {
+            item.strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    matrix_err(format!(
+                        "line {lineno}: {key} wants quoted strings, got {item:?}"
+                    ))
+                })
+        })
+        .collect()
+}
+
+impl RunSpec {
+    /// A copy-pasteable `pra run` invocation reproducing this run outside
+    /// the campaign harness (the panic fixture has no CLI equivalent and
+    /// renders as a comment).
+    pub fn repro_line(&self) -> String {
+        if self.fixture == Fixture::Panic {
+            return "# synthetic panic fixture (harness self-test; no CLI equivalent)".to_string();
+        }
+        let mut line = format!(
+            "pra run --scheme {} --workload {} --policy {} --cores {} --instructions {} --warmup {} --seed {}",
+            scheme_cli_name(self.scheme),
+            self.workload,
+            policy_cli_name(self.policy),
+            self.cores,
+            self.instructions,
+            self.warmup,
+            self.seed,
+        );
+        if self.watchdog_no_retire > 0 {
+            line.push_str(&format!(
+                " --watchdog-no-retire {}",
+                self.watchdog_no_retire
+            ));
+        }
+        if self.watchdog_queue_age > 0 {
+            line.push_str(&format!(
+                " --watchdog-queue-age {}",
+                self.watchdog_queue_age
+            ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            line.push_str(&format!(" --faults {plan}"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        # demo campaign
+        [campaign]
+        schemes = ["baseline", "pra"]
+        workloads = ["GUPS", "lbm", "MIX1"]
+        seeds = [1, 2]
+    "#;
+
+    #[test]
+    fn minimal_matrix_parses_with_defaults() {
+        let c = Campaign::from_toml_str(MINIMAL).unwrap();
+        assert_eq!(c.schemes, vec![Scheme::Baseline, Scheme::Pra]);
+        assert_eq!(c.workloads, vec!["GUPS", "lbm", "MIX1"]);
+        assert_eq!(c.seeds, vec![1, 2]);
+        assert_eq!(c.policy, PagePolicy::RelaxedClosePage);
+        assert_eq!(c.cores, 1);
+        assert_eq!(c.watchdog_no_retire, 1_000_000);
+        assert_eq!(c.expand().len(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn fixtures_and_fault_plans_extend_the_matrix() {
+        let text = format!(
+            "{MINIMAL}\nfault_plans = [\"plans/stress.toml\"]\n\
+             include_panic_fixture = true\ninclude_hang_fixture = true\n"
+        );
+        let c = Campaign::from_toml_str(&text).unwrap();
+        let specs = c.expand();
+        // Each (scheme, workload, seed) runs once bare and once faulted.
+        assert_eq!(specs.len(), 2 * 3 * 2 * 2 + 2);
+        let panic_spec = &specs[specs.len() - 2];
+        let hang_spec = &specs[specs.len() - 1];
+        assert_eq!(panic_spec.fixture, Fixture::Panic);
+        assert!(panic_spec.repro_line().starts_with('#'));
+        assert_eq!(hang_spec.fixture, Fixture::Hang);
+        assert_eq!(hang_spec.watchdog_no_retire, 20);
+        assert!(hang_spec.repro_line().contains("--watchdog-no-retire 20"));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_suggestions() {
+        let bad_scheme = MINIMAL.replace("\"pra\"", "\"sra\"");
+        let e = Campaign::from_toml_str(&bad_scheme).unwrap_err();
+        assert!(e.to_string().contains("unknown scheme"), "{e}");
+        let bad_workload = MINIMAL.replace("\"lbm\"", "\"lbn\"");
+        let e = Campaign::from_toml_str(&bad_workload).unwrap_err();
+        assert!(e.to_string().contains("unknown workload"), "{e}");
+        let e = Campaign::from_toml_str("schemes = [\"pra\"]\nseeds = [1]").unwrap_err();
+        assert!(e.to_string().contains("workloads"), "{e}");
+        let e = Campaign::from_toml_str(&format!("{MINIMAL}\ntypo = 3")).unwrap_err();
+        assert!(e.to_string().contains("unknown key"), "{e}");
+    }
+
+    #[test]
+    fn workload_names_are_canonicalised() {
+        let text = MINIMAL
+            .replace("\"GUPS\"", "\"gups\"")
+            .replace("\"MIX1\"", "\"mix1\"");
+        let c = Campaign::from_toml_str(&text).unwrap();
+        assert_eq!(c.workloads[0], "GUPS");
+        assert_eq!(c.workloads[2], "MIX1");
+    }
+
+    #[test]
+    fn repro_line_is_cli_shaped() {
+        let c = Campaign::from_toml_str(MINIMAL).unwrap();
+        let spec = &c.expand()[0];
+        let line = spec.repro_line();
+        assert!(
+            line.starts_with("pra run --scheme baseline --workload GUPS"),
+            "{line}"
+        );
+        assert!(line.contains("--seed 1"), "{line}");
+        assert!(line.contains("--watchdog-no-retire 1000000"), "{line}");
+    }
+}

@@ -1,0 +1,481 @@
+//! The panic-isolated parallel campaign executor.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pra_core::{Report, SimBuilder, SimError};
+use sim_obs::MetricsRegistry;
+
+use crate::digest::config_digest;
+use crate::journal::{load_journal, JournalRecord, JournalWriter, RunStatus};
+use crate::matrix::{Campaign, Fixture, RunSpec};
+
+/// Error starting or finishing a campaign (the individual runs inside it
+/// never error the campaign — they journal as failed/hung instead).
+#[derive(Debug)]
+pub struct HarnessError(String);
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign: {}", self.0)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+fn harness_err(msg: impl Into<String>) -> HarnessError {
+    HarnessError(msg.into())
+}
+
+/// How to execute a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads; 0 means one per available CPU.
+    pub jobs: usize,
+    /// Journal path (created when missing unless `resume` is set).
+    pub journal: PathBuf,
+    /// Resume mode: the journal must already exist, and journaled
+    /// (config, seed) pairs are skipped. A plain run against an existing
+    /// journal also skips completed pairs — resume merely refuses to start
+    /// from scratch by accident.
+    pub resume: bool,
+}
+
+/// One failed or hung run, with everything needed to triage it.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Final status ([`RunStatus::Failed`] or [`RunStatus::Hung`]).
+    pub status: RunStatus,
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Config digest (seed excluded), the journal's resume key.
+    pub config_digest: u64,
+    /// Panic payload, liveness trail or error message.
+    pub detail: String,
+    /// Copy-pasteable reproduction command.
+    pub repro: String,
+}
+
+/// What a campaign did: counters, failures and the per-run metrics.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Runs in the expanded matrix.
+    pub total: usize,
+    /// Runs that completed with a report.
+    pub ok: usize,
+    /// Runs that panicked or errored.
+    pub failed: usize,
+    /// Runs a liveness watchdog (or the protocol checker) stopped.
+    pub hung: usize,
+    /// Runs skipped because the journal already had their key.
+    pub skipped: usize,
+    /// Runs executed twice for the determinism spot-check.
+    pub determinism_checked: usize,
+    /// Spot-checked runs whose two state digests differed.
+    pub determinism_mismatches: usize,
+    /// Wall-clock duration of the execution phase, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Every failed or hung run, in completion order.
+    pub failures: Vec<RunFailure>,
+    /// Campaign counters and the per-run cycle histogram.
+    pub metrics: MetricsRegistry,
+}
+
+impl CampaignSummary {
+    /// `true` when at least one run failed, hung or mismatched — the
+    /// condition behind the CLI's campaign-with-failures exit code.
+    pub fn has_failures(&self) -> bool {
+        self.failed > 0 || self.hung > 0 || self.determinism_mismatches > 0
+    }
+
+    /// Renders the human-readable campaign report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign: {} runs ({} ok, {} failed, {} hung, {} skipped) in {} ms on {} worker{}",
+            self.total,
+            self.ok,
+            self.failed,
+            self.hung,
+            self.skipped,
+            self.elapsed_ms,
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+        );
+        if self.determinism_checked > 0 {
+            out.push_str(&format!(
+                "\ndeterminism: {} spot-checked, {} mismatch{}",
+                self.determinism_checked,
+                self.determinism_mismatches,
+                if self.determinism_mismatches == 1 {
+                    ""
+                } else {
+                    "es"
+                },
+            ));
+        }
+        if let Some(hist) = self.metrics.histogram_value("campaign.run_cycles") {
+            if hist.count() > 0 {
+                out.push_str(&format!(
+                    "\nrun cycles: p50 {} p95 {} max {}",
+                    hist.p50(),
+                    hist.p95(),
+                    hist.max()
+                ));
+            }
+        }
+        for failure in &self.failures {
+            out.push_str(&format!(
+                "\n[{}] {}/{} seed {} (config {:016x}): {}\n  repro: {}",
+                failure.status,
+                failure.scheme,
+                failure.workload,
+                failure.seed,
+                failure.config_digest,
+                failure.detail,
+                failure.repro,
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the simulator for one spec and runs it (optionally twice, for
+/// the determinism spot-check). Runs on a worker thread inside
+/// `catch_unwind`; panics (including the synthetic fixture's) unwind to
+/// the isolation boundary in [`execute_spec`].
+fn run_spec(spec: &RunSpec, verify: bool) -> Result<Report, SimError> {
+    if spec.fixture == Fixture::Panic {
+        panic!(
+            "synthetic panic fixture: poisoned configuration for {}",
+            spec.workload
+        );
+    }
+    let mut builder = SimBuilder::new()
+        .scheme(spec.scheme)
+        .policy(spec.policy)
+        .instructions(spec.instructions)
+        .seed(spec.seed)
+        .warmup_mem_ops(spec.warmup)
+        .liveness_watchdog(spec.watchdog_no_retire, spec.watchdog_queue_age);
+    if let Some(mix) = workloads::all_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(&spec.workload))
+    {
+        builder = builder.name(mix.name).mix(mix.apps);
+    } else {
+        let profile = workloads::by_name(&spec.workload)
+            .unwrap_or_else(|| panic!("workload {:?} vanished after validation", spec.workload));
+        builder = builder.homogeneous(profile, spec.cores);
+    }
+    if let Some(path) = &spec.fault_plan {
+        let text = std::fs::read_to_string(path).map_err(|e| SimError::Io {
+            path: PathBuf::from(path),
+            source: e,
+        })?;
+        let plan = sim_fault::FaultPlan::from_toml_str(&text)?;
+        builder = builder.faults(plan);
+    }
+    if verify {
+        builder.try_run_verified()
+    } else {
+        builder.try_run()
+    }
+}
+
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one spec behind the panic-isolation boundary and classifies
+/// the outcome into a journal record. Never panics, never errors.
+fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
+    let digest = config_digest(spec);
+    let mut record = JournalRecord {
+        config_digest: digest,
+        seed: spec.seed,
+        status: RunStatus::Failed,
+        scheme: spec.scheme.name().to_string(),
+        workload: spec.workload.clone(),
+        cycles: 0,
+        state_digest: None,
+        detail: String::new(),
+        repro: spec.repro_line(),
+    };
+    let mut mismatch = false;
+    match catch_unwind(AssertUnwindSafe(|| run_spec(spec, verify))) {
+        Ok(Ok(report)) => {
+            record.status = RunStatus::Ok;
+            record.cycles = report.cpu_cycles;
+            record.state_digest = Some(report.state_digest());
+        }
+        Ok(Err(e @ (SimError::Liveness(_) | SimError::Protocol(_)))) => {
+            record.status = RunStatus::Hung;
+            record.detail = e.to_string();
+        }
+        Ok(Err(e)) => {
+            mismatch = matches!(e, SimError::Nondeterministic { .. });
+            record.status = RunStatus::Failed;
+            record.detail = e.to_string();
+        }
+        Err(payload) => {
+            record.status = RunStatus::Failed;
+            record.detail = format!("panicked: {}", panic_payload(payload));
+        }
+    }
+    (record, mismatch)
+}
+
+/// Expands the campaign, skips journaled runs, and executes the rest on a
+/// worker pool, journaling each result as it lands.
+///
+/// # Errors
+///
+/// [`HarnessError`] when the matrix is inconsistent, resume is requested
+/// without an existing journal, or the journal cannot be read or written.
+/// Individual run failures do *not* error — they are journaled and
+/// reported in the summary (see [`CampaignSummary::has_failures`]).
+pub fn run_campaign(
+    campaign: &Campaign,
+    options: &CampaignOptions,
+) -> Result<CampaignSummary, HarnessError> {
+    campaign
+        .validate()
+        .map_err(|e| harness_err(e.to_string()))?;
+    let specs = campaign.expand();
+
+    let journal_exists = options.journal.exists();
+    if options.resume && !journal_exists {
+        return Err(harness_err(format!(
+            "cannot resume: journal {} does not exist (use `campaign run` to start one)",
+            options.journal.display()
+        )));
+    }
+    let completed = if journal_exists {
+        load_journal(&options.journal)
+            .map_err(|e| harness_err(format!("reading {}: {e}", options.journal.display())))?
+            .completed_keys()
+    } else {
+        Default::default()
+    };
+
+    let mut todo: Vec<(RunSpec, bool)> = Vec::new();
+    let mut skipped = 0usize;
+    for spec in &specs {
+        if completed.contains(&(config_digest(spec), spec.seed)) {
+            skipped += 1;
+        } else {
+            let sample = campaign.determinism_sample;
+            let verify = sample > 0
+                && spec.fixture == Fixture::None
+                && (todo.len() as u64 + 1).is_multiple_of(sample);
+            todo.push((spec.clone(), verify));
+        }
+    }
+
+    let mut writer = JournalWriter::open_append(&options.journal)
+        .map_err(|e| harness_err(format!("opening {}: {e}", options.journal.display())))?;
+
+    let jobs = if options.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        options.jobs
+    }
+    .min(todo.len().max(1));
+
+    let mut summary = CampaignSummary {
+        total: specs.len(),
+        ok: 0,
+        failed: 0,
+        hung: 0,
+        skipped,
+        determinism_checked: todo.iter().filter(|(_, v)| *v).count(),
+        determinism_mismatches: 0,
+        elapsed_ms: 0,
+        jobs,
+        failures: Vec::new(),
+        metrics: MetricsRegistry::new(),
+    };
+    let ok_id = summary.metrics.counter("campaign.runs_ok");
+    let failed_id = summary.metrics.counter("campaign.runs_failed");
+    let hung_id = summary.metrics.counter("campaign.runs_hung");
+    let skipped_id = summary.metrics.counter("campaign.runs_skipped");
+    let mismatch_id = summary.metrics.counter("campaign.determinism_mismatches");
+    let cycles_id = summary.metrics.histogram("campaign.run_cycles");
+    summary.metrics.add(skipped_id, skipped as u64);
+
+    let started = Instant::now();
+    let pending = todo.len();
+    let queue = Mutex::new(todo.into_iter().collect::<VecDeque<_>>());
+    let (tx, rx) = mpsc::channel::<(JournalRecord, bool)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                let job = queue.lock().map(|mut q| q.pop_front());
+                match job {
+                    Ok(Some((spec, verify))) => {
+                        if tx.send(execute_spec(&spec, verify)).is_err() {
+                            return;
+                        }
+                    }
+                    // Queue empty or poisoned (a sibling panicked while
+                    // holding the lock — impossible with pop_front alone,
+                    // but stop cleanly rather than spin).
+                    _ => return,
+                }
+            });
+        }
+        drop(tx);
+        for _ in 0..pending {
+            let Ok((record, mismatch)) = rx.recv() else {
+                break;
+            };
+            match record.status {
+                RunStatus::Ok => {
+                    summary.ok += 1;
+                    summary.metrics.add(ok_id, 1);
+                    summary.metrics.observe(cycles_id, record.cycles);
+                }
+                RunStatus::Failed => {
+                    summary.failed += 1;
+                    summary.metrics.add(failed_id, 1);
+                }
+                RunStatus::Hung => {
+                    summary.hung += 1;
+                    summary.metrics.add(hung_id, 1);
+                }
+            }
+            if mismatch {
+                summary.determinism_mismatches += 1;
+                summary.metrics.add(mismatch_id, 1);
+            }
+            if record.status != RunStatus::Ok {
+                summary.failures.push(RunFailure {
+                    status: record.status,
+                    scheme: record.scheme.clone(),
+                    workload: record.workload.clone(),
+                    seed: record.seed,
+                    config_digest: record.config_digest,
+                    detail: record.detail.clone(),
+                    repro: record.repro.clone(),
+                });
+            }
+            if let Err(e) = writer.append(&record) {
+                return Err(harness_err(format!(
+                    "writing {}: {e}",
+                    options.journal.display()
+                )));
+            }
+        }
+        Ok(())
+    })?;
+    summary.elapsed_ms = started.elapsed().as_millis() as u64;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_core::Scheme;
+
+    fn tiny_spec(fixture: Fixture) -> RunSpec {
+        RunSpec {
+            scheme: Scheme::Baseline,
+            workload: "GUPS".to_string(),
+            policy: dram_sim::PagePolicy::RelaxedClosePage,
+            cores: 1,
+            instructions: 300,
+            warmup: 1_000,
+            seed: 1,
+            watchdog_no_retire: if fixture == Fixture::Hang { 20 } else { 0 },
+            watchdog_queue_age: 0,
+            fault_plan: None,
+            fixture,
+        }
+    }
+
+    #[test]
+    fn panic_fixture_is_isolated_and_classified_failed() {
+        let (record, mismatch) = execute_spec(&tiny_spec(Fixture::Panic), false);
+        assert_eq!(record.status, RunStatus::Failed);
+        assert!(
+            record.detail.contains("synthetic panic fixture"),
+            "{}",
+            record.detail
+        );
+        assert!(record.repro.starts_with('#'));
+        assert!(!mismatch);
+    }
+
+    #[test]
+    fn hang_fixture_is_classified_hung_with_trail() {
+        let (record, _) = execute_spec(&tiny_spec(Fixture::Hang), false);
+        assert_eq!(record.status, RunStatus::Hung);
+        assert!(
+            record.detail.contains("liveness violation"),
+            "{}",
+            record.detail
+        );
+        assert!(
+            record.repro.contains("--watchdog-no-retire 20"),
+            "{}",
+            record.repro
+        );
+    }
+
+    #[test]
+    fn normal_spec_reports_cycles_and_digest() {
+        let (record, _) = execute_spec(&tiny_spec(Fixture::None), true);
+        assert_eq!(record.status, RunStatus::Ok, "{}", record.detail);
+        assert!(record.cycles > 0);
+        assert!(record.state_digest.is_some());
+        assert!(record.detail.is_empty());
+    }
+
+    #[test]
+    fn missing_fault_plan_file_fails_cleanly() {
+        let mut spec = tiny_spec(Fixture::None);
+        spec.fault_plan = Some("/no/such/plan.toml".to_string());
+        let (record, _) = execute_spec(&spec, false);
+        assert_eq!(record.status, RunStatus::Failed);
+        assert!(
+            record.detail.contains("/no/such/plan.toml"),
+            "{}",
+            record.detail
+        );
+        assert!(record.repro.contains("--faults /no/such/plan.toml"));
+    }
+
+    #[test]
+    fn resume_without_journal_is_an_error() {
+        let campaign = Campaign::from_toml_str(
+            "schemes = [\"baseline\"]\nworkloads = [\"GUPS\"]\nseeds = [1]\n",
+        )
+        .unwrap();
+        let options = CampaignOptions {
+            jobs: 1,
+            journal: std::env::temp_dir().join("sim_harness_no_such_journal.jsonl"),
+            resume: true,
+        };
+        let e = run_campaign(&campaign, &options).unwrap_err();
+        assert!(e.to_string().contains("cannot resume"), "{e}");
+    }
+}

@@ -12,7 +12,11 @@ use crate::diag::Diagnostic;
 use crate::passes::Pass;
 use crate::workspace::Workspace;
 
-/// Crates whose non-test code must not panic.
+/// Crates whose non-test code must not panic. `sim-harness` is
+/// deliberately absent: the campaign runner's job is to *contain* panics
+/// behind `catch_unwind` (and its panic fixture raises one on purpose), so
+/// it answers to `forbid-wallclock` scoping instead — see the wallclock
+/// pass's strict-path list.
 pub const HOT_CRATES: &[&str] = &["dram-sim", "cache-sim", "cpu-sim", "mem-model", "core"];
 
 const LINT: &str = "no-panic-hot-path";

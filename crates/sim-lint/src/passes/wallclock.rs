@@ -5,7 +5,10 @@
 //! replay machinery depend on: the same seed and config must produce the
 //! same cycle-exact run. `SystemTime` / `Instant::now` / OS entropy break
 //! that silently. The `bench` crate is exempt from the wall-clock rule (its
-//! whole point is measuring host time) but not from the `unsafe` rule.
+//! whole point is measuring host time) but not from the `unsafe` rule, and
+//! so is `sim-harness` (it times campaigns) — *except* its digest module,
+//! which feeds resume keys and must stay a pure function of the run spec,
+//! so it is held to the strict rule even inside the exempt crate.
 //!
 //! The pass also verifies every crate root declares
 //! `#![forbid(unsafe_code)]` so the compiler backs the lint.
@@ -28,8 +31,13 @@ const WALLCLOCK_IDENTS: &[&str] = &[
     "getrandom",
 ];
 
-/// Crates allowed to read the wall clock (host-time measurement harnesses).
-const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+/// Crates allowed to read the wall clock (host-time measurement harnesses:
+/// `bench` measures host time, `sim-harness` times campaign wall-clock).
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "sim-harness"];
+
+/// Files held to the strict wall-clock rule even inside an exempt crate:
+/// determinism-critical modules whose outputs key journals or digests.
+const WALLCLOCK_STRICT_PATHS: &[&str] = &["crates/sim-harness/src/digest.rs"];
 
 /// Pass implementation.
 pub struct ForbidWallclockAndUnsafe;
@@ -41,7 +49,8 @@ impl Pass for ForbidWallclockAndUnsafe {
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            let wallclock_exempt = WALLCLOCK_EXEMPT_CRATES.contains(&file.crate_name.as_str());
+            let wallclock_exempt = WALLCLOCK_EXEMPT_CRATES.contains(&file.crate_name.as_str())
+                && !WALLCLOCK_STRICT_PATHS.contains(&file.rel_path.as_str());
             for (_, tok) in file.code_tokens() {
                 if tok.kind != TokKind::Ident {
                     continue;
@@ -145,6 +154,24 @@ mod tests {
         let d = run(&w);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("unsafe"));
+    }
+
+    #[test]
+    fn sim_harness_is_exempt_except_its_digest_module() {
+        let runner = ws(vec![(
+            "sim-harness",
+            "crates/sim-harness/src/runner.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+        )]);
+        assert!(run(&runner).is_empty(), "campaign timing is allowed");
+        let digest = ws(vec![(
+            "sim-harness",
+            "crates/sim-harness/src/digest.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+        )]);
+        let d = run(&digest);
+        assert_eq!(d.len(), 2, "the digest module is strict: {d:?}");
+        assert!(d[0].message.contains("Instant"));
     }
 
     #[test]

@@ -211,6 +211,46 @@ fn wallclock_pragma_suppresses_seeded_instant() {
     );
 }
 
+#[test]
+fn wallclock_exempts_sim_harness_runner_but_not_its_digest_module() {
+    // The campaign runner legitimately times wall-clock; the digest module
+    // keys journal resume and must stay pure. Same crate, opposite verdicts.
+    let w = ws(vec![
+        (
+            "sim-harness",
+            "crates/sim-harness/src/runner.rs",
+            "pub fn elapsed() { let _ = Instant::now(); }\n",
+        ),
+        (
+            "sim-harness",
+            "crates/sim-harness/src/digest.rs",
+            "pub fn stamp() -> u64 { Instant::now().elapsed().as_millis() as u64 }\n",
+        ),
+    ]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "forbid-wallclock-and-unsafe");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].file, "crates/sim-harness/src/digest.rs");
+    assert!(hits[0].message.contains("`Instant`"), "{}", hits[0].message);
+}
+
+#[test]
+fn no_panic_does_not_apply_to_the_sim_harness_crate() {
+    // sim-harness is deliberately outside the hot-crate set: its whole job
+    // is to *contain* panics behind catch_unwind, so unwrap/panic in the
+    // harness is not a hot-path violation.
+    let w = ws(vec![(
+        "sim-harness",
+        "crates/sim-harness/src/runner.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "no-panic-hot-path").is_empty(),
+        "{diags:?}"
+    );
+}
+
 // ------------------------------------------------------------------ pragma
 
 #[test]
