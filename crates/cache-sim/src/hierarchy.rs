@@ -287,6 +287,7 @@ impl CacheHierarchy {
     ///
     /// Panics if `core` is out of range or a store mask is empty.
     pub fn access(&mut self, core: usize, addr: PhysAddr, store: Option<WordMask>) -> Access {
+        let _prof = sim_prof::span!("cache.access");
         let a = addr.line_aligned();
         if let Some(mask) = store {
             // sim-lint: allow(no-panic-hot-path): documented # Panics contract — an empty store mask is a caller bug, not a workload property

@@ -423,7 +423,16 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
             // error instead of a panic mid-run.
             std::fs::File::create(trace_path)
                 .map_err(|e| err(format!("cannot create {trace_path}: {e}")))?;
-            builder = builder.trace_out(trace_path);
+            let ring_cap = opts.get_u64("ring", 0)? as usize;
+            let ring = if ring_cap > 0 {
+                let ring =
+                    std::rc::Rc::new(std::cell::RefCell::new(sim_obs::RingSink::new(ring_cap)));
+                builder = builder.trace_ring(std::rc::Rc::clone(&ring));
+                Some(ring)
+            } else {
+                builder = builder.trace_out(trace_path);
+                None
+            };
             let epoch = opts.get_u64("metrics-epoch", 0)?;
             if epoch > 0 {
                 builder = builder.metrics_epoch(epoch);
@@ -435,10 +444,37 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
             }
             let report = builder.try_run()?;
             let mut out = render_report(&report);
-            let events = std::fs::read_to_string(trace_path)
-                .map(|t| t.lines().count())
-                .unwrap_or(0);
-            let _ = writeln!(out, "\n{events} trace events written to {trace_path}");
+            if let Some(ring) = &ring {
+                let ring = ring.borrow();
+                let mut text = String::new();
+                for ev in ring.events() {
+                    ev.write_json(&mut text);
+                    text.push('\n');
+                }
+                std::fs::write(trace_path, &text)
+                    .map_err(|e| err(format!("cannot write {trace_path}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "\n{} trace events written to {trace_path} (flight recorder, last {} of {} emitted)",
+                    ring.events().count(),
+                    ring.events().count(),
+                    ring.total_emitted()
+                );
+                if ring.dropped() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "warning: trace ring dropped {} events (trace.dropped_events={}); \
+                         raise --ring or drop it to stream the full trace",
+                        ring.dropped(),
+                        ring.dropped()
+                    );
+                }
+            } else {
+                let events = std::fs::read_to_string(trace_path)
+                    .map(|t| t.lines().count())
+                    .unwrap_or(0);
+                let _ = writeln!(out, "\n{events} trace events written to {trace_path}");
+            }
             if !report.metrics.is_empty() {
                 let effective_epoch = if epoch > 0 { epoch } else { 100_000 };
                 let _ = writeln!(
@@ -484,9 +520,133 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
             let summary = workloads::analysis::analyze(&mut replay, trace.len() as u64);
             Ok(render_summary(path, &summary))
         }
+        Some("export-perfetto") => {
+            let out_path = opts
+                .get("out")
+                .ok_or_else(|| err("trace export-perfetto needs --out <file>"))?;
+            let mut trace = sim_prof::PerfettoTrace::new();
+            let mut out = String::new();
+            if let Some(input) = opts.get("in") {
+                // Convert mode: an existing JSONL trace becomes per-bank
+                // simulated command tracks (no host spans — the run that
+                // produced the file is long gone).
+                let text = std::fs::read_to_string(input)
+                    .map_err(|e| err(format!("cannot read {input}: {e}")))?;
+                let (mut parsed, mut skipped) = (0u64, 0u64);
+                for line in text.lines() {
+                    match sim_obs::TraceEvent::parse_json(line) {
+                        Some(ev) => {
+                            trace.add_sim_event(&ev);
+                            parsed += 1;
+                        }
+                        None => skipped += 1,
+                    }
+                }
+                let _ = writeln!(out, "converted {parsed} events from {input}");
+                if skipped > 0 {
+                    let _ = writeln!(out, "{skipped} malformed line(s) skipped");
+                }
+            } else {
+                // Run mode: simulate with a flight-recorder ring and the
+                // host-time profiler, then export both clock domains.
+                let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
+                let (_, mut builder) = build(opts, scheme)?;
+                let capacity = opts.get_u64("ring", 65_536)? as usize;
+                if capacity == 0 {
+                    return Err(err("--ring must be positive"));
+                }
+                let ring =
+                    std::rc::Rc::new(std::cell::RefCell::new(sim_obs::RingSink::new(capacity)));
+                builder = builder.trace_ring(std::rc::Rc::clone(&ring));
+                sim_prof::reset();
+                sim_prof::set_timeline_capacity(capacity);
+                sim_prof::enable();
+                let result = builder.try_run();
+                sim_prof::disable();
+                let timeline = sim_prof::take_timeline();
+                sim_prof::reset();
+                sim_prof::set_timeline_capacity(0);
+                let report = result?;
+                trace.add_host_spans(&timeline.spans);
+                let ring = ring.borrow();
+                trace.add_sim_events(ring.events());
+                let _ = writeln!(
+                    out,
+                    "workload {} scheme {}: {} retained sim events, {} host spans",
+                    report.workload,
+                    report.scheme,
+                    ring.events().count(),
+                    timeline.spans.len()
+                );
+                if ring.dropped() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "warning: trace ring dropped {} events (trace.dropped_events={}); \
+                         the timeline shows only the tail of the run — raise --ring to keep more",
+                        ring.dropped(),
+                        ring.dropped()
+                    );
+                }
+                if timeline.dropped > 0 {
+                    let _ = writeln!(
+                        out,
+                        "note: {} host spans beyond the timeline capacity were not recorded",
+                        timeline.dropped
+                    );
+                }
+            }
+            std::fs::write(out_path, trace.to_json())
+                .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{} Perfetto events written to {out_path} (open in https://ui.perfetto.dev \
+                 or chrome://tracing)",
+                trace.event_count()
+            );
+            Ok(out)
+        }
         other => Err(err(format!(
-            "trace needs a subcommand (run | record | info), got {other:?}"
+            "trace needs a subcommand (run | record | info | export-perfetto), got {other:?}"
         ))),
+    }
+}
+
+/// `pra prof run`: one simulation with the host-time profiler enabled,
+/// reporting where host time went (`domain.name` spans ranked by self
+/// time) alongside the usual report.
+///
+/// # Errors
+///
+/// Propagates option and name resolution errors.
+pub fn cmd_prof(opts: &Options) -> Result<String, CliError> {
+    match opts.positional.first().map(String::as_str) {
+        Some("run") => {
+            let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
+            let (_, builder) = build(opts, scheme)?;
+            let top = opts.get_u64("top", 10)? as usize;
+            sim_prof::reset();
+            sim_prof::enable();
+            let result = builder.try_run();
+            sim_prof::disable();
+            let profile = sim_prof::take_report();
+            let report = result?;
+            let mut out = render_report(&report);
+            let mut reg = sim_obs::MetricsRegistry::new();
+            profile.publish_to(&mut reg);
+            let _ = writeln!(
+                out,
+                "\nhost-time profile: {} spans, {} calls (top {} by self time)",
+                reg.counter_value("prof.spans").unwrap_or(0),
+                reg.counter_value("prof.span_calls").unwrap_or(0),
+                top.min(profile.spans.len())
+            );
+            let trimmed = sim_prof::ProfileReport {
+                spans: profile.top(top).into_iter().cloned().collect(),
+            };
+            out.push_str(&trimmed.render());
+            Ok(out)
+        }
+        other => Err(err(format!("prof needs a subcommand (run), got {other:?}"))),
     }
 }
 
@@ -518,13 +678,15 @@ fn render_summary(label: &str, s: &workloads::analysis::StreamSummary) -> String
 fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> String {
     let mut out = String::new();
     let count = |status: RunStatus| loaded.records.iter().filter(|r| r.status == status).count();
+    let host_nanos: u64 = loaded.records.iter().map(|r| r.host_nanos).sum();
     let _ = writeln!(
         out,
-        "{journal}: {} journaled runs ({} ok, {} failed, {} hung)",
+        "{journal}: {} journaled runs ({} ok, {} failed, {} hung), {:.2} s host time",
         loaded.records.len(),
         count(RunStatus::Ok),
         count(RunStatus::Failed),
         count(RunStatus::Hung),
+        host_nanos as f64 / 1e9,
     );
     if loaded.dropped_lines > 0 {
         let _ = writeln!(
@@ -532,6 +694,31 @@ fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> 
             "{} malformed line(s) dropped (their runs will re-execute on resume)",
             loaded.dropped_lines
         );
+    }
+    // The slowest-runs table; journals written before host timing existed
+    // parse with host_nanos 0 and simply rank last.
+    let mut by_time: Vec<&sim_harness::JournalRecord> = loaded.records.iter().collect();
+    by_time.sort_by_key(|r| std::cmp::Reverse(r.host_nanos));
+    by_time.truncate(sim_harness::SLOWEST_KEPT);
+    if by_time.first().is_some_and(|r| r.host_nanos > 0) {
+        let _ = writeln!(out, "slowest {} runs:", by_time.len());
+        for r in by_time {
+            let cycles_per_sec = if r.host_nanos == 0 {
+                0.0
+            } else {
+                r.cycles as f64 * 1e9 / r.host_nanos as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:>9.3} s  [{}] {}/{} seed {} ({:.0} cycles/s)",
+                r.host_nanos as f64 / 1e9,
+                r.status,
+                r.scheme,
+                r.workload,
+                r.seed,
+                cycles_per_sec,
+            );
+        }
     }
     for r in &loaded.records {
         if r.status != RunStatus::Ok {
@@ -635,11 +822,21 @@ pub fn usage() -> String {
      \x20                journaled, panics are isolated, resume skips done runs\n\
      \x20                exit codes: 0 ok, 2 config, 3 protocol/liveness,\n\
      \x20                4 campaign finished with failures\n\
-     \x20 pra trace run  [run options] --trace-out FILE\n\
+     \x20 pra trace run  [run options] --trace-out FILE [--ring N]\n\
      \x20                [--metrics-epoch N] [--metrics-out FILE]\n\
-     \x20                run with JSONL event tracing / epoch metric snapshots\n\
+     \x20                run with JSONL event tracing / epoch metric snapshots;\n\
+     \x20                --ring keeps only the last N events (flight recorder)\n\
+     \x20                and warns when the ring overflowed\n\
      \x20 pra trace record --workload NAME --ops N --out FILE [--seed N]\n\
-     \x20 pra trace info FILE\n"
+     \x20 pra trace info FILE\n\
+     \x20 pra trace export-perfetto [run options] --out FILE [--ring N]\n\
+     \x20 pra trace export-perfetto --in TRACE.jsonl --out FILE\n\
+     \x20                export a Perfetto/chrome://tracing timeline: per-bank\n\
+     \x20                DRAM command tracks (row + PRA mats/mask args) plus\n\
+     \x20                host-time profiler spans (run mode only)\n\
+     \x20 pra prof run [run options] [--top N]\n\
+     \x20                profile where host time goes (span self/total time,\n\
+     \x20                call counts) while running one simulation\n"
         .to_string()
 }
 
@@ -658,6 +855,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, CliError> {
         "compare" => cmd_compare(&opts),
         "list" => Ok(cmd_list()),
         "trace" => cmd_trace(&opts),
+        "prof" => cmd_prof(&opts),
         "campaign" => cmd_campaign(&opts),
         "analyze" => cmd_analyze(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -883,6 +1081,177 @@ mod tests {
     }
 
     #[test]
+    fn trace_run_ring_mode_warns_on_overflow() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let trace = dir.join("ring.jsonl");
+        let opts = Options::parse(
+            [
+                "run",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
+                "--ring",
+                "16",
+                "--trace-out",
+                trace.to_str().ok_or("non-utf8 temp path")?,
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_trace(&opts)?;
+        assert!(out.contains("flight recorder"), "{out}");
+        assert!(
+            out.contains("warning: trace ring dropped"),
+            "a 16-event ring must overflow: {out}"
+        );
+        assert!(out.contains("trace.dropped_events="), "{out}");
+        let text = std::fs::read_to_string(&trace)?;
+        assert_eq!(text.lines().count(), 16, "the file holds the retained tail");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(trace).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn trace_export_perfetto_run_mode_combines_clock_domains() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("timeline.json");
+        let opts = Options::parse(
+            [
+                "export-perfetto",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
+                "--out",
+                path.to_str().ok_or("non-utf8 temp path")?,
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_trace(&opts)?;
+        assert!(out.contains("Perfetto events written"), "{out}");
+        let json = std::fs::read_to_string(&path)?;
+        assert!(json.starts_with("{\"traceEvents\":["), "{}", &json[..60]);
+        // Simulated per-bank command tracks with activation args. (Reads
+        // activate full rows even under PRA — the partial-activation arg
+        // rendering itself is covered by the convert-mode test below.)
+        assert!(
+            json.contains("\"name\":\"ACT\""),
+            "activation events present"
+        );
+        assert!(
+            json.contains("\"mats\":"),
+            "activation args carry mat count"
+        );
+        assert!(
+            json.contains("\"mask\":"),
+            "activation args carry word mask"
+        );
+        assert!(json.contains("rank0/bank"), "per-bank track names");
+        // ...alongside host-time profiler spans.
+        assert!(
+            json.contains("\"name\":\"dram.tick\""),
+            "host spans present"
+        );
+        assert!(json.contains("host profiler"), "host process named");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced JSON"
+        );
+        std::fs::remove_file(path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn trace_export_perfetto_converts_existing_jsonl() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let input = dir.join("convert-in.jsonl");
+        let output = dir.join("convert-out.json");
+        std::fs::write(
+            &input,
+            "{\"kind\":\"PARTIAL_ACT\",\"cycle\":42,\"ch\":0,\"rank\":0,\"bank\":3,\
+             \"row\":77,\"mats\":4,\"mask\":15}\n\
+             {\"kind\":\"RD\",\"cycle\":50,\"ch\":0,\"rank\":0,\"bank\":3,\"row\":77}\n\
+             not json at all\n",
+        )?;
+        let opts = Options::parse(
+            [
+                "export-perfetto",
+                "--in",
+                input.to_str().ok_or("non-utf8 temp path")?,
+                "--out",
+                output.to_str().ok_or("non-utf8 temp path")?,
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_trace(&opts)?;
+        assert!(out.contains("converted 2 events"), "{out}");
+        assert!(out.contains("1 malformed line(s) skipped"), "{out}");
+        let json = std::fs::read_to_string(&output)?;
+        assert!(json.contains("\"row\":77,\"mats\":4,\"mask\":15"), "{json}");
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(output).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn prof_run_reports_span_table() -> TestResult {
+        let opts = Options::parse(
+            [
+                "run",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
+                "--top",
+                "3",
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_prof(&opts)?;
+        assert!(out.contains("state digest"), "{out}");
+        assert!(out.contains("host-time profile"), "{out}");
+        // --top 3 trims the table to a header plus three data rows; which
+        // spans rank highest varies by host, but the hot-loop spans dominate
+        // so at least one tick-family span must appear.
+        let rows: Vec<&str> = out
+            .lines()
+            .skip_while(|l| !l.starts_with("span"))
+            .skip(1)
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        assert_eq!(rows.len(), 3, "{out}");
+        assert!(
+            rows.iter()
+                .any(|l| l.contains(".tick") || l.contains("cache.access")),
+            "{out}"
+        );
+        Ok(())
+    }
+
+    #[test]
     fn dispatch_unknown_command_errors() -> TestResult {
         let e = dispatch(vec!["frobnicate".into()]).expect_err("unknown command must error");
         assert!(e.message.contains("unknown command"));
@@ -946,6 +1315,9 @@ mod tests {
         assert!(e.message.contains("3 runs"), "{e}");
         assert!(e.message.contains("1 hung"), "{e}");
         assert!(e.message.contains("repro:"), "{e}");
+        assert!(e.message.contains("host time:"), "{e}");
+        assert!(e.message.contains("slowest 3 runs:"), "{e}");
+        assert!(e.message.contains("cycles/s"), "{e}");
         // Resume skips everything journaled — including the hung run — so
         // it exits clean.
         let out = cmd_campaign(&args("resume")?)?;
@@ -957,6 +1329,8 @@ mod tests {
         assert!(report.contains("3 journaled runs"), "{report}");
         assert!(report.contains("1 hung"), "{report}");
         assert!(report.contains("repro:"), "{report}");
+        assert!(report.contains("s host time"), "{report}");
+        assert!(report.contains("slowest 3 runs:"), "{report}");
         // Resume without a journal is a plain config error.
         let _ = std::fs::remove_file(&journal);
         let e = cmd_campaign(&args("resume")?).expect_err("resume needs a journal");

@@ -80,6 +80,7 @@ pub struct SimBuilder {
     generation: DramGeneration,
     ecc_x72: bool,
     trace_out: Option<PathBuf>,
+    trace_ring: Option<std::rc::Rc<std::cell::RefCell<sim_obs::RingSink>>>,
     metrics_out: Option<PathBuf>,
     metrics_epoch: u64,
     faults: Option<FaultPlan>,
@@ -105,6 +106,7 @@ impl SimBuilder {
             generation: DramGeneration::Ddr3,
             ecc_x72: false,
             trace_out: None,
+            trace_ring: None,
             metrics_out: None,
             metrics_epoch: 0,
             faults: None,
@@ -224,6 +226,18 @@ impl SimBuilder {
     /// default; the run is bit-identical with or without tracing.
     pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Feeds every trace event into a shared in-memory [`sim_obs::RingSink`]
+    /// instead of a file — the flight-recorder mode behind
+    /// `pra trace export-perfetto`. The caller keeps its own `Rc` clone and
+    /// reads the retained events (and the overflow count) back after the
+    /// run; [`SimBuilder::try_run`] also publishes the overflow count as the
+    /// `trace.dropped_events` counter. Ignored when
+    /// [`trace_out`](Self::trace_out) streams to a file instead.
+    pub fn trace_ring(mut self, ring: std::rc::Rc<std::cell::RefCell<sim_obs::RingSink>>) -> Self {
+        self.trace_ring = Some(ring);
         self
     }
 
@@ -386,6 +400,7 @@ impl SimBuilder {
         // then reset statistics. Writebacks produced during warmup are
         // dropped — no DRAM timing or energy is involved.
         let warmup = self.warmup_mem_ops.unwrap_or(1_000_000 / cores as u64);
+        let warmup_prof = sim_prof::span!("sim.warmup");
         for (core, generator) in generators.iter_mut().enumerate() {
             let mut mem_ops = 0;
             while mem_ops < warmup {
@@ -402,6 +417,7 @@ impl SimBuilder {
                 }
             }
         }
+        drop(warmup_prof);
         hierarchy.reset_stats();
         // Cache-side faults start with the measured phase, after warmup, so
         // warmup cache contents are identical with and without a plan.
@@ -430,6 +446,14 @@ impl SimBuilder {
                 .hierarchy_mut()
                 .set_trace_sink(Box::new(std::rc::Rc::clone(&shared)));
             system.set_trace_sink(Box::new(shared));
+        } else if let Some(ring) = &self.trace_ring {
+            system
+                .mem_mut()
+                .set_trace_sink(Box::new(std::rc::Rc::clone(ring)));
+            system
+                .hierarchy_mut()
+                .set_trace_sink(Box::new(std::rc::Rc::clone(ring)));
+            system.set_trace_sink(Box::new(std::rc::Rc::clone(ring)));
         }
         let epoch = if self.metrics_epoch == 0 && self.metrics_out.is_some() {
             100_000
@@ -454,7 +478,18 @@ impl SimBuilder {
         } else {
             self.instructions.saturating_mul(2000).max(10_000_000)
         };
-        let outcome = system.try_run(cap)?;
+        let outcome = {
+            let _prof = sim_prof::span!("sim.run");
+            system.try_run(cap)?
+        };
+        if let Some(ring) = &self.trace_ring {
+            // Surface silent flight-recorder overflow: the retained window
+            // is only the tail of the run once this counter is nonzero.
+            let dropped = ring.borrow().dropped();
+            let reg = &mut system.mem_mut().observer_mut().registry;
+            let id = reg.counter("trace.dropped_events");
+            reg.set_counter(id, dropped);
+        }
 
         let workload = self.name.clone().unwrap_or_else(|| {
             self.apps
@@ -736,6 +771,69 @@ mod tests {
         assert_eq!(delta_sum, r.dram.activations);
         let _ = std::fs::remove_file(&trace);
         let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn ring_sink_records_and_counts_drops() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let run = |ring: Option<Rc<RefCell<sim_obs::RingSink>>>| {
+            let mut b = SimBuilder::new()
+                .app(workloads::gups())
+                .scheme(Scheme::Pra)
+                .instructions(10_000)
+                .warmup_mem_ops(100_000);
+            if let Some(r) = ring {
+                b = b.trace_ring(r);
+            }
+            b.run()
+        };
+        let ring = Rc::new(RefCell::new(sim_obs::RingSink::new(64)));
+        let recorded = run(Some(Rc::clone(&ring)));
+        let plain = run(None);
+        {
+            let ring = ring.borrow();
+            assert!(ring.total_emitted() > 64, "a PRA run emits many events");
+            assert_eq!(
+                ring.dropped(),
+                ring.total_emitted() - 64,
+                "everything beyond capacity is dropped"
+            );
+            assert_eq!(ring.events().count(), 64);
+        }
+        assert_eq!(
+            recorded.state_digest(),
+            plain.state_digest(),
+            "the flight recorder must not perturb the simulation"
+        );
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_simulation_state() {
+        let base = quick(Scheme::Pra);
+        sim_prof::reset();
+        sim_prof::enable();
+        let profiled = quick(Scheme::Pra);
+        sim_prof::disable();
+        let report = sim_prof::take_report();
+        for span in [
+            "sim.warmup",
+            "sim.run",
+            "cpu.tick",
+            "dram.tick",
+            "cache.access",
+        ] {
+            assert!(
+                report.spans.iter().any(|s| s.name == span),
+                "expected span {span} in {:?}",
+                report.spans
+            );
+        }
+        assert_eq!(
+            profiled.state_digest(),
+            base.state_digest(),
+            "profiling on/off must leave simulation state untouched"
+        );
     }
 
     #[test]

@@ -220,6 +220,7 @@ impl CpuSystem {
     /// Returns the [`dram_sim::TickError`] raised by the memory system's
     /// protocol checker or liveness watchdogs, if any.
     pub(crate) fn try_tick_cpu_cycle(&mut self) -> Result<(), dram_sim::TickError> {
+        let _prof = sim_prof::span!("cpu.tick");
         self.hierarchy.set_now(self.cpu_cycle);
         let tracing = self.sink.tracing();
         for core_idx in 0..self.cores.len() {

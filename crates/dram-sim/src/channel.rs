@@ -146,7 +146,10 @@ impl Channel {
         command: DramCommand,
     ) -> Result<(), ProtocolError> {
         match checker {
-            Some(checker) => checker.observe(now, command),
+            Some(checker) => {
+                let _prof = sim_prof::span!("dram.checker");
+                checker.observe(now, command)
+            }
             None => Ok(()),
         }
     }
@@ -233,6 +236,7 @@ impl Channel {
             .as_ref()
             .map_or(cfg.timing.trefi, |f| f.effective_trefi(cfg.timing.trefi));
         // 1. Housekeeping: refresh expiry, auto-precharges, data completions.
+        let fsm_prof = sim_prof::span!("dram.bank_fsm");
         for (r, rank) in self.ranks.iter_mut().enumerate() {
             rank.finish_refresh_if_done(now);
             rank.update_refresh_due(now, trefi);
@@ -257,6 +261,7 @@ impl Channel {
             }
         }
         self.complete_transfers(now, stats, o, completed);
+        drop(fsm_prof);
 
         // 2. Write-drain hysteresis (48/16 watermarks) plus opportunistic
         //    draining when no reads are waiting.
@@ -276,12 +281,14 @@ impl Channel {
         self.update_escalation(now, cfg);
 
         // 3. One command-bus slot per cycle, in priority order.
+        let sched_prof = sim_prof::span!("dram.sched_pick");
         let issued = self.refresh_commands(now, cfg, stats, energy, o)?
             || self.issue_column(now, cfg, stats, energy, o, faults)?
             || self.issue_activate(now, cfg, stats, energy, o, faults)?
             || self.issue_precharge_for_pending(now, cfg, stats, o)?
             || self.issue_idle_close(now, cfg, stats, o)?;
         let _ = issued;
+        drop(sched_prof);
 
         // 4. Power-down entry for idle ranks (relaxed policy only; CKE is
         //    not a command-bus command).

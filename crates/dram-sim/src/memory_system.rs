@@ -218,6 +218,7 @@ impl MemorySystem {
     /// [`TickError::Liveness`] when a watchdog armed via
     /// [`DramConfig::liveness`] detects no forward progress.
     pub fn try_tick(&mut self) -> Result<&[RequestId], TickError> {
+        let _prof = sim_prof::span!("dram.tick");
         self.completed_scratch.clear();
         for channel in &mut self.channels {
             channel.tick(

@@ -64,6 +64,10 @@ pub struct JournalRecord {
     pub workload: String,
     /// CPU cycles the run simulated (0 for failed/hung runs).
     pub cycles: u64,
+    /// Host wall-clock nanoseconds the run took to execute (build + run,
+    /// measured around the panic-isolation boundary). 0 when the record
+    /// predates this field — old journals parse fine.
+    pub host_nanos: u64,
     /// [`pra_core::Report::state_digest`] of a successful run.
     pub state_digest: Option<u64>,
     /// Failure detail: panic payload or error message (empty when ok).
@@ -77,13 +81,14 @@ impl JournalRecord {
     pub fn to_json_line(&self) -> String {
         let mut line = format!(
             "{{\"config\":\"{:016x}\",\"seed\":{},\"status\":\"{}\",\"scheme\":\"{}\",\
-             \"workload\":\"{}\",\"cycles\":{}",
+             \"workload\":\"{}\",\"cycles\":{},\"host_nanos\":{}",
             self.config_digest,
             self.seed,
             self.status,
             escape(&self.scheme),
             escape(&self.workload),
             self.cycles,
+            self.host_nanos,
         );
         if let Some(digest) = self.state_digest {
             line.push_str(&format!(",\"state_digest\":\"{digest:016x}\""));
@@ -109,6 +114,8 @@ impl JournalRecord {
             scheme: json_str(line, "scheme")?,
             workload: json_str(line, "workload")?,
             cycles: json_u64(line, "cycles")?,
+            // Absent in journals written before host timing existed.
+            host_nanos: json_u64(line, "host_nanos").unwrap_or(0),
             state_digest: match json_str(line, "state_digest") {
                 Some(s) => Some(u64::from_str_radix(&s, 16).ok()?),
                 None => None,
@@ -300,6 +307,7 @@ mod tests {
             scheme: "PRA".to_string(),
             workload: "GUPS".to_string(),
             cycles: if status == RunStatus::Ok { 12_345 } else { 0 },
+            host_nanos: 987_654_321,
             state_digest: (status == RunStatus::Ok).then_some(0xabcd),
             detail: if status == RunStatus::Ok {
                 String::new()
@@ -317,6 +325,17 @@ mod tests {
             let parsed = JournalRecord::parse(&r.to_json_line()).unwrap();
             assert_eq!(parsed, r);
         }
+    }
+
+    #[test]
+    fn journals_without_host_nanos_still_parse() {
+        // A line as written before the host_nanos field existed.
+        let old = "{\"config\":\"00000000deadbeef\",\"seed\":3,\"status\":\"ok\",\
+                   \"scheme\":\"PRA\",\"workload\":\"GUPS\",\"cycles\":42,\
+                   \"state_digest\":\"000000000000abcd\",\"detail\":\"\",\"repro\":\"pra run\"}";
+        let parsed = JournalRecord::parse(old).unwrap();
+        assert_eq!(parsed.host_nanos, 0);
+        assert_eq!(parsed.cycles, 42);
     }
 
     #[test]

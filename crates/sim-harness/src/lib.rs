@@ -22,8 +22,12 @@
 //!
 //! Per-run counters route through [`sim_obs::MetricsRegistry`]
 //! (`campaign.runs_ok`, `campaign.runs_failed`, `campaign.runs_hung`,
-//! `campaign.runs_skipped`, `campaign.determinism_mismatches`) plus a
-//! `campaign.run_cycles` histogram over successful runs.
+//! `campaign.runs_skipped`, `campaign.determinism_mismatches`,
+//! `campaign.host_nanos`) plus a `campaign.run_cycles` histogram over
+//! successful runs. Each completed run also prints a stderr heartbeat
+//! (`[campaign done/total] …`) with its host time and simulated
+//! cycles-per-second, and the summary keeps the [`SLOWEST_KEPT`] slowest
+//! runs for the report's "slowest runs" table.
 //!
 //! The `pra campaign run|resume|report` subcommands are thin wrappers over
 //! [`run_campaign`] and [`load_journal`].
@@ -39,4 +43,7 @@ mod runner;
 pub use digest::{config_digest, fnv1a_64};
 pub use journal::{load_journal, JournalRecord, JournalWriter, LoadedJournal, RunStatus};
 pub use matrix::{Campaign, Fixture, MatrixError, RunSpec};
-pub use runner::{run_campaign, CampaignOptions, CampaignSummary, HarnessError, RunFailure};
+pub use runner::{
+    run_campaign, CampaignOptions, CampaignSummary, HarnessError, RunFailure, RunTiming,
+    SLOWEST_KEPT,
+};

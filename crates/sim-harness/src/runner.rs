@@ -65,6 +65,36 @@ pub struct RunFailure {
     pub repro: String,
 }
 
+/// Host timing of one executed run, kept for the "slowest runs" trail.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Final status.
+    pub status: RunStatus,
+    /// Host wall-clock nanoseconds the run took.
+    pub host_nanos: u64,
+    /// CPU cycles the run simulated (0 for failed/hung runs).
+    pub cycles: u64,
+}
+
+impl RunTiming {
+    /// Simulated CPU cycles per host second (0 when nothing was timed).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 * 1e9 / self.host_nanos as f64
+    }
+}
+
+/// Slowest runs kept in the summary trail.
+pub const SLOWEST_KEPT: usize = 5;
+
 /// What a campaign did: counters, failures and the per-run metrics.
 #[derive(Debug)]
 pub struct CampaignSummary {
@@ -88,6 +118,9 @@ pub struct CampaignSummary {
     pub jobs: usize,
     /// Every failed or hung run, in completion order.
     pub failures: Vec<RunFailure>,
+    /// The [`SLOWEST_KEPT`] slowest executed runs by host time, slowest
+    /// first.
+    pub slowest: Vec<RunTiming>,
     /// Campaign counters and the per-run cycle histogram.
     pub metrics: MetricsRegistry,
 }
@@ -131,6 +164,31 @@ impl CampaignSummary {
                     hist.p50(),
                     hist.p95(),
                     hist.max()
+                ));
+            }
+        }
+        let executed = self.ok + self.failed + self.hung;
+        if let Some(host_nanos) = self.metrics.counter_value("campaign.host_nanos") {
+            if host_nanos > 0 {
+                out.push_str(&format!(
+                    "\nhost time: {:.2} s of simulation across {} executed run{}",
+                    host_nanos as f64 / 1e9,
+                    executed,
+                    if executed == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        if !self.slowest.is_empty() {
+            out.push_str(&format!("\nslowest {} runs:", self.slowest.len()));
+            for t in &self.slowest {
+                out.push_str(&format!(
+                    "\n  {:>9.3} s  [{}] {}/{} seed {} ({:.0} cycles/s)",
+                    t.host_nanos as f64 / 1e9,
+                    t.status,
+                    t.scheme,
+                    t.workload,
+                    t.seed,
+                    t.cycles_per_sec(),
                 ));
             }
         }
@@ -214,12 +272,16 @@ fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
         scheme: spec.scheme.name().to_string(),
         workload: spec.workload.clone(),
         cycles: 0,
+        host_nanos: 0,
         state_digest: None,
         detail: String::new(),
         repro: spec.repro_line(),
     };
     let mut mismatch = false;
-    match catch_unwind(AssertUnwindSafe(|| run_spec(spec, verify))) {
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_spec(spec, verify)));
+    record.host_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    match outcome {
         Ok(Ok(report)) => {
             record.status = RunStatus::Ok;
             record.cycles = report.cpu_cycles;
@@ -310,6 +372,7 @@ pub fn run_campaign(
         elapsed_ms: 0,
         jobs,
         failures: Vec::new(),
+        slowest: Vec::new(),
         metrics: MetricsRegistry::new(),
     };
     let ok_id = summary.metrics.counter("campaign.runs_ok");
@@ -317,6 +380,7 @@ pub fn run_campaign(
     let hung_id = summary.metrics.counter("campaign.runs_hung");
     let skipped_id = summary.metrics.counter("campaign.runs_skipped");
     let mismatch_id = summary.metrics.counter("campaign.determinism_mismatches");
+    let host_id = summary.metrics.counter("campaign.host_nanos");
     let cycles_id = summary.metrics.histogram("campaign.run_cycles");
     summary.metrics.add(skipped_id, skipped as u64);
 
@@ -344,7 +408,7 @@ pub fn run_campaign(
             });
         }
         drop(tx);
-        for _ in 0..pending {
+        for done in 1..=pending {
             let Ok((record, mismatch)) = rx.recv() else {
                 break;
             };
@@ -367,6 +431,34 @@ pub fn run_campaign(
                 summary.determinism_mismatches += 1;
                 summary.metrics.add(mismatch_id, 1);
             }
+            summary.metrics.add(host_id, record.host_nanos);
+            let timing = RunTiming {
+                scheme: record.scheme.clone(),
+                workload: record.workload.clone(),
+                seed: record.seed,
+                status: record.status,
+                host_nanos: record.host_nanos,
+                cycles: record.cycles,
+            };
+            // Per-run heartbeat, so a long campaign is observable while it
+            // runs (stderr: the report itself goes to stdout).
+            eprintln!(
+                "[campaign {done}/{pending}] {}/{} seed {}: {} in {:.2} s ({:.0} cycles/s) | {} ok {} failed {} hung",
+                timing.scheme,
+                timing.workload,
+                timing.seed,
+                timing.status,
+                timing.host_nanos as f64 / 1e9,
+                timing.cycles_per_sec(),
+                summary.ok,
+                summary.failed,
+                summary.hung,
+            );
+            summary.slowest.push(timing);
+            summary
+                .slowest
+                .sort_by_key(|t| std::cmp::Reverse(t.host_nanos));
+            summary.slowest.truncate(SLOWEST_KEPT);
             if record.status != RunStatus::Ok {
                 summary.failures.push(RunFailure {
                     status: record.status,

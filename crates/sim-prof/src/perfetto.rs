@@ -1,0 +1,362 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! Produces a single `{"traceEvents":[...]}` document loadable by
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`, combining
+//! two clock domains kept apart as separate processes:
+//!
+//! * **Host time** — profiler [`SpanRecord`]s become complete (`"X"`)
+//!   events under the "host profiler" process; 1 µs of trace time is 1 µs
+//!   of host time.
+//! * **Simulated time** — sim-obs [`TraceEvent`]s become per-bank command
+//!   tracks under one process per DRAM channel (plus one for the CPU/cache
+//!   domain); 1 µs of trace time is 1 simulated cycle of the emitting
+//!   clock domain.
+//!
+//! All strings written into the JSON are either static tags or formatted
+//! numbers, so no escaping is required.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use sim_obs::TraceEvent;
+
+use crate::profiler::SpanRecord;
+
+/// Synthetic pid carrying host-time profiler spans.
+pub const HOST_PID: u32 = 1;
+/// Synthetic pid carrying CPU-clock-domain events (cache fills,
+/// writebacks, core stalls).
+pub const CPU_PID: u32 = 2;
+/// Synthetic pid of DRAM channel 0; channel `c` maps to `DRAM_PID_BASE + c`.
+pub const DRAM_PID_BASE: u32 = 10;
+
+const RANK_TID_BASE: u32 = 900;
+const COMPLETION_TID: u32 = 990;
+const DRAIN_TID: u32 = 991;
+const WRITEBACK_TID: u32 = 99;
+
+/// Incremental builder for a combined host + simulated-time trace.
+#[derive(Debug, Default)]
+pub struct PerfettoTrace {
+    events: Vec<String>,
+    named_processes: BTreeSet<u32>,
+    named_threads: BTreeSet<(u32, u32)>,
+}
+
+impl PerfettoTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PerfettoTrace::default()
+    }
+
+    /// Number of (non-metadata) events added so far.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds every closed profiler span as a host-time slice.
+    pub fn add_host_spans(&mut self, spans: &[SpanRecord]) {
+        self.name_process(HOST_PID, "host profiler (µs = host µs)");
+        self.name_thread(HOST_PID, 1, "spans");
+        for rec in spans {
+            let ts = rec.start_ns as f64 / 1000.0;
+            let dur = rec.dur_ns as f64 / 1000.0;
+            let mut e = String::with_capacity(128);
+            let _ = write!(
+                e,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                 \"pid\":{HOST_PID},\"tid\":1,\"args\":{{\"depth\":{}}}}}",
+                rec.name, rec.depth
+            );
+            self.events.push(e);
+        }
+    }
+
+    /// Adds a batch of simulated events (see [`PerfettoTrace::add_sim_event`]).
+    pub fn add_sim_events<'a>(&mut self, events: impl IntoIterator<Item = &'a TraceEvent>) {
+        for ev in events {
+            self.add_sim_event(ev);
+        }
+    }
+
+    /// Adds one simulated event on its clock-domain track: DRAM commands
+    /// land on a per-bank track of their channel's process (with row and
+    /// PRA mats/mask args on activations), rank-level commands (REF, power
+    /// up/down) on a per-rank track, and CPU-domain events under the CPU
+    /// process.
+    pub fn add_sim_event(&mut self, ev: &TraceEvent) {
+        let kind = ev.kind();
+        let ts = ev.cycle();
+        match *ev {
+            TraceEvent::Activate {
+                channel,
+                rank,
+                bank,
+                row,
+                mats,
+                mask,
+                ..
+            } => {
+                let (pid, tid) = self.bank_track(channel, rank, bank);
+                self.push_complete(
+                    kind,
+                    pid,
+                    tid,
+                    ts,
+                    1,
+                    &format!("\"row\":{row},\"mats\":{mats},\"mask\":{mask}"),
+                );
+            }
+            TraceEvent::Read {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            }
+            | TraceEvent::Write {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            } => {
+                let (pid, tid) = self.bank_track(channel, rank, bank);
+                self.push_complete(kind, pid, tid, ts, 1, &format!("\"row\":{row}"));
+            }
+            TraceEvent::Precharge {
+                channel,
+                rank,
+                bank,
+                ..
+            } => {
+                let (pid, tid) = self.bank_track(channel, rank, bank);
+                self.push_complete(kind, pid, tid, ts, 1, "");
+            }
+            TraceEvent::Refresh { channel, rank, .. }
+            | TraceEvent::PowerDown { channel, rank, .. }
+            | TraceEvent::PowerUp { channel, rank, .. } => {
+                let pid = self.channel_process(channel);
+                let tid = RANK_TID_BASE + u32::from(rank);
+                self.name_thread(pid, tid, &format!("rank{rank} ctrl"));
+                self.push_complete(kind, pid, tid, ts, 1, "");
+            }
+            TraceEvent::ReadComplete {
+                channel, latency, ..
+            } => {
+                let pid = self.channel_process(channel);
+                self.name_thread(pid, COMPLETION_TID, "read completions");
+                self.push_complete(
+                    kind,
+                    pid,
+                    COMPLETION_TID,
+                    ts,
+                    1,
+                    &format!("\"latency\":{latency}"),
+                );
+            }
+            TraceEvent::DrainEnter { channel, .. } => {
+                let pid = self.channel_process(channel);
+                self.name_thread(pid, DRAIN_TID, "write drain");
+                self.push_complete(kind, pid, DRAIN_TID, ts, 1, "");
+            }
+            TraceEvent::CacheFill {
+                core,
+                line,
+                from_memory,
+                ..
+            } => {
+                let tid = self.core_track(core);
+                self.push_complete(
+                    kind,
+                    CPU_PID,
+                    tid,
+                    ts,
+                    1,
+                    &format!("\"line\":{line},\"from_memory\":{from_memory}"),
+                );
+            }
+            TraceEvent::CacheWriteback {
+                line, mask, dbi, ..
+            } => {
+                self.cpu_process();
+                self.name_thread(CPU_PID, WRITEBACK_TID, "writebacks");
+                self.push_complete(
+                    kind,
+                    CPU_PID,
+                    WRITEBACK_TID,
+                    ts,
+                    1,
+                    &format!("\"line\":{line},\"mask\":{mask},\"dbi\":{dbi}"),
+                );
+            }
+            TraceEvent::CoreStall {
+                core,
+                reason,
+                cycles,
+                ..
+            } => {
+                let tid = self.core_track(core);
+                self.push_complete(
+                    kind,
+                    CPU_PID,
+                    tid,
+                    ts,
+                    cycles.max(1),
+                    &format!("\"reason\":\"{}\",\"cycles\":{cycles}", reason.name()),
+                );
+            }
+        }
+    }
+
+    /// Serializes the whole trace as one Chrome trace-event JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::with_capacity(self.events.iter().map(|e| e.len() + 1).sum::<usize>() + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    fn push_complete(&mut self, name: &str, pid: u32, tid: u32, ts: u64, dur: u64, args: &str) {
+        let mut e = String::with_capacity(96 + args.len());
+        let _ = write!(
+            e,
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}"
+        );
+        self.events.push(e);
+    }
+
+    fn bank_track(&mut self, channel: u8, rank: u8, bank: u8) -> (u32, u32) {
+        let pid = self.channel_process(channel);
+        let tid = 1 + u32::from(rank) * 32 + u32::from(bank);
+        self.name_thread(pid, tid, &format!("rank{rank}/bank{bank}"));
+        (pid, tid)
+    }
+
+    fn channel_process(&mut self, channel: u8) -> u32 {
+        let pid = DRAM_PID_BASE + u32::from(channel);
+        self.name_process(pid, &format!("dram ch{channel} (µs = mem cycle)"));
+        pid
+    }
+
+    fn cpu_process(&mut self) {
+        self.name_process(CPU_PID, "cpu/cache (µs = cpu cycle)");
+    }
+
+    fn core_track(&mut self, core: u8) -> u32 {
+        self.cpu_process();
+        let tid = 1 + u32::from(core);
+        self.name_thread(CPU_PID, tid, &format!("core{core}"));
+        tid
+    }
+
+    fn name_process(&mut self, pid: u32, name: &str) {
+        if self.named_processes.insert(pid) {
+            let mut e = String::with_capacity(96);
+            let _ = write!(
+                e,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+            self.events.push(e);
+        }
+    }
+
+    fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        if self.named_threads.insert((pid, tid)) {
+            let mut e = String::with_capacity(96);
+            let _ = write!(
+                e,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+            self.events.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(cycle: u64, bank: u8, mats: u32) -> TraceEvent {
+        TraceEvent::Activate {
+            cycle,
+            channel: 0,
+            rank: 0,
+            bank,
+            row: 7,
+            mats,
+            mask: 0x0F,
+        }
+    }
+
+    #[test]
+    fn banks_get_distinct_named_tracks_with_args() {
+        let mut t = PerfettoTrace::new();
+        t.add_sim_events([&act(5, 0, 4), &act(9, 3, 16)]);
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"PARTIAL_ACT\""));
+        assert!(json.contains("\"name\":\"ACT\""));
+        assert!(json.contains("\"row\":7,\"mats\":4,\"mask\":15"));
+        assert!(json.contains("\"name\":\"rank0/bank0\""));
+        assert!(json.contains("\"name\":\"rank0/bank3\""));
+        assert!(json.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn host_and_sim_events_live_in_separate_processes() {
+        let mut t = PerfettoTrace::new();
+        t.add_host_spans(&[SpanRecord {
+            name: "dram.tick",
+            start_ns: 1500,
+            dur_ns: 2500,
+            depth: 0,
+        }]);
+        t.add_sim_event(&act(1, 0, 16));
+        let json = t.to_json();
+        assert!(json.contains(&format!("\"pid\":{HOST_PID}")));
+        assert!(json.contains(&format!("\"pid\":{}", DRAM_PID_BASE)));
+        assert!(json.contains("\"ts\":1.500,\"dur\":2.500"));
+    }
+
+    #[test]
+    fn output_is_balanced_json() {
+        let mut t = PerfettoTrace::new();
+        t.add_sim_event(&TraceEvent::CoreStall {
+            cycle: 10,
+            core: 1,
+            reason: sim_obs::StallKind::Rob,
+            cycles: 4,
+        });
+        t.add_sim_event(&TraceEvent::ReadComplete {
+            cycle: 30,
+            channel: 1,
+            latency: 22,
+        });
+        let json = t.to_json();
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in:\n{json}");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn metadata_emitted_once_per_track() {
+        let mut t = PerfettoTrace::new();
+        t.add_sim_events([&act(1, 0, 16), &act(2, 0, 16), &act(3, 0, 16)]);
+        let json = t.to_json();
+        assert_eq!(json.matches("thread_name").count(), 1);
+        assert_eq!(json.matches("process_name").count(), 1);
+    }
+}

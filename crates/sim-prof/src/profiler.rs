@@ -1,0 +1,335 @@
+//! Thread-local hierarchical span profiler.
+//!
+//! Instrumentation sites create a [`SpanGuard`] with [`span`] (usually via
+//! the [`crate::span!`] macro); the guard's `Drop` closes the span. Spans
+//! nest on a per-thread stack, so each span's elapsed time is attributed
+//! both to its own aggregate and to its parent's child time — the
+//! difference (`total - child`) is the span's *self* time, the quantity a
+//! flat profile ranks by.
+//!
+//! The profiler is off by default. While off, [`span`] reads one
+//! thread-local flag and returns an inert guard: no clock call, no
+//! allocation, no state change — the uninstrumented path stays free and
+//! simulation state can never depend on whether profiling is enabled.
+
+use std::cell::{Cell, RefCell};
+
+use crate::clock::now_nanos;
+use crate::report::{ProfileReport, SpanStat};
+
+/// One closed span occurrence on the recorded timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`domain.name`, matching docs/metrics.md conventions).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the thread's clock anchor.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+}
+
+/// The recorded span timeline, drained by [`take_timeline`].
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Closed spans in close order (capped at the configured capacity).
+    pub spans: Vec<SpanRecord>,
+    /// Spans that closed after the capacity was reached and were dropped.
+    pub dropped: u64,
+}
+
+struct Frame {
+    slot: usize,
+    start_ns: u64,
+    child_ns: u64,
+    depth: u32,
+}
+
+#[derive(Default)]
+struct Agg {
+    name: &'static str,
+    calls: u64,
+    total_ns: u64,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct State {
+    stack: Vec<Frame>,
+    aggs: Vec<Agg>,
+    timeline: Vec<SpanRecord>,
+    timeline_capacity: usize,
+    timeline_dropped: u64,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<State> = RefCell::new(State::default());
+}
+
+/// Turns profiling on for this thread. Aggregates accumulate until
+/// [`reset`] or [`take_report`].
+pub fn enable() {
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Turns profiling off. Guards already open will still close correctly;
+/// guards created while disabled never touch the clock.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+}
+
+/// Whether profiling is currently enabled on this thread.
+pub fn is_enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Additionally records every closed span (up to `capacity`) for timeline
+/// export; `0` disables recording. Implies nothing about [`enable`] —
+/// call both to capture a timeline.
+pub fn set_timeline_capacity(capacity: usize) {
+    STATE.with_borrow_mut(|s| s.timeline_capacity = capacity);
+}
+
+/// Clears all aggregates, the recorded timeline and the open-span stack.
+/// The enabled flag and timeline capacity are preserved.
+pub fn reset() {
+    STATE.with_borrow_mut(|s| {
+        s.stack.clear();
+        s.aggs.clear();
+        s.timeline.clear();
+        s.timeline_dropped = 0;
+    });
+}
+
+/// Opens a span named `name`; the returned guard closes it on drop.
+///
+/// When profiling is disabled this is one thread-local read and an inert
+/// guard — the clock is never touched.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: false };
+    }
+    open_span(name);
+    SpanGuard { active: true }
+}
+
+/// Snapshot of the per-span aggregates (open spans are not included until
+/// they close). Does not reset anything.
+pub fn report() -> ProfileReport {
+    STATE.with_borrow(|s| ProfileReport {
+        spans: s
+            .aggs
+            .iter()
+            .map(|a| SpanStat {
+                name: a.name.to_string(),
+                calls: a.calls,
+                total_ns: a.total_ns,
+                child_ns: a.child_ns,
+            })
+            .collect(),
+    })
+}
+
+/// [`report`] followed by [`reset`].
+pub fn take_report() -> ProfileReport {
+    let r = report();
+    reset();
+    r
+}
+
+/// Drains the recorded timeline (closed spans plus the over-capacity drop
+/// count), leaving the aggregates untouched.
+pub fn take_timeline() -> Timeline {
+    STATE.with_borrow_mut(|s| Timeline {
+        spans: std::mem::take(&mut s.timeline),
+        dropped: std::mem::take(&mut s.timeline_dropped),
+    })
+}
+
+fn open_span(name: &'static str) {
+    let start_ns = now_nanos();
+    STATE.with_borrow_mut(|s| {
+        let slot = match s.aggs.iter().position(|a| a.name == name) {
+            Some(i) => i,
+            None => {
+                s.aggs.push(Agg {
+                    name,
+                    ..Agg::default()
+                });
+                s.aggs.len() - 1
+            }
+        };
+        let depth = s.stack.len() as u32;
+        s.stack.push(Frame {
+            slot,
+            start_ns,
+            child_ns: 0,
+            depth,
+        });
+    });
+}
+
+fn close_span() {
+    let end_ns = now_nanos();
+    STATE.with_borrow_mut(|s| {
+        // An active guard can outlive a `reset()` that cleared the stack;
+        // closing then is a no-op rather than a misattribution.
+        let Some(frame) = s.stack.pop() else { return };
+        let elapsed = end_ns.saturating_sub(frame.start_ns);
+        {
+            let agg = &mut s.aggs[frame.slot];
+            agg.calls += 1;
+            agg.total_ns += elapsed;
+            agg.child_ns += frame.child_ns;
+        }
+        let name = s.aggs[frame.slot].name;
+        if let Some(parent) = s.stack.last_mut() {
+            parent.child_ns += elapsed;
+        }
+        if s.timeline_capacity > 0 {
+            if s.timeline.len() < s.timeline_capacity {
+                s.timeline.push(SpanRecord {
+                    name,
+                    start_ns: frame.start_ns,
+                    dur_ns: elapsed,
+                    depth: frame.depth,
+                });
+            } else {
+                s.timeline_dropped += 1;
+            }
+        }
+    });
+}
+
+/// RAII guard returned by [`span`]; closes the span when dropped.
+///
+/// A guard created while profiling was disabled stays inert even if
+/// profiling is enabled before it drops, so enable/disable transitions
+/// can never unbalance the span stack.
+#[must_use = "a span guard measures the scope it lives in; dropping it immediately measures nothing"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            close_span();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_clean_profiler(f: impl FnOnce()) {
+        reset();
+        set_timeline_capacity(0);
+        enable();
+        f();
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        disable();
+        reset();
+        {
+            let _g = span("test.disabled");
+        }
+        assert!(report().spans.is_empty());
+    }
+
+    #[test]
+    fn guard_created_disabled_stays_inert_after_enable() {
+        disable();
+        reset();
+        let g = span("test.inert");
+        enable();
+        drop(g);
+        assert!(report().spans.is_empty(), "inert guard must not close");
+        disable();
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_and_child_time() {
+        with_clean_profiler(|| {
+            {
+                let _outer = span("test.outer");
+                for _ in 0..3 {
+                    let _inner = span("test.inner");
+                }
+            }
+            let rep = report();
+            let outer = rep.spans.iter().find(|s| s.name == "test.outer").unwrap();
+            let inner = rep.spans.iter().find(|s| s.name == "test.inner").unwrap();
+            assert_eq!(outer.calls, 1);
+            assert_eq!(inner.calls, 3);
+            assert!(
+                outer.total_ns >= outer.child_ns,
+                "total ({}) must cover child time ({})",
+                outer.total_ns,
+                outer.child_ns
+            );
+            assert!(
+                outer.child_ns >= inner.total_ns,
+                "all inner time is the outer span's child time"
+            );
+            assert_eq!(inner.child_ns, 0, "leaf spans have no children");
+            assert_eq!(outer.self_ns(), outer.total_ns - outer.child_ns);
+        });
+    }
+
+    #[test]
+    fn take_report_resets_aggregates() {
+        with_clean_profiler(|| {
+            {
+                let _g = span("test.once");
+            }
+            let first = take_report();
+            assert_eq!(first.spans.len(), 1);
+            assert!(report().spans.is_empty());
+        });
+    }
+
+    #[test]
+    fn timeline_caps_and_counts_drops() {
+        with_clean_profiler(|| {
+            set_timeline_capacity(2);
+            for _ in 0..5 {
+                let _g = span("test.tl");
+            }
+            let tl = take_timeline();
+            assert_eq!(tl.spans.len(), 2);
+            assert_eq!(tl.dropped, 3);
+            assert!(tl.spans.iter().all(|r| r.name == "test.tl" && r.depth == 0));
+            // The aggregate view is unaffected by draining the timeline.
+            assert_eq!(report().spans[0].calls, 5);
+        });
+    }
+
+    #[test]
+    fn timeline_records_depth_and_ordering() {
+        with_clean_profiler(|| {
+            set_timeline_capacity(16);
+            {
+                let _outer = span("test.depth0");
+                let _inner = span("test.depth1");
+            }
+            let tl = take_timeline();
+            // Inner closes first (drop order), at depth 1.
+            assert_eq!(tl.spans[0].name, "test.depth1");
+            assert_eq!(tl.spans[0].depth, 1);
+            assert_eq!(tl.spans[1].name, "test.depth0");
+            assert_eq!(tl.spans[1].depth, 0);
+            assert!(tl.spans[1].start_ns <= tl.spans[0].start_ns);
+            assert_eq!(tl.dropped, 0);
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! Rolled-up profile reports: per-span aggregates, ranking and rendering.
+
+use std::fmt::Write as _;
+
+use sim_obs::MetricsRegistry;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name (`domain.name`, matching docs/metrics.md conventions).
+    pub name: String,
+    /// Times the span closed.
+    pub calls: u64,
+    /// Total nanoseconds inside the span (including children).
+    pub total_ns: u64,
+    /// Nanoseconds spent in child spans.
+    pub child_ns: u64,
+}
+
+impl SpanStat {
+    /// Nanoseconds spent in the span itself, excluding child spans.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Average nanoseconds per call (0 when never called).
+    pub fn avg_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// A snapshot of every span aggregate, as returned by
+/// [`crate::report`] / [`crate::take_report`].
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// One entry per distinct span name, in first-open order.
+    pub spans: Vec<SpanStat>,
+}
+
+impl ProfileReport {
+    /// Whether any span closed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans ranked by self time, heaviest first (ties broken by name so
+    /// the order is deterministic).
+    pub fn ranked(&self) -> Vec<&SpanStat> {
+        let mut v: Vec<&SpanStat> = self.spans.iter().collect();
+        v.sort_by(|a, b| b.self_ns().cmp(&a.self_ns()).then(a.name.cmp(&b.name)));
+        v
+    }
+
+    /// The `k` spans with the most self time.
+    pub fn top(&self, k: usize) -> Vec<&SpanStat> {
+        let mut v = self.ranked();
+        v.truncate(k);
+        v
+    }
+
+    /// Renders an aligned text table ranked by self time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>14} {:>14} {:>12}",
+            "span", "calls", "total ms", "self ms", "avg ns/call"
+        );
+        for s in self.ranked() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>14.3} {:>14.3} {:>12}",
+                s.name,
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns() as f64 / 1e6,
+                s.avg_ns()
+            );
+        }
+        out
+    }
+
+    /// Publishes the report into a metrics registry: `prof.spans` and
+    /// `prof.span_calls` totals, plus per-span `prof.<span>.calls`,
+    /// `prof.<span>.total_nanos` and `prof.<span>.self_nanos` counters
+    /// (dynamic names, declared as such in docs/metrics.md).
+    pub fn publish_to(&self, reg: &mut MetricsRegistry) {
+        let spans = reg.counter("prof.spans");
+        reg.set_counter(spans, self.spans.len() as u64);
+        let calls = reg.counter("prof.span_calls");
+        reg.set_counter(calls, self.spans.iter().map(|s| s.calls).sum());
+        for s in &self.spans {
+            let id = reg.counter(&format!("prof.{}.calls", s.name));
+            reg.set_counter(id, s.calls);
+            let id = reg.counter(&format!("prof.{}.total_nanos", s.name));
+            reg.set_counter(id, s.total_ns);
+            let id = reg.counter(&format!("prof.{}.self_nanos", s.name));
+            reg.set_counter(id, s.self_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(name: &str, calls: u64, total_ns: u64, child_ns: u64) -> SpanStat {
+        SpanStat {
+            name: name.to_string(),
+            calls,
+            total_ns,
+            child_ns,
+        }
+    }
+
+    fn sample() -> ProfileReport {
+        ProfileReport {
+            spans: vec![
+                stat("cpu.tick", 10, 1_000, 600),
+                stat("dram.tick", 40, 600, 50),
+                stat("cache.access", 100, 50, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn ranking_is_by_self_time() {
+        let rep = sample();
+        let names: Vec<&str> = rep.ranked().iter().map(|s| s.name.as_str()).collect();
+        // self: dram.tick 550, cpu.tick 400, cache.access 50.
+        assert_eq!(names, vec!["dram.tick", "cpu.tick", "cache.access"]);
+        assert_eq!(rep.top(1)[0].name, "dram.tick");
+    }
+
+    #[test]
+    fn self_and_avg_derivations() {
+        let s = stat("x.y", 4, 100, 30);
+        assert_eq!(s.self_ns(), 70);
+        assert_eq!(s.avg_ns(), 25);
+        let never = stat("x.z", 0, 0, 0);
+        assert_eq!(never.avg_ns(), 0);
+        let clamped = stat("x.w", 1, 10, 20);
+        assert_eq!(clamped.self_ns(), 0, "self time saturates at zero");
+    }
+
+    #[test]
+    fn render_lists_every_span() {
+        let text = sample().render();
+        for name in ["dram.tick", "cpu.tick", "cache.access"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn publish_to_registers_totals_and_per_span_counters() {
+        let rep = sample();
+        let mut reg = MetricsRegistry::new();
+        rep.publish_to(&mut reg);
+        assert_eq!(reg.counter_value("prof.spans"), Some(3));
+        assert_eq!(reg.counter_value("prof.span_calls"), Some(150));
+        assert_eq!(reg.counter_value("prof.dram.tick.self_nanos"), Some(550));
+    }
+}
