@@ -78,7 +78,7 @@ fn err(msg: impl Into<String>) -> CliError {
 }
 
 /// Flags that take no value; `--flag` alone sets them.
-const BOOLEAN_FLAGS: &[&str] = &["verify-determinism"];
+const BOOLEAN_FLAGS: &[&str] = &["verify-determinism", "recovery"];
 
 /// Parsed `--key value` options plus positional arguments.
 #[derive(Debug, Default, Clone)]
@@ -236,6 +236,9 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
         let plan = FaultPlan::from_toml_str(&text).map_err(|e| err(format!("{path}: {e}")))?;
         builder = builder.faults(plan);
     }
+    if opts.get_bool("recovery") {
+        builder = builder.recovery(pra_core::RecoveryConfig::default());
+    }
     let no_retire = opts.get_u64("watchdog-no-retire", 0)?;
     let queue_age = opts.get_u64("watchdog-queue-age", 0)?;
     if no_retire > 0 || queue_age > 0 {
@@ -300,6 +303,21 @@ fn render_report(report: &Report) -> String {
             f.dirty_bits_flipped,
             f.detected,
             f.degraded
+        );
+    }
+    if f.escaped > 0 {
+        let _ = writeln!(
+            out,
+            "parity escapes: {} corrupted masks activated undetected",
+            f.escaped
+        );
+    }
+    let r = &report.recovery;
+    if r.engaged() {
+        let _ = writeln!(
+            out,
+            "recovery: {} alerts, {} replays, {} recovered, {} exhausted (degraded), {} rows demoted, {} re-promoted",
+            r.alerts, r.retries, r.recovered, r.exhausted, r.demotions, r.promotions
         );
     }
     let _ = writeln!(out, "state digest {:016x}", report.state_digest());
@@ -681,9 +699,10 @@ fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> 
     let host_nanos: u64 = loaded.records.iter().map(|r| r.host_nanos).sum();
     let _ = writeln!(
         out,
-        "{journal}: {} journaled runs ({} ok, {} failed, {} hung), {:.2} s host time",
+        "{journal}: {} journaled runs ({} ok, {} recovered, {} failed, {} hung), {:.2} s host time",
         loaded.records.len(),
         count(RunStatus::Ok),
+        count(RunStatus::Recovered),
         count(RunStatus::Failed),
         count(RunStatus::Hung),
         host_nanos as f64 / 1e9,
@@ -721,7 +740,7 @@ fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> 
         }
     }
     for r in &loaded.records {
-        if r.status != RunStatus::Ok {
+        if !matches!(r.status, RunStatus::Ok | RunStatus::Recovered) {
             let _ = writeln!(
                 out,
                 "[{}] {}/{} seed {} (config {:016x}): {}\n  repro: {}",
@@ -809,9 +828,10 @@ pub fn usage() -> String {
      usage:\n\
      \x20 pra run     [--workload NAME] [--scheme S] [--policy P] [--cores N]\n\
      \x20             [--instructions N] [--seed N] [--warmup N]\n\
-     \x20             [--faults PLAN.toml] [--verify-determinism]\n\
+     \x20             [--faults PLAN.toml] [--recovery] [--verify-determinism]\n\
      \x20             [--watchdog-no-retire N] [--watchdog-queue-age N]\n\
      \x20             inject deterministic faults / run twice and compare digests\n\
+     \x20             --recovery arms parity-alert replay with full-row fallback\n\
      \x20             / stop livelocked runs after N quiet memory cycles\n\
      \x20 pra compare [same options]         compare all schemes on one workload\n\
      \x20 pra list                           available workloads/schemes/policies\n\
@@ -987,6 +1007,41 @@ mod tests {
         )?;
         let out = cmd_run(&opts)?;
         assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("determinism verified"), "{out}");
+        std::fs::remove_file(plan).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn recovery_flag_reports_replay_counters() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-test");
+        std::fs::create_dir_all(&dir)?;
+        let plan = dir.join("recovery-plan.toml");
+        std::fs::write(
+            &plan,
+            "[faults]\nseed = 9\nmask_corrupt_rate = 0.5\npersistent_rate = 0.1\n",
+        )?;
+        let path = plan.to_str().ok_or("non-utf8 temp path")?;
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--faults",
+                path,
+                "--recovery",
+                "--verify-determinism",
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_run(&opts)?;
+        assert!(out.contains("recovery:"), "{out}");
+        assert!(out.contains("alerts"), "{out}");
         assert!(out.contains("determinism verified"), "{out}");
         std::fs::remove_file(plan).ok();
         Ok(())

@@ -50,6 +50,7 @@ pub mod sds;
 mod system;
 pub mod timing_diagram;
 
+pub use dram_sim::{RecoveryConfig, RecoveryCounts};
 pub use error::SimError;
 pub use pra::{
     ChipActivation, ControllerPraState, GuardedActivation, MaskFault, MaskTransfer, PraChip,

@@ -2,7 +2,7 @@
 
 use cache_sim::HierarchyStats;
 use dram_power::{EnergyBreakdown, PowerBreakdown};
-use dram_sim::DramStats;
+use dram_sim::{DramStats, RecoveryCounts};
 use sim_fault::FaultCounts;
 use sim_obs::EpochSnapshot;
 
@@ -36,6 +36,11 @@ pub struct Report {
     /// and cache injectors. All zero unless the run attached a
     /// [`sim_fault::FaultPlan`].
     pub faults: FaultCounts,
+    /// Recovery-pipeline counters (alerts, replays, recoveries,
+    /// exhaustions, row demotions/promotions), summed across channels.
+    /// All zero unless the run enabled [`crate::SimBuilder::recovery`]
+    /// *and* a fault was detected.
+    pub recovery: RecoveryCounts,
     /// `true` if the run hit its cycle cap before completing.
     pub timed_out: bool,
 }
@@ -130,6 +135,7 @@ mod tests {
             cache: HierarchyStats::default(),
             metrics: Vec::new(),
             faults: FaultCounts::default(),
+            recovery: RecoveryCounts::default(),
             timed_out: false,
         }
     }

@@ -84,6 +84,7 @@ pub struct SimBuilder {
     metrics_out: Option<PathBuf>,
     metrics_epoch: u64,
     faults: Option<FaultPlan>,
+    recovery: Option<dram_sim::RecoveryConfig>,
     liveness: dram_sim::LivenessConfig,
     escalation_age: Option<u64>,
 }
@@ -110,6 +111,7 @@ impl SimBuilder {
             metrics_out: None,
             metrics_epoch: 0,
             faults: None,
+            recovery: None,
             liveness: dram_sim::LivenessConfig::disabled(),
             escalation_age: None,
         }
@@ -280,6 +282,17 @@ impl SimBuilder {
         self
     }
 
+    /// Arms the controller-side recovery pipeline: C/A parity over issued
+    /// commands, ALERT_n-style delayed error signalling, bounded replay
+    /// with per-command retry budgets, and a row health scoreboard that
+    /// demotes persistently faulty rows to full-row activation (see
+    /// [`sim_recover`](dram_sim::RecoveryConfig)). Without faults the
+    /// pipeline is inert and the run is bit-identical to one without it.
+    pub fn recovery(mut self, config: dram_sim::RecoveryConfig) -> Self {
+        self.recovery = Some(config);
+        self
+    }
+
     /// Arms the DRAM liveness watchdogs (both in memory cycles, 0 disables
     /// each): `max_no_retire` bounds how long the memory system may tick
     /// without retiring any request while work is pending;
@@ -366,6 +379,7 @@ impl SimBuilder {
             DramGeneration::Ddr4 => DramConfig::ddr4_2400(self.policy, behavior),
         };
         dram_config.power.ecc_x72 = self.ecc_x72;
+        dram_config.recovery = self.recovery;
         dram_config.liveness = self.liveness;
         if let Some(age) = self.escalation_age {
             dram_config.starvation_escalation_age = age;
@@ -515,6 +529,7 @@ impl SimBuilder {
                 .mem()
                 .fault_counts()
                 .merged(system.hierarchy().fault_counts()),
+            recovery: system.mem().recovery_counts(),
             timed_out: outcome.timed_out,
         })
     }
@@ -854,6 +869,50 @@ mod tests {
             }
             other => panic!("expected SimError::Liveness, got {other}"),
         }
+    }
+
+    #[test]
+    fn recovery_without_faults_leaves_the_run_bit_identical() {
+        let base = quick(Scheme::Pra);
+        let recovered = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(20_000)
+            .warmup_mem_ops(400_000)
+            .recovery(dram_sim::RecoveryConfig::default())
+            .run();
+        assert_eq!(recovered.recovery, dram_sim::RecoveryCounts::default());
+        // The recovery field itself differs only by being present in both
+        // reports (all zero), so the digests must match exactly.
+        assert_eq!(base.state_digest(), recovered.state_digest());
+    }
+
+    #[test]
+    fn recovery_under_faults_engages_and_stays_deterministic() {
+        let plan = FaultPlan {
+            seed: 5,
+            command_drop_rate: 0.05,
+            mask_corrupt_rate: 0.2,
+            persistent_rate: 0.1,
+            transient_burst_len: 2,
+            ..FaultPlan::disabled()
+        };
+        let builder = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(20_000)
+            .warmup_mem_ops(400_000)
+            .faults(plan)
+            .recovery(dram_sim::RecoveryConfig::default());
+        let report = builder.try_run_verified().expect("deterministic");
+        assert!(report.recovery.engaged(), "faults must raise alerts");
+        assert!(report.recovery.recovered > 0, "transients must recover");
+        assert_eq!(
+            report.recovery.retries + report.recovery.exhausted,
+            report.recovery.alerts,
+            "every alert is replayed or exhausted"
+        );
+        assert!(!report.timed_out);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use dram_power::EnergyAccounting;
 use mem_model::{Location, MemRequest, ReqKind, RequestId, WordMask};
-use sim_fault::FaultInjector;
+use sim_fault::{FaultInjector, FaultSite};
 use sim_obs::TraceEvent;
+use sim_recover::{RecoveryEngine, RecoveryVerdict, RowStanding};
 
 use crate::checker::{DramCommand, ProtocolChecker, ProtocolError};
 use crate::config::{DramConfig, PagePolicy};
@@ -100,6 +101,11 @@ pub(crate) struct Channel {
     /// hits that keep its bank occupied until it retires. `(is_write,
     /// location)` of the escalated entry; recomputed every cycle.
     escalated: Option<(bool, Location)>,
+    /// Recovery pipeline for detected command faults (C/A parity, replay,
+    /// health scoreboard). `None` reproduces the legacy behaviour:
+    /// dropped commands are silently lost and mask faults degrade to
+    /// full-row activations immediately.
+    recovery: Option<RecoveryEngine>,
 }
 
 impl Channel {
@@ -125,6 +131,7 @@ impl Channel {
             bus: DataBus::new(),
             next_col_allowed: 0,
             escalated: None,
+            recovery: cfg.recovery.map(RecoveryEngine::new),
             checker: cfg.verify_protocol.then(|| {
                 ProtocolChecker::new(
                     cfg.timing,
@@ -151,6 +158,61 @@ impl Channel {
                 checker.observe(now, command)
             }
             None => Ok(()),
+        }
+    }
+
+    /// Recovery counters accumulated by this channel's engine (zero when
+    /// recovery is disabled).
+    pub(crate) fn recovery_counts(&self) -> sim_recover::RecoveryCounts {
+        self.recovery
+            .as_ref()
+            .map(|r| r.counts())
+            .unwrap_or_default()
+    }
+
+    /// Runs a detected (C/A-parity) command fault at `loc` through the
+    /// recovery engine. Returns `true` when a replay was scheduled — the
+    /// bank is held closed until the alert window elapses and the queue
+    /// entry retries afterwards — and `false` when the retry budget is
+    /// exhausted and the caller must take its terminal fallback. Only
+    /// called with recovery enabled.
+    fn recover_detected_fault(&mut self, now: u64, loc: Location, o: &mut DramObs) -> bool {
+        let Some(rec) = self.recovery.as_mut() else {
+            return false;
+        };
+        let ch = self.index;
+        match rec.on_fault(now, loc.rank, loc.bank, loc.row) {
+            RecoveryVerdict::Replay { until, attempt } => {
+                o.obs.emit(|| TraceEvent::ParityAlert {
+                    cycle: now,
+                    channel: ch,
+                    rank: loc.rank as u8,
+                    bank: loc.bank as u8,
+                });
+                o.obs.emit(|| TraceEvent::CommandReplay {
+                    cycle: now,
+                    channel: ch,
+                    rank: loc.rank as u8,
+                    bank: loc.bank as u8,
+                    attempt,
+                });
+                // Tell the independent checker about the hold so it can
+                // reject a premature replay as a protocol violation.
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.record_alert(loc.rank, loc.bank, until);
+                }
+                true
+            }
+            RecoveryVerdict::Exhausted => {
+                o.obs.emit(|| TraceEvent::RecoveryExhausted {
+                    cycle: now,
+                    channel: ch,
+                    rank: loc.rank as u8,
+                    bank: loc.bank as u8,
+                    row: loc.row,
+                });
+                false
+            }
         }
     }
 
@@ -560,6 +622,12 @@ impl Channel {
         };
         let mut chosen: Option<usize> = None;
         for (i, entry) in queue.iter().enumerate() {
+            if let Some(rec) = &self.recovery {
+                // The bank is parked inside a replay hold-off window.
+                if rec.is_blocked(now, entry.loc.rank, entry.loc.bank) {
+                    continue;
+                }
+            }
             let rank = &self.ranks[entry.loc.rank as usize];
             if now < rank.available_at {
                 continue;
@@ -614,10 +682,23 @@ impl Channel {
             break;
         }
         let Some(i) = chosen else { return Ok(false) };
+        let fault_loc = if is_write {
+            self.write_q[i].loc
+        } else {
+            self.read_q[i].loc
+        };
         // Injected bus fault: the command is lost. The queue entry survives
         // and retries on a later cycle; the command-bus slot is consumed.
         if let Some(inj) = faults.as_mut() {
             if inj.drop_command() {
+                if self.recovery.is_some() {
+                    // C/A parity catches the loss: the DRAM blocks the
+                    // command and asserts ALERT_n after the alert latency.
+                    // Exhausted budgets fall back to a plain reschedule —
+                    // the entry stays queued either way.
+                    inj.record_fault_detected();
+                    let _ = self.recover_detected_fault(now, fault_loc, o);
+                }
                 return Ok(true);
             }
         }
@@ -688,6 +769,9 @@ impl Channel {
         if matches!(cfg.policy, PagePolicy::RestrictedClosePage) {
             bank.arm_auto_precharge();
         }
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.on_success(loc.rank, loc.bank, loc.row);
+        }
         self.next_col_allowed = now + cfg.timing.tccd.max(burst);
         Ok(true)
     }
@@ -725,6 +809,12 @@ impl Channel {
         };
         let mut chosen: Option<(usize, WordMask, u32)> = None;
         for (i, entry) in queue.iter().enumerate() {
+            if let Some(rec) = &self.recovery {
+                // The bank is parked inside a replay hold-off window.
+                if rec.is_blocked(now, entry.loc.rank, entry.loc.bank) {
+                    continue;
+                }
+            }
             let rank = &self.ranks[entry.loc.rank as usize];
             if !matches!(rank.refresh, RefreshState::Idle)
                 || now < rank.available_at
@@ -766,6 +856,43 @@ impl Channel {
         let Some((i, mut coverage, mut mats)) = chosen else {
             return Ok(false);
         };
+        let loc = self.active_queue(is_write)[i].loc;
+        let full_mats = cfg
+            .scheme
+            .read_act_mats
+            .max(cfg.scheme.write_act_mats(WordMask::FULL));
+        // Health scoreboard: a demoted row must open the full row (a
+        // full-row ACT carries no mask, so there is nothing left to
+        // corrupt); an elapsed probation re-promotes the row.
+        if !coverage.is_full() && self.recovery.is_some() {
+            let standing = self.recovery.as_mut().map_or(RowStanding::Healthy, |rec| {
+                rec.row_standing(now, loc.rank, loc.bank, loc.row)
+            });
+            match standing {
+                RowStanding::Demoted => {
+                    coverage = WordMask::FULL;
+                    mats = full_mats;
+                    // The wider activation carries more timing weight; if
+                    // it is no longer legal this cycle, give the slot up
+                    // and retry.
+                    let weight = cfg.scheme.act_timing_weight(mats);
+                    if !self.ranks[loc.rank as usize].can_activate(now, weight, &cfg.timing) {
+                        return Ok(true);
+                    }
+                }
+                RowStanding::Promoted => {
+                    let ch = self.index;
+                    o.obs.emit(|| TraceEvent::RowPromote {
+                        cycle: now,
+                        channel: ch,
+                        rank: loc.rank as u8,
+                        bank: loc.bank as u8,
+                        row: loc.row,
+                    });
+                }
+                RowStanding::Healthy => {}
+            }
+        }
         // The mask-transfer cycle is paid for the coverage the controller
         // *sent*, before any fault handling — a corrupted transfer still
         // cost its cycle.
@@ -773,30 +900,93 @@ impl Channel {
         if let Some(inj) = faults.as_mut() {
             // Injected bus fault: the ACT is lost; retry on a later cycle.
             if inj.drop_command() {
+                if self.recovery.is_some() {
+                    // Detected by C/A parity: replay after the alert window
+                    // (exhausted budgets reschedule like the legacy path).
+                    inj.record_fault_detected();
+                    let _ = self.recover_detected_fault(now, loc, o);
+                }
                 return Ok(true);
             }
             // Injected mask-transfer upset (partial activations only — a
-            // full-row ACT carries no mask). The chip's parity check always
-            // catches a single-bit flip, and the controller degrades to a
-            // fail-safe full-row activation rather than trusting either
-            // mask (see core::pra::MaskTransfer for the chip-side model).
-            if !coverage.is_full() && inj.corrupt_mask(coverage).is_some() {
-                inj.record_mask_fault_handled();
-                stats.degraded_activations += 1;
-                coverage = WordMask::FULL;
-                mats = cfg
-                    .scheme
-                    .read_act_mats
-                    .max(cfg.scheme.write_act_mats(WordMask::FULL));
-                // The wider activation carries more timing weight; if it is
-                // no longer legal this cycle, give the slot up and retry.
-                let weight = cfg.scheme.act_timing_weight(mats);
-                if !self.ranks[self.active_queue(is_write)[i].loc.rank as usize].can_activate(
-                    now,
-                    weight,
-                    &cfg.timing,
-                ) {
-                    return Ok(true);
+            // full-row ACT carries no mask). A single-bit flip trips the
+            // chip's parity check; an even number of flips escapes it.
+            if !coverage.is_full() {
+                let site = FaultSite {
+                    rank: loc.rank,
+                    bank: loc.bank,
+                    row: loc.row,
+                };
+                if let Some(fault) = inj.corrupt_mask_at(site, coverage) {
+                    if fault.escaped {
+                        // Parity still matches: the chip cannot detect the
+                        // upset and activates with silently wrong coverage.
+                        // (An empty corrupted mask cannot activate at all;
+                        // keep the sent coverage but still count the escape.)
+                        stats.parity_escapes += 1;
+                        let ch = self.index;
+                        o.obs.emit(|| TraceEvent::ParityEscape {
+                            cycle: now,
+                            channel: ch,
+                            rank: loc.rank as u8,
+                            bank: loc.bank as u8,
+                            row: loc.row,
+                        });
+                        if !fault.mask.is_empty() {
+                            coverage = fault.mask;
+                            mats = cfg.scheme.write_act_mats(fault.mask);
+                            let weight = cfg.scheme.act_timing_weight(mats);
+                            if !self.ranks[loc.rank as usize].can_activate(now, weight, &cfg.timing)
+                            {
+                                return Ok(true);
+                            }
+                        }
+                    } else if self.recovery.is_some() {
+                        // Detected: the chip blocks the ACT and alerts. The
+                        // engine either schedules a replay (the entry stays
+                        // queued and the bank is held) or declares the
+                        // budget exhausted.
+                        inj.record_fault_detected();
+                        if self.recover_detected_fault(now, loc, o) {
+                            return Ok(true);
+                        }
+                        // Terminal fallback: a fail-safe full-row ACT now,
+                        // and a scoreboard demotion so later activations of
+                        // this row skip the mask transfer entirely.
+                        inj.record_fault_degraded();
+                        stats.degraded_activations += 1;
+                        if let Some(rec) = self.recovery.as_mut() {
+                            rec.demote_row(now, loc.rank, loc.bank, loc.row);
+                        }
+                        let ch = self.index;
+                        o.obs.emit(|| TraceEvent::RowDemote {
+                            cycle: now,
+                            channel: ch,
+                            rank: loc.rank as u8,
+                            bank: loc.bank as u8,
+                            row: loc.row,
+                        });
+                        coverage = WordMask::FULL;
+                        mats = full_mats;
+                        let weight = cfg.scheme.act_timing_weight(mats);
+                        if !self.ranks[loc.rank as usize].can_activate(now, weight, &cfg.timing) {
+                            return Ok(true);
+                        }
+                    } else {
+                        // Legacy pipeline (recovery off): the parity check
+                        // catches the flip and the controller degrades to a
+                        // fail-safe full-row activation immediately rather
+                        // than trusting either mask (see
+                        // core::pra::MaskTransfer for the chip-side model).
+                        inj.record_mask_fault_handled();
+                        stats.degraded_activations += 1;
+                        coverage = WordMask::FULL;
+                        mats = full_mats;
+                        let weight = cfg.scheme.act_timing_weight(mats);
+                        if !self.ranks[loc.rank as usize].can_activate(now, weight, &cfg.timing) {
+                            return Ok(true);
+                        }
+                    }
                 }
             }
         }
@@ -814,7 +1004,6 @@ impl Channel {
                 stats.read.misses += 1;
             }
         }
-        let loc = entry.loc;
         let stretch = faults.as_mut().map_or(0, FaultInjector::stretch_command);
         let extra = extra_base + stretch;
         let weight = cfg.scheme.act_timing_weight(mats);
@@ -845,6 +1034,9 @@ impl Channel {
                 extra_cycles: extra,
             },
         )?;
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.on_success(loc.rank, loc.bank, loc.row);
+        }
         Ok(true)
     }
 

@@ -14,7 +14,7 @@
 //! builds (figure regeneration speed).
 
 use core::fmt;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::scheme::FULL_ROW_MATS;
 use crate::timing::TimingParams;
@@ -135,6 +135,9 @@ pub struct ProtocolChecker {
     /// Whether partial activations relax tRRD/tFAW proportionally (the
     /// scheme under test declares its own contract).
     relaxed_act_timing: bool,
+    /// Replay hold-offs announced by the recovery pipeline:
+    /// `(rank, bank)` → first cycle the bank accepts commands again.
+    alert_holds: BTreeMap<(u32, u32), u64>,
     commands_checked: u64,
 }
 
@@ -162,8 +165,18 @@ impl ProtocolChecker {
             last_burst: None,
             burst_cycles,
             relaxed_act_timing,
+            alert_holds: BTreeMap::new(),
             commands_checked: 0,
         }
+    }
+
+    /// Announces an ALERT_n replay hold: the recovery pipeline promised
+    /// not to re-issue the faulted command window on `(rank, bank)` before
+    /// cycle `until`. Observing an Activate/Read/Write there earlier is a
+    /// violation. Precharge and Refresh are exempt — the alert parks the
+    /// faulted command, not bank maintenance.
+    pub fn record_alert(&mut self, rank: u32, bank: u32, until: u64) {
+        self.alert_holds.insert((rank, bank), until);
     }
 
     /// Commands observed so far.
@@ -194,6 +207,21 @@ impl ProtocolChecker {
     /// Returns the first violated rule, naming it.
     pub fn observe(&mut self, cycle: u64, command: DramCommand) -> Result<(), ProtocolError> {
         self.commands_checked += 1;
+        if let DramCommand::Activate { rank, bank, .. }
+        | DramCommand::Read { rank, bank }
+        | DramCommand::Write { rank, bank } = command
+        {
+            if let Some(&until) = self.alert_holds.get(&(rank, bank)) {
+                if cycle < until {
+                    return Err(Self::err(
+                        cycle,
+                        command,
+                        format!("replay before alert window elapsed (hold until {until})"),
+                    ));
+                }
+                self.alert_holds.remove(&(rank, bank));
+            }
+        }
         let t = self.timing;
         match command {
             DramCommand::Activate {
@@ -567,6 +595,36 @@ mod tests {
         assert!(err.rule.contains("data-bus overlap"), "{err}");
         c.observe(19, DramCommand::Read { rank: 0, bank: 0 })
             .unwrap();
+    }
+
+    #[test]
+    fn replay_hold_rejects_early_reissue() {
+        let mut c = checker();
+        c.record_alert(0, 0, 40);
+        let err = c.observe(30, act(0, 0, 5)).unwrap_err();
+        assert!(err.rule.contains("replay before alert window"), "{err}");
+        // Other banks are unaffected.
+        c.observe(31, act(0, 1, 5)).unwrap();
+        // Once the window opens, the replay is legal and the hold clears.
+        let mut c2 = checker();
+        c2.record_alert(0, 0, 40);
+        c2.observe(40, act(0, 0, 5)).unwrap();
+        c2.observe(51, DramCommand::Read { rank: 0, bank: 0 })
+            .unwrap();
+    }
+
+    #[test]
+    fn replay_hold_exempts_precharge() {
+        let mut c = checker();
+        c.observe(0, act(0, 0, 5)).unwrap();
+        c.record_alert(0, 0, 100);
+        // Bank maintenance may proceed during the hold...
+        c.observe(28, DramCommand::Precharge { rank: 0, bank: 0 })
+            .unwrap();
+        // ...but re-issuing the faulted command window may not.
+        let err = c.observe(50, act(0, 0, 6)).unwrap_err();
+        assert!(err.rule.contains("replay"), "{err}");
+        c.observe(100, act(0, 0, 6)).unwrap();
     }
 
     #[test]

@@ -8,6 +8,7 @@ use mem_model::{AddressMapping, DramGeometry};
 use crate::liveness::LivenessConfig;
 use crate::scheme::SchemeBehavior;
 use crate::timing::{TimingError, TimingParams};
+use sim_recover::RecoveryConfig;
 
 /// A configuration inconsistency, reported with enough context to fix the
 /// offending field. Returned by the `validate()` family; the legacy
@@ -24,6 +25,8 @@ pub enum ConfigError {
     RowHitCap,
     /// Liveness watchdog bounds are mutually inconsistent.
     Liveness(String),
+    /// Recovery-pipeline parameters are inconsistent.
+    Recovery(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +39,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "row hit cap must allow at least one access")
             }
             ConfigError::Liveness(msg) => write!(f, "liveness: {msg}"),
+            ConfigError::Recovery(msg) => write!(f, "recovery: {msg}"),
         }
     }
 }
@@ -195,6 +199,13 @@ pub struct DramConfig {
     /// healthy FR-FCFS schedule produces, so it only engages on
     /// pathological streams.
     pub starvation_escalation_age: u64,
+    /// Optional recovery pipeline for faulted commands: DDR4-style C/A
+    /// parity with a delayed ALERT_n signal, bounded command replay with
+    /// per-row retry budgets, and a health scoreboard that demotes rows
+    /// with persistent mask faults to full-row activation. `None` (the
+    /// default) disables detection entirely, reproducing the legacy
+    /// inject-and-degrade behaviour.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl DramConfig {
@@ -213,6 +224,7 @@ impl DramConfig {
             refresh_postpone_max: 0,
             liveness: LivenessConfig::disabled(),
             starvation_escalation_age: DEFAULT_ESCALATION_AGE,
+            recovery: None,
         }
     }
 
@@ -234,6 +246,7 @@ impl DramConfig {
             refresh_postpone_max: 0,
             liveness: LivenessConfig::disabled(),
             starvation_escalation_age: DEFAULT_ESCALATION_AGE,
+            recovery: None,
         }
     }
 
@@ -263,6 +276,10 @@ impl DramConfig {
                  (otherwise the watchdog kills runs escalation would have rescued)",
                 self.liveness.max_queue_age_cycles, self.starvation_escalation_age
             )));
+        }
+        if let Some(rec) = &self.recovery {
+            rec.validate()
+                .map_err(|e| ConfigError::Recovery(e.to_string()))?;
         }
         Ok(())
     }
@@ -401,6 +418,22 @@ mod tests {
         assert!(err.to_string().contains("escalation age"), "{err}");
         // Disabling escalation (or raising the bound) makes it valid again.
         cfg.starvation_escalation_age = 0;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_recovery_config() {
+        let mut cfg = DramConfig {
+            recovery: Some(RecoveryConfig {
+                alert_latency: 0,
+                ..RecoveryConfig::default()
+            }),
+            ..DramConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Recovery(_)));
+        assert!(err.to_string().contains("alert_latency"), "{err}");
+        cfg.recovery = Some(RecoveryConfig::default());
         cfg.validate().unwrap();
     }
 

@@ -63,5 +63,6 @@ pub use liveness::{
 pub use memory_system::{MemorySystem, QueueFull};
 pub use rank::{Rank, RefreshState};
 pub use scheme::{SchemeBehavior, WriteActPolicy, FULL_ROW_MATS};
+pub use sim_recover::{RecoveryConfig, RecoveryCounts};
 pub use stats::{DramStats, HitCounters};
 pub use timing::{TimingError, TimingParams};

@@ -126,6 +126,15 @@ impl MemorySystem {
             .unwrap_or_default()
     }
 
+    /// Recovery-pipeline counters aggregated over every channel's engine
+    /// (all zero when [`DramConfig::recovery`] is `None`).
+    pub fn recovery_counts(&self) -> sim_recover::RecoveryCounts {
+        self.channels
+            .iter()
+            .map(Channel::recovery_counts)
+            .fold(sim_recover::RecoveryCounts::default(), |a, b| a.merged(b))
+    }
+
     /// Attaches a trace sink; every subsequent DRAM command, power
     /// transition and read completion is emitted as a [`sim_obs::TraceEvent`]
     /// stamped with the memory cycle. Pass a `NullSink` (or never call
@@ -169,6 +178,10 @@ impl MemorySystem {
         self.stats.publish_to(&mut self.obs.obs.registry);
         if let Some(f) = &self.faults {
             f.publish_to(&mut self.obs.obs.registry, "fault");
+        }
+        if self.config.recovery.is_some() {
+            self.recovery_counts()
+                .publish_to(&mut self.obs.obs.registry);
         }
         self.obs.obs.finish(self.cycle);
     }
@@ -238,6 +251,10 @@ impl MemorySystem {
             self.stats.publish_to(&mut self.obs.obs.registry);
             if let Some(f) = &self.faults {
                 f.publish_to(&mut self.obs.obs.registry, "fault");
+            }
+            if self.config.recovery.is_some() {
+                let counts = self.recovery_counts();
+                counts.publish_to(&mut self.obs.obs.registry);
             }
             self.obs.obs.end_epoch(self.cycle);
         }

@@ -78,6 +78,11 @@ pub struct DramStats {
     /// Partial activations widened to full rows after a detected
     /// mask-transfer fault (fault injection only; always 0 otherwise).
     pub degraded_activations: u64,
+    /// Injected mask faults that escaped C/A parity detection (an even
+    /// number of flipped mask bits leaves the parity intact), so the
+    /// activation proceeded with silently wrong coverage. Fault injection
+    /// only; always 0 otherwise.
+    pub parity_escapes: u64,
 }
 
 impl Default for DramStats {
@@ -98,6 +103,7 @@ impl Default for DramStats {
             hit_cap_precharges: 0,
             drain_entries: 0,
             degraded_activations: 0,
+            parity_escapes: 0,
         }
     }
 }
@@ -203,6 +209,7 @@ impl DramStats {
         set("dram.hit_cap_precharges", self.hit_cap_precharges);
         set("dram.drain_entries", self.drain_entries);
         set("dram.degraded_activations", self.degraded_activations);
+        set("fault.dram.escaped", self.parity_escapes);
     }
 
     /// Average activation granularity as a fraction of a full row; the

@@ -1,0 +1,311 @@
+//! Recovery-pipeline behaviour of the memory system: C/A-parity alerts
+//! with bounded replay, terminal full-row fallback under persistent
+//! faults, parity escapes, metric reconciliation and determinism.
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, RecoveryConfig, SchemeBehavior};
+use mem_model::rng::Rng;
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use sim_fault::{Domain, FaultPlan};
+
+/// PRA configuration with the protocol checker forced on, so every test
+/// also validates replay-timing legality (a premature replay is a
+/// protocol violation and panics the run).
+fn pra_config(recovery: Option<RecoveryConfig>) -> DramConfig {
+    let mut cfg = DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+    cfg.verify_protocol = true;
+    cfg.recovery = recovery;
+    cfg
+}
+
+fn small_recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        alert_latency: 6,
+        max_retries: 2,
+        backoff_cycles: 8,
+        probation_cycles: 50_000,
+    }
+}
+
+/// Feeds a deterministic mixed read/partial-write stream and drains.
+fn run_stream(mem: &mut MemorySystem, ops: usize, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for id in 0..ops as u64 {
+        let line = rng.bounded_u64(1 << 20);
+        let addr = PhysAddr::from_line_number(line);
+        let req = if rng.random_bool(0.5) {
+            let bits = 1u8 << rng.bounded_u64(6) as u8;
+            MemRequest::write(id, addr, WordMask::from_bits(bits | 1))
+        } else {
+            MemRequest::read(id, addr)
+        };
+        while mem.try_enqueue(req).is_err() {
+            mem.tick();
+        }
+    }
+    assert!(mem.run_until_idle(2_000_000), "system failed to drain");
+}
+
+#[test]
+fn recovery_without_faults_is_bit_identical_to_no_recovery() {
+    let run = |recovery: Option<RecoveryConfig>, attach_disabled_injector: bool| {
+        let mut mem = MemorySystem::new(pra_config(recovery));
+        if attach_disabled_injector {
+            mem.set_fault_injector(FaultPlan::disabled().injector(Domain::Dram));
+        }
+        run_stream(&mut mem, 150, 21);
+        format!("{:?}", mem.stats())
+    };
+    let baseline = run(None, false);
+    assert_eq!(
+        baseline,
+        run(Some(small_recovery()), false),
+        "recovery engine must be inert without faults"
+    );
+    assert_eq!(
+        baseline,
+        run(Some(small_recovery()), true),
+        "recovery plus a disabled injector must also be inert"
+    );
+    let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+    run_stream(&mut mem, 150, 21);
+    assert_eq!(
+        mem.recovery_counts(),
+        dram_sim::RecoveryCounts::default(),
+        "no fault fired, so no counter may move"
+    );
+}
+
+#[test]
+fn persistent_fault_exhausts_budget_and_falls_back_to_full_row() {
+    // A single partial write to a site where the mask transfer fails
+    // deterministically on every attempt: two replays consume the budget,
+    // the third alert exhausts it, and the terminal fallback is a
+    // checker-verified full-row activation plus a scoreboard demotion.
+    let plan = FaultPlan {
+        seed: 1,
+        mask_corrupt_rate: 1.0,
+        persistent_rate: 1.0,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    mem.try_enqueue(MemRequest::write(
+        1,
+        PhysAddr::from_line_number(42),
+        WordMask::single(0),
+    ))
+    .unwrap();
+    assert!(mem.run_until_idle(100_000));
+    let rec = mem.recovery_counts();
+    assert_eq!(
+        (rec.alerts, rec.retries, rec.exhausted),
+        (3, 2, 1),
+        "two replays then exhaustion: {rec:?}"
+    );
+    assert_eq!(rec.recovered, 0, "a persistent site never recovers");
+    assert_eq!(rec.demotions, 1, "the faulty row is demoted");
+    let stats = mem.stats();
+    assert_eq!(stats.degraded_activations, 1);
+    assert_eq!(
+        stats.act_histogram[15], 1,
+        "the fallback activation opened the full row (checker-verified)"
+    );
+    assert_eq!(stats.writes_completed, 1, "the write still retires");
+    let counts = mem.fault_counts();
+    assert_eq!(counts.masks_corrupted, 3, "one corruption per attempt");
+    assert_eq!(counts.detected, 3, "parity caught every attempt");
+    assert_eq!(counts.degraded, 1, "only the terminal fallback degrades");
+}
+
+#[test]
+fn demoted_row_activates_full_until_probation_ends() {
+    let plan = FaultPlan {
+        seed: 1,
+        mask_corrupt_rate: 1.0,
+        persistent_rate: 1.0,
+        ..FaultPlan::disabled()
+    };
+    let mut recovery = small_recovery();
+    recovery.probation_cycles = 2_000;
+    let mut mem = MemorySystem::new(pra_config(Some(recovery)));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    let addr = PhysAddr::from_line_number(42);
+    mem.try_enqueue(MemRequest::write(1, addr, WordMask::single(0)))
+        .unwrap();
+    assert!(mem.run_until_idle(100_000));
+    assert_eq!(mem.recovery_counts().demotions, 1);
+    // Idle long enough for the relaxed close-page policy to precharge,
+    // so the next write needs a fresh activation.
+    for _ in 0..200 {
+        mem.tick();
+    }
+    // A second write to the demoted row inside probation: the controller
+    // skips the mask transfer entirely, so the persistent fault cannot
+    // fire and no further alerts are raised.
+    mem.try_enqueue(MemRequest::write(2, addr, WordMask::single(1)))
+        .unwrap();
+    assert!(mem.run_until_idle(100_000));
+    let rec = mem.recovery_counts();
+    assert_eq!(rec.alerts, 3, "the demoted row raised no new alert");
+    assert_eq!(mem.stats().act_histogram[15], 2, "both ACTs were full-row");
+    // After probation the row is re-promoted and the mask transfer (and
+    // its persistent fault) comes back.
+    for _ in 0..2_100 {
+        mem.tick();
+    }
+    mem.try_enqueue(MemRequest::write(3, addr, WordMask::single(2)))
+        .unwrap();
+    assert!(mem.run_until_idle(100_000));
+    let rec = mem.recovery_counts();
+    assert_eq!(rec.promotions, 1, "probation elapsed, row re-promoted");
+    assert!(rec.alerts > 3, "the promoted row faults again");
+}
+
+#[test]
+fn escaped_faults_are_counted_but_undetected() {
+    // Every mask fault flips an even number of bits: parity matches, the
+    // chip activates with silently wrong coverage, and the only trace is
+    // the fault.dram.escaped counter.
+    let plan = FaultPlan {
+        seed: 7,
+        mask_corrupt_rate: 1.0,
+        mask_escape_rate: 1.0,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 150, 31);
+    let counts = mem.fault_counts();
+    let stats = mem.stats();
+    assert!(counts.masks_corrupted > 0);
+    assert_eq!(
+        counts.escaped, counts.masks_corrupted,
+        "every fault escaped"
+    );
+    assert_eq!(counts.detected, 0, "escapes are invisible to parity");
+    assert_eq!(stats.parity_escapes, counts.escaped);
+    assert_eq!(stats.degraded_activations, 0);
+    assert_eq!(
+        mem.recovery_counts().alerts,
+        0,
+        "nothing detected, nothing recovered"
+    );
+    mem.finish_observability();
+    assert_eq!(
+        mem.observer().registry.counter_value("fault.dram.escaped"),
+        Some(counts.escaped)
+    );
+}
+
+#[test]
+fn mixed_fault_storm_reconciles_and_replays_deterministically() {
+    // Aggressive mixed transient/persistent plan with drops and escapes.
+    // Invariants: every injected fault is either detected (and enters the
+    // recovery pipeline) or escaped (and is counted); nothing is silently
+    // lost; and the whole pipeline is digest-deterministic.
+    let plan = FaultPlan {
+        seed: 99,
+        command_drop_rate: 0.3,
+        mask_corrupt_rate: 0.5,
+        mask_escape_rate: 0.1,
+        persistent_rate: 0.05,
+        transient_burst_len: 2,
+        ..FaultPlan::disabled()
+    };
+    let run = || {
+        let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+        mem.set_fault_injector(plan.injector(Domain::Dram));
+        run_stream(&mut mem, 200, 13);
+        let stats_digest = format!("{:?}", mem.stats());
+        (stats_digest, mem.fault_counts(), mem.recovery_counts())
+    };
+    let (stats_a, counts_a, rec_a) = run();
+    let (stats_b, counts_b, rec_b) = run();
+    assert_eq!(stats_a, stats_b, "stats must replay bit-identically");
+    assert_eq!(counts_a, counts_b, "fault counts must replay identically");
+    assert_eq!(rec_a, rec_b, "recovery counts must replay identically");
+    // Reconciliation: no silent losses.
+    assert!(counts_a.commands_dropped > 0 && counts_a.masks_corrupted > 0);
+    assert_eq!(
+        counts_a.injected,
+        counts_a.commands_dropped + counts_a.masks_corrupted,
+        "only drop and mask faults were planned"
+    );
+    assert_eq!(
+        counts_a.detected,
+        counts_a.injected - counts_a.escaped,
+        "every non-escaped fault is detected"
+    );
+    assert_eq!(
+        rec_a.alerts, counts_a.detected,
+        "every detected fault raises exactly one alert"
+    );
+    assert_eq!(
+        rec_a.retries + rec_a.exhausted,
+        rec_a.alerts,
+        "every alert is either replayed or declared exhausted"
+    );
+    assert!(rec_a.recovered > 0, "transient faults must recover");
+}
+
+#[test]
+fn all_requests_complete_under_recovery_with_drops() {
+    let plan = FaultPlan {
+        seed: 3,
+        command_drop_rate: 0.5,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 200, 13);
+    let counts = mem.fault_counts();
+    let stats = mem.stats();
+    assert!(counts.commands_dropped > 0);
+    assert_eq!(
+        counts.detected, counts.commands_dropped,
+        "with recovery on, every dropped command is detected"
+    );
+    assert_eq!(
+        stats.reads_completed + stats.writes_completed,
+        200,
+        "replayed or rescheduled; no request is lost"
+    );
+    let rec = mem.recovery_counts();
+    assert_eq!(rec.alerts, counts.commands_dropped);
+    assert!(rec.recovered > 0, "replayed commands eventually issue");
+}
+
+#[test]
+fn recovery_counters_publish_to_the_metrics_registry() {
+    let plan = FaultPlan {
+        seed: 2,
+        mask_corrupt_rate: 1.0,
+        command_drop_rate: 0.2,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(pra_config(Some(small_recovery())));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    run_stream(&mut mem, 100, 17);
+    mem.finish_observability();
+    let rec = mem.recovery_counts();
+    assert!(rec.alerts > 0);
+    let registry = &mem.observer().registry;
+    assert_eq!(registry.counter_value("recover.alerts"), Some(rec.alerts));
+    assert_eq!(registry.counter_value("recover.retries"), Some(rec.retries));
+    assert_eq!(
+        registry.counter_value("recover.recovered"),
+        Some(rec.recovered)
+    );
+    assert_eq!(
+        registry.counter_value("recover.exhausted"),
+        Some(rec.exhausted)
+    );
+    assert_eq!(
+        registry.counter_value("recover.demotions"),
+        Some(rec.demotions)
+    );
+    assert_eq!(
+        registry.counter_value("recover.promotions"),
+        Some(rec.promotions)
+    );
+}

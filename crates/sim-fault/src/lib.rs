@@ -13,6 +13,9 @@
 //! | knob | domain | models |
 //! |---|---|---|
 //! | `mask_corrupt_rate` | DRAM | a single-bit upset on the PRA mask transfer (Fig. 7a's extra address-bus cycle); detected by the even-parity bit and degraded to a full-row activation |
+//! | `mask_escape_rate` | DRAM | the fraction of mask upsets that flip *two* bits — even parity matches and the corruption escapes detection |
+//! | `persistent_rate` | DRAM | the fraction of mask upsets that are *persistent*: the (rank, bank, row) site joins a sticky set and every later masked activation there faults deterministically |
+//! | `transient_burst_len` | DRAM | transient mask upsets repeat for this many consecutive masked activations of the same site before clearing (1 = single-shot) |
 //! | `command_drop_rate` | DRAM | a command lost on the command bus; the scheduler's queue entry survives and the command retries |
 //! | `command_stretch_rate` | DRAM | an activation whose mask transfer is retried, adding `command_stretch_cycles` to its activate-to-column delay |
 //! | `refresh_interval_divisor` | DRAM | thermal refresh stress: tREFI divided by this factor |
@@ -46,6 +49,7 @@
 #![deny(missing_docs)]
 
 use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mem_model::rng::Rng;
 use mem_model::{WordMask, WORDS_PER_LINE};
@@ -108,6 +112,19 @@ pub struct FaultPlan {
     /// Probability a partial activation's mask transfer suffers a
     /// single-bit upset.
     pub mask_corrupt_rate: f64,
+    /// Fraction of mask upsets that flip two bits instead of one. Even
+    /// parity matches, so the chip cannot detect the corruption — the
+    /// activation proceeds with the wrong coverage (counted as an escape).
+    pub mask_escape_rate: f64,
+    /// Fraction of detected mask upsets that are *persistent*: the
+    /// faulted (rank, bank, row) site joins a sticky set, and every later
+    /// masked activation of that site faults deterministically (retries
+    /// cannot succeed until the row is demoted to full-row activations).
+    pub persistent_rate: f64,
+    /// How many consecutive masked activations of the same site a
+    /// *transient* mask upset corrupts before clearing. 1 (the default)
+    /// is a single-shot upset — the first retry succeeds.
+    pub transient_burst_len: u64,
     /// Probability an issued column/activate command is lost on the bus.
     pub command_drop_rate: f64,
     /// Probability an activation is stretched by
@@ -128,6 +145,9 @@ impl FaultPlan {
         FaultPlan {
             seed: 0,
             mask_corrupt_rate: 0.0,
+            mask_escape_rate: 0.0,
+            persistent_rate: 0.0,
+            transient_burst_len: 1,
             command_drop_rate: 0.0,
             command_stretch_rate: 0.0,
             command_stretch_cycles: 0,
@@ -157,6 +177,8 @@ impl FaultPlan {
     pub fn validate(&self) -> Result<(), PlanError> {
         for (name, rate) in [
             ("mask_corrupt_rate", self.mask_corrupt_rate),
+            ("mask_escape_rate", self.mask_escape_rate),
+            ("persistent_rate", self.persistent_rate),
             ("command_drop_rate", self.command_drop_rate),
             ("command_stretch_rate", self.command_stretch_rate),
             ("dirty_flip_rate", self.dirty_flip_rate),
@@ -169,6 +191,11 @@ impl FaultPlan {
         }
         if self.refresh_interval_divisor == 0 {
             return Err(plan_err("refresh_interval_divisor must be at least 1"));
+        }
+        if self.transient_burst_len == 0 {
+            return Err(plan_err(
+                "transient_burst_len must be at least 1 (1 = single-shot)",
+            ));
         }
         if self.command_stretch_rate > 0.0 && self.command_stretch_cycles == 0 {
             return Err(plan_err(
@@ -184,8 +211,11 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a [`PlanError`] naming the offending line, plus any
-    /// [`FaultPlan::validate`] failure.
+    /// Returns a [`PlanError`] naming the offending line *and key*: parse
+    /// failures, unknown keys/sections, and out-of-range values are all
+    /// reported as `line N: <key> ...`. Cross-key inconsistencies (which
+    /// have no single offending line) still come from
+    /// [`FaultPlan::validate`] without a line number.
     pub fn from_toml_str(text: &str) -> Result<Self, PlanError> {
         let mut plan = FaultPlan::disabled();
         for (index, raw) in text.lines().enumerate() {
@@ -213,19 +243,38 @@ impl FaultPlan {
                     plan_err(format!("line {lineno}: {key} wants an integer, got {v:?}"))
                 })
             };
+            // Positive integer: an integer with a per-key lower bound of 1.
+            let as_u64_min1 = |v: &str| {
+                let n = as_u64(v)?;
+                if n == 0 {
+                    return Err(plan_err(format!(
+                        "line {lineno}: {key} must be at least 1, got {v}"
+                    )));
+                }
+                Ok(n)
+            };
             let as_rate = |v: &str| {
-                v.parse::<f64>().map_err(|_| {
+                let rate = v.parse::<f64>().map_err(|_| {
                     plan_err(format!("line {lineno}: {key} wants a number, got {v:?}"))
-                })
+                })?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(plan_err(format!(
+                        "line {lineno}: {key} must be within [0, 1], got {v}"
+                    )));
+                }
+                Ok(rate)
             };
             match key {
                 "seed" => plan.seed = as_u64(value)?,
                 "mask_corrupt_rate" => plan.mask_corrupt_rate = as_rate(value)?,
+                "mask_escape_rate" => plan.mask_escape_rate = as_rate(value)?,
+                "persistent_rate" => plan.persistent_rate = as_rate(value)?,
+                "transient_burst_len" => plan.transient_burst_len = as_u64_min1(value)?,
                 "command_drop_rate" => plan.command_drop_rate = as_rate(value)?,
                 "command_stretch_rate" => plan.command_stretch_rate = as_rate(value)?,
                 "command_stretch_cycles" => plan.command_stretch_cycles = as_u64(value)?,
                 "dirty_flip_rate" => plan.dirty_flip_rate = as_rate(value)?,
-                "refresh_interval_divisor" => plan.refresh_interval_divisor = as_u64(value)?,
+                "refresh_interval_divisor" => plan.refresh_interval_divisor = as_u64_min1(value)?,
                 other => {
                     return Err(plan_err(format!("line {lineno}: unknown key {other:?}")));
                 }
@@ -242,6 +291,8 @@ impl FaultPlan {
             plan: *self,
             rng: Rng::seed_from_u64(self.seed ^ domain.salt()),
             counts: FaultCounts::default(),
+            persistent_sites: BTreeSet::new(),
+            burst_remaining: BTreeMap::new(),
         }
     }
 }
@@ -263,6 +314,11 @@ pub struct FaultCounts {
     /// Detected faults answered by graceful degradation (full-row
     /// fallback activations).
     pub degraded: u64,
+    /// Injected faults that escaped detection entirely (even-flip mask
+    /// corruptions whose parity still matched). Always `<= injected`;
+    /// `masks_corrupted == detected-mask-faults + escaped` in the
+    /// parity-protected model.
+    pub escaped: u64,
     /// PRA mask transfers corrupted.
     pub masks_corrupted: u64,
     /// Commands dropped on the command bus.
@@ -282,6 +338,7 @@ impl FaultCounts {
             injected: self.injected + other.injected,
             detected: self.detected + other.detected,
             degraded: self.degraded + other.degraded,
+            escaped: self.escaped + other.escaped,
             masks_corrupted: self.masks_corrupted + other.masks_corrupted,
             commands_dropped: self.commands_dropped + other.commands_dropped,
             commands_stretched: self.commands_stretched + other.commands_stretched,
@@ -313,6 +370,34 @@ impl FaultCounts {
     }
 }
 
+/// A DRAM location a fault can stick to, for transient-vs-persistent
+/// classification: persistent faults key a sticky set by site, transient
+/// bursts count down per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+}
+
+/// The outcome of a site-classified mask-transfer fault draw
+/// ([`FaultInjector::corrupt_mask_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskFault {
+    /// The corrupted mask as the chip receives it.
+    pub mask: WordMask,
+    /// An even number of bits flipped: the parity bit still matches, so
+    /// the chip cannot detect the corruption and the activation proceeds
+    /// with the wrong coverage.
+    pub escaped: bool,
+    /// The site is (now) in the sticky persistent set: every later masked
+    /// activation there faults deterministically — a retry cannot succeed.
+    pub persistent: bool,
+}
+
 /// A per-domain fault source: consult it at each injection opportunity.
 ///
 /// Every method with a zero-rate knob returns without touching the RNG, so
@@ -322,6 +407,12 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rng: Rng,
     counts: FaultCounts,
+    /// Sites whose mask transfers fault deterministically (persistent
+    /// faults); populated by [`FaultInjector::corrupt_mask_at`].
+    persistent_sites: BTreeSet<FaultSite>,
+    /// Remaining fault repetitions per site for in-flight transient
+    /// bursts (`transient_burst_len > 1` plans only).
+    burst_remaining: BTreeMap<FaultSite, u64>,
 }
 
 impl FaultInjector {
@@ -355,10 +446,99 @@ impl FaultInjector {
         Some(WordMask::from_bits(mask.bits() ^ (1 << bit)))
     }
 
+    /// Site-classified variant of [`FaultInjector::corrupt_mask`]: the
+    /// fault decision consults the sticky persistent set and any in-flight
+    /// transient burst for `site` before drawing fresh randomness, so
+    /// retries of a persistent fault deterministically keep failing while
+    /// single-shot transients succeed on replay. Fresh faults are
+    /// classified on first fire: escaped (even flip, undetectable) with
+    /// probability `mask_escape_rate`, else persistent with probability
+    /// `persistent_rate` (the site turns sticky), else transient for
+    /// `transient_burst_len` consecutive attempts.
+    ///
+    /// With the classification knobs at their defaults this draws exactly
+    /// the same RNG sequence as [`FaultInjector::corrupt_mask`].
+    pub fn corrupt_mask_at(&mut self, site: FaultSite, mask: WordMask) -> Option<MaskFault> {
+        let sticky = self.persistent_sites.contains(&site);
+        let burst = if sticky {
+            0
+        } else {
+            self.burst_remaining.get(&site).copied().unwrap_or(0)
+        };
+        let fresh = !sticky && burst == 0;
+        let fires = !fresh
+            || (self.plan.mask_corrupt_rate > 0.0
+                && self.rng.random_bool(self.plan.mask_corrupt_rate));
+        if !fires {
+            return None;
+        }
+        if burst > 0 {
+            if burst == 1 {
+                self.burst_remaining.remove(&site);
+            } else {
+                self.burst_remaining.insert(site, burst - 1);
+            }
+        }
+        let mut escaped = false;
+        let mut persistent = sticky;
+        if fresh {
+            if self.plan.mask_escape_rate > 0.0 && self.rng.random_bool(self.plan.mask_escape_rate)
+            {
+                escaped = true;
+            } else if self.plan.persistent_rate > 0.0
+                && self.rng.random_bool(self.plan.persistent_rate)
+            {
+                persistent = true;
+                self.persistent_sites.insert(site);
+            } else if self.plan.transient_burst_len > 1 {
+                self.burst_remaining
+                    .insert(site, self.plan.transient_burst_len - 1);
+            }
+        }
+        self.counts.injected += 1;
+        self.counts.masks_corrupted += 1;
+        if escaped {
+            self.counts.escaped += 1;
+        }
+        let bit = self.rng.bounded_u64(WORDS_PER_LINE as u64) as u8;
+        let bits = if escaped {
+            // Flip a second, distinct bit so the popcount parity of the
+            // corruption is even and the parity bit still matches.
+            let offset = 1 + self.rng.bounded_u64(WORDS_PER_LINE as u64 - 1) as u8;
+            let second = (bit + offset) % WORDS_PER_LINE as u8;
+            mask.bits() ^ (1 << bit) ^ (1 << second)
+        } else {
+            mask.bits() ^ (1 << bit)
+        };
+        Some(MaskFault {
+            mask: WordMask::from_bits(bits),
+            escaped,
+            persistent,
+        })
+    }
+
+    /// Whether `site` is currently in the sticky persistent-fault set.
+    pub fn is_persistent_site(&self, site: FaultSite) -> bool {
+        self.persistent_sites.contains(&site)
+    }
+
     /// Records that a corrupted mask was caught (parity mismatch) and
     /// answered by a full-row fallback activation.
     pub fn record_mask_fault_handled(&mut self) {
         self.counts.detected += 1;
+        self.counts.degraded += 1;
+    }
+
+    /// Records a detected fault (parity mismatch) *without* an immediate
+    /// degradation — the recovery pipeline will retry it first.
+    pub fn record_fault_detected(&mut self) {
+        self.counts.detected += 1;
+    }
+
+    /// Records a terminal graceful degradation (retry budget exhausted,
+    /// full-row fallback issued). Pairs with earlier
+    /// [`FaultInjector::record_fault_detected`] calls.
+    pub fn record_fault_degraded(&mut self) {
         self.counts.degraded += 1;
     }
 
@@ -427,6 +607,15 @@ mod tests {
             command_stretch_cycles: 3,
             dirty_flip_rate: 0.5,
             refresh_interval_divisor: 4,
+            ..FaultPlan::disabled()
+        }
+    }
+
+    fn site(row: u32) -> FaultSite {
+        FaultSite {
+            rank: 0,
+            bank: 0,
+            row,
         }
     }
 
@@ -483,6 +672,142 @@ mod tests {
         // Out-of-range rates are caught at parse time too.
         let e = FaultPlan::from_toml_str("dirty_flip_rate = 2.0\n").unwrap_err();
         assert!(e.to_string().contains("within [0, 1]"), "{e}");
+    }
+
+    #[test]
+    fn toml_errors_name_the_offending_line_and_key_per_knob() {
+        // One malformed assignment per knob; every error must carry the
+        // 1-based line number of the bad assignment and the key name, so a
+        // typo deep in a plan file is immediately locatable.
+        let cases: &[(&str, &str)] = &[
+            ("seed = 1.5", "seed"),
+            ("mask_corrupt_rate = 1.01", "mask_corrupt_rate"),
+            ("mask_escape_rate = -0.2", "mask_escape_rate"),
+            ("persistent_rate = two", "persistent_rate"),
+            ("transient_burst_len = 0", "transient_burst_len"),
+            ("command_drop_rate = 7", "command_drop_rate"),
+            ("command_stretch_rate = nan?", "command_stretch_rate"),
+            ("command_stretch_cycles = -3", "command_stretch_cycles"),
+            ("dirty_flip_rate = 100", "dirty_flip_rate"),
+            ("refresh_interval_divisor = 0", "refresh_interval_divisor"),
+        ];
+        for (bad_line, key) in cases {
+            // Two leading comment lines place the bad assignment on line 3.
+            let text = format!("# chaos plan\n[faults]\n{bad_line}\n");
+            let e = FaultPlan::from_toml_str(&text).unwrap_err().to_string();
+            assert!(e.contains("line 3"), "{key}: missing line number in {e:?}");
+            assert!(e.contains(key), "{key}: key not named in {e:?}");
+        }
+    }
+
+    #[test]
+    fn classification_knobs_parse_and_default() {
+        let plan = FaultPlan::from_toml_str(
+            "mask_corrupt_rate = 0.5\nmask_escape_rate = 0.1\npersistent_rate = 0.25\ntransient_burst_len = 3\n",
+        )
+        .unwrap();
+        assert_eq!(plan.mask_escape_rate, 0.1);
+        assert_eq!(plan.persistent_rate, 0.25);
+        assert_eq!(plan.transient_burst_len, 3);
+        assert_eq!(FaultPlan::disabled().transient_burst_len, 1);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn corrupt_mask_at_matches_corrupt_mask_without_classification_knobs() {
+        // Same seed, classification knobs at defaults: both entry points
+        // draw the same RNG stream and produce identical corruptions.
+        let mut plan = FaultPlan::disabled();
+        plan.mask_corrupt_rate = 0.5;
+        let mut legacy = plan.injector(Domain::Dram);
+        let mut classified = plan.injector(Domain::Dram);
+        let mask = WordMask::from_words([0, 3]);
+        for row in 0..200 {
+            let a = legacy.corrupt_mask(mask);
+            let b = classified.corrupt_mask_at(site(row), mask);
+            assert_eq!(a, b.map(|f| f.mask));
+            if let Some(f) = b {
+                assert!(!f.escaped);
+                assert!(!f.persistent);
+            }
+        }
+        assert_eq!(legacy.counts(), classified.counts());
+    }
+
+    #[test]
+    fn persistent_sites_stick_and_keep_failing() {
+        let mut plan = FaultPlan::disabled();
+        plan.mask_corrupt_rate = 1.0;
+        plan.persistent_rate = 1.0;
+        let mut inj = plan.injector(Domain::Dram);
+        let mask = WordMask::from_words([1, 6]);
+        let first = inj.corrupt_mask_at(site(9), mask).unwrap();
+        assert!(first.persistent);
+        assert!(inj.is_persistent_site(site(9)));
+        // Every retry at the same site faults deterministically, even if
+        // the rate draw would have spared it.
+        for _ in 0..20 {
+            let again = inj.corrupt_mask_at(site(9), mask).unwrap();
+            assert!(again.persistent);
+            assert!(!again.escaped);
+        }
+        assert_eq!(inj.counts().masks_corrupted, 21);
+    }
+
+    #[test]
+    fn transient_bursts_clear_after_their_length() {
+        let mut plan = FaultPlan::disabled();
+        plan.mask_corrupt_rate = 1.0;
+        plan.transient_burst_len = 3;
+        let mut inj = plan.injector(Domain::Dram);
+        let mask = WordMask::from_words([2, 5]);
+        // First fire opens a burst covering the next 2 attempts...
+        assert!(inj.corrupt_mask_at(site(4), mask).is_some());
+        assert!(inj.corrupt_mask_at(site(4), mask).is_some());
+        assert!(inj.corrupt_mask_at(site(4), mask).is_some());
+        assert!(!inj.is_persistent_site(site(4)));
+        // ...and the burst state is gone afterwards (the next fire is a
+        // fresh rate draw, which at rate 1.0 fires again — so check the
+        // internal burst map drained via the Debug rendering instead).
+        assert!(
+            !format!("{inj:?}").contains("FaultSite { rank: 0, bank: 0, row: 4 }: "),
+            "burst entry must be removed once it drains"
+        );
+    }
+
+    #[test]
+    fn escaped_faults_flip_two_bits_and_keep_parity() {
+        let mut plan = FaultPlan::disabled();
+        plan.mask_corrupt_rate = 1.0;
+        plan.mask_escape_rate = 1.0;
+        let mut inj = plan.injector(Domain::Dram);
+        let mask = WordMask::from_words([1, 6]);
+        for row in 0..100 {
+            let f = inj.corrupt_mask_at(site(row), mask).unwrap();
+            assert!(f.escaped);
+            assert_eq!((f.mask.bits() ^ mask.bits()).count_ones(), 2);
+            assert_eq!(even_parity(f.mask), even_parity(mask), "parity matches");
+            assert_ne!(f.mask, mask);
+        }
+        assert_eq!(inj.counts().escaped, 100);
+        assert_eq!(inj.counts().masks_corrupted, 100);
+        assert_eq!(inj.counts().detected, 0, "escapes are never detected");
+    }
+
+    #[test]
+    fn detection_and_degradation_record_separately() {
+        let plan = FaultPlan::disabled();
+        let mut inj = plan.injector(Domain::Dram);
+        inj.record_fault_detected();
+        inj.record_fault_detected();
+        inj.record_fault_degraded();
+        assert_eq!(inj.counts().detected, 2);
+        assert_eq!(inj.counts().degraded, 1);
+        let merged = inj.counts().merged(FaultCounts {
+            escaped: 3,
+            ..FaultCounts::default()
+        });
+        assert_eq!(merged.escaped, 3);
     }
 
     #[test]

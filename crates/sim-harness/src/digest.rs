@@ -32,7 +32,7 @@ pub fn config_digest(spec: &RunSpec) -> u64 {
     };
     let canonical = format!(
         "scheme={};workload={};policy={};cores={};instructions={};warmup={};\
-         no_retire={};queue_age={};faults={};fixture={}",
+         no_retire={};queue_age={};faults={};recovery={};fixture={}",
         scheme_cli_name(spec.scheme),
         spec.workload,
         policy_cli_name(spec.policy),
@@ -42,6 +42,7 @@ pub fn config_digest(spec: &RunSpec) -> u64 {
         spec.watchdog_no_retire,
         spec.watchdog_queue_age,
         spec.fault_plan.as_deref().unwrap_or("-"),
+        spec.recovery,
         fixture,
     );
     fnv1a_64(canonical.as_bytes())
@@ -64,6 +65,7 @@ mod tests {
             watchdog_no_retire: 1_000_000,
             watchdog_queue_age: 0,
             fault_plan: None,
+            recovery: false,
             fixture: Fixture::None,
         }
     }
@@ -80,6 +82,9 @@ mod tests {
         let mut other_fixture = spec();
         other_fixture.fixture = Fixture::Panic;
         assert_ne!(config_digest(&base), config_digest(&other_fixture));
+        let mut recovered = spec();
+        recovered.recovery = true;
+        assert_ne!(config_digest(&base), config_digest(&recovered));
     }
 
     #[test]

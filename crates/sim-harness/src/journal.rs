@@ -17,6 +17,12 @@ use std::path::Path;
 pub enum RunStatus {
     /// The simulation completed and produced a report.
     Ok,
+    /// The simulation completed, but only because the recovery pipeline
+    /// engaged: at least one parity alert fired and was replayed or
+    /// degraded. Counts as success for [`crate::CampaignSummary`]
+    /// purposes, but is reported separately so fault campaigns can assert
+    /// the pipeline actually ran.
+    Recovered,
     /// The run panicked or returned a non-liveness error.
     Failed,
     /// A liveness watchdog (or the protocol checker) tripped mid-run.
@@ -28,6 +34,7 @@ impl RunStatus {
     pub fn as_str(self) -> &'static str {
         match self {
             RunStatus::Ok => "ok",
+            RunStatus::Recovered => "recovered",
             RunStatus::Failed => "failed",
             RunStatus::Hung => "hung",
         }
@@ -36,6 +43,7 @@ impl RunStatus {
     fn from_str(s: &str) -> Option<Self> {
         match s {
             "ok" => Some(RunStatus::Ok),
+            "recovered" => Some(RunStatus::Recovered),
             "failed" => Some(RunStatus::Failed),
             "hung" => Some(RunStatus::Hung),
             _ => None,
@@ -320,7 +328,12 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_every_field() {
-        for status in [RunStatus::Ok, RunStatus::Failed, RunStatus::Hung] {
+        for status in [
+            RunStatus::Ok,
+            RunStatus::Recovered,
+            RunStatus::Failed,
+            RunStatus::Hung,
+        ] {
             let r = record(7, status);
             let parsed = JournalRecord::parse(&r.to_json_line()).unwrap();
             assert_eq!(parsed, r);

@@ -21,7 +21,7 @@
 //!   compared.
 //!
 //! Per-run counters route through [`sim_obs::MetricsRegistry`]
-//! (`campaign.runs_ok`, `campaign.runs_failed`, `campaign.runs_hung`,
+//! (`campaign.runs_ok`, `campaign.runs_recovered`, `campaign.runs_failed`, `campaign.runs_hung`,
 //! `campaign.runs_skipped`, `campaign.determinism_mismatches`,
 //! `campaign.host_nanos`) plus a `campaign.run_cycles` histogram over
 //! successful runs. Each completed run also prints a stderr heartbeat

@@ -59,6 +59,9 @@ pub struct RunSpec {
     pub watchdog_queue_age: u64,
     /// Optional fault-plan file injected into the run.
     pub fault_plan: Option<String>,
+    /// Arm the controller recovery pipeline (parity-alert replay with
+    /// full-row fallback) for this run.
+    pub recovery: bool,
     /// Synthetic-fixture kind, [`Fixture::None`] for real runs.
     pub fixture: Fixture,
 }
@@ -158,6 +161,10 @@ pub struct Campaign {
     /// Fault-plan files: each becomes an extra matrix axis value (a run
     /// without a plan is always included).
     pub fault_plans: Vec<String>,
+    /// Arm the controller recovery pipeline on every run (detected faults
+    /// replay instead of degrading immediately; completed runs that needed
+    /// it journal as `recovered`).
+    pub recovery: bool,
     /// Append one synthetic panicking run (harness self-test).
     pub include_panic_fixture: bool,
     /// Append one synthetic hanging run (harness self-test).
@@ -186,6 +193,7 @@ impl Campaign {
         let mut watchdog_queue_age = 0u64;
         let mut determinism_sample = 0u64;
         let mut fault_plans = Vec::new();
+        let mut recovery = false;
         let mut include_panic_fixture = false;
         let mut include_hang_fixture = false;
 
@@ -254,6 +262,7 @@ impl Campaign {
                 "fault_plans" => {
                     fault_plans = parse_string_array(value, key, lineno)?;
                 }
+                "recovery" => recovery = as_bool(value)?,
                 "include_panic_fixture" => include_panic_fixture = as_bool(value)?,
                 "include_hang_fixture" => include_hang_fixture = as_bool(value)?,
                 _ => {
@@ -274,6 +283,7 @@ impl Campaign {
             watchdog_queue_age,
             determinism_sample,
             fault_plans,
+            recovery,
             include_panic_fixture,
             include_hang_fixture,
         };
@@ -327,6 +337,7 @@ impl Campaign {
                             watchdog_no_retire: self.watchdog_no_retire,
                             watchdog_queue_age: self.watchdog_queue_age,
                             fault_plan: plan.clone(),
+                            recovery: self.recovery,
                             fixture: Fixture::None,
                         });
                     }
@@ -425,6 +436,9 @@ impl RunSpec {
         if let Some(plan) = &self.fault_plan {
             line.push_str(&format!(" --faults {plan}"));
         }
+        if self.recovery {
+            line.push_str(" --recovery");
+        }
         line
     }
 }
@@ -494,6 +508,19 @@ mod tests {
         let c = Campaign::from_toml_str(&text).unwrap();
         assert_eq!(c.workloads[0], "GUPS");
         assert_eq!(c.workloads[2], "MIX1");
+    }
+
+    #[test]
+    fn recovery_knob_flows_into_specs_and_repro() {
+        let text = format!("{MINIMAL}\nrecovery = true\n");
+        let c = Campaign::from_toml_str(&text).unwrap();
+        assert!(c.recovery);
+        let specs = c.expand();
+        assert!(specs.iter().all(|s| s.recovery));
+        assert!(specs[0].repro_line().ends_with("--recovery"));
+        let plain = Campaign::from_toml_str(MINIMAL).unwrap();
+        assert!(!plain.recovery, "recovery defaults off");
+        assert!(!plain.expand()[0].repro_line().contains("--recovery"));
     }
 
     #[test]

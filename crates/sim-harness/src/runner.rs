@@ -100,8 +100,11 @@ pub const SLOWEST_KEPT: usize = 5;
 pub struct CampaignSummary {
     /// Runs in the expanded matrix.
     pub total: usize,
-    /// Runs that completed with a report.
+    /// Runs that completed with a report and no recovery activity.
     pub ok: usize,
+    /// Runs that completed, but only via the recovery pipeline (at least
+    /// one parity alert was replayed or degraded). Success, not failure.
+    pub recovered: usize,
     /// Runs that panicked or errored.
     pub failed: usize,
     /// Runs a liveness watchdog (or the protocol checker) stopped.
@@ -135,9 +138,10 @@ impl CampaignSummary {
     /// Renders the human-readable campaign report.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "campaign: {} runs ({} ok, {} failed, {} hung, {} skipped) in {} ms on {} worker{}",
+            "campaign: {} runs ({} ok, {} recovered, {} failed, {} hung, {} skipped) in {} ms on {} worker{}",
             self.total,
             self.ok,
+            self.recovered,
             self.failed,
             self.hung,
             self.skipped,
@@ -167,7 +171,7 @@ impl CampaignSummary {
                 ));
             }
         }
-        let executed = self.ok + self.failed + self.hung;
+        let executed = self.ok + self.recovered + self.failed + self.hung;
         if let Some(host_nanos) = self.metrics.counter_value("campaign.host_nanos") {
             if host_nanos > 0 {
                 out.push_str(&format!(
@@ -244,6 +248,9 @@ fn run_spec(spec: &RunSpec, verify: bool) -> Result<Report, SimError> {
         let plan = sim_fault::FaultPlan::from_toml_str(&text)?;
         builder = builder.faults(plan);
     }
+    if spec.recovery {
+        builder = builder.recovery(pra_core::RecoveryConfig::default());
+    }
     if verify {
         builder.try_run_verified()
     } else {
@@ -283,7 +290,13 @@ fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
     record.host_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     match outcome {
         Ok(Ok(report)) => {
-            record.status = RunStatus::Ok;
+            // A completed run that needed the recovery pipeline is journaled
+            // distinctly so fault campaigns can assert it engaged.
+            record.status = if report.recovery.engaged() {
+                RunStatus::Recovered
+            } else {
+                RunStatus::Ok
+            };
             record.cycles = report.cpu_cycles;
             record.state_digest = Some(report.state_digest());
         }
@@ -364,6 +377,7 @@ pub fn run_campaign(
     let mut summary = CampaignSummary {
         total: specs.len(),
         ok: 0,
+        recovered: 0,
         failed: 0,
         hung: 0,
         skipped,
@@ -376,6 +390,7 @@ pub fn run_campaign(
         metrics: MetricsRegistry::new(),
     };
     let ok_id = summary.metrics.counter("campaign.runs_ok");
+    let recovered_id = summary.metrics.counter("campaign.runs_recovered");
     let failed_id = summary.metrics.counter("campaign.runs_failed");
     let hung_id = summary.metrics.counter("campaign.runs_hung");
     let skipped_id = summary.metrics.counter("campaign.runs_skipped");
@@ -418,6 +433,11 @@ pub fn run_campaign(
                     summary.metrics.add(ok_id, 1);
                     summary.metrics.observe(cycles_id, record.cycles);
                 }
+                RunStatus::Recovered => {
+                    summary.recovered += 1;
+                    summary.metrics.add(recovered_id, 1);
+                    summary.metrics.observe(cycles_id, record.cycles);
+                }
                 RunStatus::Failed => {
                     summary.failed += 1;
                     summary.metrics.add(failed_id, 1);
@@ -443,7 +463,7 @@ pub fn run_campaign(
             // Per-run heartbeat, so a long campaign is observable while it
             // runs (stderr: the report itself goes to stdout).
             eprintln!(
-                "[campaign {done}/{pending}] {}/{} seed {}: {} in {:.2} s ({:.0} cycles/s) | {} ok {} failed {} hung",
+                "[campaign {done}/{pending}] {}/{} seed {}: {} in {:.2} s ({:.0} cycles/s) | {} ok {} recovered {} failed {} hung",
                 timing.scheme,
                 timing.workload,
                 timing.seed,
@@ -451,6 +471,7 @@ pub fn run_campaign(
                 timing.host_nanos as f64 / 1e9,
                 timing.cycles_per_sec(),
                 summary.ok,
+                summary.recovered,
                 summary.failed,
                 summary.hung,
             );
@@ -459,7 +480,7 @@ pub fn run_campaign(
                 .slowest
                 .sort_by_key(|t| std::cmp::Reverse(t.host_nanos));
             summary.slowest.truncate(SLOWEST_KEPT);
-            if record.status != RunStatus::Ok {
+            if !matches!(record.status, RunStatus::Ok | RunStatus::Recovered) {
                 summary.failures.push(RunFailure {
                     status: record.status,
                     scheme: record.scheme.clone(),
@@ -500,6 +521,7 @@ mod tests {
             watchdog_no_retire: if fixture == Fixture::Hang { 20 } else { 0 },
             watchdog_queue_age: 0,
             fault_plan: None,
+            recovery: false,
             fixture,
         }
     }
@@ -540,6 +562,35 @@ mod tests {
         assert!(record.cycles > 0);
         assert!(record.state_digest.is_some());
         assert!(record.detail.is_empty());
+    }
+
+    #[test]
+    fn faulted_run_with_recovery_classifies_recovered() {
+        let dir = std::env::temp_dir().join("sim_harness_recovery_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("storm.toml");
+        std::fs::write(
+            &plan,
+            "[faults]\nseed = 4\nmask_corrupt_rate = 0.5\ncommand_drop_rate = 0.1\n\
+             persistent_rate = 0.1\ntransient_burst_len = 2\n",
+        )
+        .unwrap();
+        let mut spec = tiny_spec(Fixture::None);
+        spec.scheme = Scheme::Pra;
+        spec.instructions = 3_000;
+        spec.fault_plan = Some(plan.to_str().unwrap().to_string());
+        spec.recovery = true;
+        let (record, mismatch) = execute_spec(&spec, true);
+        assert_eq!(record.status, RunStatus::Recovered, "{}", record.detail);
+        assert!(!mismatch, "recovery must stay digest-deterministic");
+        assert!(record.state_digest.is_some());
+        assert!(record.repro.ends_with("--recovery"), "{}", record.repro);
+        // Same spec without recovery still completes (legacy degrade path)
+        // and journals plain ok.
+        spec.recovery = false;
+        let (record, _) = execute_spec(&spec, false);
+        assert_eq!(record.status, RunStatus::Ok, "{}", record.detail);
+        std::fs::remove_file(&plan).ok();
     }
 
     #[test]

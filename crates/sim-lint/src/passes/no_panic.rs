@@ -17,7 +17,14 @@ use crate::workspace::Workspace;
 /// behind `catch_unwind` (and its panic fixture raises one on purpose), so
 /// it answers to `forbid-wallclock` scoping instead — see the wallclock
 /// pass's strict-path list.
-pub const HOT_CRATES: &[&str] = &["dram-sim", "cache-sim", "cpu-sim", "mem-model", "core"];
+pub const HOT_CRATES: &[&str] = &[
+    "dram-sim",
+    "cache-sim",
+    "cpu-sim",
+    "mem-model",
+    "core",
+    "sim-recover",
+];
 
 const LINT: &str = "no-panic-hot-path";
 
@@ -127,6 +134,20 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n",
         );
         assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn recovery_engine_is_a_hot_crate() {
+        // The recovery engine sits on the command-issue path: a panic there
+        // takes down the whole channel mid-replay.
+        let ws = ws_one(
+            "sim-recover",
+            "crates/sim-recover/src/x.rs",
+            "fn f() { let until = map.get(&key).unwrap(); assert!(until > 0); }",
+        );
+        let d = run(&ws);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.lint == "no-panic-hot-path"));
     }
 
     #[test]

@@ -129,9 +129,56 @@ impl PerfettoTrace {
                 rank,
                 bank,
                 ..
+            }
+            | TraceEvent::ParityAlert {
+                channel,
+                rank,
+                bank,
+                ..
             } => {
                 let (pid, tid) = self.bank_track(channel, rank, bank);
                 self.push_complete(kind, pid, tid, ts, 1, "");
+            }
+            TraceEvent::CommandReplay {
+                channel,
+                rank,
+                bank,
+                attempt,
+                ..
+            } => {
+                let (pid, tid) = self.bank_track(channel, rank, bank);
+                self.push_complete(kind, pid, tid, ts, 1, &format!("\"attempt\":{attempt}"));
+            }
+            TraceEvent::RecoveryExhausted {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            }
+            | TraceEvent::RowDemote {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            }
+            | TraceEvent::RowPromote {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            }
+            | TraceEvent::ParityEscape {
+                channel,
+                rank,
+                bank,
+                row,
+                ..
+            } => {
+                let (pid, tid) = self.bank_track(channel, rank, bank);
+                self.push_complete(kind, pid, tid, ts, 1, &format!("\"row\":{row}"));
             }
             TraceEvent::Refresh { channel, rank, .. }
             | TraceEvent::PowerDown { channel, rank, .. }
