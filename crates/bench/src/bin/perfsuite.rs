@@ -21,6 +21,8 @@ use sim_fault::FaultPlan;
 
 /// Report schema version; bump when fields change shape.
 const SCHEMA_VERSION: u32 = 1;
+/// `BENCH_power.json` schema version; bump when fields change shape.
+const POWER_SCHEMA_VERSION: u32 = 1;
 /// Spans kept per scenario in the JSON profile excerpt.
 const PROFILE_TOP_K: usize = 5;
 
@@ -231,10 +233,69 @@ fn render_json(quick: bool, iters: u32, results: &[ScenarioResult]) -> String {
     out
 }
 
+/// Renders the simulated-energy report: unlike the throughput numbers
+/// these are properties of the *simulated* system, bit-deterministic for a
+/// given scenario set, so the quick-mode file is committed to the repo and
+/// diffs only when the energy model (or a scenario) changes.
+fn render_power_json(quick: bool, results: &[ScenarioResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {POWER_SCHEMA_VERSION},\n"));
+    out.push_str("  \"suite\": \"power\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let e = &r.report.energy;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(r.name)));
+        out.push_str(&format!(
+            "      \"workload\": \"{}\",\n",
+            json_escape(&r.report.workload)
+        ));
+        out.push_str(&format!(
+            "      \"scheme\": \"{}\",\n",
+            json_escape(&r.report.scheme)
+        ));
+        out.push_str(&format!("      \"instructions\": {},\n", r.instructions));
+        out.push_str(&format!(
+            "      \"energy_pj\": {},\n",
+            e.total().round() as u64
+        ));
+        out.push_str(&format!(
+            "      \"avg_power_mw\": {},\n",
+            r.report.power.total().round() as u64
+        ));
+        out.push_str("      \"breakdown_pj\": {\n");
+        let fields = [
+            ("act_pre", e.act_pre),
+            ("rd", e.rd),
+            ("wr", e.wr),
+            ("rd_io", e.rd_io),
+            ("wr_io", e.wr_io),
+            ("bg", e.bg),
+            ("refresh", e.refresh),
+        ];
+        for (j, (name, pj)) in fields.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{name}\": {}{}\n",
+                pj.round() as u64,
+                if j + 1 < fields.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      }\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let mut quick = false;
     let mut iters: u32 = 3;
     let mut out_path = String::from("BENCH_perfsuite.json");
+    let mut power_out_path = String::from("BENCH_power.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -248,9 +309,12 @@ fn main() {
             "--out" => {
                 out_path = args.next().expect("--out needs a path");
             }
+            "--power-out" => {
+                power_out_path = args.next().expect("--power-out needs a path");
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: perfsuite [--quick] [--iters N] [--out PATH]"
+                    "unknown flag {other}; usage: perfsuite [--quick] [--iters N] [--out PATH] [--power-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -292,6 +356,9 @@ fn main() {
     let json = render_json(quick, iters, &results);
     std::fs::write(&out_path, &json).expect("write perf report");
     eprintln!("wrote {out_path}");
+    let power_json = render_power_json(quick, &results);
+    std::fs::write(&power_out_path, &power_json).expect("write power report");
+    eprintln!("wrote {power_out_path}");
     if results.iter().any(|r| !r.digest_profiled_matches) {
         eprintln!("error: profiling perturbed at least one state digest");
         std::process::exit(1);

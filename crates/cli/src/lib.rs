@@ -714,6 +714,20 @@ fn render_journal_report(journal: &str, loaded: &sim_harness::LoadedJournal) -> 
             loaded.dropped_lines
         );
     }
+    // Aggregate DRAM energy across completed runs; journals written before
+    // power telemetry existed parse with energy_pj 0 and are skipped.
+    let energy_pj: u64 = loaded.records.iter().map(|r| r.energy_pj).sum();
+    let completed = count(RunStatus::Ok) + count(RunStatus::Recovered);
+    if energy_pj > 0 && completed > 0 {
+        let peak_mw = loaded.records.iter().map(|r| r.avg_power_mw).max();
+        let _ = writeln!(
+            out,
+            "dram energy: {:.3} mJ across {} completed run(s), peak per-run average power {} mW",
+            energy_pj as f64 / 1e9,
+            completed,
+            peak_mw.unwrap_or(0),
+        );
+    }
     // The slowest-runs table; journals written before host timing existed
     // parse with host_nanos 0 and simply rank last.
     let mut by_time: Vec<&sim_harness::JournalRecord> = loaded.records.iter().collect();
@@ -821,6 +835,110 @@ pub fn cmd_analyze(opts: &Options) -> Result<String, CliError> {
     Ok(render_summary(&name, &summary))
 }
 
+/// `pra power run`: one simulation with live power telemetry — an
+/// epoch-resolved power-rail table, a streaming-vs-post-hoc energy
+/// reconciliation line and a savings line against the baseline scheme.
+///
+/// # Errors
+///
+/// Propagates option and name resolution errors.
+pub fn cmd_power(opts: &Options) -> Result<String, CliError> {
+    match opts.positional.first().map(String::as_str) {
+        Some("run") => {}
+        other => {
+            return Err(err(format!(
+                "power needs a subcommand (run), got {other:?}"
+            )))
+        }
+    }
+    let scheme = parse_scheme(opts.get("scheme").unwrap_or("pra"))?;
+    let epoch = opts.get_u64("epoch", 20_000)?;
+    if epoch == 0 {
+        return Err(err("--epoch must be a positive cycle count"));
+    }
+    let (_, builder) = build(opts, scheme)?;
+    let report = builder.metrics_epoch(epoch).try_run()?;
+
+    let gauge = |s: &sim_obs::EpochSnapshot, name: &str| -> f64 {
+        s.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |&(_, v)| v)
+    };
+    let counter = |s: &sim_obs::EpochSnapshot, name: &str| -> u64 {
+        s.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload {}  scheme {}  epoch {} mem cycles",
+        report.workload, report.scheme, epoch
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>5} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>12}",
+        "epoch", "cycles", "act-pre", "rd", "wr", "io", "bg", "ref", "total mW", "energy pJ"
+    );
+    let mut streamed_pj = 0u64;
+    for s in &report.metrics {
+        let epoch_pj = counter(s, "energy.total_pj");
+        streamed_pj += epoch_pj;
+        let _ = writeln!(
+            out,
+            "{:>5} {:>10} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>12}",
+            s.index,
+            s.end_cycle - s.start_cycle,
+            gauge(s, "power.act_pre_mw"),
+            gauge(s, "power.rd_mw"),
+            gauge(s, "power.wr_mw"),
+            gauge(s, "power.rd_io_mw") + gauge(s, "power.wr_io_mw"),
+            gauge(s, "power.bg_mw"),
+            gauge(s, "power.refresh_mw"),
+            gauge(s, "power.total_mw"),
+            epoch_pj
+        );
+    }
+    let posthoc_pj = report.energy.total().round() as u64;
+    let _ = writeln!(
+        out,
+        "\nstreaming energy {streamed_pj} pJ over {} epochs; post-hoc accounting {posthoc_pj} pJ ({})",
+        report.metrics.len(),
+        if streamed_pj == posthoc_pj {
+            "reconciled"
+        } else {
+            "MISMATCH"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "average power {:.1} mW over {:.1} us",
+        report.power.total(),
+        report.runtime_ns / 1000.0
+    );
+    if scheme != Scheme::Baseline {
+        let (_, base_builder) = build(opts, Scheme::Baseline)?;
+        let base = base_builder.try_run()?;
+        let _ = writeln!(
+            out,
+            "vs baseline: power {:.1} mW -> {:.1} mW ({:+.1}%), energy {:+.1}%",
+            base.power.total(),
+            report.power.total(),
+            (report.power.total() / base.power.total() - 1.0) * 100.0,
+            (report.energy.total() / base.energy.total() - 1.0) * 100.0
+        );
+    }
+    if streamed_pj != posthoc_pj {
+        return Err(err(format!(
+            "power telemetry reconciliation failed: streamed {streamed_pj} pJ != post-hoc {posthoc_pj} pJ"
+        )));
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "pra — Partial Row Activation DRAM simulator\n\
@@ -854,6 +972,10 @@ pub fn usage() -> String {
      \x20                export a Perfetto/chrome://tracing timeline: per-bank\n\
      \x20                DRAM command tracks (row + PRA mats/mask args) plus\n\
      \x20                host-time profiler spans (run mode only)\n\
+     \x20 pra power run [run options] [--epoch N]\n\
+     \x20                epoch-resolved power rails (mW per component) and\n\
+     \x20                energy counters (pJ), a streaming-vs-post-hoc\n\
+     \x20                reconciliation check, and savings vs the baseline\n\
      \x20 pra prof run [run options] [--top N]\n\
      \x20                profile where host time goes (span self/total time,\n\
      \x20                call counts) while running one simulation\n"
@@ -875,6 +997,7 @@ pub fn dispatch(args: Vec<String>) -> Result<String, CliError> {
         "compare" => cmd_compare(&opts),
         "list" => Ok(cmd_list()),
         "trace" => cmd_trace(&opts),
+        "power" => cmd_power(&opts),
         "prof" => cmd_prof(&opts),
         "campaign" => cmd_campaign(&opts),
         "analyze" => cmd_analyze(&opts),
@@ -957,6 +1080,43 @@ mod tests {
         assert!(out.contains("scheme PRA"), "{out}");
         assert!(out.contains("ACT-PRE"), "{out}");
         assert!(out.contains("state digest"), "{out}");
+        Ok(())
+    }
+
+    #[test]
+    fn power_run_renders_rails_and_reconciles() -> TestResult {
+        let opts = Options::parse(
+            [
+                "run",
+                "--workload",
+                "gups",
+                "--scheme",
+                "pra",
+                "--cores",
+                "1",
+                "--instructions",
+                "5000",
+                "--warmup",
+                "20000",
+                "--epoch",
+                "10000",
+            ]
+            .map(String::from),
+        )?;
+        let out = cmd_power(&opts)?;
+        assert!(out.contains("total mW"), "{out}");
+        assert!(out.contains("energy pJ"), "{out}");
+        assert!(out.contains("reconciled"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        assert!(out.contains("vs baseline:"), "{out}");
+        Ok(())
+    }
+
+    #[test]
+    fn power_needs_a_subcommand() -> TestResult {
+        let opts = Options::parse(Vec::<String>::new())?;
+        let e = cmd_power(&opts).expect_err("bare power must be rejected");
+        assert!(e.message.contains("power needs a subcommand"), "{e}");
         Ok(())
     }
 

@@ -83,6 +83,7 @@ pub struct SimBuilder {
     trace_ring: Option<std::rc::Rc<std::cell::RefCell<sim_obs::RingSink>>>,
     metrics_out: Option<PathBuf>,
     metrics_epoch: u64,
+    power_telemetry: bool,
     faults: Option<FaultPlan>,
     recovery: Option<dram_sim::RecoveryConfig>,
     liveness: dram_sim::LivenessConfig,
@@ -110,6 +111,7 @@ impl SimBuilder {
             trace_ring: None,
             metrics_out: None,
             metrics_epoch: 0,
+            power_telemetry: true,
             faults: None,
             recovery: None,
             liveness: dram_sim::LivenessConfig::disabled(),
@@ -248,6 +250,16 @@ impl SimBuilder {
     /// [`metrics_out`](Self::metrics_out) file when set). 0 disables.
     pub fn metrics_epoch(mut self, cycles: u64) -> Self {
         self.metrics_epoch = cycles;
+        self
+    }
+
+    /// Enables or disables the live power-telemetry layer (on by default):
+    /// per-bank residency tracking in the DRAM energy accountant plus
+    /// `energy.*`/`power.*` metric publication and `POWER_EPOCH` /
+    /// `POWER_RANK` trace events at every epoch close. The simulation
+    /// itself is bit-identical either way — telemetry only observes.
+    pub fn power_telemetry(mut self, enabled: bool) -> Self {
+        self.power_telemetry = enabled;
         self
     }
 
@@ -390,6 +402,7 @@ impl SimBuilder {
             dram_config.mapping,
         );
         let mut mem = MemorySystem::try_new(dram_config)?;
+        mem.set_power_telemetry(self.power_telemetry);
         // A no-op plan attaches nothing: the injector-free fast path stays
         // bit-identical to a run without a plan.
         let fault_plan = self.faults.filter(|p| !p.is_noop());
@@ -913,6 +926,141 @@ mod tests {
             "every alert is replayed or exhausted"
         );
         assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn power_telemetry_toggle_preserves_state_digest() {
+        // Without epochs nothing is ever published, so the *full* digest —
+        // stats, energy, cache, metrics — must match exactly.
+        let run = |telemetry: bool, epoch: u64| {
+            let mut b = SimBuilder::new()
+                .app(workloads::gups())
+                .scheme(Scheme::Pra)
+                .instructions(15_000)
+                .warmup_mem_ops(200_000)
+                .power_telemetry(telemetry);
+            if epoch > 0 {
+                b = b.metrics_epoch(epoch);
+            }
+            b.run()
+        };
+        let on = run(true, 0);
+        let off = run(false, 0);
+        assert_eq!(
+            on.state_digest(),
+            off.state_digest(),
+            "telemetry must not perturb the simulation"
+        );
+        // With epochs on, telemetry adds `energy.*`/`power.*` rows to the
+        // snapshots; everything *outside* the metrics field still digests
+        // identically.
+        let on = run(true, 10_000);
+        let off = run(false, 10_000);
+        let strip = |r: &Report| {
+            let mut r = r.clone();
+            r.metrics.clear();
+            r.state_digest()
+        };
+        assert_eq!(strip(&on), strip(&off));
+        let has_power = |r: &Report| {
+            r.metrics
+                .iter()
+                .any(|s| s.counters.iter().any(|(n, _)| n.starts_with("energy.")))
+        };
+        assert!(has_power(&on), "telemetry on must publish energy counters");
+        assert!(!has_power(&off), "telemetry off must publish none");
+    }
+
+    #[test]
+    fn power_streaming_counters_match_post_hoc_energy() {
+        // Satellite: streaming `energy.*` epoch deltas sum back to the
+        // post-hoc EnergyBreakdown field-by-field, on the paper 1-channel
+        // config and on MIX1 (run release CI under PRA_VERIFY_PROTOCOL=1).
+        let check = |report: &Report| {
+            let streamed = |name: &str| -> u64 {
+                report
+                    .metrics
+                    .iter()
+                    .flat_map(|s| s.counters.iter())
+                    .filter(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .sum()
+            };
+            let e = &report.energy;
+            let fields = [
+                ("energy.act_pre_pj", e.act_pre),
+                ("energy.rd_pj", e.rd),
+                ("energy.wr_pj", e.wr),
+                ("energy.rd_io_pj", e.rd_io),
+                ("energy.wr_io_pj", e.wr_io),
+                ("energy.bg_pj", e.bg),
+                ("energy.refresh_pj", e.refresh),
+                ("energy.total_pj", e.total()),
+            ];
+            for (name, exact) in fields {
+                assert_eq!(
+                    streamed(name),
+                    exact.round() as u64,
+                    "{name} must reconcile with the post-hoc breakdown ({})",
+                    report.workload
+                );
+            }
+        };
+        let paper = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(15_000)
+            .warmup_mem_ops(200_000)
+            .metrics_epoch(10_000)
+            .run();
+        check(&paper);
+        let mix1 = SimBuilder::new()
+            .mix(workloads::all_mixes()[0].apps)
+            .name("MIX1")
+            .scheme(Scheme::Pra)
+            .instructions(4_000)
+            .warmup_mem_ops(30_000)
+            .metrics_epoch(10_000)
+            .run();
+        check(&mix1);
+    }
+
+    #[test]
+    fn power_residency_counters_cover_every_rank() {
+        let r = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Baseline)
+            .instructions(10_000)
+            .warmup_mem_ops(100_000)
+            .metrics_epoch(20_000)
+            .run();
+        let ranks = 4; // paper baseline: 2 channels x 2 ranks
+        for rank in 0..ranks {
+            for state in ["act_stby", "pre_stby", "pdn"] {
+                let name = format!("power.residency.r{rank}.{state}");
+                let total: u64 = r
+                    .metrics
+                    .iter()
+                    .flat_map(|s| s.counters.iter())
+                    .filter(|(n, _)| *n == name)
+                    .map(|&(_, v)| v)
+                    .sum();
+                if state == "act_stby" {
+                    assert!(total > 0, "{name} must accrue cycles");
+                }
+            }
+        }
+        // Residency across all states and ranks conserves total cycles:
+        // mem cycles x ranks (runtime_ns / tCK, DDR3-1600 tCK = 1.25 ns).
+        let all_states: u64 = r
+            .metrics
+            .iter()
+            .flat_map(|s| s.counters.iter())
+            .filter(|(n, _)| n.starts_with("power.residency.") && !n.ends_with(".bank_open"))
+            .map(|&(_, v)| v)
+            .sum();
+        let cycles = (r.runtime_ns / 1.25).round() as u64;
+        assert_eq!(all_states, cycles * ranks);
     }
 
     #[test]

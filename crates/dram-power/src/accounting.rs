@@ -1,6 +1,11 @@
 //! Event-driven energy accumulation fed by the DRAM simulator.
 
+use crate::telemetry::ResidencyLedger;
 use crate::{EnergyBreakdown, PowerParams};
+
+/// Number of MAT granularities tracked by the per-granularity activation
+/// energy ledger (a full row spans 16 MATs).
+pub const MAT_GRANULARITIES: usize = 16;
 
 /// Background power state of one rank during one memory-clock cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +45,10 @@ pub struct EnergyAccounting {
     writes: u64,
     refreshes: u64,
     background_cycles: u64,
+    residency: ResidencyLedger,
+    /// Activation+precharge energy (pJ) split by MAT count: index `m`
+    /// holds the energy of all `(m + 1)`-MAT activations.
+    act_by_mats: [f64; MAT_GRANULARITIES],
 }
 
 impl EnergyAccounting {
@@ -59,6 +68,8 @@ impl EnergyAccounting {
             writes: 0,
             refreshes: 0,
             background_cycles: 0,
+            residency: ResidencyLedger::new(ranks),
+            act_by_mats: [0.0; MAT_GRANULARITIES],
         }
     }
 
@@ -74,7 +85,9 @@ impl EnergyAccounting {
     ///
     /// Panics if the granularity is outside `1..=8`.
     pub fn activation(&mut self, granularity_eighths: u32) {
-        self.energy.act_pre += self.params.act_energy_pj(granularity_eighths);
+        let pj = self.params.act_energy_pj(granularity_eighths);
+        self.energy.act_pre += pj;
+        self.act_by_mats[granularity_eighths as usize * 2 - 1] += pj;
         self.activations += 1;
     }
 
@@ -99,7 +112,9 @@ impl EnergyAccounting {
             let model = crate::ActivationEnergyModel::paper_table2();
             let p_full = self.params.act_power_mw(8);
             let p = p_full * model.scaling_factor(mats);
-            self.energy.act_pre += p * self.params.timings.trc_ns;
+            let pj = p * self.params.timings.trc_ns;
+            self.energy.act_pre += pj;
+            self.act_by_mats[mats as usize - 1] += pj;
             self.activations += 1;
         }
     }
@@ -136,8 +151,9 @@ impl EnergyAccounting {
         self.writes += 1;
     }
 
-    /// Records one memory-clock cycle of background power for one rank.
-    pub fn background_cycle(&mut self, _rank: usize, state: RankPowerState) {
+    /// Records one memory-clock cycle of background power for one rank,
+    /// accounting the cycle in the rank's residency ledger.
+    pub fn background_cycle(&mut self, rank: usize, state: RankPowerState) {
         let mw = match state {
             RankPowerState::ActiveStandby => self.params.act_stby_mw,
             RankPowerState::PrechargeStandby => self.params.pre_stby_mw,
@@ -145,6 +161,32 @@ impl EnergyAccounting {
         };
         self.energy.bg += mw * self.params.timings.tck_ns;
         self.background_cycles += 1;
+        self.residency.record_state(rank, state);
+    }
+
+    /// Records one cycle of per-bank open-row residency for `rank` (bit `b`
+    /// of `open_mask` = bank `b` holds an open row). Energy-neutral: only
+    /// the telemetry ledger moves.
+    pub fn bank_residency(&mut self, rank: usize, open_mask: u16) {
+        self.residency.record_open_banks(rank, open_mask);
+    }
+
+    /// The per-rank power-state residency ledger.
+    pub fn residency(&self) -> &ResidencyLedger {
+        &self.residency
+    }
+
+    /// Closes the residency window: per-rank state-cycle deltas since the
+    /// previous close (see [`ResidencyLedger::close_window`]).
+    pub fn residency_window(&mut self) -> Vec<[u64; 3]> {
+        self.residency.close_window()
+    }
+
+    /// Activation+precharge energy (pJ) by MAT count: index `m` holds the
+    /// cumulative energy of all `(m + 1)`-MAT activations; the array sums
+    /// to [`EnergyBreakdown::act_pre`].
+    pub fn act_energy_by_mats(&self) -> &[f64; MAT_GRANULARITIES] {
+        &self.act_by_mats
     }
 
     /// Records one all-bank refresh of one rank.
@@ -171,6 +213,8 @@ impl EnergyAccounting {
         self.writes = 0;
         self.refreshes = 0;
         self.background_cycles = 0;
+        self.residency.reset();
+        self.act_by_mats = [0.0; MAT_GRANULARITIES];
     }
 }
 
@@ -290,5 +334,42 @@ mod tests {
     #[should_panic(expected = "write fraction")]
     fn zero_fraction_rejected() {
         acc(2).write_line(0.0);
+    }
+
+    #[test]
+    fn residency_tracks_background_cycles_per_rank() {
+        let mut a = acc(2);
+        for _ in 0..10 {
+            a.background_cycle(0, RankPowerState::ActiveStandby);
+            a.background_cycle(1, RankPowerState::PowerDown);
+        }
+        a.background_cycle(1, RankPowerState::PrechargeStandby);
+        let r = a.residency();
+        assert_eq!(r.ranks()[0].state_cycles, [10, 0, 0]);
+        assert_eq!(r.ranks()[1].state_cycles, [0, 1, 10]);
+        assert_eq!(r.total_state_cycles(), 21);
+        a.reset();
+        assert_eq!(a.residency().total_state_cycles(), 0);
+    }
+
+    #[test]
+    fn act_energy_by_mats_partitions_act_pre() {
+        let mut a = acc(2);
+        a.activation_mats(16); // full row -> index 15
+        a.activation_mats(2); // one MAT pair -> index 1
+        a.activation_mats(3); // odd path -> index 2
+        let by_mats = a.act_energy_by_mats();
+        assert!(by_mats[15] > 0.0 && by_mats[1] > 0.0 && by_mats[2] > 0.0);
+        assert_eq!(by_mats[0], 0.0);
+        let sum: f64 = by_mats.iter().sum();
+        assert!((sum - a.breakdown().act_pre).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_residency_is_energy_neutral() {
+        let mut a = acc(2);
+        a.bank_residency(0, 0b11);
+        assert_eq!(a.breakdown().total(), 0.0);
+        assert_eq!(a.residency().ranks()[0].open_bank_cycles(), 2);
     }
 }

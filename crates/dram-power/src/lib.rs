@@ -45,8 +45,10 @@ mod activation_energy;
 mod breakdown;
 pub mod overheads;
 mod params;
+mod telemetry;
 
-pub use accounting::{EnergyAccounting, RankPowerState};
+pub use accounting::{EnergyAccounting, RankPowerState, MAT_GRANULARITIES};
 pub use activation_energy::{ActivationEnergyModel, Figure9Point};
 pub use breakdown::{EnergyBreakdown, PowerBreakdown};
 pub use params::{DevicePowerTimings, IddParams, PowerParams};
+pub use telemetry::{PowerRail, RankResidency, ResidencyLedger, MAX_BANKS};

@@ -1,0 +1,336 @@
+//! Streaming power telemetry: residency ledgers and windowed power rails.
+//!
+//! Two pieces turn the post-hoc [`EnergyAccounting`](crate::EnergyAccounting)
+//! totals into a live signal:
+//!
+//! * [`ResidencyLedger`] — per-rank power-state residency cycles (plus
+//!   per-bank open-row cycles), fed one cycle at a time from the
+//!   simulator's background-power loop. Conservation invariant: for every
+//!   rank, the three state counters sum exactly to the cycles ticked.
+//! * [`PowerRail`] — converts the monotonically growing picojoule totals
+//!   into epoch-average milliwatts per component by snapshotting the
+//!   accumulator at each window close. The rail never keeps a parallel
+//!   accumulator: its cumulative view is *the same `f64`s* the post-hoc
+//!   breakdown reports, so streaming and post-hoc totals reconcile
+//!   bit-identically by construction.
+
+use crate::{EnergyBreakdown, PowerBreakdown, RankPowerState};
+
+/// Upper bound on banks per rank across supported DRAM generations
+/// (DDR4 has 16 bank FSMs; DDR3 uses the first 8 slots).
+pub const MAX_BANKS: usize = 16;
+
+/// Residency record of one rank: cycles spent in each background power
+/// state, and per-bank open-row cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankResidency {
+    /// Cycles per state, indexed by [`ResidencyLedger::state_index`]
+    /// (0 = active standby, 1 = precharge standby, 2 = power-down).
+    pub state_cycles: [u64; 3],
+    /// Cycles each bank held an open row (closed cycles are the
+    /// complement against the rank's total).
+    pub bank_open_cycles: [u64; MAX_BANKS],
+}
+
+impl RankResidency {
+    fn new() -> Self {
+        RankResidency {
+            state_cycles: [0; 3],
+            bank_open_cycles: [0; MAX_BANKS],
+        }
+    }
+
+    /// Total cycles this rank has been observed for (sum over states).
+    pub fn total_cycles(&self) -> u64 {
+        self.state_cycles.iter().sum()
+    }
+
+    /// Cycles with at least the given bank's row open, summed over banks
+    /// (the bank-open cycle integral).
+    pub fn open_bank_cycles(&self) -> u64 {
+        self.bank_open_cycles.iter().sum()
+    }
+}
+
+/// Per-rank power-state residency ledger.
+///
+/// The simulator calls [`ResidencyLedger::record_state`] once per rank per
+/// memory cycle (and [`ResidencyLedger::record_open_banks`] with the rank's
+/// open-bank bitmask when bank-level telemetry is on). Epoch publication
+/// reads cumulative counters directly and takes per-window deltas through
+/// [`ResidencyLedger::close_window`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidencyLedger {
+    ranks: Vec<RankResidency>,
+    /// Per-rank state cycles at the last window close.
+    window_base: Vec<[u64; 3]>,
+}
+
+impl ResidencyLedger {
+    /// A ledger for `ranks` total ranks (all counters zero).
+    pub fn new(ranks: usize) -> Self {
+        ResidencyLedger {
+            ranks: vec![RankResidency::new(); ranks],
+            window_base: vec![[0; 3]; ranks],
+        }
+    }
+
+    /// Stable index of a power state into
+    /// [`RankResidency::state_cycles`].
+    pub fn state_index(state: RankPowerState) -> usize {
+        match state {
+            RankPowerState::ActiveStandby => 0,
+            RankPowerState::PrechargeStandby => 1,
+            RankPowerState::PowerDown => 2,
+        }
+    }
+
+    /// Short lowercase label per state index, used in metric names and
+    /// rendered tables (`act_stby`, `pre_stby`, `pdn`).
+    pub fn state_labels() -> [&'static str; 3] {
+        ["act_stby", "pre_stby", "pdn"]
+    }
+
+    /// Accounts one cycle of `rank` sitting in `state`. Out-of-range ranks
+    /// are ignored (legacy callers pass 0 on single-ledger setups).
+    #[inline]
+    pub fn record_state(&mut self, rank: usize, state: RankPowerState) {
+        if let Some(r) = self.ranks.get_mut(rank) {
+            r.state_cycles[Self::state_index(state)] += 1;
+        }
+    }
+
+    /// Accounts one cycle of open-row residency for every bank set in
+    /// `open_mask` (bit `b` = bank `b` holds an open row).
+    #[inline]
+    pub fn record_open_banks(&mut self, rank: usize, open_mask: u16) {
+        if open_mask == 0 {
+            return;
+        }
+        if let Some(r) = self.ranks.get_mut(rank) {
+            let mut mask = open_mask;
+            while mask != 0 {
+                let b = mask.trailing_zeros() as usize;
+                r.bank_open_cycles[b] += 1;
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    /// Cumulative residency per rank.
+    pub fn ranks(&self) -> &[RankResidency] {
+        &self.ranks
+    }
+
+    /// Sum of state cycles over every rank — equals
+    /// `elapsed cycles x ranks` when the ledger is ticked every cycle
+    /// (the conservation invariant).
+    pub fn total_state_cycles(&self) -> u64 {
+        self.ranks.iter().map(RankResidency::total_cycles).sum()
+    }
+
+    /// Closes the current window: returns per-rank state-cycle deltas
+    /// since the previous close and advances the window base.
+    pub fn close_window(&mut self) -> Vec<[u64; 3]> {
+        self.ranks
+            .iter()
+            .zip(self.window_base.iter_mut())
+            .map(|(r, base)| {
+                let delta = [
+                    r.state_cycles[0] - base[0],
+                    r.state_cycles[1] - base[1],
+                    r.state_cycles[2] - base[2],
+                ];
+                *base = r.state_cycles;
+                delta
+            })
+            .collect()
+    }
+
+    /// Resets every counter and window base to zero.
+    pub fn reset(&mut self) {
+        for r in &mut self.ranks {
+            *r = RankResidency::new();
+        }
+        for base in &mut self.window_base {
+            *base = [0; 3];
+        }
+    }
+}
+
+/// Windowed picojoule-to-milliwatt converter.
+///
+/// At each window close the rail snapshots the cumulative
+/// [`EnergyBreakdown`] and elapsed time, returning the window's delta
+/// energy and its average [`PowerBreakdown`]. Because the snapshot *is*
+/// the accumulator's own totals, [`PowerRail::cumulative`] after the last
+/// close equals the post-hoc breakdown exactly — same bits, no parallel
+/// arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct PowerRail {
+    last: EnergyBreakdown,
+    last_ns: f64,
+    windows: u64,
+}
+
+impl PowerRail {
+    /// A rail with no windows closed yet.
+    pub fn new() -> Self {
+        PowerRail::default()
+    }
+
+    /// Closes a window at the cumulative totals `total` / `elapsed_ns`:
+    /// returns the window's energy delta (pJ) and average power (mW).
+    /// A window with no elapsed time reports zero power.
+    pub fn close_window(
+        &mut self,
+        total: EnergyBreakdown,
+        elapsed_ns: f64,
+    ) -> (EnergyBreakdown, PowerBreakdown) {
+        let delta = EnergyBreakdown {
+            act_pre: total.act_pre - self.last.act_pre,
+            rd: total.rd - self.last.rd,
+            wr: total.wr - self.last.wr,
+            rd_io: total.rd_io - self.last.rd_io,
+            wr_io: total.wr_io - self.last.wr_io,
+            bg: total.bg - self.last.bg,
+            refresh: total.refresh - self.last.refresh,
+        };
+        let dt = elapsed_ns - self.last_ns;
+        let power = if dt > 0.0 {
+            delta.to_power(dt)
+        } else {
+            PowerBreakdown::default()
+        };
+        self.last = total;
+        self.last_ns = elapsed_ns;
+        self.windows += 1;
+        (delta, power)
+    }
+
+    /// The cumulative energy totals as of the last window close — the
+    /// exact `f64`s passed in, so they compare bit-identically with the
+    /// post-hoc accumulator.
+    pub fn cumulative(&self) -> EnergyBreakdown {
+        self.last
+    }
+
+    /// Elapsed simulated nanoseconds as of the last window close.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.last_ns
+    }
+
+    /// Windows closed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_conserves_cycles_per_rank() {
+        let mut l = ResidencyLedger::new(2);
+        for cycle in 0..100u64 {
+            let state = match cycle % 3 {
+                0 => RankPowerState::ActiveStandby,
+                1 => RankPowerState::PrechargeStandby,
+                _ => RankPowerState::PowerDown,
+            };
+            l.record_state(0, state);
+            l.record_state(1, RankPowerState::PowerDown);
+        }
+        assert_eq!(l.ranks()[0].total_cycles(), 100);
+        assert_eq!(l.ranks()[1].total_cycles(), 100);
+        assert_eq!(l.total_state_cycles(), 200);
+        assert_eq!(l.ranks()[1].state_cycles, [0, 0, 100]);
+    }
+
+    #[test]
+    fn ledger_window_deltas_sum_to_cumulative() {
+        let mut l = ResidencyLedger::new(1);
+        for _ in 0..10 {
+            l.record_state(0, RankPowerState::ActiveStandby);
+        }
+        let w0 = l.close_window();
+        for _ in 0..5 {
+            l.record_state(0, RankPowerState::PrechargeStandby);
+        }
+        let w1 = l.close_window();
+        assert_eq!(w0[0], [10, 0, 0]);
+        assert_eq!(w1[0], [0, 5, 0]);
+        assert_eq!(l.ranks()[0].state_cycles, [10, 5, 0]);
+    }
+
+    #[test]
+    fn ledger_bank_open_cycles_follow_mask() {
+        let mut l = ResidencyLedger::new(1);
+        l.record_open_banks(0, 0b101);
+        l.record_open_banks(0, 0b001);
+        l.record_open_banks(0, 0);
+        assert_eq!(l.ranks()[0].bank_open_cycles[0], 2);
+        assert_eq!(l.ranks()[0].bank_open_cycles[1], 0);
+        assert_eq!(l.ranks()[0].bank_open_cycles[2], 1);
+        assert_eq!(l.ranks()[0].open_bank_cycles(), 3);
+    }
+
+    #[test]
+    fn ledger_ignores_out_of_range_rank() {
+        let mut l = ResidencyLedger::new(1);
+        l.record_state(7, RankPowerState::PowerDown);
+        l.record_open_banks(7, 0xFF);
+        assert_eq!(l.total_state_cycles(), 0);
+    }
+
+    #[test]
+    fn rail_windows_average_the_delta() {
+        let mut rail = PowerRail::new();
+        let mut total = EnergyBreakdown {
+            act_pre: 1000.0, // 1000 pJ over 100 ns = 10 mW
+            ..EnergyBreakdown::default()
+        };
+        let (delta, power) = rail.close_window(total, 100.0);
+        assert_eq!(delta.act_pre, 1000.0);
+        assert!((power.act_pre - 10.0).abs() < 1e-12);
+        // Second window: another 500 pJ over 50 ns = 10 mW again.
+        total.act_pre = 1500.0;
+        let (delta, power) = rail.close_window(total, 150.0);
+        assert_eq!(delta.act_pre, 500.0);
+        assert!((power.act_pre - 10.0).abs() < 1e-12);
+        assert_eq!(rail.windows(), 2);
+    }
+
+    #[test]
+    fn rail_cumulative_is_bit_identical_to_the_last_total() {
+        let mut rail = PowerRail::new();
+        let total = EnergyBreakdown {
+            act_pre: 0.1 + 0.2, // deliberately not exactly 0.3
+            rd: 1.0 / 3.0,
+            wr: 2.5,
+            rd_io: 0.7,
+            wr_io: 0.0,
+            bg: 123.456,
+            refresh: 33600.0,
+        };
+        rail.close_window(total, 10.0);
+        let cum = rail.cumulative();
+        assert_eq!(cum.act_pre.to_bits(), total.act_pre.to_bits());
+        assert_eq!(cum.rd.to_bits(), total.rd.to_bits());
+        assert_eq!(cum.total().to_bits(), total.total().to_bits());
+    }
+
+    #[test]
+    fn rail_zero_length_window_reports_zero_power() {
+        let mut rail = PowerRail::new();
+        let total = EnergyBreakdown {
+            bg: 10.0,
+            ..Default::default()
+        };
+        rail.close_window(total, 5.0);
+        let (delta, power) = rail.close_window(total, 5.0);
+        assert_eq!(delta.total(), 0.0);
+        assert_eq!(power.total(), 0.0);
+    }
+}

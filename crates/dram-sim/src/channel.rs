@@ -358,10 +358,16 @@ impl Channel {
             self.enter_power_down_where_idle(now, o);
         }
 
-        // 5. Background energy.
-        for rank in &mut self.ranks {
+        // 5. Background energy, attributed to the global (channel-major)
+        //    rank index so per-rank residency ledgers line up across
+        //    channels.
+        let rank_base = self.ranks.len() * self.index as usize;
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
             let state = rank.tick_power_state();
-            energy.background_cycle(0, state);
+            energy.background_cycle(rank_base + r, state);
+            if o.power_telemetry {
+                energy.bank_residency(rank_base + r, rank.open_bank_mask());
+            }
         }
         if now < self.bus.busy_until {
             stats.bus_busy_cycles += 1;

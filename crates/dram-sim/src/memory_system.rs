@@ -3,10 +3,10 @@
 use core::fmt;
 use std::io::Write;
 
-use dram_power::{EnergyAccounting, EnergyBreakdown, PowerBreakdown};
+use dram_power::{EnergyAccounting, EnergyBreakdown, PowerBreakdown, PowerRail, ResidencyLedger};
 use mem_model::{MemRequest, RequestId};
 use sim_fault::{FaultCounts, FaultInjector};
-use sim_obs::{Observer, TraceSink};
+use sim_obs::{Observer, TraceEvent, TraceSink};
 
 use crate::channel::Channel;
 use crate::config::{ConfigError, DramConfig};
@@ -62,6 +62,9 @@ pub struct MemorySystem {
     energy: EnergyAccounting,
     completed_scratch: Vec<RequestId>,
     obs: DramObs,
+    /// Streaming energy→power window converter, closed at every epoch
+    /// boundary and at finish.
+    power_rail: PowerRail,
     faults: Option<FaultInjector>,
     /// Cycle at which a request last retired (or the queues last drained);
     /// drives the no-retire liveness watchdog.
@@ -102,6 +105,7 @@ impl MemorySystem {
             energy,
             completed_scratch: Vec::new(),
             obs: DramObs::new(),
+            power_rail: PowerRail::new(),
             faults: None,
             last_progress_cycle: 0,
             last_completed_total: 0,
@@ -183,7 +187,142 @@ impl MemorySystem {
             self.recovery_counts()
                 .publish_to(&mut self.obs.obs.registry);
         }
+        self.publish_power_telemetry();
         self.obs.obs.finish(self.cycle);
+    }
+
+    /// Enables or disables live power telemetry (on by default). When off,
+    /// per-bank residency tracking and `energy.*`/`power.*` epoch
+    /// publication are skipped entirely, leaving the registry and trace
+    /// stream exactly as they were before this layer existed.
+    pub fn set_power_telemetry(&mut self, enabled: bool) {
+        self.obs.power_telemetry = enabled;
+    }
+
+    /// The per-rank power-state residency ledger (global channel-major rank
+    /// indices).
+    pub fn residency(&self) -> &ResidencyLedger {
+        self.energy.residency()
+    }
+
+    /// Closes the current power window and publishes energy counters, power
+    /// gauges, residency counters and `PowerEpoch`/`PowerRank` trace events.
+    /// No-op when telemetry is off or no time elapsed since the last close
+    /// (e.g. `finish_observability` right after an epoch boundary).
+    fn publish_power_telemetry(&mut self) {
+        if !self.obs.power_telemetry {
+            return;
+        }
+        let elapsed = self.elapsed_ns();
+        if elapsed <= self.power_rail.elapsed_ns() {
+            return;
+        }
+        let cycle = self.cycle;
+        let epoch = self.obs.obs.epoch_index();
+        let total = self.energy.breakdown();
+        let (delta, power) = self.power_rail.close_window(total, elapsed);
+        let act_by_mats = *self.energy.act_energy_by_mats();
+        let p = self.energy.params();
+        let state_mw = [p.act_stby_mw, p.pre_stby_mw, p.pre_pdn_mw];
+        let residency: Vec<([u64; 3], u64)> = self
+            .energy
+            .residency()
+            .ranks()
+            .iter()
+            .map(|r| (r.state_cycles, r.open_bank_cycles()))
+            .collect();
+        let rank_windows = self.energy.residency_window();
+
+        let reg = &mut self.obs.obs.registry;
+        // Cumulative energy, rounded to whole pJ. Rounding a nondecreasing
+        // f64 keeps the counter monotonic.
+        let id = reg.counter("energy.act_pre_pj");
+        reg.set_counter(id, total.act_pre.round() as u64);
+        let id = reg.counter("energy.rd_pj");
+        reg.set_counter(id, total.rd.round() as u64);
+        let id = reg.counter("energy.wr_pj");
+        reg.set_counter(id, total.wr.round() as u64);
+        let id = reg.counter("energy.rd_io_pj");
+        reg.set_counter(id, total.rd_io.round() as u64);
+        let id = reg.counter("energy.wr_io_pj");
+        reg.set_counter(id, total.wr_io.round() as u64);
+        let id = reg.counter("energy.bg_pj");
+        reg.set_counter(id, total.bg.round() as u64);
+        let id = reg.counter("energy.refresh_pj");
+        reg.set_counter(id, total.refresh.round() as u64);
+        let id = reg.counter("energy.total_pj");
+        reg.set_counter(id, total.total().round() as u64);
+        // Per-granularity activation energy; registered lazily so runs
+        // that never activate at a given MAT count stay free of its row.
+        for (m, pj) in act_by_mats.iter().enumerate() {
+            if *pj > 0.0 {
+                let name = format!("energy.act.mats{:02}_pj", m + 1);
+                let id = reg.counter(&name);
+                reg.set_counter(id, pj.round() as u64);
+            }
+        }
+        // Epoch-average power rails (mW over the window just closed).
+        let id = reg.gauge("power.act_pre_mw");
+        reg.set_gauge(id, power.act_pre);
+        let id = reg.gauge("power.rd_mw");
+        reg.set_gauge(id, power.rd);
+        let id = reg.gauge("power.wr_mw");
+        reg.set_gauge(id, power.wr);
+        let id = reg.gauge("power.rd_io_mw");
+        reg.set_gauge(id, power.rd_io);
+        let id = reg.gauge("power.wr_io_mw");
+        reg.set_gauge(id, power.wr_io);
+        let id = reg.gauge("power.bg_mw");
+        reg.set_gauge(id, power.bg);
+        let id = reg.gauge("power.refresh_mw");
+        reg.set_gauge(id, power.refresh);
+        let id = reg.gauge("power.total_mw");
+        reg.set_gauge(id, power.total());
+        // Cumulative per-rank residency counters.
+        for (r, (states, bank_open)) in residency.iter().enumerate() {
+            for (s, label) in ResidencyLedger::state_labels().iter().enumerate() {
+                let name = format!("power.residency.r{r}.{label}");
+                let id = reg.counter(&name);
+                reg.set_counter(id, states[s]);
+            }
+            let name = format!("power.residency.r{r}.bank_open");
+            let id = reg.counter(&name);
+            reg.set_counter(id, *bank_open);
+        }
+
+        self.obs.obs.emit(|| TraceEvent::PowerEpoch {
+            cycle,
+            epoch: epoch as u32,
+            act_pre_pj: delta.act_pre.round() as u64,
+            rd_pj: delta.rd.round() as u64,
+            wr_pj: delta.wr.round() as u64,
+            rd_io_pj: delta.rd_io.round() as u64,
+            wr_io_pj: delta.wr_io.round() as u64,
+            bg_pj: delta.bg.round() as u64,
+            refresh_pj: delta.refresh.round() as u64,
+            total_uw: (power.total() * 1000.0).round() as u64,
+        });
+        let tck_ns = self.config.power.timings.tck_ns;
+        for (r, d) in rank_windows.iter().enumerate() {
+            let window_cycles = d[0] + d[1] + d[2];
+            let bg_uw = if window_cycles > 0 {
+                let bg_pj = (d[0] as f64 * state_mw[0]
+                    + d[1] as f64 * state_mw[1]
+                    + d[2] as f64 * state_mw[2])
+                    * tck_ns;
+                (bg_pj / (window_cycles as f64 * tck_ns) * 1000.0).round() as u64
+            } else {
+                0
+            };
+            self.obs.obs.emit(|| TraceEvent::PowerRank {
+                cycle,
+                rank: r as u8,
+                act_stby: d[0],
+                pre_stby: d[1],
+                pdn: d[2],
+                bg_uw,
+            });
+        }
     }
 
     /// The configuration in use.
@@ -256,6 +395,7 @@ impl MemorySystem {
                 let counts = self.recovery_counts();
                 counts.publish_to(&mut self.obs.obs.registry);
             }
+            self.publish_power_telemetry();
             self.obs.obs.end_epoch(self.cycle);
         }
         Ok(&self.completed_scratch)

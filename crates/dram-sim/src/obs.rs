@@ -20,6 +20,9 @@ pub(crate) struct DramObs {
     pub read_q_occupancy: MetricId,
     /// `dram.write_queue_occupancy` histogram — depth sampled at enqueue.
     pub write_q_occupancy: MetricId,
+    /// Whether live power telemetry (per-bank residency tracking plus
+    /// `energy.*`/`power.*` publication at epoch close) is enabled.
+    pub power_telemetry: bool,
 }
 
 impl DramObs {
@@ -36,6 +39,7 @@ impl DramObs {
             act_mats,
             read_q_occupancy,
             write_q_occupancy,
+            power_telemetry: true,
         }
     }
 }

@@ -73,6 +73,17 @@ impl Rank {
         self.banks.iter().any(Bank::is_open)
     }
 
+    /// Bitmask of banks holding an open row (bit `b` = bank `b` open).
+    /// Supported geometries top out at 16 banks per rank, so `u16` covers
+    /// every bank.
+    pub fn open_bank_mask(&self) -> u16 {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_open())
+            .fold(0u16, |mask, (i, _)| mask | (1 << i))
+    }
+
     /// Checks whether an activation of the given weight may issue at `now`
     /// under tRRD and tFAW.
     pub fn can_activate(&self, now: u64, weight: f64, t: &TimingParams) -> bool {
@@ -293,5 +304,16 @@ mod tests {
         r.tick_power_state();
         r.tick_power_state();
         assert_eq!(r.state_cycles[1], 2, "two precharge-standby cycles");
+    }
+
+    #[test]
+    fn open_bank_mask_tracks_open_rows() {
+        let mut r = rank();
+        assert_eq!(r.open_bank_mask(), 0);
+        r.banks[0].activate(0, 1, mem_model::WordMask::FULL, 16, 0, &t());
+        r.banks[5].activate(0, 2, mem_model::WordMask::FULL, 16, 0, &t());
+        assert_eq!(r.open_bank_mask(), 0b10_0001);
+        r.banks[0].precharge(28, &t());
+        assert_eq!(r.open_bank_mask(), 0b10_0000);
     }
 }

@@ -1,0 +1,324 @@
+//! Live power telemetry at the memory-system level: residency
+//! conservation, streaming-vs-post-hoc energy parity, power trace events
+//! and the telemetry on/off switch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dram_sim::{DramConfig, MemorySystem, PagePolicy, SchemeBehavior};
+use mem_model::rng::Rng;
+use mem_model::{MemRequest, PhysAddr, WordMask};
+use sim_fault::{Domain, FaultPlan};
+use sim_obs::{RingSink, TraceEvent};
+
+/// Deterministic mixed read/partial-write stream with idle gaps, so
+/// refresh, power-down and all three residency states are exercised.
+fn drive(mem: &mut MemorySystem, requests: usize, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for id in 0..requests as u64 {
+        let addr = PhysAddr::from_line_number(rng.random_range(0u64..1 << 18));
+        let req = if rng.random_bool(0.4) {
+            let bits = rng.random_range(1u16..256) as u8;
+            MemRequest::write(id, addr, WordMask::from_bits(bits))
+        } else {
+            MemRequest::read(id, addr)
+        };
+        while mem.try_enqueue(req).is_err() {
+            mem.tick();
+        }
+        for _ in 0..rng.random_range(0u16..48) {
+            mem.tick();
+        }
+    }
+    assert!(mem.run_until_idle(2_000_000), "failed to drain");
+    for _ in 0..20_000 {
+        mem.tick();
+    }
+}
+
+fn total_ranks(mem: &MemorySystem) -> u64 {
+    let g = &mem.config().geometry;
+    g.channels as u64 * g.ranks_per_channel as u64
+}
+
+/// Satellite: per-rank residency cycles across all states sum exactly to
+/// elapsed memory cycles, for every rank, across schemes and policies.
+#[test]
+fn power_residency_conserves_cycles_across_schemes() {
+    type SchemeCtor = fn() -> SchemeBehavior;
+    let schemes: [(&str, SchemeCtor); 3] = [
+        ("baseline", SchemeBehavior::baseline),
+        ("pra", SchemeBehavior::pra),
+        ("half_dram_pra", SchemeBehavior::half_dram_pra),
+    ];
+    for policy in [
+        PagePolicy::RelaxedClosePage,
+        PagePolicy::RestrictedClosePage,
+    ] {
+        for (name, scheme) in schemes {
+            let mut mem = MemorySystem::new(DramConfig::paper_baseline(policy, scheme()));
+            drive(&mut mem, 150, 0x636f_6e73);
+            let cycles = mem.cycle();
+            let ledger = mem.residency();
+            for (r, rank) in ledger.ranks().iter().enumerate() {
+                assert_eq!(
+                    rank.total_cycles(),
+                    cycles,
+                    "rank {r} residency must conserve cycles ({name}, {policy:?})"
+                );
+            }
+            assert_eq!(
+                ledger.total_state_cycles(),
+                cycles * total_ranks(&mem),
+                "system-wide residency = cycles x ranks ({name}, {policy:?})"
+            );
+        }
+    }
+}
+
+/// Satellite: conservation also holds under an aggressive fault plan (the
+/// recovery/degradation paths must not skip or double-count cycles).
+#[test]
+fn power_residency_conserves_cycles_under_faults() {
+    let plan = FaultPlan {
+        seed: 99,
+        mask_corrupt_rate: 0.3,
+        command_drop_rate: 0.1,
+        command_stretch_rate: 0.2,
+        command_stretch_cycles: 2,
+        ..FaultPlan::disabled()
+    };
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    mem.set_fault_injector(plan.injector(Domain::Dram));
+    drive(&mut mem, 150, 0x6661_756c);
+    assert!(mem.fault_counts().injected > 0, "plan must actually inject");
+    let cycles = mem.cycle();
+    for (r, rank) in mem.residency().ranks().iter().enumerate() {
+        assert_eq!(rank.total_cycles(), cycles, "rank {r} under faults");
+    }
+}
+
+/// A bank-open cycle implies the rank was in active standby that cycle,
+/// so no bank's open-cycle count can exceed the rank's ACT_STBY residency.
+#[test]
+fn power_bank_open_cycles_bounded_by_active_standby() {
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    drive(&mut mem, 200, 0x6261_6e6b);
+    let mut any_open = false;
+    for (r, rank) in mem.residency().ranks().iter().enumerate() {
+        let act_stby = rank.state_cycles[0];
+        for (b, open) in rank.bank_open_cycles.iter().enumerate() {
+            assert!(
+                *open <= act_stby,
+                "rank {r} bank {b}: open {open} > ACT_STBY {act_stby}"
+            );
+            any_open |= *open > 0;
+        }
+    }
+    assert!(any_open, "the stream must open banks");
+}
+
+/// Tentpole invariant: the streaming `energy.*` counters published at the
+/// final window close equal the post-hoc `EnergyBreakdown`, field by
+/// field, at whole-pJ resolution (the counters are the same `f64`s the
+/// breakdown reports, rounded once).
+#[test]
+fn power_streaming_counters_match_post_hoc_breakdown() {
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    mem.set_metrics_epochs(5_000, None);
+    drive(&mut mem, 200, 0x7061_7269);
+    mem.finish_observability();
+
+    let energy = mem.energy();
+    let reg = &mem.observer().registry;
+    let counter = |name: &str| reg.counter_value(name).unwrap_or_else(|| panic!("{name}"));
+    assert_eq!(counter("energy.act_pre_pj"), energy.act_pre.round() as u64);
+    assert_eq!(counter("energy.rd_pj"), energy.rd.round() as u64);
+    assert_eq!(counter("energy.wr_pj"), energy.wr.round() as u64);
+    assert_eq!(counter("energy.rd_io_pj"), energy.rd_io.round() as u64);
+    assert_eq!(counter("energy.wr_io_pj"), energy.wr_io.round() as u64);
+    assert_eq!(counter("energy.bg_pj"), energy.bg.round() as u64);
+    assert_eq!(counter("energy.refresh_pj"), energy.refresh.round() as u64);
+    assert_eq!(counter("energy.total_pj"), energy.total().round() as u64);
+
+    // Residency counters mirror the ledger exactly.
+    for (r, rank) in mem.residency().ranks().iter().enumerate() {
+        assert_eq!(
+            counter(&format!("power.residency.r{r}.act_stby")),
+            rank.state_cycles[0]
+        );
+        assert_eq!(
+            counter(&format!("power.residency.r{r}.pre_stby")),
+            rank.state_cycles[1]
+        );
+        assert_eq!(
+            counter(&format!("power.residency.r{r}.pdn")),
+            rank.state_cycles[2]
+        );
+        assert_eq!(
+            counter(&format!("power.residency.r{r}.bank_open")),
+            rank.open_bank_cycles()
+        );
+    }
+
+    // Epoch deltas of the total-energy counter sum back to the post-hoc
+    // total: streaming accumulation loses nothing across windows.
+    let delta_sum: u64 = mem
+        .observer()
+        .snapshots()
+        .iter()
+        .map(|s| {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == "energy.total_pj")
+                .map_or(0, |&(_, v)| v)
+        })
+        .sum();
+    assert_eq!(delta_sum, energy.total().round() as u64);
+}
+
+/// PowerEpoch trace events carry the per-window energy deltas; summed
+/// across the run they reproduce the post-hoc breakdown (to within the
+/// half-pJ-per-epoch serialization rounding). PowerRank events likewise
+/// sum to the cumulative residency ledger exactly.
+#[test]
+fn power_trace_events_reconcile_with_breakdown_and_ledger() {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    mem.set_trace_sink(Box::new(Rc::clone(&sink)));
+    mem.set_metrics_epochs(5_000, None);
+    drive(&mut mem, 150, 0x6576_656e);
+    mem.finish_observability();
+
+    let energy = mem.energy();
+    let ranks = total_ranks(&mem) as usize;
+    let mut epochs = 0u64;
+    let mut sums = [0u64; 7];
+    let mut rank_states = vec![[0u64; 3]; ranks];
+    for ev in sink.borrow().events() {
+        match *ev {
+            TraceEvent::PowerEpoch {
+                epoch,
+                act_pre_pj,
+                rd_pj,
+                wr_pj,
+                rd_io_pj,
+                wr_io_pj,
+                bg_pj,
+                refresh_pj,
+                ..
+            } => {
+                assert_eq!(u64::from(epoch), epochs, "epochs arrive in order");
+                epochs += 1;
+                for (s, v) in sums.iter_mut().zip([
+                    act_pre_pj, rd_pj, wr_pj, rd_io_pj, wr_io_pj, bg_pj, refresh_pj,
+                ]) {
+                    *s += v;
+                }
+            }
+            TraceEvent::PowerRank {
+                rank,
+                act_stby,
+                pre_stby,
+                pdn,
+                ..
+            } => {
+                let r = &mut rank_states[rank as usize];
+                r[0] += act_stby;
+                r[1] += pre_stby;
+                r[2] += pdn;
+            }
+            _ => {}
+        }
+    }
+    assert!(epochs >= 2, "run must span several epochs");
+    let expected = [
+        energy.act_pre,
+        energy.rd,
+        energy.wr,
+        energy.rd_io,
+        energy.wr_io,
+        energy.bg,
+        energy.refresh,
+    ];
+    for (component, (sum, exact)) in sums.iter().zip(expected).enumerate() {
+        let err = (*sum as f64 - exact).abs();
+        assert!(
+            err <= 0.5 * epochs as f64 + 0.5,
+            "component {component}: summed {sum} vs post-hoc {exact} (err {err})"
+        );
+    }
+    for (r, states) in rank_states.iter().enumerate() {
+        assert_eq!(
+            *states,
+            mem.residency().ranks()[r].state_cycles,
+            "rank {r} PowerRank deltas sum to the cumulative ledger"
+        );
+    }
+}
+
+/// With telemetry off, no `energy.*`/`power.*` metrics are registered and
+/// no power events are emitted — the observability surface is exactly the
+/// pre-telemetry one.
+#[test]
+fn power_telemetry_off_leaves_registry_and_trace_clean() {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+        PagePolicy::RelaxedClosePage,
+        SchemeBehavior::pra(),
+    ));
+    mem.set_power_telemetry(false);
+    mem.set_trace_sink(Box::new(Rc::clone(&sink)));
+    mem.set_metrics_epochs(5_000, None);
+    drive(&mut mem, 100, 0x6f66_6600);
+    mem.finish_observability();
+
+    let reg = &mem.observer().registry;
+    assert!(
+        !reg.names()
+            .iter()
+            .any(|(n, _)| n.starts_with("energy.") || n.starts_with("power.")),
+        "telemetry off must register no energy/power metrics"
+    );
+    let power_events = sink
+        .borrow()
+        .events()
+        .filter(|e| matches!(e.kind(), "POWER_EPOCH" | "POWER_RANK"))
+        .count();
+    assert_eq!(power_events, 0);
+}
+
+/// Toggling telemetry must not perturb the simulation itself: identical
+/// stats and bit-identical energy either way.
+#[test]
+fn power_telemetry_toggle_does_not_perturb_simulation() {
+    let run = |enabled: bool| {
+        let mut mem = MemorySystem::new(DramConfig::paper_baseline(
+            PagePolicy::RelaxedClosePage,
+            SchemeBehavior::pra(),
+        ));
+        mem.set_power_telemetry(enabled);
+        mem.set_metrics_epochs(5_000, None);
+        drive(&mut mem, 150, 0x7065_7274);
+        mem.finish_observability();
+        (format!("{:?}", mem.stats()), mem.energy())
+    };
+    let (stats_on, energy_on) = run(true);
+    let (stats_off, energy_off) = run(false);
+    assert_eq!(stats_on, stats_off);
+    assert_eq!(energy_on.total().to_bits(), energy_off.total().to_bits());
+    assert_eq!(energy_on.act_pre.to_bits(), energy_off.act_pre.to_bits());
+    assert_eq!(energy_on.bg.to_bits(), energy_off.bg.to_bits());
+}

@@ -76,6 +76,14 @@ pub struct JournalRecord {
     /// measured around the panic-isolation boundary). 0 when the record
     /// predates this field — old journals parse fine.
     pub host_nanos: u64,
+    /// Total DRAM energy of a successful run in whole picojoules
+    /// (`Report::energy.total().round()`). 0 for failed/hung runs and for
+    /// records that predate power telemetry.
+    pub energy_pj: u64,
+    /// Average DRAM power of a successful run in whole milliwatts
+    /// (`Report::power.total().round()`). 0 for failed/hung runs and old
+    /// records.
+    pub avg_power_mw: u64,
     /// [`pra_core::Report::state_digest`] of a successful run.
     pub state_digest: Option<u64>,
     /// Failure detail: panic payload or error message (empty when ok).
@@ -89,7 +97,8 @@ impl JournalRecord {
     pub fn to_json_line(&self) -> String {
         let mut line = format!(
             "{{\"config\":\"{:016x}\",\"seed\":{},\"status\":\"{}\",\"scheme\":\"{}\",\
-             \"workload\":\"{}\",\"cycles\":{},\"host_nanos\":{}",
+             \"workload\":\"{}\",\"cycles\":{},\"host_nanos\":{},\
+             \"energy_pj\":{},\"avg_power_mw\":{}",
             self.config_digest,
             self.seed,
             self.status,
@@ -97,6 +106,8 @@ impl JournalRecord {
             escape(&self.workload),
             self.cycles,
             self.host_nanos,
+            self.energy_pj,
+            self.avg_power_mw,
         );
         if let Some(digest) = self.state_digest {
             line.push_str(&format!(",\"state_digest\":\"{digest:016x}\""));
@@ -124,6 +135,9 @@ impl JournalRecord {
             cycles: json_u64(line, "cycles")?,
             // Absent in journals written before host timing existed.
             host_nanos: json_u64(line, "host_nanos").unwrap_or(0),
+            // Absent in journals written before power telemetry existed.
+            energy_pj: json_u64(line, "energy_pj").unwrap_or(0),
+            avg_power_mw: json_u64(line, "avg_power_mw").unwrap_or(0),
             state_digest: match json_str(line, "state_digest") {
                 Some(s) => Some(u64::from_str_radix(&s, 16).ok()?),
                 None => None,
@@ -316,6 +330,12 @@ mod tests {
             workload: "GUPS".to_string(),
             cycles: if status == RunStatus::Ok { 12_345 } else { 0 },
             host_nanos: 987_654_321,
+            energy_pj: if status == RunStatus::Ok {
+                55_123_456
+            } else {
+                0
+            },
+            avg_power_mw: if status == RunStatus::Ok { 1_234 } else { 0 },
             state_digest: (status == RunStatus::Ok).then_some(0xabcd),
             detail: if status == RunStatus::Ok {
                 String::new()
@@ -349,6 +369,22 @@ mod tests {
         let parsed = JournalRecord::parse(old).unwrap();
         assert_eq!(parsed.host_nanos, 0);
         assert_eq!(parsed.cycles, 42);
+    }
+
+    #[test]
+    fn power_fields_default_to_zero_on_old_journals() {
+        // A line as written before the energy/power fields existed.
+        let old = "{\"config\":\"00000000deadbeef\",\"seed\":4,\"status\":\"ok\",\
+                   \"scheme\":\"PRA\",\"workload\":\"GUPS\",\"cycles\":42,\"host_nanos\":7,\
+                   \"state_digest\":\"000000000000abcd\",\"detail\":\"\",\"repro\":\"pra run\"}";
+        let parsed = JournalRecord::parse(old).unwrap();
+        assert_eq!(parsed.energy_pj, 0);
+        assert_eq!(parsed.avg_power_mw, 0);
+        // And the new encoding round-trips them.
+        let r = record(5, RunStatus::Ok);
+        let parsed = JournalRecord::parse(&r.to_json_line()).unwrap();
+        assert_eq!(parsed.energy_pj, 55_123_456);
+        assert_eq!(parsed.avg_power_mw, 1_234);
     }
 
     #[test]

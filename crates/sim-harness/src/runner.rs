@@ -172,6 +172,17 @@ impl CampaignSummary {
             }
         }
         let executed = self.ok + self.recovered + self.failed + self.hung;
+        if let Some(energy_pj) = self.metrics.counter_value("campaign.energy_pj") {
+            let completed = self.ok + self.recovered;
+            if energy_pj > 0 && completed > 0 {
+                out.push_str(&format!(
+                    "\ndram energy: {:.3} mJ across {} completed run{}",
+                    energy_pj as f64 / 1e9,
+                    completed,
+                    if completed == 1 { "" } else { "s" },
+                ));
+            }
+        }
         if let Some(host_nanos) = self.metrics.counter_value("campaign.host_nanos") {
             if host_nanos > 0 {
                 out.push_str(&format!(
@@ -280,6 +291,8 @@ fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
         workload: spec.workload.clone(),
         cycles: 0,
         host_nanos: 0,
+        energy_pj: 0,
+        avg_power_mw: 0,
         state_digest: None,
         detail: String::new(),
         repro: spec.repro_line(),
@@ -298,6 +311,8 @@ fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
                 RunStatus::Ok
             };
             record.cycles = report.cpu_cycles;
+            record.energy_pj = report.energy.total().round() as u64;
+            record.avg_power_mw = report.power.total().round() as u64;
             record.state_digest = Some(report.state_digest());
         }
         Ok(Err(e @ (SimError::Liveness(_) | SimError::Protocol(_)))) => {
@@ -396,6 +411,7 @@ pub fn run_campaign(
     let skipped_id = summary.metrics.counter("campaign.runs_skipped");
     let mismatch_id = summary.metrics.counter("campaign.determinism_mismatches");
     let host_id = summary.metrics.counter("campaign.host_nanos");
+    let energy_id = summary.metrics.counter("campaign.energy_pj");
     let cycles_id = summary.metrics.histogram("campaign.run_cycles");
     summary.metrics.add(skipped_id, skipped as u64);
 
@@ -452,6 +468,7 @@ pub fn run_campaign(
                 summary.metrics.add(mismatch_id, 1);
             }
             summary.metrics.add(host_id, record.host_nanos);
+            summary.metrics.add(energy_id, record.energy_pj);
             let timing = RunTiming {
                 scheme: record.scheme.clone(),
                 workload: record.workload.clone(),

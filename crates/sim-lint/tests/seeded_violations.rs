@@ -127,6 +127,62 @@ fn metrics_flags_undeclared_name_and_unused_entry() {
 }
 
 #[test]
+fn metrics_flags_undocumented_power_metric_both_ways() {
+    // A power-telemetry publication site that registers a counter the
+    // manifest does not know, next to a manifest that declares a power
+    // gauge no code emits — the reconciliation must fire in BOTH
+    // directions, and the correctly declared pair stays quiet.
+    let mut w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/memory_system.rs",
+        "fn publish_power_telemetry(reg: &mut R) {\n\
+         reg.counter(\"energy.total_pj\");\n\
+         reg.gauge(\"power.total_mw\");\n\
+         reg.counter(\"energy.leakage_pj\");\n\
+         }\n",
+    )]);
+    w.manifest = Some(Manifest::parse(
+        "| `energy.total_pj` | counter | fixture |\n\
+         | `power.total_mw` | gauge | fixture |\n\
+         | `power.phantom_rail_mw` | gauge | declared, never emitted |\n",
+    ));
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "metric-registry");
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    assert!(
+        hits.iter().any(|d| d.message.contains("energy.leakage_pj")
+            && d.message.contains("not declared")
+            && d.file.ends_with("memory_system.rs")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("power.phantom_rail_mw") && d.file == "docs/metrics.md"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn metrics_flags_power_metric_kind_mismatch() {
+    // Publishing a rail as a counter when the manifest declares a gauge
+    // (or vice versa) is a reconciliation error, not a silent pass.
+    let mut w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/memory_system.rs",
+        "fn publish(reg: &mut R) { reg.counter(\"power.total_mw\"); }\n",
+    )]);
+    w.manifest = Some(Manifest::parse("| `power.total_mw` | gauge | fixture |\n"));
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "metric-registry");
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("power.total_mw")
+                && d.message.contains("emitted as a counter")),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn metrics_flags_bad_naming_convention() {
     let mut w = ws(vec![(
         "dram-sim",

@@ -156,6 +156,11 @@ impl Observer {
     pub fn snapshots(&self) -> &[EpochSnapshot] {
         &self.snapshots
     }
+
+    /// Index of the next epoch to close (= epochs closed so far).
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
+    }
 }
 
 impl Default for Observer {

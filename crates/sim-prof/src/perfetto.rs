@@ -29,6 +29,9 @@ pub const HOST_PID: u32 = 1;
 pub const CPU_PID: u32 = 2;
 /// Synthetic pid of DRAM channel 0; channel `c` maps to `DRAM_PID_BASE + c`.
 pub const DRAM_PID_BASE: u32 = 10;
+/// Synthetic pid carrying DRAM power-telemetry counter tracks (epoch
+/// power rails in mW, cumulative energy in pJ, per-rank residency).
+pub const POWER_PID: u32 = 3;
 
 const RANK_TID_BASE: u32 = 900;
 const COMPLETION_TID: u32 = 990;
@@ -41,6 +44,9 @@ pub struct PerfettoTrace {
     events: Vec<String>,
     named_processes: BTreeSet<u32>,
     named_threads: BTreeSet<(u32, u32)>,
+    /// Running total of epoch energy deltas (pJ), driving the
+    /// `energy.cumulative_pj` counter track.
+    cumulative_pj: u64,
 }
 
 impl PerfettoTrace {
@@ -253,6 +259,60 @@ impl PerfettoTrace {
                     &format!("\"reason\":\"{}\",\"cycles\":{cycles}", reason.name()),
                 );
             }
+            TraceEvent::PowerEpoch {
+                act_pre_pj,
+                rd_pj,
+                wr_pj,
+                rd_io_pj,
+                wr_io_pj,
+                bg_pj,
+                refresh_pj,
+                total_uw,
+                ..
+            } => {
+                self.power_process();
+                self.push_counter(
+                    "power.total_mw",
+                    ts,
+                    &format!("\"mW\":{:.3}", total_uw as f64 / 1000.0),
+                );
+                self.push_counter(
+                    "energy.epoch_pj",
+                    ts,
+                    &format!(
+                        "\"act_pre\":{act_pre_pj},\"rd\":{rd_pj},\"wr\":{wr_pj},\
+                         \"rd_io\":{rd_io_pj},\"wr_io\":{wr_io_pj},\"bg\":{bg_pj},\
+                         \"refresh\":{refresh_pj}"
+                    ),
+                );
+                self.cumulative_pj +=
+                    act_pre_pj + rd_pj + wr_pj + rd_io_pj + wr_io_pj + bg_pj + refresh_pj;
+                self.push_counter(
+                    "energy.cumulative_pj",
+                    ts,
+                    &format!("\"pJ\":{}", self.cumulative_pj),
+                );
+            }
+            TraceEvent::PowerRank {
+                rank,
+                act_stby,
+                pre_stby,
+                pdn,
+                bg_uw,
+                ..
+            } => {
+                self.power_process();
+                self.push_counter(
+                    &format!("rank{rank}.power_mw"),
+                    ts,
+                    &format!("\"bg_mW\":{:.3}", bg_uw as f64 / 1000.0),
+                );
+                self.push_counter(
+                    &format!("rank{rank}.residency"),
+                    ts,
+                    &format!("\"act_stby\":{act_stby},\"pre_stby\":{pre_stby},\"pdn\":{pdn}"),
+                );
+            }
         }
     }
 
@@ -282,6 +342,18 @@ impl PerfettoTrace {
         self.events.push(e);
     }
 
+    /// Emits one Chrome-trace counter (`ph:"C"`) sample. Counter-track
+    /// identity is (pid, name); each key in `args` renders as one series.
+    fn push_counter(&mut self, name: &str, ts: u64, args: &str) {
+        let mut e = String::with_capacity(96 + args.len());
+        let _ = write!(
+            e,
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\
+             \"pid\":{POWER_PID},\"tid\":0,\"args\":{{{args}}}}}"
+        );
+        self.events.push(e);
+    }
+
     fn bank_track(&mut self, channel: u8, rank: u8, bank: u8) -> (u32, u32) {
         let pid = self.channel_process(channel);
         let tid = 1 + u32::from(rank) * 32 + u32::from(bank);
@@ -297,6 +369,10 @@ impl PerfettoTrace {
 
     fn cpu_process(&mut self) {
         self.name_process(CPU_PID, "cpu/cache (µs = cpu cycle)");
+    }
+
+    fn power_process(&mut self) {
+        self.name_process(POWER_PID, "power rails (µs = mem cycle)");
     }
 
     fn core_track(&mut self, core: u8) -> u32 {
@@ -405,5 +481,59 @@ mod tests {
         let json = t.to_json();
         assert_eq!(json.matches("thread_name").count(), 1);
         assert_eq!(json.matches("process_name").count(), 1);
+    }
+
+    fn power_epoch(cycle: u64, epoch: u32, bg_pj: u64) -> TraceEvent {
+        TraceEvent::PowerEpoch {
+            cycle,
+            epoch,
+            act_pre_pj: 100,
+            rd_pj: 20,
+            wr_pj: 10,
+            rd_io_pj: 4,
+            wr_io_pj: 6,
+            bg_pj,
+            refresh_pj: 60,
+            total_uw: 123_456,
+        }
+    }
+
+    #[test]
+    fn power_epochs_become_counter_tracks() {
+        let mut t = PerfettoTrace::new();
+        t.add_sim_event(&power_epoch(1000, 0, 300));
+        t.add_sim_event(&power_epoch(2000, 1, 500));
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"power.total_mw\",\"ph\":\"C\""));
+        assert!(json.contains("\"mW\":123.456"));
+        assert!(json.contains("\"name\":\"energy.epoch_pj\",\"ph\":\"C\""));
+        assert!(json.contains("\"act_pre\":100"));
+        // Cumulative track integrates the epoch deltas: 500 after epoch 0,
+        // then 500 + 700 after epoch 1.
+        assert!(json.contains("\"pJ\":500"));
+        assert!(json.contains("\"pJ\":1200"));
+        assert!(json.contains(&format!("\"pid\":{POWER_PID}")));
+        assert!(json.contains("power rails"));
+    }
+
+    #[test]
+    fn rank_residency_gets_per_rank_counter_tracks() {
+        let mut t = PerfettoTrace::new();
+        t.add_sim_event(&TraceEvent::PowerRank {
+            cycle: 1000,
+            rank: 2,
+            act_stby: 600,
+            pre_stby: 300,
+            pdn: 100,
+            bg_uw: 55_500,
+        });
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"rank2.residency\",\"ph\":\"C\""));
+        assert!(json.contains("\"act_stby\":600,\"pre_stby\":300,\"pdn\":100"));
+        assert!(json.contains("\"name\":\"rank2.power_mw\",\"ph\":\"C\""));
+        assert!(json.contains("\"bg_mW\":55.500"));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in:\n{json}");
     }
 }
