@@ -58,7 +58,7 @@ pub fn write_timeline(t: &TimingParams, partial: bool) -> Vec<TimingEvent> {
     for beat in 0..t.burst_cycles {
         push(burst_start + beat, Bus::Data, "data");
     }
-    let burst_end = burst_start + t.burst_cycles;
+    let burst_end = burst_start.saturating_add(t.burst_cycles);
     let pre_at = (burst_end + t.twr).max(t.tras);
     push(pre_at, Bus::Command, "PRE");
     events

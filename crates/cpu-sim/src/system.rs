@@ -209,7 +209,6 @@ impl CpuSystem {
     #[cfg(test)]
     pub(crate) fn tick_cpu_cycle(&mut self) {
         self.try_tick_cpu_cycle()
-            // sim-lint: allow(no-panic-hot-path): documented panicking facade; try_tick_cpu_cycle is the fallible API
             .unwrap_or_else(|e| panic!("DRAM {e}"))
     }
 

@@ -82,7 +82,7 @@ impl Bank {
             mats,
             hits_served: 0,
         });
-        self.ready_for_column_at = now + t.trcd + extra_cycles;
+        self.ready_for_column_at = now.saturating_add(t.trcd).saturating_add(extra_cycles);
         self.ready_for_precharge_at = now + t.tras;
         self.auto_precharge_at = None;
     }
@@ -94,7 +94,7 @@ impl Bank {
         // sim-lint: allow(no-panic-hot-path): the scheduler selects only open banks and the protocol checker independently rejects columns to closed banks
         let open = self.open.as_mut().expect("column to a closed bank");
         open.hits_served += 1;
-        let done = now + t.tcas + burst_cycles;
+        let done = now.saturating_add(t.tcas).saturating_add(burst_cycles);
         self.ready_for_precharge_at = self.ready_for_precharge_at.max(now + t.trtp);
         done
     }
@@ -106,7 +106,7 @@ impl Bank {
         // sim-lint: allow(no-panic-hot-path): the scheduler selects only open banks and the protocol checker independently rejects columns to closed banks
         let open = self.open.as_mut().expect("column to a closed bank");
         open.hits_served += 1;
-        let burst_end = now + t.wl + burst_cycles;
+        let burst_end = now.saturating_add(t.wl).saturating_add(burst_cycles);
         self.ready_for_precharge_at = self.ready_for_precharge_at.max(burst_end + t.twr);
         burst_end
     }

@@ -138,7 +138,9 @@ impl Channel {
                     cfg.geometry.ranks_per_channel,
                     cfg.geometry.banks_per_rank,
                     cfg.scheme.relaxed_act_timing,
-                    cfg.timing.burst_cycles * cfg.scheme.burst_multiplier,
+                    cfg.timing
+                        .burst_cycles
+                        .saturating_mul(cfg.scheme.burst_multiplier),
                 )
             }),
         }
@@ -620,7 +622,10 @@ impl Channel {
         if now < self.next_col_allowed {
             return Ok(false);
         }
-        let burst = cfg.timing.burst_cycles * cfg.scheme.burst_multiplier;
+        let burst = cfg
+            .timing
+            .burst_cycles
+            .saturating_mul(cfg.scheme.burst_multiplier);
         let queue = if is_write {
             &self.write_q
         } else {

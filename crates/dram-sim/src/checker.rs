@@ -307,7 +307,7 @@ impl ProtocolChecker {
                 // or WL (writes) after its column command, must not overlap
                 // the previous burst, and pays tWTR on a direction change
                 // plus tRTRS on a rank change.
-                let start = cycle + if is_read { t.tcas } else { t.wl };
+                let start = cycle.saturating_add(if is_read { t.tcas } else { t.wl });
                 if let Some((prev_end, prev_read, prev_rank)) = self.last_burst {
                     let turnaround = prev_read != is_read;
                     let rank_switch = prev_rank != rank;
@@ -328,7 +328,7 @@ impl ProtocolChecker {
                         return Err(Self::err(cycle, command, rule));
                     }
                 }
-                self.last_burst = Some((start + self.burst_cycles, is_read, rank));
+                self.last_burst = Some((start.saturating_add(self.burst_cycles), is_read, rank));
                 if is_read {
                     b.last_read_at = Some(cycle);
                 } else {
@@ -350,7 +350,11 @@ impl ProtocolChecker {
                     }
                 }
                 if let Some(wr) = b.last_write_at {
-                    if cycle < wr + t.wl + t.burst_cycles + t.twr {
+                    let wr_done = wr
+                        .saturating_add(t.wl)
+                        .saturating_add(t.burst_cycles)
+                        .saturating_add(t.twr);
+                    if cycle < wr_done {
                         return Err(Self::err(cycle, command, "tWR"));
                     }
                 }
@@ -370,7 +374,7 @@ impl ProtocolChecker {
                     }
                 }
                 for b in &mut r.banks {
-                    b.busy_until = cycle + t.trfc;
+                    b.busy_until = cycle.saturating_add(t.trfc);
                 }
             }
         }

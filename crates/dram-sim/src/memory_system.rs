@@ -172,7 +172,7 @@ impl MemorySystem {
     /// when this is true, just before ticking, so the closing snapshot sees
     /// fresh values.
     pub fn epoch_closes_next_tick(&self) -> bool {
-        self.obs.obs.epoch_due(self.cycle + 1)
+        self.obs.obs.epoch_due(self.cycle.saturating_add(1))
     }
 
     /// Publishes final counter values into the registry, closes the last

@@ -58,7 +58,20 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+/// Renders diagnostics as a versioned JSON report object:
+/// `{"schema_version": N, "diagnostics": [...]}`. Consumers key on
+/// `schema_version` to survive future field additions.
+pub fn to_json_report(diags: &[Diagnostic]) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"diagnostics\":{}}}",
+        to_json(diags)
+    )
+}
+
+/// Version of the `--json` report schema.
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -103,5 +116,16 @@ mod tests {
     #[test]
     fn empty_is_empty_array() {
         assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn report_carries_schema_version() {
+        let r = to_json_report(&[]);
+        assert_eq!(r, "{\"schema_version\":1,\"diagnostics\":[]}");
+        let d = Diagnostic::new("cycle-arith", "a.rs", 3, "m");
+        let r = to_json_report(&[d]);
+        assert!(r.starts_with("{\"schema_version\":1,\"diagnostics\":["));
+        assert!(r.contains("\"lint\":\"cycle-arith\""));
+        assert!(r.ends_with("]}"));
     }
 }

@@ -1,12 +1,21 @@
 //! sim-lint: a zero-dependency static analyzer that enforces the PRA
 //! simulator's correctness contracts at CI time.
 //!
-//! Four passes run over a hand-lexed token stream of every workspace
-//! source file (see [`lexer`] — raw strings, char literals and nested
-//! block comments are handled, so text never masquerades as code):
+//! The analyzer is semantic, not just lexical: on top of a hand-rolled
+//! lexer (see [`lexer`] — raw strings, char literals and nested block
+//! comments are handled, so text never masquerades as code) it builds a
+//! workspace-wide [item index](items) of every `fn`/`impl`/`trait` with
+//! module paths, and a [conservative call graph](callgraph) (direct calls,
+//! method calls resolved by receiver-type heuristics, closures attributed
+//! to their enclosing function). The passes:
 //!
 //! * `no-panic-hot-path` — no `unwrap`/`expect`/`panic!`/`unreachable!`/
-//!   runtime asserts in non-test code of the simulator hot-path crates.
+//!   runtime asserts in non-test code of the simulator hot-path crates
+//!   (lexical, per-site).
+//! * `panic-reachability` — no panicking construct transitively reachable
+//!   from the hot-loop entry points (`Channel::tick`,
+//!   `MemorySystem::try_tick`, the bank FSM); diagnostics carry the full
+//!   call chain.
 //! * `checker-parity` — every `TimingParams` field is enforced by both the
 //!   scheduler and the independent protocol checker.
 //! * `metric-registry` — every emitted metric / trace-event name follows
@@ -14,6 +23,13 @@
 //! * `forbid-wallclock-and-unsafe` — no wall-clock reads, ambient
 //!   randomness or `unsafe` in deterministic sim crates, and every crate
 //!   root declares `#![forbid(unsafe_code)]`.
+//! * `discarded-result` — no `let _ =`, `.ok();` or bare-statement drops
+//!   of `Result`s returned by workspace sim APIs.
+//! * `cycle-arith` — no unchecked `+`/`*` on cycle/deadline/epoch-named
+//!   values in the hot crates; event-jump arithmetic must saturate or
+//!   check.
+//! * `dead-pragma` — a suppression that no longer suppresses anything is
+//!   itself an error.
 //!
 //! All passes are deny-by-default. Site-level exemptions use
 //!
@@ -27,16 +43,39 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod diag;
+pub mod items;
 pub mod lexer;
 pub mod passes;
+pub mod sarif;
 pub mod source;
 pub mod workspace;
 
 use std::path::Path;
 
-pub use diag::{to_json, Diagnostic};
+pub use diag::{to_json, to_json_report, Diagnostic};
 pub use workspace::{load_workspace, Manifest, Workspace};
+
+/// Everything a pass may consult: the lexed workspace plus the semantic
+/// layers built over it (item index and call graph).
+pub struct Analysis<'a> {
+    /// The lexed workspace.
+    pub ws: &'a Workspace,
+    /// Workspace-wide `fn`/`impl`/`trait`/`use` index.
+    pub items: items::ItemIndex,
+    /// Conservative call graph over the index.
+    pub calls: callgraph::CallGraph,
+}
+
+impl<'a> Analysis<'a> {
+    /// Builds the semantic layers for a loaded workspace.
+    pub fn new(ws: &'a Workspace) -> Self {
+        let items = items::ItemIndex::build(ws);
+        let calls = callgraph::CallGraph::build(ws, &items);
+        Analysis { ws, items, calls }
+    }
+}
 
 /// Lints the workspace rooted at `root`. Returns the post-suppression
 /// diagnostics, sorted by file, line, lint.
@@ -46,12 +85,19 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
 }
 
 /// Runs every pass over an already-loaded workspace, applies pragma
-/// suppression and appends `pragma` meta-diagnostics.
+/// suppression, runs the `dead-pragma` phase over the pre-suppression
+/// results, and appends `pragma` meta-diagnostics.
 pub fn lint_sources(ws: &Workspace) -> Vec<Diagnostic> {
+    let analysis = Analysis::new(ws);
     let mut raw = Vec::new();
     for pass in passes::all_passes() {
-        pass.run(ws, &mut raw);
+        pass.run(&analysis, &mut raw);
     }
+
+    // Dead-pragma runs on the PRE-suppression diagnostics: a pragma is
+    // alive exactly when it covers at least one raw diagnostic of a lint
+    // it names. Its output manages its own (allow(dead-pragma)) exemptions.
+    let dead = passes::dead_pragma::run(ws, &raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -61,6 +107,7 @@ pub fn lint_sources(ws: &Workspace) -> Vec<Diagnostic> {
                 .any(|f| f.rel_path == d.file && f.suppresses(&d.lint, d.line))
         })
         .collect();
+    out.extend(dead);
 
     for file in &ws.files {
         for err in &file.pragma_errors {
@@ -165,8 +212,11 @@ mod tests {
             "fn f() {\n    // sim-lint: allow(metric-registry): wrong lint\n    a.unwrap();\n}\n",
         );
         let d = lint_sources(&w);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].lint, "no-panic-hot-path");
+        // The unwrap is not suppressed, and the mistargeted pragma is
+        // additionally reported as dead.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.lint == "no-panic-hot-path"));
+        assert!(d.iter().any(|d| d.lint == "dead-pragma"));
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! CLI driver: `cargo run -p sim-lint -- --workspace [--json] [--root PATH]`.
+//! CLI driver: `cargo run -p sim-lint -- --workspace [--json] [--sarif
+//! PATH] [--root PATH]`.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations found, 2 internal error (usage, I/O,
+//! or an unreadable/empty workspace). CI keys on the distinction: 1 means
+//! the code is wrong, 2 means the lint run itself is broken.
 //! `--offline` is accepted (and ignored) so CI can pass the same flag set
 //! to cargo and the tool.
 
@@ -14,6 +17,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -25,6 +29,13 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("sim-lint: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sim-lint: --sarif requires an output path argument");
                     return ExitCode::from(2);
                 }
             },
@@ -58,8 +69,15 @@ fn main() -> ExitCode {
 
     match sim_lint::lint_workspace(&root) {
         Ok(diags) => {
+            if let Some(path) = &sarif {
+                let log = sim_lint::sarif::to_sarif(&diags);
+                if let Err(e) = std::fs::write(path, log) {
+                    eprintln!("sim-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             if json {
-                println!("{}", sim_lint::to_json(&diags));
+                println!("{}", sim_lint::to_json_report(&diags));
             } else {
                 for d in &diags {
                     println!("{d}");
@@ -99,10 +117,12 @@ fn find_workspace_root() -> Option<PathBuf> {
 
 fn print_usage() {
     eprintln!(
-        "usage: sim-lint --workspace [--json] [--offline] [--root PATH]\n\
+        "usage: sim-lint --workspace [--json] [--sarif PATH] [--offline] [--root PATH]\n\
          \n\
          Statically enforces the simulator's correctness contracts:\n\
-         no-panic-hot-path, checker-parity, metric-registry,\n\
-         forbid-wallclock-and-unsafe. Exit 0 = clean, 1 = violations, 2 = error."
+         no-panic-hot-path, panic-reachability, checker-parity,\n\
+         metric-registry, forbid-wallclock-and-unsafe, discarded-result,\n\
+         cycle-arith, dead-pragma. See docs/lints.md for the catalog.\n\
+         Exit 0 = clean, 1 = violations, 2 = internal error."
     );
 }

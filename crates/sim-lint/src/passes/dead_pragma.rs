@@ -1,0 +1,178 @@
+//! `dead-pragma`: a suppression that no longer suppresses anything is
+//! itself an error.
+//!
+//! Pragmas are point-in-time waivers: the violation they excused was real
+//! when the reason was written. When the code later changes and the
+//! violation disappears, the stale pragma keeps a hole open that a future
+//! edit can silently fall through. This pass therefore runs as a dedicated
+//! phase over the **pre-suppression** diagnostics of every other pass: a
+//! pragma is alive exactly when at least one raw diagnostic of a lint it
+//! names falls inside its coverage (its own line, the line below, or the
+//! whole file for `allow-file`).
+//!
+//! `allow(dead-pragma)` itself is honoured in a second phase — it exists
+//! for transitional states (e.g. a violation that comes and goes with a
+//! feature flag) — and an `allow(dead-pragma)` that shields no dead pragma
+//! is reported as dead in turn, so the escape hatch cannot rot either.
+
+use std::collections::HashSet;
+
+use crate::diag::Diagnostic;
+use crate::passes::LINT_NAMES;
+use crate::workspace::Workspace;
+
+const LINT: &str = "dead-pragma";
+
+/// Runs the dead-pragma phase. `raw` must be the pre-suppression
+/// diagnostics of every ordinary pass.
+pub fn run(ws: &Workspace, raw: &[Diagnostic]) -> Vec<Diagnostic> {
+    // Phase 1: every named lint of every pragma must cover >=1 raw
+    // diagnostic. Unknown lint names are skipped here — the `pragma` meta
+    // lint already reports those.
+    let mut dead: Vec<Diagnostic> = Vec::new();
+    for file in &ws.files {
+        for p in &file.pragmas {
+            for lint in &p.lints {
+                if lint == LINT || !LINT_NAMES.contains(&lint.as_str()) {
+                    continue;
+                }
+                let covers = raw.iter().any(|d| {
+                    d.lint == *lint
+                        && d.file == file.rel_path
+                        && (p.file_level || p.line == d.line || p.line + 1 == d.line)
+                });
+                if !covers {
+                    dead.push(Diagnostic::new(
+                        LINT,
+                        &file.rel_path,
+                        p.line,
+                        format!(
+                            "pragma `allow({lint})` suppresses nothing — the violation \
+                             it excused is gone; remove the pragma"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Phase 2: apply `allow(dead-pragma)` shields, then report shields that
+    // shielded nothing.
+    let mut out = Vec::new();
+    let mut used_shields: HashSet<(usize, u32)> = HashSet::new();
+    for d in dead {
+        let shield = ws.files.iter().enumerate().find_map(|(fi, f)| {
+            if f.rel_path != d.file {
+                return None;
+            }
+            f.pragmas
+                .iter()
+                .find(|p| {
+                    p.lints.iter().any(|l| l == LINT)
+                        && (p.file_level || p.line == d.line || p.line + 1 == d.line)
+                })
+                .map(|p| (fi, p.line))
+        });
+        match shield {
+            Some(key) => {
+                used_shields.insert(key);
+            }
+            None => out.push(d),
+        }
+    }
+    for (fi, file) in ws.files.iter().enumerate() {
+        for p in &file.pragmas {
+            if !p.lints.iter().any(|l| l == LINT) {
+                continue;
+            }
+            if !used_shields.contains(&(fi, p.line)) {
+                out.push(Diagnostic::new(
+                    LINT,
+                    &file.rel_path,
+                    p.line,
+                    "pragma `allow(dead-pragma)` shields no dead pragma — remove it".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws_one(src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::parse(
+                "dram-sim",
+                "crates/dram-sim/src/x.rs",
+                src,
+                false,
+            )],
+            manifest: None,
+            manifest_path: "docs/metrics.md".to_string(),
+        }
+    }
+
+    fn raw(file: &str, lint: &str, line: u32) -> Diagnostic {
+        Diagnostic::new(lint, file, line, "x".to_string())
+    }
+
+    #[test]
+    fn covered_pragma_is_alive() {
+        let w = ws_one("// sim-lint: allow(no-panic-hot-path): bounded\nfn f() {}\n");
+        let r = vec![raw("crates/dram-sim/src/x.rs", "no-panic-hot-path", 2)];
+        assert!(run(&w, &r).is_empty());
+    }
+
+    #[test]
+    fn uncovered_pragma_is_dead() {
+        let w = ws_one("// sim-lint: allow(no-panic-hot-path): bounded\nfn f() {}\n");
+        let d = run(&w, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "dead-pragma");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("no-panic-hot-path"));
+    }
+
+    #[test]
+    fn wrong_lint_or_wrong_line_does_not_keep_it_alive() {
+        let w = ws_one("fn f() {}\n// sim-lint: allow(cycle-arith): bounded\nfn g() {}\n");
+        // A diagnostic of another lint on the covered line, and the right
+        // lint far away: the pragma is still dead.
+        let r = vec![
+            raw("crates/dram-sim/src/x.rs", "no-panic-hot-path", 3),
+            raw("crates/dram-sim/src/x.rs", "cycle-arith", 1),
+        ];
+        assert_eq!(run(&w, &r).len(), 1);
+    }
+
+    #[test]
+    fn file_level_pragma_is_alive_if_any_line_matches() {
+        let w = ws_one("// sim-lint: allow-file(cycle-arith): generated table\nfn f() {}\n");
+        let r = vec![raw("crates/dram-sim/src/x.rs", "cycle-arith", 40)];
+        assert!(run(&w, &r).is_empty());
+    }
+
+    #[test]
+    fn allow_dead_pragma_shields_and_rots() {
+        // A dead pragma shielded by allow(dead-pragma) on the same line.
+        let w = ws_one(
+            "// sim-lint: allow(no-panic-hot-path, dead-pragma): gated by feature flag\nfn f() {}\n",
+        );
+        assert!(run(&w, &[]).is_empty());
+        // An allow(dead-pragma) that shields nothing is itself dead.
+        let w = ws_one("// sim-lint: allow(dead-pragma): nothing here\nfn f() {}\n");
+        let d = run(&w, &[]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("shields no dead pragma"));
+    }
+
+    #[test]
+    fn unknown_lint_names_are_left_to_the_meta_lint() {
+        let w = ws_one("// sim-lint: allow(no-such-lint): whatever\nfn f() {}\n");
+        assert!(run(&w, &[]).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! `discarded-result`: a `Result` returned by a workspace sim API must not
+//! be silently dropped in non-test code.
+//!
+//! The pass walks the resolved [call graph](crate::callgraph) sites whose
+//! callee is an indexed workspace function declared to return `Result`, and
+//! flags three discard shapes:
+//!
+//! * `let _ = sim_api(...);` — wildcard binding (a `?` after the call still
+//!   propagates the error, so that form passes);
+//! * `sim_api(...).ok();` — converting to `Option` and dropping it as a
+//!   bare statement;
+//! * `sim_api(...);` — a bare-statement drop.
+//!
+//! Because only *resolved* workspace calls are considered, `let _ =
+//! writeln!(...)` (a macro) and `std::fs` conveniences never flag: the lint
+//! polices the simulator's own fallible APIs, whose errors encode protocol
+//! faults that must be handled or propagated.
+
+use std::collections::HashSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::passes::Pass;
+use crate::Analysis;
+
+const LINT: &str = "discarded-result";
+
+/// Pass implementation.
+pub struct DiscardedResult;
+
+impl Pass for DiscardedResult {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for site in &a.calls.sites {
+            let callee = &a.items.fns[site.callee];
+            if !callee.returns_result {
+                continue;
+            }
+            let caller = &a.items.fns[site.caller];
+            if caller.is_test {
+                continue;
+            }
+            if !seen.insert((caller.file_idx, site.name_tok)) {
+                continue; // trait-dispatch fan-out: one report per site
+            }
+            let file = &a.ws.files[caller.file_idx];
+            let toks = &file.tokens;
+            let close = match_paren(toks, site.name_tok + 1);
+            let next = toks.get(close + 1);
+
+            let start = expr_start(toks, site.name_tok);
+            let before = start.checked_sub(1).map(|p| &toks[p]);
+            let let_wildcard = start >= 3
+                && toks[start - 1].is_punct('=')
+                && toks[start - 2].is_ident("_")
+                && toks[start - 3].is_ident("let");
+            let stmt_start = match before {
+                None => true,
+                Some(t) => t.is_punct(';') || t.is_punct('{') || t.is_punct('}'),
+            };
+
+            let shape = if let_wildcard {
+                // `let _ = f()?;` propagates the error — that consumes it.
+                if next.map(|t| t.is_punct('?')).unwrap_or(false) {
+                    continue;
+                }
+                "bound to `let _ =`"
+            } else if stmt_start && next.map(|t| t.is_punct(';')).unwrap_or(false) {
+                "dropped as a bare statement"
+            } else if stmt_start && is_dropped_ok_chain(toks, close) {
+                "converted with `.ok()` and dropped"
+            } else {
+                continue;
+            };
+            out.push(Diagnostic::new(
+                LINT,
+                &file.rel_path,
+                site.line,
+                format!(
+                    "`Result` returned by `{}` is {shape} — handle the error, \
+                     propagate it with `?`, or pragma-annotate with the reason \
+                     the failure is ignorable",
+                    callee.display(),
+                ),
+            ));
+        }
+    }
+}
+
+/// `).ok();` directly after the call's closing parenthesis.
+fn is_dropped_ok_chain(toks: &[Token], close: usize) -> bool {
+    toks.get(close + 1).map(|t| t.is_punct('.')) == Some(true)
+        && toks.get(close + 2).map(|t| t.is_ident("ok")) == Some(true)
+        && toks.get(close + 3).map(|t| t.is_punct('(')) == Some(true)
+        && toks.get(close + 4).map(|t| t.is_punct(')')) == Some(true)
+        && toks.get(close + 5).map(|t| t.is_punct(';')) == Some(true)
+}
+
+/// Forward scan from an opening `(` to its matching `)`.
+fn match_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Backward scan from a closing delimiter to its matching opener.
+fn match_backward(toks: &[Token], close: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        if toks[j].is_punct(close_ch) {
+            depth += 1;
+        } else if toks[j].is_punct(open_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        let Some(p) = j.checked_sub(1) else { return j };
+        j = p;
+    }
+}
+
+/// Walks back from the callee-name token over the receiver chain
+/// (`self.banks[i].issue` → index of `self`) to the expression's first
+/// token.
+fn expr_start(toks: &[Token], name_i: usize) -> usize {
+    let mut j = name_i;
+    loop {
+        let Some(p) = j.checked_sub(1) else { return j };
+        if toks[p].is_punct('.') {
+            let Some(q) = p.checked_sub(1) else { return p };
+            match toks[q].kind {
+                TokKind::Punct(')') | TokKind::Punct(']') => {
+                    let (o, c) = if toks[q].is_punct(')') {
+                        ('(', ')')
+                    } else {
+                        ('[', ']')
+                    };
+                    let open = match_backward(toks, q, o, c);
+                    j = open;
+                    // A call or index has its callee/base just before the
+                    // opener: `helper().m()` starts at `helper`.
+                    if let Some(r) = open.checked_sub(1) {
+                        if toks[r].kind == TokKind::Ident {
+                            j = r;
+                        }
+                    }
+                }
+                TokKind::Ident => j = q,
+                _ => return j,
+            }
+        } else if toks[p].is_punct(':') && p >= 1 && toks[p - 1].is_punct(':') {
+            let Some(q) = (p - 1).checked_sub(1) else {
+                return j;
+            };
+            if toks[q].kind == TokKind::Ident {
+                j = q;
+            } else {
+                return j;
+            }
+        } else {
+            return j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::workspace::Workspace;
+
+    const API: &str = "pub struct Bus;\n\
+                       impl Bus {\n    \
+                       pub fn issue(&mut self) -> Result<(), u8> { Ok(()) }\n}\n";
+
+    fn ws_one(body: &str) -> Workspace {
+        let src =
+            format!("{API}fn drive(bus: &mut Bus) -> Result<(), u8> {{\n{body}\n    Ok(())\n}}\n");
+        Workspace {
+            files: vec![SourceFile::parse(
+                "dram-sim",
+                "crates/dram-sim/src/bus.rs",
+                &src,
+                false,
+            )],
+            manifest: None,
+            manifest_path: "docs/metrics.md".to_string(),
+        }
+    }
+
+    fn run(w: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        DiscardedResult.run(&Analysis::new(w), &mut out);
+        out
+    }
+
+    #[test]
+    fn let_wildcard_discard_is_flagged() {
+        let d = run(&ws_one("    let _ = bus.issue();"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("let _ ="));
+        assert!(d[0].message.contains("Bus::issue"));
+    }
+
+    #[test]
+    fn bare_statement_drop_is_flagged() {
+        let d = run(&ws_one("    bus.issue();"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("bare statement"));
+    }
+
+    #[test]
+    fn dropped_ok_chain_is_flagged() {
+        let d = run(&ws_one("    bus.issue().ok();"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn question_mark_and_bindings_consume() {
+        assert!(run(&ws_one("    bus.issue()?;")).is_empty());
+        assert!(run(&ws_one("    let r = bus.issue();\n    r?;")).is_empty());
+        assert!(run(&ws_one("    let _ = bus.issue()?;")).is_empty());
+        assert!(run(&ws_one("    return bus.issue();")).is_empty());
+        assert!(run(&ws_one("    if bus.issue().is_err() { }")).is_empty());
+    }
+
+    #[test]
+    fn non_result_calls_and_test_code_are_ignored() {
+        let w = Workspace {
+            files: vec![SourceFile::parse(
+                "dram-sim",
+                "crates/dram-sim/src/bus.rs",
+                "pub struct Bus;\n\
+                 impl Bus { pub fn nudge(&mut self) {} }\n\
+                 fn drive(bus: &mut Bus) { bus.nudge(); }\n\
+                 #[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() {\n        \
+                 let mut b = Bus;\n        let _ = b.nudge();\n    }\n}\n",
+                false,
+            )],
+            manifest: None,
+            manifest_path: "docs/metrics.md".to_string(),
+        };
+        assert!(run(&w).is_empty());
+    }
+}

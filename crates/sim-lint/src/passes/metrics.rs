@@ -15,7 +15,8 @@ use std::collections::HashSet;
 use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
 use crate::passes::Pass;
-use crate::workspace::{Manifest, MetricKind, Workspace};
+use crate::workspace::{Manifest, MetricKind};
+use crate::Analysis;
 
 const LINT: &str = "metric-registry";
 
@@ -30,7 +31,8 @@ impl Pass for MetricRegistry {
         LINT
     }
 
-    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>) {
+        let ws = a.ws;
         let empty = Manifest::default();
         let manifest = ws.manifest.as_ref().unwrap_or(&empty);
 
@@ -191,6 +193,7 @@ fn is_trace_kind(s: &str) -> bool {
 mod tests {
     use super::*;
     use crate::source::SourceFile;
+    use crate::workspace::Workspace;
 
     fn ws(files: Vec<(&str, &str, &str)>, manifest: Option<&str>) -> Workspace {
         Workspace {
@@ -205,7 +208,7 @@ mod tests {
 
     fn run(ws: &Workspace) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        MetricRegistry.run(ws, &mut out);
+        MetricRegistry.run(&Analysis::new(ws), &mut out);
         out
     }
 

@@ -1,29 +1,38 @@
-//! The lint passes. Each pass walks the lexed workspace and appends
+//! The lint passes. Each pass walks the analyzed workspace and appends
 //! [`Diagnostic`]s; suppression is applied afterwards by the driver.
 
+pub mod cycle_arith;
+pub mod dead_pragma;
+pub mod discarded_result;
 pub mod metrics;
 pub mod no_panic;
+pub mod panic_reach;
 pub mod parity;
 pub mod wallclock;
 
 use crate::diag::Diagnostic;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// A lint pass.
 pub trait Pass {
     /// Lint name used in diagnostics and `allow(...)` pragmas.
     fn name(&self) -> &'static str;
-    /// Runs the pass over the whole workspace.
-    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+    /// Runs the pass over the analyzed workspace.
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>);
 }
 
-/// All shipped passes, in reporting order.
+/// All shipped passes, in reporting order. The `dead-pragma` pass is not
+/// listed: it runs as a dedicated phase in [`crate::lint_sources`] because
+/// it needs the pre-suppression diagnostics of every other pass as input.
 pub fn all_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(no_panic::NoPanicHotPath),
+        Box::new(panic_reach::PanicReachability),
         Box::new(parity::CheckerParity),
         Box::new(metrics::MetricRegistry),
         Box::new(wallclock::ForbidWallclockAndUnsafe),
+        Box::new(discarded_result::DiscardedResult),
+        Box::new(cycle_arith::CycleArith),
     ]
 }
 
@@ -31,7 +40,11 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
 /// always on and cannot be suppressed).
 pub const LINT_NAMES: &[&str] = &[
     "no-panic-hot-path",
+    "panic-reachability",
     "checker-parity",
     "metric-registry",
     "forbid-wallclock-and-unsafe",
+    "discarded-result",
+    "cycle-arith",
+    "dead-pragma",
 ];

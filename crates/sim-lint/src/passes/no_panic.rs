@@ -9,8 +9,9 @@
 //! acceptable only for provably-infallible sites.
 
 use crate::diag::Diagnostic;
+use crate::lexer::Token;
 use crate::passes::Pass;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// Crates whose non-test code must not panic. `sim-harness` is
 /// deliberately absent: the campaign runner's job is to *contain* panics
@@ -28,6 +29,33 @@ pub const HOT_CRATES: &[&str] = &[
 
 const LINT: &str = "no-panic-hot-path";
 
+/// If the token at `i` is a panicking construct, returns its display form
+/// (`.unwrap(...)`, `panic!(...)`, …). Shared with the interprocedural
+/// `panic-reachability` pass so both agree on what "panicking" means.
+pub fn panic_construct(tokens: &[Token], i: usize) -> Option<String> {
+    let tok = tokens.get(i)?;
+    if !matches!(tok.kind, crate::lexer::TokKind::Ident) {
+        return None;
+    }
+    let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+    let next_bang = tokens.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false);
+    let next_paren = tokens.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
+    let flagged = match tok.text.as_str() {
+        "unwrap" | "expect" => prev_dot && next_paren,
+        // `panic!(...)` — but not `std::panic::catch_unwind`.
+        "panic" | "unreachable" | "todo" | "unimplemented" => next_bang,
+        "assert" | "assert_eq" | "assert_ne" => next_bang,
+        _ => false,
+    };
+    if !flagged {
+        return None;
+    }
+    Some(match tok.text.as_str() {
+        "unwrap" | "expect" => format!(".{}(...)", tok.text),
+        t => format!("{t}!(...)"),
+    })
+}
+
 /// Pass implementation.
 pub struct NoPanicHotPath;
 
@@ -36,40 +64,13 @@ impl Pass for NoPanicHotPath {
         LINT
     }
 
-    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>) {
+        for file in &a.ws.files {
             if !HOT_CRATES.contains(&file.crate_name.as_str()) {
                 continue;
             }
             for (i, tok) in file.code_tokens() {
-                if !matches!(tok.kind, crate::lexer::TokKind::Ident) {
-                    continue;
-                }
-                let prev_dot = i > 0 && file.tokens[i - 1].is_punct('.');
-                let next_bang = file
-                    .tokens
-                    .get(i + 1)
-                    .map(|t| t.is_punct('!'))
-                    .unwrap_or(false);
-                let next_paren = file
-                    .tokens
-                    .get(i + 1)
-                    .map(|t| t.is_punct('('))
-                    .unwrap_or(false);
-                let flagged = match tok.text.as_str() {
-                    "unwrap" | "expect" => prev_dot && next_paren,
-                    "panic" | "unreachable" | "todo" | "unimplemented" => {
-                        // `panic!(...)` — but not `std::panic::catch_unwind`.
-                        next_bang
-                    }
-                    "assert" | "assert_eq" | "assert_ne" => next_bang,
-                    _ => false,
-                };
-                if flagged {
-                    let display = match tok.text.as_str() {
-                        "unwrap" | "expect" => format!(".{}(...)", tok.text),
-                        t => format!("{t}!(...)"),
-                    };
+                if let Some(display) = panic_construct(&file.tokens, i) {
                     out.push(Diagnostic::new(
                         LINT,
                         &file.rel_path,
@@ -102,7 +103,7 @@ mod tests {
 
     fn run(ws: &Workspace) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        NoPanicHotPath.run(ws, &mut out);
+        NoPanicHotPath.run(&Analysis::new(ws), &mut out);
         out
     }
 

@@ -16,6 +16,7 @@ use crate::lexer::TokKind;
 use crate::passes::Pass;
 use crate::source::SourceFile;
 use crate::workspace::Workspace;
+use crate::Analysis;
 
 const LINT: &str = "checker-parity";
 
@@ -32,7 +33,8 @@ impl Pass for CheckerParity {
         LINT
     }
 
-    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>) {
+        let ws = a.ws;
         let Some((timing_file, fields)) = find_timing_fields(ws) else {
             return; // no TimingParams definition in this workspace
         };
@@ -149,7 +151,7 @@ mod tests {
 
     fn run(ws: &Workspace) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        CheckerParity.run(ws, &mut out);
+        CheckerParity.run(&Analysis::new(ws), &mut out);
         out
     }
 

@@ -20,7 +20,7 @@ use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
 use crate::passes::Pass;
 use crate::source::SourceFile;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 const LINT: &str = "forbid-wallclock-and-unsafe";
 
@@ -57,7 +57,8 @@ impl Pass for ForbidWallclockAndUnsafe {
         LINT
     }
 
-    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn run(&self, a: &Analysis, out: &mut Vec<Diagnostic>) {
+        let ws = a.ws;
         for file in &ws.files {
             let wallclock_exempt = (WALLCLOCK_EXEMPT_CRATES.contains(&file.crate_name.as_str())
                 && !WALLCLOCK_STRICT_PATHS.contains(&file.rel_path.as_str()))
@@ -126,6 +127,7 @@ fn has_forbid_unsafe(file: &SourceFile) -> bool {
 mod tests {
     use super::*;
     use crate::source::SourceFile;
+    use crate::workspace::Workspace;
 
     fn ws(files: Vec<(&str, &str, &str)>) -> Workspace {
         Workspace {
@@ -140,7 +142,7 @@ mod tests {
 
     fn run(ws: &Workspace) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        ForbidWallclockAndUnsafe.run(ws, &mut out);
+        ForbidWallclockAndUnsafe.run(&Analysis::new(ws), &mut out);
         out
     }
 

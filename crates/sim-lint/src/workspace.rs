@@ -157,6 +157,15 @@ pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
         load_src_dir(&dir.join("src"), root, &crate_name, &mut files)?;
     }
     files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    if files.is_empty() {
+        // Nothing to lint means the root is wrong, not that the code is
+        // clean — surface it as an internal error (CLI exit 2), never as a
+        // green run.
+        return Err(format!(
+            "no Rust sources found under {} — is this a workspace root?",
+            root.display()
+        ));
+    }
 
     let manifest_path = "docs/metrics.md".to_string();
     let manifest = match fs::read_to_string(root.join(&manifest_path)) {

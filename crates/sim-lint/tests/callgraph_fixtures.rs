@@ -1,0 +1,242 @@
+//! Call-graph fixtures: the item index and call graph drive the
+//! interprocedural passes, so their resolution rules get their own
+//! regression gate. Each fixture pins a true-positive edge the graph must
+//! find AND a conservative case where it must refuse to guess — a false
+//! edge here becomes a false panic-reachability diagnostic downstream.
+
+use sim_lint::callgraph::CallGraph;
+use sim_lint::items::ItemIndex;
+use sim_lint::source::SourceFile;
+use sim_lint::workspace::Workspace;
+use sim_lint::Analysis;
+
+fn ws(files: Vec<(&str, &str, &str)>) -> Workspace {
+    Workspace {
+        files: files
+            .into_iter()
+            .map(|(c, p, s)| SourceFile::parse(c, p, s, false))
+            .collect(),
+        manifest: None,
+        manifest_path: "docs/metrics.md".to_string(),
+    }
+}
+
+/// `caller` has an edge to `callee` in the graph (names as `FnItem::display`).
+fn has_edge(idx: &ItemIndex, g: &CallGraph, caller: &str, callee: &str) -> bool {
+    g.sites
+        .iter()
+        .any(|s| idx.fns[s.caller].display() == caller && idx.fns[s.callee].display() == callee)
+}
+
+// ------------------------------------------------------------ trait objects
+
+#[test]
+fn trait_object_call_fans_out_to_every_impl() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub trait Policy { fn decide(&self) -> bool; }\n\
+         pub struct Open;\n\
+         impl Policy for Open { fn decide(&self) -> bool { true } }\n\
+         pub struct Closed;\n\
+         impl Policy for Closed { fn decide(&self) -> bool { false } }\n\
+         pub fn drive(p: &dyn Policy) { p.decide(); }\n",
+    )]);
+    let a = Analysis::new(&w);
+    // A `dyn Trait` receiver conservatively reaches every implementor.
+    assert!(has_edge(&a.items, &a.calls, "drive", "Open::decide"));
+    assert!(has_edge(&a.items, &a.calls, "drive", "Closed::decide"));
+}
+
+#[test]
+fn typed_receiver_does_not_fan_out_across_impls() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub trait Policy { fn decide(&self) -> bool; }\n\
+         pub struct Open;\n\
+         impl Policy for Open { fn decide(&self) -> bool { true } }\n\
+         pub struct Closed;\n\
+         impl Policy for Closed { fn decide(&self) -> bool { false } }\n\
+         pub fn drive(p: &Open) { p.decide(); }\n",
+    )]);
+    let a = Analysis::new(&w);
+    assert!(has_edge(&a.items, &a.calls, "drive", "Open::decide"));
+    assert!(
+        !has_edge(&a.items, &a.calls, "drive", "Closed::decide"),
+        "a concretely-typed receiver must not produce edges to sibling impls"
+    );
+}
+
+// ------------------------------------------------- closures inside iterators
+
+#[test]
+fn closure_in_iterator_chain_attributes_calls_to_enclosing_fn() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "fn cost(x: u64) -> u64 { x }\n\
+         pub fn total(xs: &[u64]) -> u64 {\n\
+             xs.iter().map(|&x| cost(x)).sum()\n\
+         }\n",
+    )]);
+    let a = Analysis::new(&w);
+    // The call inside `|&x| cost(x)` belongs to `total`, not to a phantom
+    // closure item — reachability must flow through iterator plumbing.
+    assert!(has_edge(&a.items, &a.calls, "total", "cost"));
+}
+
+// ------------------------------------------------------ shadowed method names
+
+#[test]
+fn shadowed_method_name_resolves_by_receiver_type() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub struct Bank;\n\
+         impl Bank { pub fn reset(&mut self) {} }\n\
+         pub struct Rank { bank: Bank }\n\
+         impl Rank { pub fn reset(&mut self) { self.bank.reset(); } }\n\
+         pub fn hard_reset(r: &mut Rank) { r.reset(); }\n",
+    )]);
+    let a = Analysis::new(&w);
+    // `r.reset()` binds to Rank::reset via the parameter's type...
+    assert!(has_edge(&a.items, &a.calls, "hard_reset", "Rank::reset"));
+    // ...and must not also claim the same-named method on Bank.
+    assert!(
+        !has_edge(&a.items, &a.calls, "hard_reset", "Bank::reset"),
+        "typed receiver must disambiguate shadowed method names"
+    );
+    // `self.<field>.m()` has an opaque receiver; with two candidates the
+    // graph refuses to guess rather than risk a false edge.
+    assert!(!has_edge(&a.items, &a.calls, "Rank::reset", "Bank::reset"));
+}
+
+#[test]
+fn unique_method_name_resolves_through_opaque_receiver() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub struct Bank;\n\
+         impl Bank { pub fn precharge_all(&mut self) {} }\n\
+         pub struct Rank { bank: Bank }\n\
+         impl Rank { pub fn idle(&mut self) { self.bank.precharge_all(); } }\n",
+    )]);
+    let a = Analysis::new(&w);
+    // A workspace-unique method name is safe to bind even when the
+    // receiver's type is not syntactically known.
+    assert!(has_edge(
+        &a.items,
+        &a.calls,
+        "Rank::idle",
+        "Bank::precharge_all"
+    ));
+}
+
+// ------------------------------------------------- cross-module use renames
+
+#[test]
+fn use_rename_resolves_to_the_imported_fn() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "mod util {\n    pub fn refresh_all() {}\n}\n\
+         mod other {\n    pub fn unrelated() {}\n}\n\
+         use util::refresh_all as refresh;\n\
+         pub fn maintain() { refresh(); }\n",
+    )]);
+    let a = Analysis::new(&w);
+    assert!(has_edge(&a.items, &a.calls, "maintain", "refresh_all"));
+    assert!(!has_edge(&a.items, &a.calls, "maintain", "unrelated"));
+}
+
+#[test]
+fn ambiguous_free_fn_name_produces_no_edge() {
+    // Two same-named free fns in different modules, the caller in a third
+    // module with no import naming either: the graph must not guess.
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "mod a {\n    pub fn drain() {}\n}\n\
+         mod b {\n    pub fn drain() {}\n}\n\
+         mod c {\n    pub fn run() { drain(); }\n}\n",
+    )]);
+    let a = Analysis::new(&w);
+    assert!(!a
+        .calls
+        .sites
+        .iter()
+        .any(|s| a.items.fns[s.caller].display() == "run"));
+}
+
+// -------------------------------------------------------- BFS chain shapes
+
+#[test]
+fn reachability_chain_spans_crates_and_is_shortest() {
+    let w = ws(vec![
+        (
+            "dram-sim",
+            "crates/dram-sim/src/channel.rs",
+            "pub struct Channel;\n\
+             impl Channel {\n    pub fn tick(&mut self, r: &mut Recorder) { r.record(); }\n}\n",
+        ),
+        (
+            "sim-obs",
+            "crates/sim-obs/src/lib.rs",
+            "pub struct Recorder;\n\
+             impl Recorder {\n    pub fn record(&mut self) { flush(); }\n}\n\
+             pub fn flush() { sink(); }\n\
+             pub fn sink() {}\n",
+        ),
+    ]);
+    let a = Analysis::new(&w);
+    let root = a
+        .items
+        .fns
+        .iter()
+        .position(|f| f.display() == "Channel::tick")
+        .expect("root indexed");
+    let parents = a.calls.reach_with_parents(&[root]);
+    let sink = a
+        .items
+        .fns
+        .iter()
+        .position(|f| f.display() == "sink")
+        .expect("sink indexed");
+    let chain: Vec<String> = CallGraph::chain_to(&parents, sink)
+        .into_iter()
+        .map(|i| a.items.fns[i].display())
+        .collect();
+    assert_eq!(
+        chain,
+        vec!["Channel::tick", "Recorder::record", "flush", "sink"],
+        "BFS parents must reconstruct the full cross-crate chain"
+    );
+}
+
+#[test]
+fn test_functions_are_not_reachability_roots_or_targets() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/lib.rs",
+        "pub fn helper() {}\n\
+         #[cfg(test)]\nmod tests {\n\
+         #[test]\n    fn exercises() { super::helper(); }\n}\n",
+    )]);
+    let a = Analysis::new(&w);
+    let helper = a
+        .items
+        .fns
+        .iter()
+        .position(|f| f.display() == "helper")
+        .expect("helper indexed");
+    // Any edge landing on helper must come from non-test code only.
+    for s in &a.calls.sites {
+        if s.callee == helper {
+            assert!(
+                !a.items.fns[s.caller].is_test,
+                "calls from test code must not create production edges"
+            );
+        }
+    }
+}

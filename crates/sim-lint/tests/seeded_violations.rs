@@ -327,3 +327,207 @@ fn pragma_without_reason_is_rejected_and_does_not_suppress() {
         "reasonless pragma must not suppress: {diags:?}"
     );
 }
+
+// ------------------------------------------------------ panic-reachability
+
+/// A hot-loop entry point in `dram-sim` reaching, two calls deep, a panic
+/// in a crate the lexical pass does not police.
+fn panic_reach_files(obs_src: &'static str) -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "dram-sim",
+            "crates/dram-sim/src/channel.rs",
+            "pub struct Channel;\n\
+             impl Channel {\n    pub fn tick(&mut self, obs: &mut Recorder) { obs.record(1); }\n}\n",
+        ),
+        ("sim-obs", "crates/sim-obs/src/lib.rs", obs_src),
+    ]
+}
+
+#[test]
+fn panic_reach_flags_seeded_panic_two_hops_deep() {
+    let diags = sim_lint::lint_sources(&ws(panic_reach_files(
+        "pub struct Recorder;\n\
+         impl Recorder {\n    pub fn record(&mut self, v: u64) { bucket_of(v); }\n}\n\
+         fn bucket_of(v: u64) -> usize { v.checked_ilog2().unwrap() as usize }\n",
+    )));
+    let hits = lints_named(&diags, "panic-reachability");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].file, "crates/sim-obs/src/lib.rs");
+    // The chain is at least two calls deep and names the entry point.
+    assert!(
+        hits[0]
+            .message
+            .contains("Channel::tick → Recorder::record → bucket_of"),
+        "{}",
+        hits[0].message
+    );
+    // The lexical pass stays quiet: sim-obs is not a hot crate.
+    assert!(
+        lints_named(&diags, "no-panic-hot-path").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_reach_pragma_suppresses_seeded_site() {
+    let diags = sim_lint::lint_sources(&ws(panic_reach_files(
+        "pub struct Recorder;\n\
+         impl Recorder {\n    pub fn record(&mut self, v: u64) { bucket_of(v); }\n}\n\
+         fn bucket_of(v: u64) -> usize {\n\
+         // sim-lint: allow(panic-reachability): fixture — caller passes v >= 1\n\
+         v.checked_ilog2().unwrap() as usize\n\
+         }\n",
+    )));
+    assert!(
+        lints_named(&diags, "panic-reachability").is_empty(),
+        "{diags:?}"
+    );
+    assert!(lints_named(&diags, "dead-pragma").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_reach_honours_no_panic_voucher_in_hot_crate() {
+    // In a hot crate, one reasoned allow(no-panic-hot-path) vouches the
+    // site for both the lexical and the interprocedural view.
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/channel.rs",
+        "pub struct Channel;\n\
+         impl Channel {\n    pub fn tick(&mut self) { helper(); }\n}\n\
+         fn helper() {\n\
+         // sim-lint: allow(no-panic-hot-path): fixture — key inserted above\n\
+         m.get(&k).unwrap();\n\
+         }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "panic-reachability").is_empty(),
+        "{diags:?}"
+    );
+    assert!(
+        lints_named(&diags, "no-panic-hot-path").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ------------------------------------------------------- discarded-result
+
+const SEEDED_RESULT_API: &str = "pub struct Scheduler;\n\
+    impl Scheduler {\n    \
+    pub fn issue(&mut self) -> Result<(), u8> { Ok(()) }\n}\n";
+
+#[test]
+fn discarded_result_flags_seeded_drops() {
+    let src = format!(
+        "{SEEDED_RESULT_API}\
+         pub fn a(s: &mut Scheduler) {{ let _ = s.issue(); }}\n\
+         pub fn b(s: &mut Scheduler) {{ s.issue().ok(); }}\n\
+         pub fn c(s: &mut Scheduler) {{ s.issue(); }}\n"
+    );
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/sched.rs",
+        Box::leak(src.into_boxed_str()),
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "discarded-result");
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits.iter().all(|d| d.message.contains("Scheduler::issue")));
+}
+
+#[test]
+fn discarded_result_pragma_and_consumption_pass() {
+    let src = format!(
+        "{SEEDED_RESULT_API}\
+         pub fn a(s: &mut Scheduler) -> Result<(), u8> {{ s.issue()?; Ok(()) }}\n\
+         pub fn b(s: &mut Scheduler) {{\n\
+         // sim-lint: allow(discarded-result): fixture — best-effort drain\n\
+         let _ = s.issue();\n\
+         }}\n"
+    );
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/sched.rs",
+        Box::leak(src.into_boxed_str()),
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(
+        lints_named(&diags, "discarded-result").is_empty(),
+        "{diags:?}"
+    );
+    assert!(lints_named(&diags, "dead-pragma").is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------------- cycle-arith
+
+#[test]
+fn cycle_arith_flags_seeded_unchecked_add() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "pub fn next(cycle: u64, latency: u64) -> u64 { cycle + latency }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "cycle-arith");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 1);
+}
+
+#[test]
+fn cycle_arith_pragma_and_saturating_pass() {
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "pub fn next(cycle: u64, latency: u64) -> u64 { cycle.saturating_add(latency) }\n\
+         pub fn trace(epoch: u64) -> u64 {\n\
+         // sim-lint: allow(cycle-arith): fixture — epoch < 2^32 by config validation\n\
+         epoch * 2\n\
+         }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(lints_named(&diags, "cycle-arith").is_empty(), "{diags:?}");
+    assert!(lints_named(&diags, "dead-pragma").is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------------- dead-pragma
+
+#[test]
+fn dead_pragma_flags_stale_suppression() {
+    // The pragma names a real lint but the line below is clean.
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "// sim-lint: allow(no-panic-hot-path): stale — the unwrap was removed\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "dead-pragma");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 1);
+    assert!(hits[0].message.contains("no-panic-hot-path"));
+}
+
+#[test]
+fn dead_pragma_shield_is_honoured_and_rots_alone() {
+    // allow(dead-pragma) on the same pragma shields a transitional state.
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "// sim-lint: allow(no-panic-hot-path, dead-pragma): fixture — unwrap exists only under a feature flag\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    assert!(lints_named(&diags, "dead-pragma").is_empty(), "{diags:?}");
+    // A shield with nothing to shield is itself dead.
+    let w = ws(vec![(
+        "dram-sim",
+        "crates/dram-sim/src/seeded.rs",
+        "// sim-lint: allow(dead-pragma): fixture — shields nothing\n\
+         pub fn f() {}\n",
+    )]);
+    let diags = sim_lint::lint_sources(&w);
+    let hits = lints_named(&diags, "dead-pragma");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert!(hits[0].message.contains("shields no dead pragma"));
+}

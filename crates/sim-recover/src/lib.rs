@@ -303,7 +303,11 @@ impl RecoveryEngine {
         self.counts.retries += 1;
         let until = now
             .saturating_add(self.config.alert_latency)
-            .saturating_add(self.config.backoff_cycles * u64::from(attempt - 1));
+            .saturating_add(
+                self.config
+                    .backoff_cycles
+                    .saturating_mul(u64::from(attempt - 1)),
+            );
         self.blocked.insert((rank, bank), until);
         RecoveryVerdict::Replay { until, attempt }
     }
