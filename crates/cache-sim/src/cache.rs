@@ -266,6 +266,56 @@ impl Cache {
     }
 }
 
+impl sim_snap::SnapState for Cache {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("cache");
+        // Per-set Vec order is load-bearing: `fill`/`invalidate` use
+        // `swap_remove`, so a restored cache must replay the exact layout,
+        // not just the resident-line set.
+        w.seq(self.sets.len());
+        for set in &self.sets {
+            w.seq(set.len());
+            for l in set {
+                w.u64(l.line);
+                w.u8(l.dirty.bits());
+                w.u64(l.lru_stamp);
+            }
+        }
+        w.u64(self.clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("cache")?;
+        let sets = r.seq()?;
+        if sets != self.sets.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "cache set count mismatch: snapshot has {sets}, config has {}",
+                self.sets.len()
+            )));
+        }
+        for set in &mut self.sets {
+            set.clear();
+            let ways = r.seq()?;
+            for _ in 0..ways {
+                let line = r.u64()?;
+                let dirty = WordMask::from_bits(r.u8()?);
+                let lru_stamp = r.u64()?;
+                set.push(LineMeta {
+                    line,
+                    dirty,
+                    lru_stamp,
+                });
+            }
+        }
+        self.clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +421,56 @@ mod tests {
         Cache::new(CacheConfig::paper_l2());
         assert_eq!(CacheConfig::paper_l1().sets(), 128);
         assert_eq!(CacheConfig::paper_l2().sets(), 8192);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_layout_and_lru() {
+        use sim_snap::SnapState;
+        let mut c = tiny();
+        // Build non-trivial state: evictions exercise swap_remove, so the
+        // per-set order differs from insertion order.
+        for n in 0..12u64 {
+            c.fill(line(n % 4, n));
+            if n % 3 == 0 {
+                c.mark_dirty(line(n % 4, n), WordMask::single((n % 8) as u8));
+            }
+            c.access(line(n % 4, n / 2));
+        }
+        let mut w = sim_snap::SnapWriter::new();
+        c.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = tiny();
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        restored.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Continue both identically: LRU decisions and counters must match.
+        for n in 12..24u64 {
+            assert_eq!(c.fill(line(n % 4, n)), restored.fill(line(n % 4, n)));
+            assert_eq!(
+                c.access(line(n % 4, n / 2)),
+                restored.access(line(n % 4, n / 2))
+            );
+        }
+        assert_eq!(c.hit_miss_counts(), restored.hit_miss_counts());
+    }
+
+    #[test]
+    fn snapshot_geometry_mismatch_is_an_error() {
+        use sim_snap::SnapState;
+        let c = tiny();
+        let mut w = sim_snap::SnapWriter::new();
+        c.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        // An 8-set cache cannot absorb a 4-set snapshot.
+        let mut other = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            latency_cycles: 1,
+        });
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        assert!(other.snap_load(&mut r).is_err());
     }
 
     #[test]

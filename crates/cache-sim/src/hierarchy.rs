@@ -468,6 +468,100 @@ impl CacheHierarchy {
     }
 }
 
+impl sim_snap::SnapState for HierarchyStats {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.u64(self.l1_hits);
+        w.u64(self.l1_misses);
+        w.u64(self.l2_hits);
+        w.u64(self.l2_misses);
+        for &c in &self.evict_dirty_hist {
+            w.u64(c);
+        }
+        w.u64(self.writebacks);
+        w.u64(self.dbi_writebacks);
+        w.u64(self.prefetches);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        self.l1_hits = r.u64()?;
+        self.l1_misses = r.u64()?;
+        self.l2_hits = r.u64()?;
+        self.l2_misses = r.u64()?;
+        for c in &mut self.evict_dirty_hist {
+            *c = r.u64()?;
+        }
+        self.writebacks = r.u64()?;
+        self.dbi_writebacks = r.u64()?;
+        self.prefetches = r.u64()?;
+        Ok(())
+    }
+}
+
+impl sim_snap::SnapState for CacheHierarchy {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("cache-hierarchy");
+        // config/geometry/mapping are rebuilt from the run configuration and
+        // covered by the snapshot header's config digest; the trace sink is
+        // deliberately not snapshotted (output restarts at the restore
+        // point).
+        w.seq(self.l1s.len());
+        for l1 in &self.l1s {
+            l1.snap_save(w);
+        }
+        self.l2.snap_save(w);
+        w.bool(self.dbi.is_some());
+        if let Some(dbi) = &self.dbi {
+            dbi.snap_save(w);
+        }
+        self.stats.snap_save(w);
+        w.u64(self.now);
+        w.bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snap_save(w);
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("cache-hierarchy")?;
+        let cores = r.seq()?;
+        if cores != self.l1s.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "core count mismatch: snapshot has {cores}, config has {}",
+                self.l1s.len()
+            )));
+        }
+        for l1 in &mut self.l1s {
+            l1.snap_load(r)?;
+        }
+        self.l2.snap_load(r)?;
+        let has_dbi = r.bool()?;
+        if has_dbi != self.dbi.is_some() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "DBI mismatch: snapshot {}, config {}",
+                has_dbi,
+                self.dbi.is_some()
+            )));
+        }
+        if let Some(dbi) = self.dbi.as_mut() {
+            dbi.snap_load(r)?;
+        }
+        self.stats.snap_load(r)?;
+        self.now = r.u64()?;
+        let has_faults = r.bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "fault injector mismatch: snapshot {}, config {}",
+                has_faults,
+                self.faults.is_some()
+            )));
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.snap_load(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +764,69 @@ mod tests {
         let sum: f64 = p.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(h.stats().avg_dirty_words() >= 1.0);
+    }
+
+    #[test]
+    fn hierarchy_snapshot_roundtrip_resumes_identically() {
+        use sim_fault::{Domain, FaultPlan};
+        use sim_snap::SnapState;
+        let flippy = |seed: u64| {
+            let mut plan = FaultPlan::disabled();
+            plan.seed = seed;
+            plan.dirty_flip_rate = 0.2;
+            plan.injector(Domain::Cache)
+        };
+        let mut live = h(2, true);
+        live.set_fault_injector(flippy(0xC0FFEE));
+        // Mixed multi-core traffic with DBI and fault-widened masks.
+        for i in 0..400u64 {
+            let core = (i % 2) as usize;
+            let addr = PhysAddr::from_line_number((i * 7) % 96);
+            let store = (i % 3 == 0).then(|| WordMask::single((i % 8) as u8));
+            live.access(core, addr, store);
+        }
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = h(2, true);
+        // Overlay replaces the RNG stream position, so the seed here is moot.
+        restored.set_fault_injector(flippy(0xBAD5EED));
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        restored.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Both must now produce identical traffic, including fault-injected
+        // mask widenings (the injector RNG stream was restored too).
+        for i in 400..800u64 {
+            let core = (i % 2) as usize;
+            let addr = PhysAddr::from_line_number((i * 7) % 96);
+            let store = (i % 3 == 0).then(|| WordMask::single((i % 8) as u8));
+            let a = live.access(core, addr, store);
+            let b = restored.access(core, addr, store);
+            assert_eq!(a.level, b.level, "access {i}");
+            assert_eq!(a.writebacks, b.writebacks, "access {i}");
+        }
+        assert_eq!(live.stats().writebacks, restored.stats().writebacks);
+        assert_eq!(live.stats().dbi_writebacks, restored.stats().dbi_writebacks);
+        assert_eq!(live.fault_counts(), restored.fault_counts());
+        // Drains agree too: resident lines and dirty masks match exactly.
+        assert_eq!(live.flush(), restored.flush());
+    }
+
+    #[test]
+    fn hierarchy_snapshot_shape_mismatch_rejected() {
+        use sim_snap::SnapState;
+        let live = h(2, true);
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong core count.
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        assert!(h(1, true).snap_load(&mut r).is_err());
+        // Wrong DBI setting.
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        assert!(h(2, false).snap_load(&mut r).is_err());
     }
 
     #[test]

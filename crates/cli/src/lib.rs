@@ -244,6 +244,16 @@ fn build(opts: &Options, scheme: Scheme) -> Result<(String, SimBuilder), CliErro
     if no_retire > 0 || queue_age > 0 {
         builder = builder.liveness_watchdog(no_retire, queue_age);
     }
+    let every = opts.get_u64("checkpoint-every", 0)?;
+    if every > 0 {
+        builder = builder.checkpoint_every(every);
+    }
+    if let Some(dir) = opts.get("checkpoint-dir") {
+        builder = builder.checkpoint_dir(dir);
+    }
+    if let Some(snap) = opts.get("restore") {
+        builder = builder.restore(snap);
+    }
     Ok((name, builder))
 }
 
@@ -338,8 +348,27 @@ pub fn cmd_run(opts: &Options) -> Result<String, CliError> {
         let _ = writeln!(out, "determinism verified: two runs, identical digests");
         Ok(out)
     } else {
-        let report = builder.try_run()?;
-        Ok(render_report(&report))
+        let (report, snap) = builder.try_run_snap()?;
+        let mut out = render_report(&report);
+        if let Some(cycle) = snap.restored_from_cycle {
+            let _ = writeln!(out, "restored from checkpoint at cycle {cycle}");
+        }
+        if snap.checkpoints_written > 0 {
+            let _ = writeln!(
+                out,
+                "{} checkpoint(s) written, last at cycle {}",
+                snap.checkpoints_written,
+                snap.last_checkpoint_cycle.unwrap_or(0)
+            );
+        }
+        if snap.write_errors > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} checkpoint write failure(s); the run continued uncheckpointed",
+                snap.write_errors
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -948,9 +977,14 @@ pub fn usage() -> String {
      \x20             [--instructions N] [--seed N] [--warmup N]\n\
      \x20             [--faults PLAN.toml] [--recovery] [--verify-determinism]\n\
      \x20             [--watchdog-no-retire N] [--watchdog-queue-age N]\n\
+     \x20             [--checkpoint-every N --checkpoint-dir D] [--restore SNAP]\n\
      \x20             inject deterministic faults / run twice and compare digests\n\
      \x20             --recovery arms parity-alert replay with full-row fallback\n\
      \x20             / stop livelocked runs after N quiet memory cycles\n\
+     \x20             checkpoint the full simulator state every N memory cycles\n\
+     \x20             into D (snap-*.snap), or resume a run from one snapshot;\n\
+     \x20             a restored run finishes with the same state digest as an\n\
+     \x20             uninterrupted one\n\
      \x20 pra compare [same options]         compare all schemes on one workload\n\
      \x20 pra list                           available workloads/schemes/policies\n\
      \x20 pra campaign run    --matrix M.toml --journal J.jsonl [--jobs N]\n\
@@ -1552,6 +1586,123 @@ mod tests {
         assert_eq!(e.kind, ErrorKind::Config);
         assert!(e.message.contains("cannot resume"), "{e}");
         std::fs::remove_file(matrix).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn run_checkpoint_restore_digest_identity() -> TestResult {
+        let dir = std::env::temp_dir().join("pra-cli-snap-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)?;
+        let snap_dir = dir.join("snaps");
+        let base = [
+            "--workload",
+            "gups",
+            "--scheme",
+            "pra",
+            "--cores",
+            "1",
+            "--instructions",
+            "6000",
+            "--warmup",
+            "60000",
+        ]
+        .map(String::from);
+
+        // Reference: uninterrupted run.
+        let reference = cmd_run(&Options::parse(base.clone())?)?;
+        let digest_line = |out: &str| -> String {
+            out.lines()
+                .find(|l| l.starts_with("state digest"))
+                .unwrap_or_default()
+                .to_string()
+        };
+
+        // Checkpointing run: same workload, must checkpoint and match.
+        let mut with_ckpt = base.to_vec();
+        with_ckpt.extend(
+            [
+                "--checkpoint-every",
+                "1000",
+                "--checkpoint-dir",
+                snap_dir.to_str().ok_or("non-utf8 temp path")?,
+            ]
+            .map(String::from),
+        );
+        let out = cmd_run(&Options::parse(with_ckpt)?)?;
+        assert!(out.contains("checkpoint(s) written"), "{out}");
+        assert_eq!(digest_line(&out), digest_line(&reference), "{out}");
+
+        // Restore from the newest snapshot and finish: digest identical.
+        let mut snaps: Vec<PathBuf> = std::fs::read_dir(&snap_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        snaps.sort();
+        let last = snaps.last().ok_or("no snapshots written")?;
+        let mut with_restore = base.to_vec();
+        with_restore.extend([
+            "--restore".to_string(),
+            last.to_str().ok_or("bad path")?.to_string(),
+        ]);
+        let out = cmd_run(&Options::parse(with_restore)?)?;
+        assert!(out.contains("restored from checkpoint at cycle"), "{out}");
+        assert_eq!(digest_line(&out), digest_line(&reference), "{out}");
+
+        // Restoring under a different configuration is a config error.
+        let mut wrong = base.to_vec();
+        wrong[3] = "baseline".to_string();
+        wrong.extend([
+            "--restore".to_string(),
+            last.to_str().ok_or("bad path")?.to_string(),
+        ]);
+        let e = cmd_run(&Options::parse(wrong)?).expect_err("config mismatch must be rejected");
+        assert_eq!(e.kind.exit_code(), 2);
+        assert!(e.message.contains("cannot restore"), "{e}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+
+    #[test]
+    fn half_configured_checkpointing_is_exit_2() -> TestResult {
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--cores",
+                "1",
+                "--instructions",
+                "1000",
+                "--checkpoint-every",
+                "5000",
+            ]
+            .map(String::from),
+        )?;
+        let e = cmd_run(&opts).expect_err("interval without directory must be rejected");
+        assert_eq!(e.kind, ErrorKind::Config);
+        assert_eq!(e.kind.exit_code(), 2);
+        assert!(e.message.contains("checkpoint"), "{e}");
+        Ok(())
+    }
+
+    #[test]
+    fn restoring_a_missing_snapshot_is_exit_2() -> TestResult {
+        let opts = Options::parse(
+            [
+                "--workload",
+                "gups",
+                "--cores",
+                "1",
+                "--instructions",
+                "1000",
+                "--restore",
+                "/no/such/file.snap",
+            ]
+            .map(String::from),
+        )?;
+        let e = cmd_run(&opts).expect_err("missing snapshot must be rejected");
+        assert_eq!(e.kind.exit_code(), 2);
+        assert!(e.message.contains("cannot restore"), "{e}");
         Ok(())
     }
 

@@ -36,6 +36,18 @@ pub enum SimError {
     /// requests, or starved one queued request past its bound. Carries the
     /// victim's address/bank trail.
     Liveness(dram_sim::LivenessError),
+    /// A checkpoint could not be restored: the file is missing, torn,
+    /// corrupt, from another schema version, or from a run with a
+    /// different configuration.
+    Snapshot {
+        /// Snapshot file that failed to restore.
+        path: PathBuf,
+        /// Underlying snapshot error.
+        source: sim_snap::SnapError,
+    },
+    /// Checkpointing was half-configured (an interval without a directory,
+    /// or a directory without an interval).
+    CheckpointConfig(String),
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +67,10 @@ impl fmt::Display for SimError {
             ),
             SimError::Protocol(e) => write!(f, "protocol violation: {e}"),
             SimError::Liveness(e) => write!(f, "liveness violation: {e}"),
+            SimError::Snapshot { path, source } => {
+                write!(f, "cannot restore {}: {source}", path.display())
+            }
+            SimError::CheckpointConfig(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -67,6 +83,7 @@ impl std::error::Error for SimError {
             SimError::Io { source, .. } => Some(source),
             SimError::Protocol(e) => Some(e),
             SimError::Liveness(e) => Some(e),
+            SimError::Snapshot { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -58,4 +58,4 @@ pub use pra::{
 };
 pub use report::Report;
 pub use scheme::Scheme;
-pub use system::{DramGeneration, SimBuilder};
+pub use system::{DramGeneration, SimBuilder, SnapOutcome};

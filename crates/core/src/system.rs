@@ -6,6 +6,7 @@ use cache_sim::{CacheHierarchy, HierarchyConfig};
 use cpu_sim::{CpuSystem, InstructionSource, SystemConfig};
 use dram_sim::{DramConfig, MemorySystem, PagePolicy};
 use sim_fault::{Domain, FaultPlan};
+use sim_snap::SnapState as _;
 use workloads::{BenchProfile, Trace, WorkloadGen};
 
 use crate::error::SimError;
@@ -88,6 +89,30 @@ pub struct SimBuilder {
     recovery: Option<dram_sim::RecoveryConfig>,
     liveness: dram_sim::LivenessConfig,
     escalation_age: Option<u64>,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<PathBuf>,
+    restore_from: Option<PathBuf>,
+}
+
+/// Checkpoint/restore bookkeeping for one run, reported alongside the
+/// [`Report`] by [`SimBuilder::try_run_snap`].
+///
+/// Deliberately *not* part of the [`Report`] or the in-simulation metrics
+/// registry: how often the host process snapshotted says nothing about the
+/// simulated machine, and folding it into the report would change
+/// [`Report::state_digest`] — breaking the contract that a restored run
+/// digests identically to an uninterrupted one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapOutcome {
+    /// Checkpoints successfully written during the run.
+    pub checkpoints_written: u64,
+    /// Memory cycle of the newest checkpoint written, if any.
+    pub last_checkpoint_cycle: Option<u64>,
+    /// Memory cycle this run resumed from, when a restore was requested.
+    pub restored_from_cycle: Option<u64>,
+    /// Checkpoint writes that failed (the run continues; a missing
+    /// checkpoint only widens the recovery gap).
+    pub write_errors: u64,
 }
 
 impl SimBuilder {
@@ -116,6 +141,9 @@ impl SimBuilder {
             recovery: None,
             liveness: dram_sim::LivenessConfig::disabled(),
             escalation_age: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            restore_from: None,
         }
     }
 
@@ -328,6 +356,116 @@ impl SimBuilder {
         self
     }
 
+    /// Writes a full-state checkpoint every `mem_cycles` memory cycles
+    /// (0 disables, the default). Requires
+    /// [`checkpoint_dir`](Self::checkpoint_dir); snapshots are written
+    /// atomically (temp file + rename) as `snap-<cycle>.snap`, named so
+    /// lexicographic order is cycle order. The simulation itself is
+    /// bit-identical with checkpointing on or off — serialisation only
+    /// reads state.
+    pub fn checkpoint_every(mut self, mem_cycles: u64) -> Self {
+        self.checkpoint_every = mem_cycles;
+        self
+    }
+
+    /// Directory checkpoints are written into (created if absent).
+    /// Requires [`checkpoint_every`](Self::checkpoint_every).
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Restores the complete simulator state from a snapshot file before
+    /// the measured phase and continues the run from that cycle. The
+    /// builder must be configured identically to the run that wrote the
+    /// snapshot — the file's config digest is verified against
+    /// [`config_digest`](Self::config_digest) and a mismatch is rejected.
+    /// A run restored at cycle C finishes with a [`Report::state_digest`]
+    /// bit-identical to the uninterrupted run.
+    pub fn restore(mut self, snapshot: impl Into<PathBuf>) -> Self {
+        self.restore_from = Some(snapshot.into());
+        self
+    }
+
+    /// The metrics epoch actually used by the run ([`metrics_out`]
+    /// (Self::metrics_out) implies a 100 000-cycle default).
+    fn effective_metrics_epoch(&self) -> u64 {
+        if self.metrics_epoch == 0 && self.metrics_out.is_some() {
+            100_000
+        } else {
+            self.metrics_epoch
+        }
+    }
+
+    /// FNV-1a digest over every knob that shapes simulated state, stamped
+    /// into snapshot headers so a restore into a differently-configured
+    /// builder is rejected instead of silently diverging. Output paths and
+    /// trace sinks are excluded (they only observe); the *effective*
+    /// metrics epoch is included because epoch sealing mutates the
+    /// serialised observer.
+    pub fn config_digest(&self) -> u64 {
+        let mut w = sim_snap::SnapWriter::new();
+        w.section("pra-sim-config");
+        w.u32(1); // digest layout version
+        w.seq(self.apps.len());
+        for app in &self.apps {
+            match app {
+                AppSpec::Profile(p) => {
+                    w.u8(0);
+                    w.str(&format!("{p:?}"));
+                }
+                AppSpec::Trace { name, trace } => {
+                    w.u8(1);
+                    w.str(name);
+                    w.seq(trace.len());
+                    for op in trace.ops() {
+                        match *op {
+                            cpu_sim::Op::Compute(n) => {
+                                w.u8(0);
+                                w.u32(n);
+                            }
+                            cpu_sim::Op::Load(a) => {
+                                w.u8(1);
+                                w.u64(a.raw());
+                            }
+                            cpu_sim::Op::Store(a, m) => {
+                                w.u8(2);
+                                w.u64(a.raw());
+                                w.u8(m.bits());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        w.str(self.scheme.name());
+        w.str(&format!("{:?}", self.policy));
+        w.u64(self.instructions);
+        w.u64(self.seed);
+        w.u64(self.max_cpu_cycles);
+        w.opt_u64(self.warmup_mem_ops);
+        w.bool(self.scheme_override.is_some());
+        if let Some(b) = &self.scheme_override {
+            w.str(&format!("{b:?}"));
+        }
+        w.bool(self.prefetch_next_line);
+        w.str(&format!("{:?}", self.generation));
+        w.bool(self.ecc_x72);
+        w.u64(self.effective_metrics_epoch());
+        w.bool(self.power_telemetry);
+        w.bool(self.faults.is_some());
+        if let Some(p) = &self.faults {
+            w.str(&format!("{p:?}"));
+        }
+        w.bool(self.recovery.is_some());
+        if let Some(r) = &self.recovery {
+            w.str(&format!("{r:?}"));
+        }
+        w.str(&format!("{:?}", self.liveness));
+        w.opt_u64(self.escalation_age);
+        sim_snap::fnv1a_64(&w.into_bytes())
+    }
+
     /// Builds the system and runs it to completion.
     ///
     /// # Panics
@@ -371,11 +509,43 @@ impl SimBuilder {
     /// and [`SimError::Io`] when a trace or metrics output file cannot be
     /// created.
     pub fn try_run(&self) -> Result<Report, SimError> {
+        self.try_run_snap().map(|(report, _)| report)
+    }
+
+    /// [`Self::try_run`] plus the checkpoint/restore bookkeeping: how many
+    /// snapshots the run wrote, the newest checkpoint cycle, and — when
+    /// [`restore`](Self::restore) was requested — the cycle the run resumed
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::try_run`] returns, plus
+    /// [`SimError::CheckpointConfig`] when checkpointing is
+    /// half-configured and [`SimError::Snapshot`] when the restore file is
+    /// missing, torn, corrupt or from a differently-configured run.
+    pub fn try_run_snap(&self) -> Result<(Report, SnapOutcome), SimError> {
         if self.apps.is_empty() {
             return Err(SimError::NoApplications);
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
+        }
+        match (self.checkpoint_every, &self.checkpoint_dir) {
+            (0, Some(_)) => {
+                return Err(SimError::CheckpointConfig(
+                    "checkpoint_dir is set but checkpoint_every is 0: \
+                     choose a checkpoint interval"
+                        .to_string(),
+                ))
+            }
+            (n, None) if n > 0 => {
+                return Err(SimError::CheckpointConfig(
+                    "checkpoint_every is set but no checkpoint_dir: \
+                     choose a directory for the snapshots"
+                        .to_string(),
+                ))
+            }
+            _ => {}
         }
         let cores = self.apps.len();
         let hierarchy_config = HierarchyConfig {
@@ -500,6 +670,25 @@ impl SimBuilder {
             };
             system.mem_mut().set_metrics_epochs(epoch, out);
         }
+        let mut snap = SnapOutcome::default();
+        let digest = self.config_digest();
+        if let Some(path) = &self.restore_from {
+            let snap_err = |source| SimError::Snapshot {
+                path: path.clone(),
+                source,
+            };
+            let (header, payload) =
+                sim_snap::read_snapshot(path, Some(digest)).map_err(snap_err)?;
+            let mut r = sim_snap::SnapReader::new(&payload);
+            system.snap_load(&mut r).map_err(snap_err)?;
+            r.finish().map_err(snap_err)?;
+            snap.restored_from_cycle = Some(header.cycle);
+            let cycle = header.cycle;
+            system
+                .mem_mut()
+                .observer_mut()
+                .emit(|| sim_obs::TraceEvent::Restore { cycle });
+        }
         let cap = if self.max_cpu_cycles > 0 {
             self.max_cpu_cycles
         } else {
@@ -507,7 +696,29 @@ impl SimBuilder {
         };
         let outcome = {
             let _prof = sim_prof::span!("sim.run");
-            system.try_run(cap)?
+            match &self.checkpoint_dir {
+                Some(dir) => {
+                    system.try_run_with_checkpoints(cap, self.checkpoint_every, |sys, cycle| {
+                        let mut w = sim_snap::SnapWriter::new();
+                        sys.snap_save(&mut w);
+                        match sim_snap::write_snapshot(dir, digest, cycle, &w.into_bytes()) {
+                            Ok(_) => {
+                                let seq = snap.checkpoints_written as u32;
+                                sys.mem_mut()
+                                    .observer_mut()
+                                    .emit(|| sim_obs::TraceEvent::Checkpoint { cycle, seq });
+                                snap.checkpoints_written += 1;
+                                snap.last_checkpoint_cycle = Some(cycle);
+                            }
+                            // Keep simulating: a failed write only widens
+                            // the gap a later recovery replays.
+                            Err(_) => snap.write_errors += 1,
+                        }
+                        true
+                    })?
+                }
+                None => system.try_run(cap)?,
+            }
         };
         if let Some(ring) = &self.trace_ring {
             // Surface silent flight-recorder overflow: the retained window
@@ -525,7 +736,7 @@ impl SimBuilder {
                 .collect::<Vec<_>>()
                 .join("+")
         });
-        Ok(Report {
+        let report = Report {
             workload,
             scheme: self
                 .scheme_override
@@ -544,7 +755,8 @@ impl SimBuilder {
                 .merged(system.hierarchy().fault_counts()),
             recovery: system.mem().recovery_counts(),
             timed_out: outcome.timed_out,
-        })
+        };
+        Ok((report, snap))
     }
 }
 
@@ -1061,6 +1273,191 @@ mod tests {
             .sum();
         let cycles = (r.runtime_ns / 1.25).round() as u64;
         assert_eq!(all_states, cycles * ranks);
+    }
+
+    fn snap_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pra-snap-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_restore_digest_identity_across_schemes_faults_recovery() {
+        // The correctness contract of the checkpoint subsystem: a run
+        // checkpointed at cycle C and restored from that snapshot finishes
+        // with a state digest bit-identical to the uninterrupted run —
+        // across every scheme x fault-plan x recovery combination.
+        let chaos = FaultPlan {
+            seed: 0xC0FFEE,
+            mask_corrupt_rate: 0.05,
+            command_drop_rate: 0.02,
+            command_stretch_rate: 0.05,
+            command_stretch_cycles: 2,
+            ..FaultPlan::disabled()
+        };
+        // Without the recovery pipeline, dropped commands would strand
+        // requests; corrupt masks alone degrade but always complete.
+        let mild = FaultPlan {
+            seed: 0xC0FFEE,
+            mask_corrupt_rate: 0.05,
+            ..FaultPlan::disabled()
+        };
+        for scheme in [Scheme::Baseline, Scheme::Pra, Scheme::DbiPra] {
+            for faulty in [false, true] {
+                for recovery in [false, true] {
+                    let tag = format!("{scheme:?}-faults{faulty}-rec{recovery}");
+                    let dir = snap_dir(&tag);
+                    let build = || {
+                        let mut b = SimBuilder::new()
+                            .app(workloads::gups())
+                            .scheme(scheme)
+                            .instructions(8_000)
+                            .warmup_mem_ops(100_000);
+                        if faulty {
+                            b = b.faults(if recovery { chaos } else { mild });
+                        }
+                        if recovery {
+                            b = b.recovery(dram_sim::RecoveryConfig::default());
+                        }
+                        b
+                    };
+                    let reference = build().try_run().unwrap();
+                    let (checkpointed, snap) = build()
+                        .checkpoint_every(2_000)
+                        .checkpoint_dir(&dir)
+                        .try_run_snap()
+                        .unwrap();
+                    assert!(
+                        snap.checkpoints_written > 0,
+                        "{tag}: expected at least one checkpoint"
+                    );
+                    assert_eq!(snap.write_errors, 0, "{tag}");
+                    assert_eq!(
+                        reference.state_digest(),
+                        checkpointed.state_digest(),
+                        "{tag}: writing checkpoints perturbed the run"
+                    );
+                    // Resume from the oldest snapshot — the longest replay
+                    // span, so any drift has maximal room to show.
+                    let mut files: Vec<_> = std::fs::read_dir(&dir)
+                        .unwrap()
+                        .map(|e| e.unwrap().path())
+                        .collect();
+                    files.sort();
+                    let (resumed, rsnap) = build().restore(&files[0]).try_run_snap().unwrap();
+                    assert!(rsnap.restored_from_cycle.unwrap() > 0, "{tag}");
+                    assert_eq!(
+                        reference.state_digest(),
+                        resumed.state_digest(),
+                        "{tag}: restored run diverged from the uninterrupted one"
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_snapshot_is_rejected_and_older_one_restores() {
+        let dir = snap_dir("torn");
+        let builder = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(8_000)
+            .warmup_mem_ops(100_000);
+        let reference = builder.clone().try_run().unwrap();
+        let (_, snap) = builder
+            .clone()
+            .checkpoint_every(1_000)
+            .checkpoint_dir(&dir)
+            .try_run_snap()
+            .unwrap();
+        assert!(snap.checkpoints_written >= 2, "need two checkpoints");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let newest = files.last().unwrap().clone();
+        // Truncate the newest snapshot, simulating a kill mid-write that
+        // beat the atomic rename discipline (e.g. a torn copy).
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        // A direct restore of the torn file fails loudly...
+        let err = builder.clone().restore(&newest).try_run().unwrap_err();
+        assert!(
+            matches!(err, SimError::Snapshot { .. }),
+            "expected SimError::Snapshot, got {err}"
+        );
+        // ...while the discovery path skips it and falls back to the
+        // next-older checkpoint, which restores to the identical digest.
+        let found = sim_snap::latest_valid(&dir, Some(builder.config_digest()))
+            .unwrap()
+            .expect("an older valid checkpoint must remain");
+        assert_eq!(found.skipped, 1, "exactly the torn file is skipped");
+        assert_ne!(found.path, newest);
+        let resumed = builder.clone().restore(&found.path).try_run().unwrap();
+        assert_eq!(reference.state_digest(), resumed.state_digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let dir = snap_dir("mismatch");
+        let pra = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Pra)
+            .instructions(6_000)
+            .warmup_mem_ops(60_000);
+        let (_, snap) = pra
+            .clone()
+            .checkpoint_every(500)
+            .checkpoint_dir(&dir)
+            .try_run_snap()
+            .unwrap();
+        assert!(snap.checkpoints_written > 0);
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .next()
+            .unwrap();
+        // Same workload, different scheme: the config digest must refuse.
+        let err = SimBuilder::new()
+            .app(workloads::gups())
+            .scheme(Scheme::Baseline)
+            .instructions(6_000)
+            .warmup_mem_ops(60_000)
+            .restore(&file)
+            .try_run()
+            .unwrap_err();
+        match err {
+            SimError::Snapshot { source, .. } => {
+                assert!(
+                    matches!(source, sim_snap::SnapError::ConfigDigest { .. }),
+                    "expected a config-digest rejection, got {source}"
+                );
+            }
+            other => panic!("expected SimError::Snapshot, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn half_configured_checkpointing_is_rejected() {
+        let base = || SimBuilder::new().app(workloads::gups()).instructions(1_000);
+        let err = base().checkpoint_every(2_000).try_run().unwrap_err();
+        assert!(
+            matches!(&err, SimError::CheckpointConfig(m) if m.contains("checkpoint_dir")),
+            "{err}"
+        );
+        let err = base()
+            .checkpoint_dir(std::env::temp_dir())
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, SimError::CheckpointConfig(m) if m.contains("checkpoint_every")),
+            "{err}"
+        );
     }
 
     #[test]

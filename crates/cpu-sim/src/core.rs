@@ -27,6 +27,32 @@ pub enum Op {
 pub trait InstructionSource {
     /// Produces the next operation.
     fn next_op(&mut self) -> Op;
+
+    /// Serialises the source's mutable position into a snapshot.
+    ///
+    /// The default writes nothing: a stateless source (or one whose stream
+    /// is a pure function of construction parameters) restores for free.
+    /// Stateful sources (generators with RNG state, trace replayers with a
+    /// cursor) must override both hooks symmetrically, or a restored run
+    /// will diverge from the uninterrupted one.
+    fn snap_save_state(&self, w: &mut sim_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores the source's mutable position from a snapshot, overlaying
+    /// onto a freshly constructed (same-configuration) source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sim_snap::SnapError`] when the payload does not match
+    /// what [`Self::snap_save_state`] wrote.
+    fn snap_load_state(
+        &mut self,
+        r: &mut sim_snap::SnapReader<'_>,
+    ) -> Result<(), sim_snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Static core parameters (paper Table 3: 8-way superscalar,
@@ -191,6 +217,104 @@ impl Core {
         if self.finished_at.is_none() && self.stats.retired >= self.target {
             self.finished_at = Some(now);
         }
+    }
+}
+
+/// Writes one [`Op`] with a leading tag byte.
+pub(crate) fn save_op(w: &mut sim_snap::SnapWriter, op: Op) {
+    match op {
+        Op::Compute(n) => {
+            w.u8(0);
+            w.u32(n);
+        }
+        Op::Load(a) => {
+            w.u8(1);
+            w.u64(a.raw());
+        }
+        Op::Store(a, m) => {
+            w.u8(2);
+            w.u64(a.raw());
+            w.u8(m.bits());
+        }
+    }
+}
+
+/// Reads one [`Op`] written by [`save_op`].
+pub(crate) fn load_op(r: &mut sim_snap::SnapReader<'_>) -> Result<Op, sim_snap::SnapError> {
+    match r.u8()? {
+        0 => Ok(Op::Compute(r.u32()?)),
+        1 => Ok(Op::Load(PhysAddr::new(r.u64()?))),
+        2 => {
+            let addr = PhysAddr::new(r.u64()?);
+            let mask = WordMask::from_bits(r.u8()?);
+            Ok(Op::Store(addr, mask))
+        }
+        tag => Err(sim_snap::SnapError::Decode(format!("unknown op tag {tag}"))),
+    }
+}
+
+impl sim_snap::SnapState for Core {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        // `config` and `target` are construction parameters, covered by the
+        // container's config digest.
+        w.seq(self.outstanding.len());
+        for o in &self.outstanding {
+            w.opt_u64(o.done_at);
+            w.opt_u64(o.req_id);
+            w.u64(o.issued_at_retired);
+            w.bool(o.blocking);
+        }
+        w.seq(self.pending_writebacks.len());
+        for &(addr, mask) in &self.pending_writebacks {
+            w.u64(addr.raw());
+            w.u8(mask.bits());
+        }
+        w.u64(self.pending_compute);
+        w.bool(self.deferred.is_some());
+        if let Some(op) = self.deferred {
+            save_op(w, op);
+        }
+        w.u64(self.stats.retired);
+        w.u64(self.stats.rob_stall_cycles);
+        w.u64(self.stats.ldq_stall_cycles);
+        w.u64(self.stats.store_stall_cycles);
+        for level in self.stats.loads_by_level {
+            w.u64(level);
+        }
+        w.u64(self.stats.stores);
+        w.opt_u64(self.finished_at);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        let n = r.seq()?;
+        self.outstanding.clear();
+        for _ in 0..n {
+            self.outstanding.push(Outstanding {
+                done_at: r.opt_u64()?,
+                req_id: r.opt_u64()?,
+                issued_at_retired: r.u64()?,
+                blocking: r.bool()?,
+            });
+        }
+        let n = r.seq()?;
+        self.pending_writebacks.clear();
+        for _ in 0..n {
+            let addr = PhysAddr::new(r.u64()?);
+            let mask = WordMask::from_bits(r.u8()?);
+            self.pending_writebacks.push((addr, mask));
+        }
+        self.pending_compute = r.u64()?;
+        self.deferred = if r.bool()? { Some(load_op(r)?) } else { None };
+        self.stats.retired = r.u64()?;
+        self.stats.rob_stall_cycles = r.u64()?;
+        self.stats.ldq_stall_cycles = r.u64()?;
+        self.stats.store_stall_cycles = r.u64()?;
+        for level in &mut self.stats.loads_by_level {
+            *level = r.u64()?;
+        }
+        self.stats.stores = r.u64()?;
+        self.finished_at = r.opt_u64()?;
+        Ok(())
     }
 }
 

@@ -174,6 +174,34 @@ impl CpuSystem {
     ///
     /// Returns the first [`dram_sim::TickError`] the memory system raises.
     pub fn try_run(&mut self, max_cpu_cycles: u64) -> Result<RunOutcome, dram_sim::TickError> {
+        self.try_run_with_checkpoints(max_cpu_cycles, 0, |_, _| true)
+    }
+
+    /// [`Self::try_run`] with a periodic checkpoint hook.
+    ///
+    /// Every `every_mem_cycles` DRAM cycles (`0` disables the hook), right
+    /// after the memory tick on that boundary completes and its read
+    /// completions have been delivered to the cores, `on_checkpoint` is
+    /// called with the system and the current DRAM cycle — a consistent
+    /// point to serialise the full machine state (and, with the mutable
+    /// borrow, to emit a checkpoint trace event). Returning `false` aborts
+    /// the run immediately: no DRAM drain, no observability finalisation,
+    /// `timed_out` set in the outcome. That models a crash for kill-resume
+    /// tests; a checkpoint policy that only writes snapshots returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`dram_sim::TickError`] the memory system raises.
+    pub fn try_run_with_checkpoints<F>(
+        &mut self,
+        max_cpu_cycles: u64,
+        every_mem_cycles: u64,
+        mut on_checkpoint: F,
+    ) -> Result<RunOutcome, dram_sim::TickError>
+    where
+        F: FnMut(&mut CpuSystem, u64) -> bool,
+    {
+        let every_cpu = every_mem_cycles.saturating_mul(self.config.cpu_per_mem_clock);
         let mut timed_out = false;
         while self.cores.iter().any(|c| !c.finished()) {
             if self.cpu_cycle >= max_cpu_cycles {
@@ -181,11 +209,21 @@ impl CpuSystem {
                 break;
             }
             self.try_tick_cpu_cycle()?;
+            if every_cpu > 0 && self.cpu_cycle.is_multiple_of(every_cpu) {
+                let mem_cycle = self.mem.cycle();
+                if !on_checkpoint(self, mem_cycle) {
+                    return Ok(self.outcome(true));
+                }
+            }
         }
         // Drain outstanding DRAM work so energy accounting closes out.
         let spare = max_cpu_cycles.saturating_sub(self.cpu_cycle) / self.config.cpu_per_mem_clock;
         self.mem.try_run_until_idle(spare.max(100_000))?;
         self.finalize_observability();
+        Ok(self.outcome(timed_out))
+    }
+
+    fn outcome(&self, timed_out: bool) -> RunOutcome {
         let per_core = self
             .cores
             .iter()
@@ -194,11 +232,11 @@ impl CpuSystem {
                 cycles: c.finished_at.unwrap_or(self.cpu_cycle).max(1),
             })
             .collect();
-        Ok(RunOutcome {
+        RunOutcome {
             per_core,
             cpu_cycles: self.cpu_cycle,
             timed_out,
-        })
+        }
     }
 
     /// Advances one CPU cycle (and the DRAM clock on its divisor).
@@ -549,6 +587,125 @@ impl CpuSystem {
     }
 }
 
+fn save_stall_run(w: &mut sim_snap::SnapWriter, run: &StallRun) {
+    let tag: u8 = match run.kind {
+        StallKind::Rob => 0,
+        StallKind::Ldq => 1,
+        StallKind::StoreBuffer => 2,
+    };
+    w.u8(tag);
+    w.u64(run.start);
+    w.u64(run.len);
+}
+
+fn load_stall_run(r: &mut sim_snap::SnapReader<'_>) -> Result<StallRun, sim_snap::SnapError> {
+    let kind = match r.u8()? {
+        0 => StallKind::Rob,
+        1 => StallKind::Ldq,
+        2 => StallKind::StoreBuffer,
+        tag => {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "unknown stall kind tag {tag}"
+            )))
+        }
+    };
+    Ok(StallRun {
+        kind,
+        start: r.u64()?,
+        len: r.u64()?,
+    })
+}
+
+impl sim_snap::SnapState for CpuSystem {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        // `config` is a construction parameter (container config digest
+        // covers it); the trace `sink` is a runtime attachment the restoring
+        // caller re-establishes.
+        w.section("cpu-system");
+        w.u64(self.cpu_cycle);
+        w.u64(self.next_req_id);
+        w.seq(self.cores.len());
+        for core in &self.cores {
+            core.snap_save(w);
+        }
+        // One entry per core, in core order (sources.len() == cores.len()).
+        for source in &self.sources {
+            source.snap_save_state(w);
+        }
+        // HashMap iteration order is nondeterministic; serialise sorted so
+        // identical states produce identical snapshot bytes.
+        let mut owners: Vec<(RequestId, usize)> = self
+            .req_owner
+            .iter()
+            .map(|(&id, &core)| (id, core))
+            .collect();
+        owners.sort_unstable();
+        w.seq(owners.len());
+        for (id, core) in owners {
+            w.u64(id);
+            w.usize(core);
+        }
+        w.seq(self.stall_runs.len());
+        for run in &self.stall_runs {
+            w.bool(run.is_some());
+            if let Some(run) = run {
+                save_stall_run(w, run);
+            }
+        }
+        self.hierarchy.snap_save(w);
+        self.mem.snap_save(w);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("cpu-system")?;
+        self.cpu_cycle = r.u64()?;
+        self.next_req_id = r.u64()?;
+        let n = r.seq()?;
+        if n != self.cores.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "core count mismatch: snapshot has {n}, system has {}",
+                self.cores.len()
+            )));
+        }
+        for core in &mut self.cores {
+            core.snap_load(r)?;
+        }
+        for source in &mut self.sources {
+            source.snap_load_state(r)?;
+        }
+        let n = r.seq()?;
+        self.req_owner.clear();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let core = r.usize()?;
+            if core >= self.cores.len() {
+                return Err(sim_snap::SnapError::Decode(format!(
+                    "request owner core {core} out of range ({} cores)",
+                    self.cores.len()
+                )));
+            }
+            self.req_owner.insert(id, core);
+        }
+        let n = r.seq()?;
+        if n != self.stall_runs.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "stall-run count mismatch: snapshot has {n}, system has {}",
+                self.stall_runs.len()
+            )));
+        }
+        for run in &mut self.stall_runs {
+            *run = if r.bool()? {
+                Some(load_stall_run(r)?)
+            } else {
+                None
+            };
+        }
+        self.hierarchy.snap_load(r)?;
+        self.mem.snap_load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +730,20 @@ mod tests {
             let a = PhysAddr::new((self.next * 64) % self.wrap);
             self.next += 1;
             Op::Load(a)
+        }
+
+        fn snap_save_state(&self, w: &mut sim_snap::SnapWriter) {
+            w.u64(self.next);
+            w.bool(self.toggle);
+        }
+
+        fn snap_load_state(
+            &mut self,
+            r: &mut sim_snap::SnapReader<'_>,
+        ) -> Result<(), sim_snap::SnapError> {
+            self.next = r.u64()?;
+            self.toggle = r.bool()?;
+            Ok(())
         }
     }
 
@@ -840,6 +1011,125 @@ mod tests {
             .map(|(_, delta)| *delta)
             .sum();
         assert_eq!(delta_sum, stats.retired);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically_multicore() {
+        use sim_snap::SnapState;
+        let mk = |next: u64, toggle: bool| -> Box<dyn InstructionSource> {
+            Box::new(StreamLoads {
+                next,
+                wrap: 64 * 1024 * 1024,
+                compute: 2,
+                toggle,
+            })
+        };
+        let mut live = build(vec![mk(0, false), mk(0, false)], 1_000_000);
+        for _ in 0..40_000 {
+            live.tick_cpu_cycle();
+        }
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        // The fresh system gets deliberately skewed sources: the overlay
+        // must replace their positions, or the streams diverge immediately.
+        let mut fresh = build(vec![mk(7_777, true), mk(7_777, true)], 1_000_000);
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        fresh.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.cpu_cycle(), live.cpu_cycle());
+
+        for _ in 0..40_000 {
+            live.tick_cpu_cycle();
+            fresh.tick_cpu_cycle();
+        }
+        for core in 0..2 {
+            assert_eq!(
+                format!("{:?}", live.cores()[core].stats),
+                format!("{:?}", fresh.cores()[core].stats),
+                "core {core} stats diverged after restore"
+            );
+        }
+        assert_eq!(
+            live.mem().stats().reads_completed,
+            fresh.mem().stats().reads_completed
+        );
+        assert_eq!(
+            live.mem().stats().writes_completed,
+            fresh.mem().stats().writes_completed
+        );
+        assert_eq!(
+            live.mem().stats().activations,
+            fresh.mem().stats().activations
+        );
+        assert_eq!(
+            live.mem().energy().total().to_bits(),
+            fresh.mem().energy().total().to_bits()
+        );
+    }
+
+    #[test]
+    fn checkpoint_crash_resume_matches_uninterrupted_run() {
+        use sim_snap::SnapState;
+        let mk = |next: u64| -> Box<dyn InstructionSource> {
+            Box::new(StreamLoads {
+                next,
+                wrap: 64 * 1024 * 1024,
+                compute: 0,
+                toggle: false,
+            })
+        };
+        let mut reference = build(vec![mk(0)], 20_000);
+        let ref_out = reference.try_run(50_000_000).unwrap();
+        assert!(!ref_out.timed_out);
+
+        // Crash after the third checkpoint: snapshots are taken on DRAM
+        // cycle boundaries, then the run aborts mid-flight.
+        let mut crashing = build(vec![mk(0)], 20_000);
+        let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
+        let out = crashing
+            .try_run_with_checkpoints(50_000_000, 2_000, |sys, mem_cycle| {
+                let mut w = sim_snap::SnapWriter::new();
+                sys.snap_save(&mut w);
+                snaps.push((mem_cycle, w.into_bytes()));
+                snaps.len() < 3
+            })
+            .unwrap();
+        assert!(
+            out.timed_out,
+            "an aborted run reports the timeout-style stop"
+        );
+        assert_eq!(snaps.len(), 3);
+        let (snap_cycle, bytes) = snaps.last().unwrap();
+        assert!(*snap_cycle > 0);
+
+        // Resume on a fresh system with a skewed source and finish the run.
+        let mut resumed = build(vec![mk(9_999)], 20_000);
+        let mut r = sim_snap::SnapReader::new(bytes);
+        resumed.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        let res_out = resumed.try_run(50_000_000).unwrap();
+
+        assert!(!res_out.timed_out);
+        assert_eq!(res_out.cpu_cycles, ref_out.cpu_cycles);
+        assert_eq!(
+            res_out.per_core[0].instructions,
+            ref_out.per_core[0].instructions
+        );
+        assert_eq!(res_out.per_core[0].cycles, ref_out.per_core[0].cycles);
+        assert_eq!(
+            resumed.mem().stats().reads_completed,
+            reference.mem().stats().reads_completed
+        );
+        assert_eq!(
+            resumed.mem().stats().activations,
+            reference.mem().stats().activations
+        );
+        assert_eq!(
+            resumed.mem().energy().total().to_bits(),
+            reference.mem().energy().total().to_bits()
+        );
     }
 
     #[test]

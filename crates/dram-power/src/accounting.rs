@@ -220,6 +220,54 @@ impl EnergyAccounting {
     }
 }
 
+impl sim_snap::SnapState for EnergyAccounting {
+    // Parameters and rank count are configuration; everything that
+    // accumulates (energies bit-exact via f64 bits, event counts, the
+    // residency ledger) travels.
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("energy-accounting");
+        let e = self.energy;
+        for v in [e.act_pre, e.rd, e.wr, e.rd_io, e.wr_io, e.bg, e.refresh] {
+            w.f64(v);
+        }
+        for v in [
+            self.activations,
+            self.reads,
+            self.writes,
+            self.refreshes,
+            self.background_cycles,
+        ] {
+            w.u64(v);
+        }
+        for v in self.act_by_mats {
+            w.f64(v);
+        }
+        self.residency.snap_save(w);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        r.section("energy-accounting")?;
+        self.energy = EnergyBreakdown {
+            act_pre: r.f64()?,
+            rd: r.f64()?,
+            wr: r.f64()?,
+            rd_io: r.f64()?,
+            wr_io: r.f64()?,
+            bg: r.f64()?,
+            refresh: r.f64()?,
+        };
+        self.activations = r.u64()?;
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.refreshes = r.u64()?;
+        self.background_cycles = r.u64()?;
+        for v in &mut self.act_by_mats {
+            *v = r.f64()?;
+        }
+        self.residency.snap_load(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,77 @@ impl ResidencyLedger {
     }
 }
 
+impl sim_snap::SnapState for ResidencyLedger {
+    // The rank count is configuration; restore overlays onto a ledger
+    // built for the same geometry, so the lengths must already agree.
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("residency-ledger");
+        w.seq(self.ranks.len());
+        for (r, base) in self.ranks.iter().zip(&self.window_base) {
+            for v in r.state_cycles {
+                w.u64(v);
+            }
+            for v in r.bank_open_cycles {
+                w.u64(v);
+            }
+            for v in base {
+                w.u64(*v);
+            }
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        r.section("residency-ledger")?;
+        let n = r.seq()?;
+        if n != self.ranks.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "snapshot holds {n} rank ledgers, this system has {}",
+                self.ranks.len()
+            )));
+        }
+        for (rank, base) in self.ranks.iter_mut().zip(&mut self.window_base) {
+            for v in &mut rank.state_cycles {
+                *v = r.u64()?;
+            }
+            for v in &mut rank.bank_open_cycles {
+                *v = r.u64()?;
+            }
+            for v in base.iter_mut() {
+                *v = r.u64()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl sim_snap::SnapState for PowerRail {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("power-rail");
+        let e = self.last;
+        for v in [e.act_pre, e.rd, e.wr, e.rd_io, e.wr_io, e.bg, e.refresh] {
+            w.f64(v);
+        }
+        w.f64(self.last_ns);
+        w.u64(self.windows);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        r.section("power-rail")?;
+        self.last = EnergyBreakdown {
+            act_pre: r.f64()?,
+            rd: r.f64()?,
+            wr: r.f64()?,
+            rd_io: r.f64()?,
+            wr_io: r.f64()?,
+            bg: r.f64()?,
+            refresh: r.f64()?,
+        };
+        self.last_ns = r.f64()?;
+        self.windows = r.u64()?;
+        Ok(())
+    }
+}
+
 /// Windowed picojoule-to-milliwatt converter.
 ///
 /// At each window close the rail snapshots the cumulative

@@ -158,6 +158,40 @@ impl Default for Bank {
     }
 }
 
+impl sim_snap::SnapState for Bank {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.bool(self.open.is_some());
+        if let Some(open) = &self.open {
+            w.u32(open.row);
+            w.u8(open.coverage.bits());
+            w.u32(open.mats);
+            w.u32(open.hits_served);
+        }
+        w.u64(self.ready_for_column_at);
+        w.u64(self.ready_for_precharge_at);
+        w.u64(self.ready_for_activate_at);
+        w.opt_u64(self.auto_precharge_at);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        self.open = if r.bool()? {
+            Some(OpenRow {
+                row: r.u32()?,
+                coverage: WordMask::from_bits(r.u8()?),
+                mats: r.u32()?,
+                hits_served: r.u32()?,
+            })
+        } else {
+            None
+        };
+        self.ready_for_column_at = r.u64()?;
+        self.ready_for_precharge_at = r.u64()?;
+        self.ready_for_activate_at = r.u64()?;
+        self.auto_precharge_at = r.opt_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

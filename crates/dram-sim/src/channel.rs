@@ -1219,3 +1219,177 @@ impl Channel {
         FULL_ROW_MATS
     }
 }
+
+fn save_queue_entry(w: &mut sim_snap::SnapWriter, e: &QueueEntry) {
+    w.u64(e.req.id);
+    w.bool(e.req.kind.is_read());
+    w.u64(e.req.addr.raw());
+    w.u8(e.req.mask.bits());
+    w.usize(e.req.core);
+    w.u32(e.loc.channel);
+    w.u32(e.loc.rank);
+    w.u32(e.loc.bank);
+    w.u32(e.loc.row);
+    w.u32(e.loc.column);
+    w.u64(e.enqueued_at);
+    w.bool(e.classified);
+}
+
+fn load_queue_entry(r: &mut sim_snap::SnapReader<'_>) -> Result<QueueEntry, sim_snap::SnapError> {
+    let id = r.u64()?;
+    let is_read = r.bool()?;
+    let addr = mem_model::PhysAddr::new(r.u64()?);
+    let mask = WordMask::from_bits(r.u8()?);
+    let core = r.usize()?;
+    let req = MemRequest {
+        id,
+        kind: if is_read {
+            ReqKind::Read
+        } else {
+            ReqKind::Write
+        },
+        addr,
+        mask,
+        core,
+    };
+    let loc = Location {
+        channel: r.u32()?,
+        rank: r.u32()?,
+        bank: r.u32()?,
+        row: r.u32()?,
+        column: r.u32()?,
+    };
+    Ok(QueueEntry {
+        req,
+        loc,
+        enqueued_at: r.u64()?,
+        classified: r.bool()?,
+    })
+}
+
+impl sim_snap::SnapState for Channel {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("channel");
+        w.seq(self.ranks.len());
+        for rank in &self.ranks {
+            rank.snap_save(w);
+        }
+        w.seq(self.read_q.len());
+        for e in &self.read_q {
+            save_queue_entry(w, e);
+        }
+        w.seq(self.write_q.len());
+        for e in &self.write_q {
+            save_queue_entry(w, e);
+        }
+        w.seq(self.inflight_reads.len());
+        for f in &self.inflight_reads {
+            w.u64(f.id);
+            w.u64(f.done_at);
+            w.u64(f.enqueued_at);
+        }
+        w.seq(self.inflight_write_ends.len());
+        for &end in &self.inflight_write_ends {
+            w.u64(end);
+        }
+        w.bool(self.drain_mode);
+        w.u64(self.bus.busy_until);
+        w.u8(match self.bus.last_dir {
+            None => 0,
+            Some(Dir::Read) => 1,
+            Some(Dir::Write) => 2,
+        });
+        w.bool(self.bus.last_rank.is_some());
+        if let Some(rank) = self.bus.last_rank {
+            w.u32(rank);
+        }
+        w.u64(self.next_col_allowed);
+        // `escalated` is recomputed at the start of every tick before any
+        // scheduling decision reads it, so it is not serialized.
+        w.bool(self.checker.is_some());
+        if let Some(checker) = &self.checker {
+            checker.snap_save(w);
+        }
+        w.bool(self.recovery.is_some());
+        if let Some(rec) = &self.recovery {
+            rec.snap_save(w);
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("channel")?;
+        let ranks = r.seq()?;
+        if ranks != self.ranks.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "channel rank count mismatch: snapshot has {ranks}, config has {}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            rank.snap_load(r)?;
+        }
+        let reads = r.seq()?;
+        self.read_q.clear();
+        for _ in 0..reads {
+            let e = load_queue_entry(r)?;
+            self.read_q.push(e);
+        }
+        let writes = r.seq()?;
+        self.write_q.clear();
+        for _ in 0..writes {
+            let e = load_queue_entry(r)?;
+            self.write_q.push(e);
+        }
+        let inflight = r.seq()?;
+        self.inflight_reads.clear();
+        for _ in 0..inflight {
+            self.inflight_reads.push(InflightRead {
+                id: r.u64()?,
+                done_at: r.u64()?,
+                enqueued_at: r.u64()?,
+            });
+        }
+        let wends = r.seq()?;
+        self.inflight_write_ends.clear();
+        for _ in 0..wends {
+            let end = r.u64()?;
+            self.inflight_write_ends.push(end);
+        }
+        self.drain_mode = r.bool()?;
+        self.bus.busy_until = r.u64()?;
+        self.bus.last_dir = match r.u8()? {
+            0 => None,
+            1 => Some(Dir::Read),
+            2 => Some(Dir::Write),
+            tag => {
+                return Err(sim_snap::SnapError::Decode(format!(
+                    "unknown data-bus direction tag {tag}"
+                )))
+            }
+        };
+        self.bus.last_rank = if r.bool()? { Some(r.u32()?) } else { None };
+        self.next_col_allowed = r.u64()?;
+        self.escalated = None;
+        let has_checker = r.bool()?;
+        if has_checker != self.checker.is_some() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "protocol-checker presence mismatch: snapshot has {has_checker}, config has {}",
+                self.checker.is_some()
+            )));
+        }
+        if let Some(checker) = self.checker.as_mut() {
+            checker.snap_load(r)?;
+        }
+        let has_recovery = r.bool()?;
+        if has_recovery != self.recovery.is_some() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "recovery-engine presence mismatch: snapshot has {has_recovery}, config has {}",
+                self.recovery.is_some()
+            )));
+        }
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.snap_load(r)?;
+        }
+        Ok(())
+    }
+}

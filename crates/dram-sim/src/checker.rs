@@ -382,6 +382,112 @@ impl ProtocolChecker {
     }
 }
 
+impl sim_snap::SnapState for ProtocolChecker {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("protocol-checker");
+        // timing / burst_cycles / relaxed_act_timing are configuration,
+        // rebuilt from the run config and covered by the header digest.
+        w.seq(self.ranks.len());
+        for rank in &self.ranks {
+            w.seq(rank.banks.len());
+            for b in &rank.banks {
+                w.bool(b.open_row.is_some());
+                if let Some(row) = b.open_row {
+                    w.u32(row);
+                }
+                w.u64(b.act_at);
+                w.u64(b.act_extra);
+                w.opt_u64(b.last_read_at);
+                w.opt_u64(b.last_write_at);
+                w.opt_u64(b.pre_at);
+                w.u64(b.busy_until);
+            }
+            w.seq(rank.acts.len());
+            for &(c, weight) in &rank.acts {
+                w.u64(c);
+                w.f64(weight);
+            }
+            w.bool(rank.last_act_at.is_some());
+            if let Some((c, weight)) = rank.last_act_at {
+                w.u64(c);
+                w.f64(weight);
+            }
+        }
+        w.opt_u64(self.last_col_at);
+        w.bool(self.last_burst.is_some());
+        if let Some((end, was_read, rank)) = self.last_burst {
+            w.u64(end);
+            w.bool(was_read);
+            w.u32(rank);
+        }
+        // BTreeMap iterates in key order, so the encoding is canonical.
+        w.seq(self.alert_holds.len());
+        for (&(rank, bank), &until) in &self.alert_holds {
+            w.u32(rank);
+            w.u32(bank);
+            w.u64(until);
+        }
+        w.u64(self.commands_checked);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("protocol-checker")?;
+        let ranks = r.seq()?;
+        if ranks != self.ranks.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "checker rank count mismatch: snapshot has {ranks}, config has {}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            let banks = r.seq()?;
+            if banks != rank.banks.len() {
+                return Err(sim_snap::SnapError::Decode(format!(
+                    "checker bank count mismatch: snapshot has {banks}, config has {}",
+                    rank.banks.len()
+                )));
+            }
+            for b in &mut rank.banks {
+                b.open_row = if r.bool()? { Some(r.u32()?) } else { None };
+                b.act_at = r.u64()?;
+                b.act_extra = r.u64()?;
+                b.last_read_at = r.opt_u64()?;
+                b.last_write_at = r.opt_u64()?;
+                b.pre_at = r.opt_u64()?;
+                b.busy_until = r.u64()?;
+            }
+            let acts = r.seq()?;
+            rank.acts.clear();
+            for _ in 0..acts {
+                let c = r.u64()?;
+                let weight = r.f64()?;
+                rank.acts.push_back((c, weight));
+            }
+            rank.last_act_at = if r.bool()? {
+                Some((r.u64()?, r.f64()?))
+            } else {
+                None
+            };
+        }
+        self.last_col_at = r.opt_u64()?;
+        self.last_burst = if r.bool()? {
+            Some((r.u64()?, r.bool()?, r.u32()?))
+        } else {
+            None
+        };
+        self.alert_holds.clear();
+        let holds = r.seq()?;
+        for _ in 0..holds {
+            let rank = r.u32()?;
+            let bank = r.u32()?;
+            let until = r.u64()?;
+            self.alert_holds.insert((rank, bank), until);
+        }
+        self.commands_checked = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

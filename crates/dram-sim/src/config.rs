@@ -280,6 +280,24 @@ impl DramConfig {
         if let Some(rec) = &self.recovery {
             rec.validate()
                 .map_err(|e| ConfigError::Recovery(e.to_string()))?;
+            // A faulted command can legally sit in the queue for the whole
+            // replay ladder; if that window reaches the starvation bound,
+            // the watchdog kills exactly the runs recovery exists to save.
+            let replay_window = u64::from(rec.max_retries).saturating_mul(rec.backoff_cycles);
+            if self.liveness.max_queue_age_cycles > 0
+                && replay_window >= self.liveness.max_queue_age_cycles
+            {
+                return Err(ConfigError::Recovery(format!(
+                    "recovery replay window (max_retries {} x backoff_cycles {} = {} cycles) \
+                     must stay below the starvation watchdog bound \
+                     liveness.max_queue_age_cycles {} — the watchdog would classify a \
+                     still-replaying request as starved",
+                    rec.max_retries,
+                    rec.backoff_cycles,
+                    replay_window,
+                    self.liveness.max_queue_age_cycles
+                )));
+            }
         }
         Ok(())
     }
@@ -434,6 +452,42 @@ mod tests {
         assert!(matches!(err, ConfigError::Recovery(_)));
         assert!(err.to_string().contains("alert_latency"), "{err}");
         cfg.recovery = Some(RecoveryConfig::default());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_replay_window_at_or_above_starvation_bound() {
+        // 5 retries x 200 backoff = 1000 >= a 1000-cycle starvation bound:
+        // the watchdog would kill a request that is still mid-replay.
+        let mut cfg = DramConfig {
+            recovery: Some(RecoveryConfig {
+                max_retries: 5,
+                backoff_cycles: 200,
+                ..RecoveryConfig::default()
+            }),
+            // Disable escalation so its own (stricter) bound check does not
+            // fire first — this test isolates the replay-window rule.
+            starvation_escalation_age: 0,
+            ..DramConfig::default()
+        };
+        cfg.liveness.max_queue_age_cycles = 1_000;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Recovery(_)));
+        assert!(err.to_string().contains("max_retries 5"), "{err}");
+        assert!(err.to_string().contains("backoff_cycles 200"), "{err}");
+        assert!(
+            err.to_string().contains("max_queue_age_cycles 1000"),
+            "{err}"
+        );
+        // Either disarming the watchdog or shrinking the ladder fixes it.
+        cfg.liveness.max_queue_age_cycles = 0;
+        cfg.validate().unwrap();
+        cfg.liveness.max_queue_age_cycles = 1_000;
+        cfg.recovery = Some(RecoveryConfig {
+            max_retries: 3,
+            backoff_cycles: 8,
+            ..RecoveryConfig::default()
+        });
         cfg.validate().unwrap();
     }
 

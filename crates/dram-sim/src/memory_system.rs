@@ -529,6 +529,64 @@ impl MemorySystem {
     }
 }
 
+impl sim_snap::SnapState for MemorySystem {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("memory-system");
+        // `config` is not serialized: restore rebuilds the system from the
+        // run configuration and the snapshot header's config digest guards
+        // against overlaying state onto a differently-shaped system.
+        w.u64(self.cycle);
+        self.stats.snap_save(w);
+        self.energy.snap_save(w);
+        w.seq(self.channels.len());
+        for ch in &self.channels {
+            ch.snap_save(w);
+        }
+        self.obs.snap_save(w);
+        self.power_rail.snap_save(w);
+        w.bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snap_save(w);
+        }
+        w.u64(self.last_progress_cycle);
+        w.u64(self.last_completed_total);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("memory-system")?;
+        self.cycle = r.u64()?;
+        self.stats.snap_load(r)?;
+        self.energy.snap_load(r)?;
+        let channels = r.seq()?;
+        if channels != self.channels.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "channel count mismatch: snapshot has {channels}, config has {}",
+                self.channels.len()
+            )));
+        }
+        for ch in &mut self.channels {
+            ch.snap_load(r)?;
+        }
+        self.obs.snap_load(r)?;
+        self.power_rail.snap_load(r)?;
+        let has_faults = r.bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "fault-injector presence mismatch: snapshot has {has_faults}, config has {}",
+                self.faults.is_some()
+            )));
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.snap_load(r)?;
+        }
+        self.last_progress_cycle = r.u64()?;
+        self.last_completed_total = r.u64()?;
+        // Scratch is rebuilt from scratch every tick; never carried across.
+        self.completed_scratch.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1092,6 +1150,139 @@ mod tests {
             .unwrap();
         assert!(mem.try_run_until_idle(10_000).unwrap());
         assert_eq!(mem.stats().reads_completed, 1);
+    }
+
+    /// One deterministic traffic step: mixed reads and partial writes
+    /// spread over rows, banks and channels.
+    fn feed_step(mem: &mut MemorySystem, n: u64) {
+        let mapping = mem.config().mapping;
+        let l = Location {
+            channel: 0,
+            rank: (n % 4) as u32,
+            bank: (n % 8) as u32,
+            row: (n % 32) as u32,
+            column: (n % 64) as u32,
+        };
+        let a = mapping.encode(l, &mem.config().geometry);
+        if mem.pending() < 16 {
+            let req = if n.is_multiple_of(3) {
+                MemRequest::write(n, a, WordMask::single((n % 8) as u8))
+            } else {
+                MemRequest::read(n, a)
+            };
+            let _ = mem.try_enqueue(req);
+        }
+    }
+
+    fn roundtrip_resumes_identically(mut live: MemorySystem, mut fresh: MemorySystem) {
+        use sim_snap::SnapState;
+        // Warm up: leave open rows, queued work and inflight bursts behind.
+        for n in 0..400u64 {
+            feed_step(&mut live, n);
+            live.tick();
+        }
+        assert!(live.pending() > 0, "snapshot must capture in-flight state");
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        fresh.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.cycle(), live.cycle());
+
+        // Continue both in lockstep: every completion, counter and energy
+        // figure must stay bit-identical.
+        for n in 400..1200u64 {
+            feed_step(&mut live, n);
+            feed_step(&mut fresh, n);
+            let a: Vec<RequestId> = live.tick().to_vec();
+            let b: Vec<RequestId> = fresh.tick().to_vec();
+            assert_eq!(a, b, "completions diverged at cycle {}", live.cycle());
+        }
+        assert_eq!(live.stats().reads_completed, fresh.stats().reads_completed);
+        assert_eq!(
+            live.stats().writes_completed,
+            fresh.stats().writes_completed
+        );
+        assert_eq!(live.stats().activations, fresh.stats().activations);
+        assert_eq!(live.stats().precharges, fresh.stats().precharges);
+        assert_eq!(live.stats().refreshes, fresh.stats().refreshes);
+        assert_eq!(
+            live.stats().read_latency_sum,
+            fresh.stats().read_latency_sum
+        );
+        assert_eq!(
+            live.energy().total().to_bits(),
+            fresh.energy().total().to_bits()
+        );
+        assert_eq!(live.fault_counts(), fresh.fault_counts());
+        assert_eq!(live.recovery_counts(), fresh.recovery_counts());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically_pra() {
+        let live = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let fresh = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        roundtrip_resumes_identically(live, fresh);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically_under_chaos() {
+        use sim_fault::{Domain, FaultPlan};
+        let cfg = || {
+            let mut c =
+                DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+            c.recovery = Some(sim_recover::RecoveryConfig::default());
+            c
+        };
+        let plan = FaultPlan {
+            seed: 0xDEC0DE,
+            mask_corrupt_rate: 0.05,
+            command_drop_rate: 0.02,
+            command_stretch_rate: 0.05,
+            command_stretch_cycles: 2,
+            ..FaultPlan::disabled()
+        };
+        let mut live = MemorySystem::new(cfg());
+        live.set_fault_injector(plan.injector(Domain::Dram));
+        let mut fresh = MemorySystem::new(cfg());
+        // A differently-seeded injector: the overlay must replace its RNG
+        // position so both streams draw identical fault decisions.
+        fresh.set_fault_injector(FaultPlan { seed: 999, ..plan }.injector(Domain::Dram));
+        roundtrip_resumes_identically(live, fresh);
+    }
+
+    #[test]
+    fn snapshot_shape_mismatch_rejected() {
+        use sim_snap::SnapState;
+        let live = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        // Recovery armed on the restore side but absent in the snapshot.
+        let mut cfg =
+            DramConfig::paper_baseline(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        cfg.recovery = Some(sim_recover::RecoveryConfig::default());
+        let mut other = MemorySystem::new(cfg);
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        let err = other.snap_load(&mut r).unwrap_err();
+        assert!(
+            err.to_string().contains("presence mismatch"),
+            "unexpected error: {err}"
+        );
+
+        // Fault injector attached on the restore side but not snapshotted.
+        let mut other = system(PagePolicy::RelaxedClosePage, SchemeBehavior::pra());
+        other
+            .set_fault_injector(sim_fault::FaultPlan::disabled().injector(sim_fault::Domain::Dram));
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        let err = other.snap_load(&mut r).unwrap_err();
+        assert!(
+            err.to_string().contains("fault-injector presence mismatch"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -43,3 +43,17 @@ impl DramObs {
         }
     }
 }
+
+impl sim_snap::SnapState for DramObs {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        // Only the observer carries run state. The pre-registered MetricIds
+        // stay valid across a registry reload because `DramObs::new` always
+        // registers the same four histograms first, so the restored registry
+        // allots them the same slots; `power_telemetry` is configuration.
+        self.obs.snap_save(w);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        self.obs.snap_load(r)
+    }
+}

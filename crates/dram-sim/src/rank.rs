@@ -198,6 +198,71 @@ impl Rank {
     }
 }
 
+impl sim_snap::SnapState for Rank {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("rank");
+        w.seq(self.banks.len());
+        for b in &self.banks {
+            b.snap_save(w);
+        }
+        w.seq(self.faw_window.len());
+        for &(cycle, weight) in &self.faw_window {
+            w.u64(cycle);
+            w.f64(weight);
+        }
+        w.u64(self.next_act_allowed_at);
+        w.u64(self.next_refresh_at);
+        w.u32(self.refresh_debt);
+        match self.refresh {
+            RefreshState::Idle => w.bool(false),
+            RefreshState::InProgress { until } => {
+                w.bool(true);
+                w.u64(until);
+            }
+        }
+        w.bool(self.powered_down);
+        w.u64(self.available_at);
+        for c in self.state_cycles {
+            w.u64(c);
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("rank")?;
+        let banks = r.seq()?;
+        if banks != self.banks.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "rank bank count mismatch: snapshot has {banks}, config has {}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.snap_load(r)?;
+        }
+        let faw = r.seq()?;
+        self.faw_window.clear();
+        for _ in 0..faw {
+            let cycle = r.u64()?;
+            let weight = r.f64()?;
+            self.faw_window.push_back((cycle, weight));
+        }
+        self.next_act_allowed_at = r.u64()?;
+        self.next_refresh_at = r.u64()?;
+        self.refresh_debt = r.u32()?;
+        self.refresh = if r.bool()? {
+            RefreshState::InProgress { until: r.u64()? }
+        } else {
+            RefreshState::Idle
+        };
+        self.powered_down = r.bool()?;
+        self.available_at = r.u64()?;
+        for c in &mut self.state_cycles {
+            *c = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -230,6 +230,72 @@ impl DramStats {
     }
 }
 
+impl sim_snap::SnapState for HitCounters {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.u64(self.hits);
+        w.u64(self.false_hits);
+        w.u64(self.misses);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        self.hits = r.u64()?;
+        self.false_hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
+impl sim_snap::SnapState for DramStats {
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("dram-stats");
+        w.u64(self.cycles);
+        self.read.snap_save(w);
+        self.write.snap_save(w);
+        w.u64(self.reads_completed);
+        w.u64(self.writes_completed);
+        w.u64(self.read_latency_sum);
+        for c in self.act_histogram {
+            w.u64(c);
+        }
+        for c in self.act_histogram_reads {
+            w.u64(c);
+        }
+        w.u64(self.activations);
+        w.u64(self.precharges);
+        w.u64(self.refreshes);
+        w.u64(self.bus_busy_cycles);
+        w.u64(self.hit_cap_precharges);
+        w.u64(self.drain_entries);
+        w.u64(self.degraded_activations);
+        w.u64(self.parity_escapes);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader<'_>) -> Result<(), sim_snap::SnapError> {
+        r.section("dram-stats")?;
+        self.cycles = r.u64()?;
+        self.read.snap_load(r)?;
+        self.write.snap_load(r)?;
+        self.reads_completed = r.u64()?;
+        self.writes_completed = r.u64()?;
+        self.read_latency_sum = r.u64()?;
+        for c in &mut self.act_histogram {
+            *c = r.u64()?;
+        }
+        for c in &mut self.act_histogram_reads {
+            *c = r.u64()?;
+        }
+        self.activations = r.u64()?;
+        self.precharges = r.u64()?;
+        self.refreshes = r.u64()?;
+        self.bus_busy_cycles = r.u64()?;
+        self.hit_cap_precharges = r.u64()?;
+        self.drain_entries = r.u64()?;
+        self.degraded_activations = r.u64()?;
+        self.parity_escapes = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use mem_model::rng::Rng;
 use mem_model::{WordMask, WORDS_PER_LINE};
 use sim_obs::MetricsRegistry;
+use sim_snap::{SnapError, SnapReader, SnapState, SnapWriter};
 
 /// Even parity of a PRA mask's eight bits — the redundancy bit the
 /// controller drives alongside the mask-transfer cycle. A single-bit upset
@@ -594,6 +595,81 @@ impl FaultInjector {
     }
 }
 
+impl SnapState for FaultInjector {
+    // The plan itself is configuration (covered by the snapshot's config
+    // digest), so only the mutable fault state travels: the RNG position,
+    // the counters, the sticky persistent set and in-flight bursts.
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("fault-injector");
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        let c = self.counts;
+        for v in [
+            c.injected,
+            c.detected,
+            c.degraded,
+            c.escaped,
+            c.masks_corrupted,
+            c.commands_dropped,
+            c.commands_stretched,
+            c.dirty_bits_flipped,
+        ] {
+            w.u64(v);
+        }
+        w.seq(self.persistent_sites.len());
+        for site in &self.persistent_sites {
+            w.u32(site.rank);
+            w.u32(site.bank);
+            w.u32(site.row);
+        }
+        w.seq(self.burst_remaining.len());
+        for (site, left) in &self.burst_remaining {
+            w.u32(site.rank);
+            w.u32(site.bank);
+            w.u32(site.row);
+            w.u64(*left);
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.section("fault-injector")?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng.set_state(s);
+        self.counts = FaultCounts {
+            injected: r.u64()?,
+            detected: r.u64()?,
+            degraded: r.u64()?,
+            escaped: r.u64()?,
+            masks_corrupted: r.u64()?,
+            commands_dropped: r.u64()?,
+            commands_stretched: r.u64()?,
+            dirty_bits_flipped: r.u64()?,
+        };
+        self.persistent_sites.clear();
+        for _ in 0..r.seq()? {
+            self.persistent_sites.insert(FaultSite {
+                rank: r.u32()?,
+                bank: r.u32()?,
+                row: r.u32()?,
+            });
+        }
+        self.burst_remaining.clear();
+        for _ in 0..r.seq()? {
+            let site = FaultSite {
+                rank: r.u32()?,
+                bank: r.u32()?,
+                row: r.u32()?,
+            };
+            self.burst_remaining.insert(site, r.u64()?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +982,37 @@ mod tests {
         assert_eq!(reg.counter_value("fault.detected"), Some(2));
         assert_eq!(reg.counter_value("fault.degraded"), Some(1));
         assert_eq!(reg.counter_value("fault.commands_dropped"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_the_fault_stream() {
+        let mut plan = stress_plan();
+        plan.persistent_rate = 0.3;
+        plan.transient_burst_len = 2;
+        let mask = WordMask::from_words([0, 3]);
+        let mut reference = plan.injector(Domain::Dram);
+        for row in 0..100 {
+            let _ = reference.corrupt_mask_at(site(row), mask);
+            let _ = reference.drop_command();
+        }
+        let mut w = SnapWriter::new();
+        reference.snap_save(&mut w);
+        let payload = w.into_bytes();
+        // Restore onto a fresh injector from the same plan, then both must
+        // produce the identical remaining stream and counters.
+        let mut restored = plan.injector(Domain::Dram);
+        let mut r = SnapReader::new(&payload);
+        restored.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.counts(), reference.counts());
+        for row in 0..100 {
+            assert_eq!(
+                reference.corrupt_mask_at(site(row), mask),
+                restored.corrupt_mask_at(site(row), mask)
+            );
+            assert_eq!(reference.drop_command(), restored.drop_command());
+        }
+        assert_eq!(restored.counts(), reference.counts());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// Digest of a run's configuration, excluding its seed. Two specs collide
 /// exactly when they would simulate the same system on the same workload —
 /// the identity the journal's resume logic needs.
+///
+/// Checkpoint knobs (`checkpoint_every`, `checkpoint_dir`) are deliberately
+/// excluded: checkpointing is observational — a checkpointed or restored
+/// run finishes with the same state digest as an uninterrupted one — so
+/// changing the cadence between `campaign run` and `campaign resume` must
+/// not force completed runs to re-execute.
 pub fn config_digest(spec: &RunSpec) -> u64 {
     let fixture = match spec.fixture {
         Fixture::None => "none",
@@ -66,6 +72,8 @@ mod tests {
             watchdog_queue_age: 0,
             fault_plan: None,
             recovery: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
             fixture: Fixture::None,
         }
     }
@@ -85,6 +93,18 @@ mod tests {
         let mut recovered = spec();
         recovered.recovery = true;
         assert_ne!(config_digest(&base), config_digest(&recovered));
+    }
+
+    #[test]
+    fn digest_ignores_checkpoint_knobs() {
+        // Checkpointing never changes what a run computes (the restore
+        // contract guarantees digest identity), so resuming a campaign with
+        // a different cadence must still skip its completed runs.
+        let base = spec();
+        let mut checkpointed = spec();
+        checkpointed.checkpoint_every = 5_000;
+        checkpointed.checkpoint_dir = Some("/tmp/snaps".to_string());
+        assert_eq!(config_digest(&base), config_digest(&checkpointed));
     }
 
     #[test]

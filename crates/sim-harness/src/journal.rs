@@ -84,6 +84,11 @@ pub struct JournalRecord {
     /// (`Report::power.total().round()`). 0 for failed/hung runs and old
     /// records.
     pub avg_power_mw: u64,
+    /// Memory cycle this run was restored from before executing (0 when it
+    /// ran from cycle 0). Non-zero means the harness found a valid
+    /// checkpoint from an earlier killed or failed attempt and resumed the
+    /// simulation mid-flight instead of repeating the prefix.
+    pub resumed_from_cycle: u64,
     /// [`pra_core::Report::state_digest`] of a successful run.
     pub state_digest: Option<u64>,
     /// Failure detail: panic payload or error message (empty when ok).
@@ -98,7 +103,7 @@ impl JournalRecord {
         let mut line = format!(
             "{{\"config\":\"{:016x}\",\"seed\":{},\"status\":\"{}\",\"scheme\":\"{}\",\
              \"workload\":\"{}\",\"cycles\":{},\"host_nanos\":{},\
-             \"energy_pj\":{},\"avg_power_mw\":{}",
+             \"energy_pj\":{},\"avg_power_mw\":{},\"resumed_from_cycle\":{}",
             self.config_digest,
             self.seed,
             self.status,
@@ -108,6 +113,7 @@ impl JournalRecord {
             self.host_nanos,
             self.energy_pj,
             self.avg_power_mw,
+            self.resumed_from_cycle,
         );
         if let Some(digest) = self.state_digest {
             line.push_str(&format!(",\"state_digest\":\"{digest:016x}\""));
@@ -138,6 +144,8 @@ impl JournalRecord {
             // Absent in journals written before power telemetry existed.
             energy_pj: json_u64(line, "energy_pj").unwrap_or(0),
             avg_power_mw: json_u64(line, "avg_power_mw").unwrap_or(0),
+            // Absent in journals written before checkpoint recovery existed.
+            resumed_from_cycle: json_u64(line, "resumed_from_cycle").unwrap_or(0),
             state_digest: match json_str(line, "state_digest") {
                 Some(s) => Some(u64::from_str_radix(&s, 16).ok()?),
                 None => None,
@@ -336,6 +344,7 @@ mod tests {
                 0
             },
             avg_power_mw: if status == RunStatus::Ok { 1_234 } else { 0 },
+            resumed_from_cycle: if status == RunStatus::Ok { 48_000 } else { 0 },
             state_digest: (status == RunStatus::Ok).then_some(0xabcd),
             detail: if status == RunStatus::Ok {
                 String::new()
@@ -401,6 +410,121 @@ mod tests {
         assert!(loaded
             .completed_keys()
             .contains(&(0xdead_beef_0123_4567, 1)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resumed_from_cycle_roundtrips_and_defaults_to_zero() {
+        let r = record(6, RunStatus::Ok);
+        let parsed = JournalRecord::parse(&r.to_json_line()).unwrap();
+        assert_eq!(parsed.resumed_from_cycle, 48_000);
+        // A journal written before checkpoint recovery existed.
+        let old = "{\"config\":\"00000000deadbeef\",\"seed\":4,\"status\":\"ok\",\
+                   \"scheme\":\"PRA\",\"workload\":\"GUPS\",\"cycles\":42,\
+                   \"detail\":\"\",\"repro\":\"pra run\"}";
+        assert_eq!(JournalRecord::parse(old).unwrap().resumed_from_cycle, 0);
+    }
+
+    /// A tiny deterministic xorshift generator — no external fuzzing crate,
+    /// no wall-clock seed, fully reproducible.
+    struct Xorshift(u64);
+
+    impl Xorshift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn fuzzed_mutations_never_panic_and_never_misparse() {
+        let good = record(1, RunStatus::Ok).to_json_line();
+        let bytes = good.as_bytes();
+        let mut rng = Xorshift(0x5eed_cafe_f00d_1234);
+        for _ in 0..2_000 {
+            let mut mutated = bytes.to_vec();
+            match rng.next() % 4 {
+                // Truncate at a random point (the kill-mid-write artifact).
+                0 => mutated.truncate((rng.next() as usize) % (bytes.len() + 1)),
+                // Flip a random byte.
+                1 => {
+                    let i = (rng.next() as usize) % mutated.len();
+                    mutated[i] ^= (rng.next() % 255) as u8 + 1;
+                }
+                // Insert a random byte.
+                2 => {
+                    let i = (rng.next() as usize) % (mutated.len() + 1);
+                    mutated.insert(i, (rng.next() % 256) as u8);
+                }
+                // Splice two halves of different records together.
+                _ => {
+                    let other = record(2, RunStatus::Failed).to_json_line();
+                    let cut = (rng.next() as usize) % mutated.len();
+                    let other_cut = (rng.next() as usize) % other.len();
+                    mutated.truncate(cut);
+                    mutated.extend_from_slice(&other.as_bytes()[other_cut..]);
+                }
+            }
+            let line = String::from_utf8_lossy(&mutated);
+            // Must never panic; when it does parse, the numeric fields must
+            // have come from real `"key":value` pairs, not from garbage.
+            if let Some(r) = JournalRecord::parse(&line) {
+                assert!(!r.scheme.is_empty() || line.contains("\"scheme\":\"\""));
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_lines_are_rejected_not_trusted() {
+        // Keys smuggled inside string values stay escaped and must not be
+        // picked up by the scanner.
+        let smuggled = "{\"detail\":\"\\\"config\\\":\\\"0123456789abcdef\\\",\
+                        \\\"seed\\\":9,\\\"status\\\":\\\"ok\\\"\",\"repro\":\"x\"}";
+        assert!(JournalRecord::parse(smuggled).is_none());
+        // Negative, overflowing and non-numeric numbers all reject the line.
+        for bad in [
+            "\"seed\":-5",
+            "\"seed\":99999999999999999999999999",
+            "\"seed\":\"7\"",
+        ] {
+            let line = record(1, RunStatus::Ok)
+                .to_json_line()
+                .replace("\"seed\":1", bad);
+            assert!(JournalRecord::parse(&line).is_none(), "must reject {bad:?}");
+        }
+        // An unknown status string is rejected, not defaulted.
+        let line = record(1, RunStatus::Ok)
+            .to_json_line()
+            .replace("\"status\":\"ok\"", "\"status\":\"exploded\"");
+        assert!(JournalRecord::parse(&line).is_none());
+        // Unterminated strings and non-object lines are rejected.
+        assert!(JournalRecord::parse("{\"config\":\"00ff").is_none());
+        assert!(JournalRecord::parse("[1,2,3]").is_none());
+        assert!(JournalRecord::parse("").is_none());
+        // NUL bytes and control characters don't panic the unescaper.
+        assert!(JournalRecord::parse("{\"config\":\"\u{0}\u{1}\"}").is_none());
+    }
+
+    #[test]
+    fn journal_full_of_garbage_loads_with_every_line_counted() {
+        let dir = std::env::temp_dir().join("sim_harness_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        let good = record(3, RunStatus::Ok).to_json_line();
+        let mut text = String::new();
+        for i in 0..50 {
+            text.push_str(&format!("garbage line {i} \u{fffd}\t{{{{\n"));
+        }
+        text.push_str(&good);
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.dropped_lines, 50);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -62,6 +62,12 @@ pub struct RunSpec {
     /// Arm the controller recovery pipeline (parity-alert replay with
     /// full-row fallback) for this run.
     pub recovery: bool,
+    /// Checkpoint interval in memory cycles (0 disables checkpointing).
+    pub checkpoint_every: u64,
+    /// Root checkpoint directory; each run writes snapshots into its own
+    /// `<config_digest:016x>-<seed>` subdirectory so parallel runs never
+    /// collide. Required exactly when `checkpoint_every > 0`.
+    pub checkpoint_dir: Option<String>,
     /// Synthetic-fixture kind, [`Fixture::None`] for real runs.
     pub fixture: Fixture,
 }
@@ -165,6 +171,14 @@ pub struct Campaign {
     /// replay instead of degrading immediately; completed runs that needed
     /// it journal as `recovered`).
     pub recovery: bool,
+    /// Checkpoint every run's full simulator state at this memory-cycle
+    /// interval (0 disables). A run that fails, hangs, or is killed
+    /// mid-flight re-executes from its last valid checkpoint instead of
+    /// cycle 0 — the restored run finishes with an identical state digest.
+    pub checkpoint_every: u64,
+    /// Root directory for per-run checkpoint subdirectories. Required
+    /// exactly when `checkpoint_every > 0`.
+    pub checkpoint_dir: Option<String>,
     /// Append one synthetic panicking run (harness self-test).
     pub include_panic_fixture: bool,
     /// Append one synthetic hanging run (harness self-test).
@@ -194,6 +208,8 @@ impl Campaign {
         let mut determinism_sample = 0u64;
         let mut fault_plans = Vec::new();
         let mut recovery = false;
+        let mut checkpoint_every = 0u64;
+        let mut checkpoint_dir: Option<String> = None;
         let mut include_panic_fixture = false;
         let mut include_hang_fixture = false;
 
@@ -263,6 +279,16 @@ impl Campaign {
                     fault_plans = parse_string_array(value, key, lineno)?;
                 }
                 "recovery" => recovery = as_bool(value)?,
+                "checkpoint_every" => checkpoint_every = as_u64(value)?,
+                "checkpoint_dir" => {
+                    let dir = value.trim_matches('"');
+                    if dir.is_empty() {
+                        return Err(matrix_err(format!(
+                            "line {lineno}: checkpoint_dir wants a non-empty quoted path"
+                        )));
+                    }
+                    checkpoint_dir = Some(dir.to_string());
+                }
                 "include_panic_fixture" => include_panic_fixture = as_bool(value)?,
                 "include_hang_fixture" => include_hang_fixture = as_bool(value)?,
                 _ => {
@@ -284,6 +310,8 @@ impl Campaign {
             determinism_sample,
             fault_plans,
             recovery,
+            checkpoint_every,
+            checkpoint_dir,
             include_panic_fixture,
             include_hang_fixture,
         };
@@ -312,6 +340,21 @@ impl Campaign {
                 self.cores
             )));
         }
+        match (self.checkpoint_every, &self.checkpoint_dir) {
+            (0, Some(_)) => {
+                return Err(matrix_err(
+                    "checkpoint_dir is set but checkpoint_every is 0; \
+                     add `checkpoint_every = <memory cycles>`",
+                ));
+            }
+            (n, None) if n > 0 => {
+                return Err(matrix_err(
+                    "checkpoint_every is set but checkpoint_dir is missing; \
+                     add `checkpoint_dir = \"<directory>\"`",
+                ));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -338,6 +381,8 @@ impl Campaign {
                             watchdog_queue_age: self.watchdog_queue_age,
                             fault_plan: plan.clone(),
                             recovery: self.recovery,
+                            checkpoint_every: self.checkpoint_every,
+                            checkpoint_dir: self.checkpoint_dir.clone(),
                             fixture: Fixture::None,
                         });
                     }
@@ -439,7 +484,31 @@ impl RunSpec {
         if self.recovery {
             line.push_str(" --recovery");
         }
+        if let Some(subdir) = self.checkpoint_subdir() {
+            line.push_str(&format!(
+                " --checkpoint-every {} --checkpoint-dir {}",
+                self.checkpoint_every,
+                subdir.display()
+            ));
+        }
         line
+    }
+
+    /// This run's private checkpoint directory —
+    /// `<checkpoint_dir>/<config_digest:016x>-<seed>` — or `None` when
+    /// checkpointing is off. The digest/seed pair is the journal's resume
+    /// key, so concurrent runs of one campaign never share a directory and
+    /// a re-executed run finds exactly its own snapshots.
+    pub fn checkpoint_subdir(&self) -> Option<std::path::PathBuf> {
+        let dir = self.checkpoint_dir.as_ref()?;
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        Some(std::path::Path::new(dir).join(format!(
+            "{:016x}-{}",
+            crate::digest::config_digest(self),
+            self.seed
+        )))
     }
 }
 
@@ -521,6 +590,58 @@ mod tests {
         let plain = Campaign::from_toml_str(MINIMAL).unwrap();
         assert!(!plain.recovery, "recovery defaults off");
         assert!(!plain.expand()[0].repro_line().contains("--recovery"));
+    }
+
+    #[test]
+    fn checkpoint_knobs_parse_and_flow_into_specs() {
+        let text = format!("{MINIMAL}\ncheckpoint_every = 5000\ncheckpoint_dir = \"/tmp/snaps\"\n");
+        let c = Campaign::from_toml_str(&text).unwrap();
+        assert_eq!(c.checkpoint_every, 5_000);
+        assert_eq!(c.checkpoint_dir.as_deref(), Some("/tmp/snaps"));
+        let specs = c.expand();
+        let spec = &specs[0];
+        assert_eq!(spec.checkpoint_every, 5_000);
+        let subdir = spec.checkpoint_subdir().unwrap();
+        let name = subdir.file_name().unwrap().to_str().unwrap();
+        // <config_digest:016x>-<seed>
+        let (digest_part, seed_part) = name.split_once('-').unwrap();
+        assert_eq!(digest_part.len(), 16, "{name}");
+        assert_eq!(
+            u64::from_str_radix(digest_part, 16).unwrap(),
+            crate::digest::config_digest(spec)
+        );
+        assert_eq!(seed_part, spec.seed.to_string());
+        // Different seeds get different subdirectories.
+        let other = specs.iter().find(|s| s.seed != spec.seed).unwrap();
+        assert_ne!(subdir, other.checkpoint_subdir().unwrap());
+        let line = spec.repro_line();
+        assert!(line.contains("--checkpoint-every 5000"), "{line}");
+        assert!(
+            line.contains(&format!("--checkpoint-dir {}", subdir.display())),
+            "{line}"
+        );
+        // Off by default: no flags, no subdir.
+        let plain = Campaign::from_toml_str(MINIMAL).unwrap();
+        let spec = &plain.expand()[0];
+        assert!(spec.checkpoint_subdir().is_none());
+        assert!(
+            !spec.repro_line().contains("--checkpoint"),
+            "{}",
+            spec.repro_line()
+        );
+    }
+
+    #[test]
+    fn half_configured_checkpointing_is_rejected() {
+        let e =
+            Campaign::from_toml_str(&format!("{MINIMAL}\ncheckpoint_every = 5000\n")).unwrap_err();
+        assert!(e.to_string().contains("checkpoint_dir is missing"), "{e}");
+        let e = Campaign::from_toml_str(&format!("{MINIMAL}\ncheckpoint_dir = \"/tmp/snaps\"\n"))
+            .unwrap_err();
+        assert!(e.to_string().contains("checkpoint_every is 0"), "{e}");
+        let e =
+            Campaign::from_toml_str(&format!("{MINIMAL}\ncheckpoint_dir = \"\"\n")).unwrap_err();
+        assert!(e.to_string().contains("non-empty"), "{e}");
     }
 
     #[test]

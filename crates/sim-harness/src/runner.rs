@@ -8,11 +8,11 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use pra_core::{Report, SimBuilder, SimError};
+use pra_core::{Report, SimBuilder, SimError, SnapOutcome};
 use sim_obs::MetricsRegistry;
 
 use crate::digest::config_digest;
-use crate::journal::{load_journal, JournalRecord, JournalWriter, RunStatus};
+use crate::journal::{load_journal, JournalRecord, JournalWriter, LoadedJournal, RunStatus};
 use crate::matrix::{Campaign, Fixture, RunSpec};
 
 /// Error starting or finishing a campaign (the individual runs inside it
@@ -115,6 +115,9 @@ pub struct CampaignSummary {
     pub determinism_checked: usize,
     /// Spot-checked runs whose two state digests differed.
     pub determinism_mismatches: usize,
+    /// Runs that completed after restoring from a mid-run checkpoint (a
+    /// previous attempt was killed or failed after making progress).
+    pub resumed: usize,
     /// Wall-clock duration of the execution phase, in milliseconds.
     pub elapsed_ms: u64,
     /// Worker threads used.
@@ -160,6 +163,22 @@ impl CampaignSummary {
                     "es"
                 },
             ));
+        }
+        if self.resumed > 0 {
+            out.push_str(&format!(
+                "\ncheckpoint recovery: {} run{} resumed from a mid-run snapshot",
+                self.resumed,
+                if self.resumed == 1 { "" } else { "s" },
+            ));
+        }
+        if let Some(skipped_lines) = self.metrics.counter_value("campaign.journal_skipped_lines") {
+            if skipped_lines > 0 {
+                out.push_str(&format!(
+                    "\njournal: {skipped_lines} malformed line{} skipped \
+                     (campaign.journal_skipped_lines={skipped_lines})",
+                    if skipped_lines == 1 { "" } else { "s" },
+                ));
+            }
         }
         if let Some(hist) = self.metrics.histogram_value("campaign.run_cycles") {
             if hist.count() > 0 {
@@ -227,7 +246,13 @@ impl CampaignSummary {
 /// the determinism spot-check). Runs on a worker thread inside
 /// `catch_unwind`; panics (including the synthetic fixture's) unwind to
 /// the isolation boundary in [`execute_spec`].
-fn run_spec(spec: &RunSpec, verify: bool) -> Result<Report, SimError> {
+///
+/// With checkpointing configured, the run writes snapshots into the spec's
+/// private subdirectory and — when a previous attempt (killed campaign,
+/// failed run) left a valid snapshot behind — restores from the newest one
+/// instead of repeating the simulated prefix. The restore contract
+/// guarantees the final state digest is unchanged either way.
+fn run_spec(spec: &RunSpec, verify: bool) -> Result<(Report, SnapOutcome), SimError> {
     if spec.fixture == Fixture::Panic {
         panic!(
             "synthetic panic fixture: poisoned configuration for {}",
@@ -262,11 +287,40 @@ fn run_spec(spec: &RunSpec, verify: bool) -> Result<Report, SimError> {
     if spec.recovery {
         builder = builder.recovery(pra_core::RecoveryConfig::default());
     }
-    if verify {
-        builder.try_run_verified()
-    } else {
-        builder.try_run()
+    if let Some(subdir) = spec.checkpoint_subdir() {
+        builder = builder
+            .checkpoint_every(spec.checkpoint_every)
+            .checkpoint_dir(&subdir);
+        // Torn or mismatched snapshots are skipped by latest_valid; the
+        // run simply starts further back (or from cycle 0).
+        if let Ok(Some(found)) = sim_snap::latest_valid(&subdir, Some(builder.config_digest())) {
+            builder = builder.restore(found.path);
+        }
     }
+    let (report, snap) = builder.try_run_snap()?;
+    if verify {
+        let (second, _) = builder.try_run_snap()?;
+        let (a, b) = (report.state_digest(), second.state_digest());
+        if a != b {
+            return Err(SimError::Nondeterministic {
+                first: a,
+                second: b,
+            });
+        }
+    }
+    Ok((report, snap))
+}
+
+/// The cycle of the newest valid snapshot in the spec's checkpoint
+/// subdirectory, or `None` when checkpointing is off or no valid snapshot
+/// exists. Used to detect whether a failed attempt made checkpoint
+/// progress (and a retry is therefore worth starting).
+fn newest_checkpoint_cycle(spec: &RunSpec) -> Option<u64> {
+    let subdir = spec.checkpoint_subdir()?;
+    sim_snap::latest_valid(&subdir, None)
+        .ok()
+        .flatten()
+        .map(|found| found.header.cycle)
 }
 
 fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -279,8 +333,58 @@ fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The raw result of one attempt: panic payload or simulation outcome.
+type AttemptOutcome =
+    Result<Result<(Report, SnapOutcome), SimError>, Box<dyn std::any::Any + Send>>;
+
+/// Classifies one attempt's outcome into the journal record. Returns
+/// whether the attempt exposed a determinism mismatch.
+fn classify_attempt(record: &mut JournalRecord, outcome: AttemptOutcome) -> bool {
+    match outcome {
+        Ok(Ok((report, snap))) => {
+            // A completed run that needed the recovery pipeline is journaled
+            // distinctly so fault campaigns can assert it engaged.
+            record.status = if report.recovery.engaged() {
+                RunStatus::Recovered
+            } else {
+                RunStatus::Ok
+            };
+            record.cycles = report.cpu_cycles;
+            record.energy_pj = report.energy.total().round() as u64;
+            record.avg_power_mw = report.power.total().round() as u64;
+            record.resumed_from_cycle = snap.restored_from_cycle.unwrap_or(0);
+            record.state_digest = Some(report.state_digest());
+            record.detail = String::new();
+            false
+        }
+        Ok(Err(e @ (SimError::Liveness(_) | SimError::Protocol(_)))) => {
+            record.status = RunStatus::Hung;
+            record.detail = e.to_string();
+            false
+        }
+        Ok(Err(e)) => {
+            record.status = RunStatus::Failed;
+            record.detail = e.to_string();
+            matches!(e, SimError::Nondeterministic { .. })
+        }
+        Err(payload) => {
+            record.status = RunStatus::Failed;
+            record.detail = format!("panicked: {}", panic_payload(payload));
+            false
+        }
+    }
+}
+
 /// Executes one spec behind the panic-isolation boundary and classifies
 /// the outcome into a journal record. Never panics, never errors.
+///
+/// With checkpointing configured, a failed or hung attempt that made
+/// checkpoint progress (its newest valid snapshot advanced past whatever
+/// was on disk before the attempt) is retried exactly once; the retry
+/// restores from that snapshot instead of starting over. Deterministic
+/// failures fail again quickly — the retry resumes just before the failure
+/// point — while host-level flukes (and runs re-executed after a killed
+/// campaign) complete with `resumed_from_cycle` journaled.
 fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
     let digest = config_digest(spec);
     let mut record = JournalRecord {
@@ -293,42 +397,29 @@ fn execute_spec(spec: &RunSpec, verify: bool) -> (JournalRecord, bool) {
         host_nanos: 0,
         energy_pj: 0,
         avg_power_mw: 0,
+        resumed_from_cycle: 0,
         state_digest: None,
         detail: String::new(),
         repro: spec.repro_line(),
     };
-    let mut mismatch = false;
     let started = Instant::now();
+    let before = newest_checkpoint_cycle(spec);
     let outcome = catch_unwind(AssertUnwindSafe(|| run_spec(spec, verify)));
-    record.host_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    match outcome {
-        Ok(Ok(report)) => {
-            // A completed run that needed the recovery pipeline is journaled
-            // distinctly so fault campaigns can assert it engaged.
-            record.status = if report.recovery.engaged() {
-                RunStatus::Recovered
-            } else {
-                RunStatus::Ok
-            };
-            record.cycles = report.cpu_cycles;
-            record.energy_pj = report.energy.total().round() as u64;
-            record.avg_power_mw = report.power.total().round() as u64;
-            record.state_digest = Some(report.state_digest());
-        }
-        Ok(Err(e @ (SimError::Liveness(_) | SimError::Protocol(_)))) => {
-            record.status = RunStatus::Hung;
-            record.detail = e.to_string();
-        }
-        Ok(Err(e)) => {
-            mismatch = matches!(e, SimError::Nondeterministic { .. });
-            record.status = RunStatus::Failed;
-            record.detail = e.to_string();
-        }
-        Err(payload) => {
-            record.status = RunStatus::Failed;
-            record.detail = format!("panicked: {}", panic_payload(payload));
+    let mut mismatch = classify_attempt(&mut record, outcome);
+    if !matches!(record.status, RunStatus::Ok | RunStatus::Recovered)
+        && newest_checkpoint_cycle(spec) > before
+    {
+        let first_detail = std::mem::take(&mut record.detail);
+        let retry = catch_unwind(AssertUnwindSafe(|| run_spec(spec, verify)));
+        mismatch = classify_attempt(&mut record, retry);
+        if !matches!(record.status, RunStatus::Ok | RunStatus::Recovered) {
+            record.detail = format!(
+                "{} (retry from checkpoint; first attempt: {first_detail})",
+                record.detail
+            );
         }
     }
+    record.host_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     (record, mismatch)
 }
 
@@ -357,13 +448,36 @@ pub fn run_campaign(
             options.journal.display()
         )));
     }
-    let completed = if journal_exists {
+    let loaded = if journal_exists {
         load_journal(&options.journal)
             .map_err(|e| harness_err(format!("reading {}: {e}", options.journal.display())))?
-            .completed_keys()
     } else {
-        Default::default()
+        LoadedJournal::default()
     };
+    if options.resume {
+        // Refuse to resume against a journal another campaign wrote: every
+        // journaled config digest must be producible by the re-expanded
+        // matrix, else "skip completed runs" would silently skip runs of a
+        // *different* experiment.
+        let expected: std::collections::HashSet<u64> = specs.iter().map(config_digest).collect();
+        if let Some(alien) = loaded
+            .records
+            .iter()
+            .find(|r| !expected.contains(&r.config_digest))
+        {
+            return Err(harness_err(format!(
+                "cannot resume: journal {} was written by a different campaign — \
+                 record {}/{} seed {} has config digest {:016x}, which the \
+                 re-expanded matrix does not produce (did the matrix file change?)",
+                options.journal.display(),
+                alien.scheme,
+                alien.workload,
+                alien.seed,
+                alien.config_digest,
+            )));
+        }
+    }
+    let completed = loaded.completed_keys();
 
     let mut todo: Vec<(RunSpec, bool)> = Vec::new();
     let mut skipped = 0usize;
@@ -398,6 +512,7 @@ pub fn run_campaign(
         skipped,
         determinism_checked: todo.iter().filter(|(_, v)| *v).count(),
         determinism_mismatches: 0,
+        resumed: 0,
         elapsed_ms: 0,
         jobs,
         failures: Vec::new(),
@@ -412,8 +527,13 @@ pub fn run_campaign(
     let mismatch_id = summary.metrics.counter("campaign.determinism_mismatches");
     let host_id = summary.metrics.counter("campaign.host_nanos");
     let energy_id = summary.metrics.counter("campaign.energy_pj");
+    let resumed_id = summary.metrics.counter("campaign.runs_resumed");
+    let journal_skipped_id = summary.metrics.counter("campaign.journal_skipped_lines");
     let cycles_id = summary.metrics.histogram("campaign.run_cycles");
     summary.metrics.add(skipped_id, skipped as u64);
+    summary
+        .metrics
+        .add(journal_skipped_id, loaded.dropped_lines as u64);
 
     let started = Instant::now();
     let pending = todo.len();
@@ -466,6 +586,10 @@ pub fn run_campaign(
             if mismatch {
                 summary.determinism_mismatches += 1;
                 summary.metrics.add(mismatch_id, 1);
+            }
+            if record.resumed_from_cycle > 0 {
+                summary.resumed += 1;
+                summary.metrics.add(resumed_id, 1);
             }
             summary.metrics.add(host_id, record.host_nanos);
             summary.metrics.add(energy_id, record.energy_pj);
@@ -539,8 +663,18 @@ mod tests {
             watchdog_queue_age: 0,
             fault_plan: None,
             recovery: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
             fixture,
         }
+    }
+
+    /// A fresh (pre-cleaned) checkpoint root for one test.
+    fn snap_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sim_harness_snap_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -622,6 +756,207 @@ mod tests {
             record.detail
         );
         assert!(record.repro.contains("--faults /no/such/plan.toml"));
+    }
+
+    #[test]
+    fn reexecuted_run_resumes_from_leftover_checkpoints_with_identical_digest() {
+        // Models a campaign killed after this run's checkpoints hit disk
+        // but before its journal record did: the run re-executes, finds its
+        // own snapshots, resumes mid-flight, and must finish bit-identical.
+        let root = snap_root("reexec");
+        let mut spec = tiny_spec(Fixture::None);
+        spec.instructions = 4_000;
+        spec.warmup = 2_000;
+        spec.checkpoint_every = 300;
+        spec.checkpoint_dir = Some(root.to_str().unwrap().to_string());
+        let (first, _) = execute_spec(&spec, false);
+        assert_eq!(first.status, RunStatus::Ok, "{}", first.detail);
+        assert_eq!(first.resumed_from_cycle, 0, "first run starts at cycle 0");
+        let subdir = spec.checkpoint_subdir().unwrap();
+        assert!(
+            std::fs::read_dir(&subdir).unwrap().count() > 0,
+            "checkpoints must have been written"
+        );
+        let (second, _) = execute_spec(&spec, false);
+        assert_eq!(second.status, RunStatus::Ok, "{}", second.detail);
+        assert!(
+            second.resumed_from_cycle > 0,
+            "re-execution must resume from a snapshot"
+        );
+        assert_eq!(
+            second.state_digest, first.state_digest,
+            "a resumed run must finish bit-identical to an uninterrupted one"
+        );
+        assert!(
+            second.repro.contains("--checkpoint-every 300"),
+            "{}",
+            second.repro
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_run_without_checkpoint_progress_is_not_retried() {
+        // The fault-plan file is missing, so the attempt fails before
+        // simulating anything: no checkpoint progress, no retry — the
+        // detail carries a single failure, not a retry trail.
+        let root = snap_root("noretry");
+        let mut spec = tiny_spec(Fixture::None);
+        spec.fault_plan = Some("/no/such/plan.toml".to_string());
+        spec.checkpoint_every = 300;
+        spec.checkpoint_dir = Some(root.to_str().unwrap().to_string());
+        let (record, _) = execute_spec(&spec, false);
+        assert_eq!(record.status, RunStatus::Failed);
+        assert!(
+            !record.detail.contains("retry from checkpoint"),
+            "{}",
+            record.detail
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn hung_run_with_checkpoint_progress_is_retried_once_from_snapshot() {
+        // A 20-cycle no-retire watchdog trips shortly into the measured
+        // phase, after the 10-cycle checkpoint cadence has written at least
+        // one snapshot. The retry resumes from it, deterministically hangs
+        // again, and the detail records both attempts.
+        let root = snap_root("hungretry");
+        let mut spec = tiny_spec(Fixture::Hang);
+        spec.checkpoint_every = 10;
+        spec.checkpoint_dir = Some(root.to_str().unwrap().to_string());
+        let (record, _) = execute_spec(&spec, false);
+        assert_eq!(record.status, RunStatus::Hung, "{}", record.detail);
+        assert!(
+            record.detail.contains("retry from checkpoint"),
+            "progress was made, so a retry must have happened: {}",
+            record.detail
+        );
+        assert!(
+            record.detail.contains("first attempt:"),
+            "{}",
+            record.detail
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn campaign_with_checkpointing_survives_and_resumes() {
+        let root = snap_root("campaign");
+        let journal = root.join("journal.jsonl");
+        let matrix = format!(
+            "schemes = [\"baseline\", \"pra\"]\nworkloads = [\"GUPS\"]\nseeds = [1]\n\
+             instructions = 4000\nwarmup = 2000\ncheckpoint_every = 300\n\
+             checkpoint_dir = \"{}\"\n",
+            root.join("snaps").display()
+        );
+        let campaign = Campaign::from_toml_str(&matrix).unwrap();
+        let options = CampaignOptions {
+            jobs: 1,
+            journal: journal.clone(),
+            resume: false,
+        };
+        let summary = run_campaign(&campaign, &options).unwrap();
+        assert_eq!(summary.ok, 2, "{}", summary.render());
+        assert_eq!(summary.resumed, 0, "fresh runs start at cycle 0");
+        // Drop one journal record (as if the campaign died before writing
+        // it); its checkpoints remain. The resumed campaign re-executes
+        // exactly that run, restoring mid-flight.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let dropped_line = lines.pop().unwrap().to_string();
+        let dropped = JournalRecord::parse(&dropped_line).unwrap();
+        std::fs::write(&journal, format!("{}\n", lines.join("\n"))).unwrap();
+        let resume_options = CampaignOptions {
+            jobs: 1,
+            journal: journal.clone(),
+            resume: true,
+        };
+        let summary = run_campaign(&campaign, &resume_options).unwrap();
+        assert_eq!(summary.skipped, 1, "{}", summary.render());
+        assert_eq!(summary.ok, 1, "{}", summary.render());
+        assert_eq!(summary.resumed, 1, "{}", summary.render());
+        assert!(
+            summary
+                .render()
+                .contains("checkpoint recovery: 1 run resumed"),
+            "{}",
+            summary.render()
+        );
+        // The re-executed run's digest matches the killed attempt's.
+        let reloaded = load_journal(&journal).unwrap();
+        let rerun = reloaded
+            .records
+            .iter()
+            .find(|r| r.key() == dropped.key())
+            .unwrap();
+        assert!(rerun.resumed_from_cycle > 0);
+        assert_eq!(rerun.state_digest, dropped.state_digest);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_campaign() {
+        let root = snap_root("alienresume");
+        let journal = root.join("journal.jsonl");
+        let matrix_a = "schemes = [\"baseline\"]\nworkloads = [\"GUPS\"]\nseeds = [1]\n\
+                        instructions = 300\nwarmup = 1000\n";
+        let campaign_a = Campaign::from_toml_str(matrix_a).unwrap();
+        let options = CampaignOptions {
+            jobs: 1,
+            journal: journal.clone(),
+            resume: false,
+        };
+        run_campaign(&campaign_a, &options).unwrap();
+        // Same journal, different instruction count: every journaled digest
+        // is now alien to the re-expanded matrix.
+        let matrix_b = matrix_a.replace("instructions = 300", "instructions = 500");
+        let campaign_b = Campaign::from_toml_str(&matrix_b).unwrap();
+        let resume_options = CampaignOptions {
+            jobs: 1,
+            journal: journal.clone(),
+            resume: true,
+        };
+        let e = run_campaign(&campaign_b, &resume_options).unwrap_err();
+        assert!(e.to_string().contains("different campaign"), "{e}");
+        assert!(e.to_string().contains("config digest"), "{e}");
+        // The original campaign still resumes cleanly (everything skipped).
+        let summary = run_campaign(&campaign_a, &resume_options).unwrap();
+        assert_eq!(summary.skipped, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_journal_lines_are_counted_in_campaign_metrics() {
+        let root = snap_root("skiplines");
+        let journal = root.join("journal.jsonl");
+        std::fs::write(&journal, "this is not a journal line\n{\"torn\":\n").unwrap();
+        let campaign = Campaign::from_toml_str(
+            "schemes = [\"baseline\"]\nworkloads = [\"GUPS\"]\nseeds = [1]\n\
+             instructions = 300\nwarmup = 1000\n",
+        )
+        .unwrap();
+        let options = CampaignOptions {
+            jobs: 1,
+            journal: journal.clone(),
+            resume: true,
+        };
+        let summary = run_campaign(&campaign, &options).unwrap();
+        assert_eq!(
+            summary
+                .metrics
+                .counter_value("campaign.journal_skipped_lines"),
+            Some(2),
+            "{}",
+            summary.render()
+        );
+        assert!(
+            summary.render().contains("2 malformed lines skipped"),
+            "{}",
+            summary.render()
+        );
+        assert_eq!(summary.ok, 1, "the run itself executes normally");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

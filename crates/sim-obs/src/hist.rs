@@ -157,6 +157,32 @@ impl Log2Histogram {
     }
 }
 
+impl sim_snap::SnapState for Log2Histogram {
+    // The raw `min` field travels as-is (u64::MAX when empty), not the
+    // clamped value `min()` reports — restoring the clamp would corrupt
+    // the first post-restore `record()`.
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        self.count = r.u64()?;
+        self.sum = r.u64()?;
+        self.min = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,91 @@ impl Observer {
     }
 }
 
+impl sim_snap::SnapState for Observer {
+    // Mutable observation state only: the registry contents, the retained
+    // epoch snapshots and the epoch cursor. The sink, the metrics writer
+    // and `epoch_cycles` are configuration — the restore path rebuilds
+    // them from the same builder, and trace/metrics *output* deliberately
+    // restarts at the restore point (documented in DESIGN.md §11).
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("observer");
+        self.registry.snap_save(w);
+        w.seq(self.snapshots.len());
+        for snap in &self.snapshots {
+            w.u64(snap.index);
+            w.u64(snap.start_cycle);
+            w.u64(snap.end_cycle);
+            w.seq(snap.counters.len());
+            for (name, delta) in &snap.counters {
+                w.str(name);
+                w.u64(*delta);
+            }
+            w.seq(snap.gauges.len());
+            for (name, value) in &snap.gauges {
+                w.str(name);
+                w.f64(*value);
+            }
+            w.seq(snap.histograms.len());
+            for (name, h) in &snap.histograms {
+                w.str(name);
+                w.u64(h.count);
+                w.u64(h.sum);
+                w.u64(h.p50);
+                w.u64(h.p95);
+                w.u64(h.p99);
+            }
+        }
+        w.u64(self.epoch_index);
+        w.u64(self.epoch_start);
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        r.section("observer")?;
+        self.registry.snap_load(r)?;
+        self.snapshots.clear();
+        for _ in 0..r.seq()? {
+            let index = r.u64()?;
+            let start_cycle = r.u64()?;
+            let end_cycle = r.u64()?;
+            let mut counters = Vec::new();
+            for _ in 0..r.seq()? {
+                let name = r.str()?;
+                counters.push((name, r.u64()?));
+            }
+            let mut gauges = Vec::new();
+            for _ in 0..r.seq()? {
+                let name = r.str()?;
+                gauges.push((name, r.f64()?));
+            }
+            let mut histograms = Vec::new();
+            for _ in 0..r.seq()? {
+                let name = r.str()?;
+                histograms.push((
+                    name,
+                    HistogramDelta {
+                        count: r.u64()?,
+                        sum: r.u64()?,
+                        p50: r.u64()?,
+                        p95: r.u64()?,
+                        p99: r.u64()?,
+                    },
+                ));
+            }
+            self.snapshots.push(EpochSnapshot {
+                index,
+                start_cycle,
+                end_cycle,
+                counters,
+                gauges,
+                histograms,
+            });
+        }
+        self.epoch_index = r.u64()?;
+        self.epoch_start = r.u64()?;
+        Ok(())
+    }
+}
+
 impl Default for Observer {
     fn default() -> Self {
         Observer::disabled()
@@ -223,6 +308,50 @@ mod tests {
         let mut obs = Observer::disabled();
         obs.finish(500);
         assert!(obs.snapshots().is_empty());
+    }
+
+    #[test]
+    fn observer_snapshot_roundtrip_restores_registry_and_epochs() {
+        use sim_snap::{SnapReader, SnapState, SnapWriter};
+
+        let mut reference = Observer::disabled();
+        reference.set_epochs(100, None);
+        let c = reference.registry.counter("dram.acts");
+        let g = reference.registry.gauge("q.depth");
+        let h = reference.registry.histogram("lat");
+        reference.registry.add(c, 7);
+        reference.registry.set_gauge(g, 2.5);
+        reference.registry.observe(h, 40);
+        reference.end_epoch(100);
+        reference.registry.add(c, 3);
+
+        let mut w = SnapWriter::new();
+        reference.snap_save(&mut w);
+        let payload = w.into_bytes();
+
+        // Restore onto a freshly-built observer whose registry already
+        // holds the construction-time registrations (the overlay path).
+        let mut restored = Observer::disabled();
+        restored.set_epochs(100, None);
+        restored.registry.counter("dram.acts");
+        restored.registry.gauge("q.depth");
+        restored.registry.histogram("lat");
+        let mut r = SnapReader::new(&payload);
+        restored.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.registry.counter_value("dram.acts"), Some(10));
+        assert_eq!(restored.registry.gauge_value("q.depth"), Some(2.5));
+        assert_eq!(restored.snapshots(), reference.snapshots());
+        assert_eq!(restored.epoch_index(), 1);
+        // The rebuilt index maps the old ids onto the same slots, and the
+        // next epoch continues the delta chain exactly.
+        let c2 = restored.registry.counter("dram.acts");
+        restored.registry.add(c2, 1);
+        reference.registry.add(c, 1);
+        restored.end_epoch(200);
+        reference.end_epoch(200);
+        assert_eq!(restored.snapshots(), reference.snapshots());
     }
 
     #[test]

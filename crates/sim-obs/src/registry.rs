@@ -325,6 +325,75 @@ impl MetricsRegistry {
     }
 }
 
+impl sim_snap::SnapState for MetricsRegistry {
+    // Slots travel in registration order, which is the deterministic
+    // construction order of the instrumented components — so a restore
+    // rebuilds the identical slot vector and every `MetricId` minted by
+    // the rebuilt components still indexes its own metric.
+    fn snap_save(&self, w: &mut sim_snap::SnapWriter) {
+        w.section("metrics-registry");
+        w.seq(self.slots.len());
+        for (name, slot) in &self.slots {
+            w.str(name);
+            match slot {
+                Slot::Counter { value, prev } => {
+                    w.u8(0);
+                    w.u64(*value);
+                    w.u64(*prev);
+                }
+                Slot::Gauge { value } => {
+                    w.u8(1);
+                    w.f64(*value);
+                }
+                Slot::Histogram {
+                    hist,
+                    prev_count,
+                    prev_sum,
+                } => {
+                    w.u8(2);
+                    hist.snap_save(w);
+                    w.u64(*prev_count);
+                    w.u64(*prev_sum);
+                }
+            }
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut sim_snap::SnapReader) -> Result<(), sim_snap::SnapError> {
+        r.section("metrics-registry")?;
+        self.slots.clear();
+        self.index.clear();
+        for _ in 0..r.seq()? {
+            let name = r.str()?;
+            let slot = match r.u8()? {
+                0 => Slot::Counter {
+                    value: r.u64()?,
+                    prev: r.u64()?,
+                },
+                1 => Slot::Gauge { value: r.f64()? },
+                2 => {
+                    let mut hist = Box::new(Log2Histogram::new());
+                    hist.snap_load(r)?;
+                    Slot::Histogram {
+                        hist,
+                        prev_count: r.u64()?,
+                        prev_sum: r.u64()?,
+                    }
+                }
+                other => {
+                    return Err(sim_snap::SnapError::Decode(format!(
+                        "unknown metric slot kind tag {other}"
+                    )))
+                }
+            };
+            let id = MetricId(self.slots.len());
+            self.index.insert(name.clone(), id);
+            self.slots.push((name, slot));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,7 @@ const RANK_TID_BASE: u32 = 900;
 const COMPLETION_TID: u32 = 990;
 const DRAIN_TID: u32 = 991;
 const WRITEBACK_TID: u32 = 99;
+const SNAP_TID: u32 = 98;
 
 /// Incremental builder for a combined host + simulated-time trace.
 #[derive(Debug, Default)]
@@ -258,6 +259,16 @@ impl PerfettoTrace {
                     cycles.max(1),
                     &format!("\"reason\":\"{}\",\"cycles\":{cycles}", reason.name()),
                 );
+            }
+            TraceEvent::Checkpoint { seq, .. } => {
+                self.cpu_process();
+                self.name_thread(CPU_PID, SNAP_TID, "checkpoints");
+                self.push_complete(kind, CPU_PID, SNAP_TID, ts, 1, &format!("\"seq\":{seq}"));
+            }
+            TraceEvent::Restore { .. } => {
+                self.cpu_process();
+                self.name_thread(CPU_PID, SNAP_TID, "checkpoints");
+                self.push_complete(kind, CPU_PID, SNAP_TID, ts, 1, "");
             }
             TraceEvent::PowerEpoch {
                 act_pre_pj,

@@ -49,6 +49,7 @@ use core::fmt;
 use std::collections::BTreeMap;
 
 use sim_obs::MetricsRegistry;
+use sim_snap::{SnapError, SnapReader, SnapState, SnapWriter};
 
 /// Tuning knobs of the recovery pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -352,6 +353,75 @@ impl RecoveryEngine {
     }
 }
 
+impl SnapState for RecoveryEngine {
+    // The config is covered by the snapshot's config digest; the mutable
+    // state is the counters, per-bank hold-offs, per-command attempt
+    // budgets and the demotion scoreboard — all BTreeMaps, so iteration
+    // order is already canonical.
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("recovery-engine");
+        let c = self.counts;
+        for v in [
+            c.alerts,
+            c.retries,
+            c.recovered,
+            c.exhausted,
+            c.demotions,
+            c.promotions,
+        ] {
+            w.u64(v);
+        }
+        w.seq(self.blocked.len());
+        for (&(rank, bank), &until) in &self.blocked {
+            w.u32(rank);
+            w.u32(bank);
+            w.u64(until);
+        }
+        w.seq(self.attempts.len());
+        for (&(rank, bank, row), &tries) in &self.attempts {
+            w.u32(rank);
+            w.u32(bank);
+            w.u32(row);
+            w.u32(tries);
+        }
+        w.seq(self.scoreboard.demoted.len());
+        for (&(rank, bank, row), &until) in &self.scoreboard.demoted {
+            w.u32(rank);
+            w.u32(bank);
+            w.u32(row);
+            w.u64(until);
+        }
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.section("recovery-engine")?;
+        self.counts = RecoveryCounts {
+            alerts: r.u64()?,
+            retries: r.u64()?,
+            recovered: r.u64()?,
+            exhausted: r.u64()?,
+            demotions: r.u64()?,
+            promotions: r.u64()?,
+        };
+        self.blocked.clear();
+        for _ in 0..r.seq()? {
+            let key = (r.u32()?, r.u32()?);
+            self.blocked.insert(key, r.u64()?);
+        }
+        self.attempts.clear();
+        for _ in 0..r.seq()? {
+            let key = (r.u32()?, r.u32()?, r.u32()?);
+            self.attempts.insert(key, r.u32()?);
+        }
+        self.scoreboard.demoted.clear();
+        for _ in 0..r.seq()? {
+            let key = (r.u32()?, r.u32()?, r.u32()?);
+            self.scoreboard.demoted.insert(key, r.u64()?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +544,42 @@ mod tests {
             assert_eq!(eng.row_standing(0, 0, bank, 0), RowStanding::Healthy);
         }
         assert_eq!(eng.counts(), RecoveryCounts::default());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_recovery_state() {
+        let mut reference = RecoveryEngine::new(config());
+        reference.on_fault(100, 0, 1, 7);
+        reference.on_fault(110, 1, 3, 2);
+        reference.on_success(1, 3, 2);
+        reference.demote_row(120, 0, 1, 7);
+        let mut w = SnapWriter::new();
+        reference.snap_save(&mut w);
+        let payload = w.into_bytes();
+        let mut restored = RecoveryEngine::new(config());
+        let mut r = SnapReader::new(&payload);
+        restored.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.counts(), reference.counts());
+        assert_eq!(
+            restored.is_blocked(105, 0, 1),
+            reference.is_blocked(105, 0, 1)
+        );
+        assert_eq!(
+            restored.scoreboard().demoted_rows(),
+            reference.scoreboard().demoted_rows()
+        );
+        // Subsequent behaviour is identical: the hold-off, attempt budget
+        // and probation deadlines survived the round trip.
+        assert_eq!(
+            restored.on_fault(130, 0, 1, 7),
+            reference.on_fault(130, 0, 1, 7)
+        );
+        assert_eq!(
+            restored.row_standing(220, 0, 1, 7),
+            reference.row_standing(220, 0, 1, 7)
+        );
+        assert_eq!(restored.counts(), reference.counts());
     }
 
     #[test]

@@ -182,6 +182,65 @@ impl InstructionSource for WorkloadGen {
             self.memory_op()
         }
     }
+
+    fn snap_save_state(&self, w: &mut sim_snap::SnapWriter) {
+        // `profile` and `base` are construction parameters; everything the
+        // stream position depends on is below.
+        w.section("workload-gen");
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.seq(self.streams.len());
+        for &line in &self.streams {
+            w.u64(line);
+        }
+        w.seq(self.loaded_history.len());
+        for &line in &self.loaded_history {
+            w.u64(line);
+        }
+        w.opt_u64(self.last_loaded);
+        w.bool(self.burst.is_some());
+        if let Some((idx, remaining)) = self.burst {
+            w.usize(idx);
+            w.u32(remaining);
+        }
+        w.bool(self.emit_compute_next);
+    }
+
+    fn snap_load_state(
+        &mut self,
+        r: &mut sim_snap::SnapReader<'_>,
+    ) -> Result<(), sim_snap::SnapError> {
+        r.section("workload-gen")?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng.set_state(state);
+        let n = r.seq()?;
+        if n != self.streams.len() {
+            return Err(sim_snap::SnapError::Decode(format!(
+                "stream count mismatch: snapshot has {n}, profile has {}",
+                self.streams.len()
+            )));
+        }
+        for line in &mut self.streams {
+            *line = r.u64()?;
+        }
+        let n = r.seq()?;
+        self.loaded_history.clear();
+        for _ in 0..n {
+            self.loaded_history.push_back(r.u64()?);
+        }
+        self.last_loaded = r.opt_u64()?;
+        self.burst = if r.bool()? {
+            Some((r.usize()?, r.u32()?))
+        } else {
+            None
+        };
+        self.emit_compute_next = r.bool()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +366,44 @@ mod tests {
         assert!(
             frac > 0.5,
             "libquantum should stream, sequential fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_mid_stream_position() {
+        let mut live = WorkloadGen::new(benches::mcf(), 11, 0);
+        for _ in 0..5_000 {
+            live.next_op();
+        }
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Different seed: every overlaid field must come from the snapshot.
+        let mut restored = WorkloadGen::new(benches::mcf(), 999, 0);
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        restored.snap_load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        for _ in 0..5_000 {
+            assert_eq!(live.next_op(), restored.next_op());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_stream_shape() {
+        let live = WorkloadGen::new(benches::libquantum(), 1, 0);
+        let mut w = sim_snap::SnapWriter::new();
+        live.snap_save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // GUPS is a random pattern: zero sequential streams, so the shape
+        // check must refuse the overlay.
+        let mut other = WorkloadGen::new(benches::gups(), 1, 0);
+        let mut r = sim_snap::SnapReader::new(&bytes);
+        let err = other.snap_load_state(&mut r).unwrap_err();
+        assert!(
+            format!("{err}").contains("stream count mismatch"),
+            "unexpected error: {err}"
         );
     }
 
